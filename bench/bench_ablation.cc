@@ -1,0 +1,162 @@
+// Ablations of BENU's design choices (beyond the paper's own Fig. 7/8
+// sweeps):
+//
+//   (1) Shared vs private DB caches — §V-A argues one cache per worker
+//       *shared by all its threads* captures inter-task locality. We
+//       compare a worker with one shared cache of capacity C against the
+//       same hardware partitioned into per-thread caches of capacity C/w
+//       (modelled as w single-thread workers).
+//   (2) Degree filter on/off — §IV-A's extra filtering technique.
+//   (3) VCBC compression on/off — output volume and result-reporting
+//       work (codes vs full matches).
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "plan/plan_search.h"
+
+namespace {
+
+using namespace benu;
+using namespace benu::bench;
+
+void CacheSharingAblation(const Graph& data) {
+  Graph pattern = LoadPattern("q4");
+  auto plan = GenerateBestPlan(pattern, DataGraphStats::FromGraph(data),
+                               {.optimize = true, .apply_vcbc = true});
+  BENU_CHECK(plan.ok());
+  const size_t total_cache = data.AdjacencyBytes() / 5;  // 20% of graph
+  const int workers = 4;
+  const int threads = 6;
+
+  // Shared: each worker's threads share one cache of `total_cache`.
+  ClusterConfig shared = PaperCluster();
+  shared.num_workers = workers;
+  shared.threads_per_worker = threads;
+  shared.db_cache_bytes = total_cache;
+  ClusterSimulator shared_cluster(data, shared);
+  auto shared_run = shared_cluster.Run(plan->plan);
+  BENU_CHECK(shared_run.ok());
+
+  // Private: same thread count, but every thread has its own cache of
+  // total_cache / threads.
+  ClusterConfig priv = PaperCluster();
+  priv.num_workers = workers * threads;
+  priv.threads_per_worker = 1;
+  priv.db_cache_bytes = total_cache / threads;
+  ClusterSimulator private_cluster(data, priv);
+  auto private_run = private_cluster.Run(plan->plan);
+  BENU_CHECK(private_run.ok());
+  BENU_CHECK(shared_run->total_matches == private_run->total_matches);
+
+  std::printf("(1) cache sharing (q4, %d workers x %d threads, cache=%s)\n",
+              workers, threads, HumanBytes(total_cache).c_str());
+  std::printf("    %-22s hit-rate %5.1f%%  db-queries %10s  comm %s\n",
+              "shared per worker:", 100 * shared_run->CacheHitRate(),
+              HumanCount(shared_run->db_queries).c_str(),
+              HumanBytes(shared_run->bytes_fetched).c_str());
+  std::printf("    %-22s hit-rate %5.1f%%  db-queries %10s  comm %s\n",
+              "private per thread:", 100 * private_run->CacheHitRate(),
+              HumanCount(private_run->db_queries).c_str(),
+              HumanBytes(private_run->bytes_fetched).c_str());
+}
+
+void DegreeFilterAblation(const Graph& core) {
+  // Real web/social graphs have a large low-degree fringe; the stand-in
+  // generator's minimum degree equals its edges-per-vertex parameter, so
+  // we attach a pendant fringe (one-third of the graph) to expose what
+  // the filter prunes.
+  auto edges = core.Edges();
+  const auto fringe = static_cast<VertexId>(core.NumVertices() / 3);
+  for (VertexId i = 0; i < fringe; ++i) {
+    edges.emplace_back(static_cast<VertexId>(core.NumVertices() + i),
+                       i % static_cast<VertexId>(core.NumVertices()));
+  }
+  auto augmented = Graph::FromEdges(core.NumVertices() + fringe, edges);
+  BENU_CHECK(augmented.ok());
+  Graph data = augmented->RelabelByDegree();
+  std::printf("\n(2) degree filter (clique patterns; stand-in plus a "
+              "degree-1 fringe)\n");
+  for (const std::string name : {std::string("clique4"),
+                                 std::string("clique5")}) {
+    Graph pattern = LoadPattern(name);
+    auto base = GenerateBestPlan(pattern, DataGraphStats::FromGraph(data),
+                                 {.optimize = true, .apply_vcbc = true});
+    PlanSearchOptions with_filter;
+    with_filter.apply_vcbc = true;
+    with_filter.apply_degree_filter = true;
+    auto filtered = GenerateBestPlan(
+        pattern, DataGraphStats::FromGraph(data), with_filter);
+    BENU_CHECK(base.ok());
+    BENU_CHECK(filtered.ok());
+    ClusterConfig config = PaperCluster();
+    config.num_workers = 4;
+    config.threads_per_worker = 4;
+    ClusterSimulator cluster(data, config);
+    auto off = cluster.Run(base->plan);
+    auto on = cluster.Run(filtered->plan);
+    BENU_CHECK(off.ok());
+    BENU_CHECK(on.ok());
+    BENU_CHECK(off->total_matches == on->total_matches);
+    std::printf(
+        "    %-8s off: req %10s time %6.3fs | on: req %10s time %6.3fs\n",
+        name.c_str(), HumanCount(off->adjacency_requests).c_str(),
+        off->virtual_seconds, HumanCount(on->adjacency_requests).c_str(),
+        on->virtual_seconds);
+  }
+}
+
+void VcbcAblation(const Graph& data) {
+  std::printf("\n(3) VCBC compression (output volume, vertex-id units)\n");
+  for (const std::string name :
+       {std::string("q4"), std::string("q7"), std::string("square")}) {
+    Graph pattern = LoadPattern(name);
+    auto plain = GenerateBestPlan(pattern, DataGraphStats::FromGraph(data),
+                                  {.optimize = true, .apply_vcbc = false});
+    auto compressed = GenerateBestPlan(
+        pattern, DataGraphStats::FromGraph(data),
+        {.optimize = true, .apply_vcbc = true});
+    BENU_CHECK(plain.ok());
+    BENU_CHECK(compressed.ok());
+    ClusterConfig config = PaperCluster();
+    config.num_workers = 4;
+    config.threads_per_worker = 4;
+    ClusterSimulator cluster(data, config);
+    auto a = cluster.Run(plain->plan);
+    auto b = cluster.Run(compressed->plan);
+    BENU_CHECK(a.ok());
+    BENU_CHECK(b.ok());
+    BENU_CHECK(a->total_matches == b->total_matches);
+    const double ratio = b->code_units == 0
+                             ? 0.0
+                             : static_cast<double>(a->code_units) /
+                                   static_cast<double>(b->code_units);
+    std::printf(
+        "    %-7s matches %10s | plain units %12s | vcbc units %12s "
+        "(%.1fx smaller), codes %s\n",
+        name.c_str(), HumanCount(a->total_matches).c_str(),
+        HumanCount(a->code_units).c_str(), HumanCount(b->code_units).c_str(),
+        ratio, HumanCount(b->total_codes).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  std::printf("Ablations of BENU design choices\n");
+  Graph data = LoadDataset("as-sim").RelabelByDegree();
+  std::printf("data graph: as-sim, %zu vertices, %zu edges\n\n",
+              data.NumVertices(), data.NumEdges());
+  CacheSharingAblation(data);
+  DegreeFilterAblation(data);
+  VcbcAblation(data);
+  std::printf(
+      "\nExpected: the shared cache reaches a higher hit rate than the\n"
+      "same bytes split per thread (inter-task locality, §V-A); the\n"
+      "degree filter cuts adjacency requests on hub-seeking patterns; \n"
+      "VCBC shrinks the emitted result volume by the compression ratio\n"
+      "CBF reports.\n");
+  return 0;
+}

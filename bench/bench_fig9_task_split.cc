@@ -1,0 +1,86 @@
+// Fig. 9 reproduction (Exp-4): effects of the task splitting technique on
+// (a) the distribution of task execution times and (b) the per-worker
+// (reducer) load balance, for q5 on the ok-sim stand-in with τ = 500.
+//
+// Paper shape to reproduce: without splitting, a handful of giant tasks
+// (power-law hubs) dominate and skew the reducers; with splitting the
+// maximum task time collapses by orders of magnitude while the task count
+// rises only slightly, and worker loads even out.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "plan/plan_search.h"
+
+namespace {
+
+using namespace benu;
+using namespace benu::bench;
+
+void Summarize(const char* label, const ClusterRunResult& result) {
+  std::vector<double> times = result.task_virtual_us;
+  std::sort(times.begin(), times.end());
+  const double max_t = times.empty() ? 0 : times.back();
+  const double p50 = times.empty() ? 0 : times[times.size() / 2];
+  const double p99 = times.empty() ? 0 : times[times.size() * 99 / 100];
+  std::printf("%s\n", label);
+  std::printf("  tasks=%zu  p50=%.0fus  p99=%.0fus  max=%.0fus\n",
+              result.num_tasks, p50, p99, max_t);
+  double min_busy = 1e300;
+  double max_busy = 0;
+  for (const WorkerSummary& w : result.workers) {
+    min_busy = std::min(min_busy, w.busy_virtual_us);
+    max_busy = std::max(max_busy, w.busy_virtual_us);
+  }
+  std::printf(
+      "  worker busy time: min=%.0fus max=%.0fus imbalance=%.2fx  "
+      "makespan=%.3fs\n",
+      min_busy, max_busy, min_busy > 0 ? max_busy / min_busy : 0,
+      result.virtual_seconds);
+}
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  std::printf("Fig. 9 — task splitting (pattern q5, power-law graph)\n");
+  Graph raw = LoadDataset(FullScale() ? "ok-sim" : "as-sim");
+  Graph data = raw.RelabelByDegree();
+  std::printf("data graph: %zu vertices, %zu edges, max degree %zu\n\n",
+              data.NumVertices(), data.NumEdges(), data.MaxDegree());
+
+  Graph pattern = LoadPattern("q5");
+  auto plan = GenerateBestPlan(pattern, DataGraphStats::FromGraph(data),
+                               {.optimize = true, .apply_vcbc = true});
+  BENU_CHECK(plan.ok());
+
+  ClusterConfig config = PaperCluster();
+  config.num_workers = 16;
+  config.threads_per_worker = 4;
+
+  config.task_split_threshold = 0;
+  ClusterSimulator without(data, config);
+  auto result_without = without.Run(plan->plan);
+  BENU_CHECK(result_without.ok());
+  Summarize("(a) without task splitting", *result_without);
+
+  const uint32_t tau = FullScale() ? 500 : 32;
+  config.task_split_threshold = tau;
+  ClusterSimulator with(data, config);
+  auto result_with = with.Run(plan->plan);
+  BENU_CHECK(result_with.ok());
+  char label[64];
+  std::snprintf(label, sizeof(label), "(b) with task splitting (tau=%u)",
+                tau);
+  Summarize(label, *result_with);
+
+  BENU_CHECK(result_with->total_matches == result_without->total_matches);
+  std::printf(
+      "\nShape check vs paper: splitting shrinks the maximum task time by\n"
+      "orders of magnitude with only a slight task-count increase\n"
+      "(paper: 3.07M -> 3.12M) and evens out the per-reducer workloads.\n");
+  return 0;
+}

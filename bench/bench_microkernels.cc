@@ -1,0 +1,111 @@
+// Microbenchmarks (google-benchmark) of the building blocks underneath
+// the table/figure harnesses: set intersection kernels, the DB cache hit
+// and miss paths, the triangle cache, plan generation, and one full local
+// search task. Useful for regression-tracking the executor's inner loops.
+
+#include <benchmark/benchmark.h>
+
+#include "core/executor.h"
+#include "graph/generators.h"
+#include "graph/patterns.h"
+#include "plan/optimizer.h"
+#include "plan/plan_generator.h"
+#include "plan/plan_search.h"
+#include "plan/symmetry_breaking.h"
+#include "storage/db_cache.h"
+
+namespace benu {
+namespace {
+
+VertexSet MakeArithmetic(size_t n, size_t stride, VertexId offset) {
+  VertexSet s;
+  s.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    s.push_back(static_cast<VertexId>(offset + i * stride));
+  }
+  return s;
+}
+
+void BM_IntersectBalanced(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  VertexSet a = MakeArithmetic(n, 2, 0);
+  VertexSet b = MakeArithmetic(n, 3, 0);
+  VertexSet out;
+  for (auto _ : state) {
+    Intersect(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * n));
+}
+BENCHMARK(BM_IntersectBalanced)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_IntersectSkewed(benchmark::State& state) {
+  // Small probe against a large set: exercises the galloping kernel.
+  VertexSet small = MakeArithmetic(16, 977, 3);
+  VertexSet large = MakeArithmetic(static_cast<size_t>(state.range(0)), 1, 0);
+  VertexSet out;
+  for (auto _ : state) {
+    Intersect(small, large, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_IntersectSkewed)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_DbCacheHit(benchmark::State& state) {
+  Graph g = std::move(GenerateBarabasiAlbert(10000, 8, 1)).value();
+  DistributedKvStore store(g, 16);
+  DbCache cache(&store, 1u << 30);
+  cache.GetAdjacency(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.GetAdjacency(42));
+  }
+}
+BENCHMARK(BM_DbCacheHit);
+
+void BM_DbCacheMiss(benchmark::State& state) {
+  Graph g = std::move(GenerateBarabasiAlbert(100000, 4, 2)).value();
+  DistributedKvStore store(g, 16);
+  DbCache cache(&store, 0);  // never retains: always the miss path
+  VertexId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.GetAdjacency(v));
+    v = (v + 1) % g.NumVertices();
+  }
+}
+BENCHMARK(BM_DbCacheMiss);
+
+void BM_PlanSearch(benchmark::State& state) {
+  Graph pattern = std::move(GetPattern("q" + std::to_string(state.range(0))))
+                      .value();
+  const DataGraphStats stats{4.8e6, 4.3e7};
+  for (auto _ : state) {
+    auto result = GenerateBestPlan(pattern, stats);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_PlanSearch)->Arg(1)->Arg(4)->Arg(7)->Arg(9);
+
+void BM_LocalSearchTask(benchmark::State& state) {
+  Graph data = std::move(GenerateBarabasiAlbert(20000, 8, 3))
+                   .value()
+                   .RelabelByDegree();
+  Graph pattern = std::move(GetPattern("q4")).value();
+  auto plan = GenerateBestPlan(pattern, DataGraphStats::FromGraph(data));
+  DirectAdjacencyProvider provider(&data);
+  TriangleCache tcache;
+  auto executor = PlanExecutor::Create(&plan->plan, &provider, &tcache);
+  CountingConsumer consumer(plan->plan);
+  VertexId v = data.NumVertices() - 1;  // hottest (highest-degree) tasks
+  for (auto _ : state) {
+    (*executor)->RunTask(SearchTask{v, 0, 1}, &consumer);
+    v = (v == 0) ? static_cast<VertexId>(data.NumVertices() - 1) : v - 1;
+  }
+  state.SetLabel("matches/iter varies by start vertex");
+}
+BENCHMARK(BM_LocalSearchTask);
+
+}  // namespace
+}  // namespace benu
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Table IV reproduction (Exp-1): efficiency of best execution plan
+// generation — relative α (estimation calls / Σ P(n,i)), relative β
+// (optimized plans generated / n!), and wall time, for the Fig. 6
+// queries, cliques, and connected random pattern graphs.
+//
+// Paper shape to reproduce: β/n! stays below ~15% everywhere, below 1%
+// for random graphs; dual pruning collapses cliques almost entirely; plan
+// generation takes well under a second for realistic patterns.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "plan/plan_search.h"
+
+namespace {
+
+using namespace benu;
+using namespace benu::bench;
+
+void Report(const std::string& label, const Graph& pattern, int repeats) {
+  const DataGraphStats stats{4.8e6, 4.3e7};  // LiveJournal-scale density
+  double alpha_rel = 0;
+  double beta_rel = 0;
+  double seconds = 0;
+  for (int r = 0; r < repeats; ++r) {
+    auto result = GenerateBestPlan(pattern, stats);
+    BENU_CHECK(result.ok()) << result.status().ToString();
+    alpha_rel += 100.0 * static_cast<double>(result->estimate_calls) /
+                 AlphaUpperBound(pattern.NumVertices());
+    beta_rel += 100.0 * static_cast<double>(result->plans_generated) /
+                BetaUpperBound(pattern.NumVertices());
+    seconds += result->elapsed_seconds;
+  }
+  std::printf("%-12s %8.2f%% %8.3f%% %9.4fs\n", label.c_str(),
+              alpha_rel / repeats, beta_rel / repeats, seconds / repeats);
+}
+
+void ReportRandom(size_t n, int graphs) {
+  const DataGraphStats stats{4.8e6, 4.3e7};
+  double alpha_rel = 0;
+  double beta_rel = 0;
+  double seconds = 0;
+  for (int i = 0; i < graphs; ++i) {
+    auto pattern =
+        GenerateRandomConnected(n, 0.4, 5000 + n * 100 + static_cast<uint64_t>(i));
+    BENU_CHECK(pattern.ok());
+    auto result = GenerateBestPlan(*pattern, stats);
+    BENU_CHECK(result.ok()) << result.status().ToString();
+    alpha_rel += 100.0 * static_cast<double>(result->estimate_calls) /
+                 AlphaUpperBound(n);
+    beta_rel +=
+        100.0 * static_cast<double>(result->plans_generated) / BetaUpperBound(n);
+    seconds += result->elapsed_seconds;
+  }
+  std::printf("random n=%-3zu %8.2f%% %8.3f%% %9.4fs   (avg over %d graphs)\n",
+              n, alpha_rel / graphs, beta_rel / graphs, seconds / graphs,
+              graphs);
+}
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  std::printf("Table IV — efficiency of best execution plan generation\n");
+  std::printf("%-12s %9s %9s %10s\n", "pattern", "rel-a", "rel-b", "time");
+
+  for (const std::string& name : Fig6QueryNames()) {
+    Report(name, LoadPattern(name), /*repeats=*/3);
+  }
+  const size_t max_clique = FullScale() ? 10 : 8;
+  for (size_t k = 4; k <= max_clique; ++k) {
+    Report("clique" + std::to_string(k), MakeClique(k), /*repeats=*/1);
+  }
+  ReportRandom(7, FullScale() ? 100 : 25);
+  ReportRandom(8, FullScale() ? 50 : 10);
+  ReportRandom(9, FullScale() ? 10 : 3);
+  if (FullScale()) ReportRandom(10, 2);
+
+  std::printf(
+      "\nShape check vs paper: relative beta < 15%% in all cases and < 1%%\n"
+      "for random patterns; cliques collapse to a single candidate order\n"
+      "under dual pruning; times are negligible next to enumeration.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Table V reproduction (Exp-5): BENU vs the CBF-like join-based baseline
+// on q1–q9 over the stand-in data graphs. Each cell reports the simulated
+// cluster execution time and cumulative communication, like the paper's
+// "time/bytes" cells; baseline failures print CRASH (intermediate-result
+// budget exceeded), mirroring the CRASH entries of Table V.
+//
+// Time model (both systems on the same virtual 16×24-thread cluster over
+// 1 Gbps): BENU reports the cluster simulator's makespan (measured task
+// times + simulated DB latency/bandwidth); the join baseline reports its
+// measured CPU time spread perfectly over the cluster's threads plus its
+// shuffled bytes over the aggregate bandwidth — deliberately generous to
+// the baseline (see bench_util.h).
+//
+// Paper shape to reproduce: BENU wins nearly everywhere (up to ~10x),
+// with the largest gaps on the complex queries whose cores have huge
+// match counts; the join baseline shuffles partial results far larger
+// than the data graph and crashes/times out on the hardest cases.
+//
+// Default runs the full q1–q9 column on as-sim and q1–q5 on lj-sim;
+// BENU_BENCH_FULL=1 runs all nine queries on both plus ok-sim.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/join_based.h"
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "plan/plan_search.h"
+#include "plan/symmetry_breaking.h"
+
+int main() {
+  using namespace benu;
+  using namespace benu::bench;
+  SetLogLevel(LogLevel::kWarning);
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+
+  struct DatasetSpec {
+    const char* name;
+    size_t num_queries;  // prefix of q1..q9 run at this scale
+  };
+  std::vector<DatasetSpec> datasets = {{"as-sim", 9}, {"lj-sim", 5}};
+  if (FullScale()) {
+    datasets = {{"as-sim", 9}, {"lj-sim", 9}, {"ok-sim", 9}};
+  }
+
+  const ClusterConfig cluster = PaperCluster();
+  std::printf("Table V — BENU vs CBF-like join baseline\n");
+  std::printf("(virtual %dx%d-thread cluster over 1 Gbps; cells are\n",
+              cluster.num_workers, cluster.threads_per_worker);
+  std::printf(" cluster-time / communication)\n");
+  for (const DatasetSpec& spec : datasets) {
+    Graph raw = LoadDataset(spec.name);
+    Graph data = raw.RelabelByDegree();
+    std::printf("\ndataset %s (%zu vertices, %zu edges, adjacency %s)\n",
+                spec.name, data.NumVertices(), data.NumEdges(),
+                HumanBytes(data.AdjacencyBytes()).c_str());
+    std::printf("%-4s %24s %32s %7s %10s\n", "q", "CBF-like (join)", "BENU",
+                "time-r", "comm-r");
+    const auto queries = Fig6QueryNames();
+    for (size_t qi = 0; qi < spec.num_queries; ++qi) {
+      const std::string& q = queries[qi];
+      Graph pattern = LoadPattern(q);
+      auto constraints = ComputeSymmetryBreakingConstraints(pattern);
+
+      // Join-based baseline with a bounded intermediate-result budget.
+      JoinBasedConfig join_config;
+      join_config.max_intermediate_tuples = 30u << 20;
+      Stopwatch join_watch;
+      auto join = RunJoinBased(data, pattern, constraints, join_config);
+      const double join_cpu = join_watch.ElapsedSeconds();
+
+      // BENU on the simulated paper cluster (compressed plans).
+      BenuOptions options;
+      options.cluster = cluster;
+      options.plan.apply_vcbc = true;
+      auto benu = RunBenu(data, pattern, options);
+      BENU_CHECK(benu.ok()) << benu.status().ToString();
+      const double benu_time = benu->run.virtual_seconds;
+
+      char join_cell[64];
+      double join_time = 0;
+      Count join_comm = 0;
+      if (join.ok()) {
+        join_comm = join->shuffled_bytes + join->index_bytes;
+        join_time = BaselineVirtualSeconds(join_cpu, join_comm, cluster,
+                                           /*disk_materialized=*/true);
+        std::snprintf(join_cell, sizeof(join_cell), "%9.3fs /%9s",
+                      join_time, HumanBytes(join_comm).c_str());
+      } else {
+        std::snprintf(join_cell, sizeof(join_cell), "%9s /%9s", "CRASH",
+                      "-");
+      }
+      char benu_cell[64];
+      std::snprintf(benu_cell, sizeof(benu_cell), "%9.3fs /%9s (%s)",
+                    benu_time, HumanBytes(benu->run.bytes_fetched).c_str(),
+                    HumanCount(benu->run.total_matches).c_str());
+      char ratios[32];
+      if (join.ok() && benu_time > 0 && benu->run.bytes_fetched > 0) {
+        std::snprintf(ratios, sizeof(ratios), "%6.1fx %9.1fx",
+                      join_time / benu_time,
+                      static_cast<double>(join_comm) /
+                          static_cast<double>(benu->run.bytes_fetched));
+        if (join->matches != benu->run.total_matches) {
+          std::snprintf(ratios, sizeof(ratios), "%s", "MISMATCH");
+        }
+      } else {
+        std::snprintf(ratios, sizeof(ratios), "%6s %9s", "-", "-");
+      }
+      std::printf("%-4s %24s %36s %s\n", q.c_str(), join_cell, benu_cell,
+                  ratios);
+    }
+  }
+  std::printf(
+      "\nShape check vs paper (see EXPERIMENTS.md): (1) the join baseline\n"
+      "CRASHes on the hard queries (q1/q7/q9, q5 on larger graphs) while\n"
+      "BENU completes every cell, matching Table V's CRASH/timeout rows;\n"
+      "(2) the join baseline's shuffled bytes exceed BENU's communication\n"
+      "by 1-2 orders of magnitude (comm-r column) and dwarf the data\n"
+      "graph itself; (3) time ratios favor BENU where intermediate\n"
+      "results blow up. At this laptop scale in-memory compute dominates\n"
+      "and the idealized join can win raw time on match-dense easy\n"
+      "queries; the paper's uniform time gaps come from the same shuffle\n"
+      "volumes paid through a disk-based MapReduce at 100-1000x scale.\n");
+  return 0;
+}

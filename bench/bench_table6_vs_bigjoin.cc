@@ -1,0 +1,110 @@
+// Table VI reproduction (Exp-6): execution time comparison with the
+// BiGJoin-like worst-case-optimal join, on the patterns BiGJoin
+// specially optimized: triangle, clique4, clique5, q4, q5.
+//
+//   BiGJoin(S): shared-memory variant — one big batch, bounded memory;
+//               prints OOM when the resident prefix tuples exceed the
+//               budget (the paper's OOM entries).
+//   BiGJoin(D): distributed variant — small batches (the paper's 100000),
+//               shuffling every level's prefixes.
+//
+// Paper shape to reproduce: BENU beats both variants on the complex
+// patterns (clique5/q4/q5); BiGJoin(S) OOMs where intermediate prefixes
+// blow up; BiGJoin(D) survives but pays heavy shuffles.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/wcoj.h"
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "plan/symmetry_breaking.h"
+
+int main() {
+  using namespace benu;
+  using namespace benu::bench;
+  SetLogLevel(LogLevel::kWarning);
+
+  std::vector<std::string> datasets = {"as-sim"};
+  if (FullScale()) datasets.push_back("ok-sim");
+
+  const std::vector<std::string> patterns = {"triangle", "clique4", "clique5",
+                                             "q4", "q5"};
+  for (const std::string& dataset : datasets) {
+    Graph raw = LoadDataset(dataset);
+    Graph data = raw.RelabelByDegree();
+    std::printf("Table VI — dataset %s (%zu vertices, %zu edges)\n",
+                dataset.c_str(), data.NumVertices(), data.NumEdges());
+    std::printf("%-10s %14s %14s %14s\n", "pattern", "BiGJoin(S)",
+                "BiGJoin(D)", "BENU");
+    for (const std::string name : patterns) {
+      Graph pattern = LoadPattern(name);
+      auto constraints = ComputeSymmetryBreakingConstraints(pattern);
+
+      // Shared-memory WCOJ: single batch, bounded resident tuples.
+      WcojConfig shared;
+      shared.batch_size = data.NumVertices();
+      shared.max_resident_tuples = 4u << 20;  // scaled-down memory budget
+      auto rs = RunWcoj(data, pattern, constraints, shared);
+
+      // Distributed WCOJ: paper batch size, shuffle accounting.
+      WcojConfig dist;
+      dist.batch_size = 100000;
+      dist.distributed = true;
+      auto rd = RunWcoj(data, pattern, constraints, dist);
+
+      BenuOptions options;
+      options.cluster = PaperCluster();
+      options.plan.apply_vcbc = true;
+      auto benu = RunBenu(data, pattern, options);
+      BENU_CHECK(benu.ok()) << benu.status().ToString();
+
+      // Time model: BiGJoin(S) is genuinely single-machine shared-memory,
+      // so its wall time stands as-is divided over one machine's threads;
+      // BiGJoin(D) spreads compute over the cluster and pays for its
+      // shuffles; BENU reports the cluster simulator's makespan.
+      ClusterConfig cluster = PaperCluster();
+      auto shared_cell = [&](const StatusOr<WcojResult>& r) {
+        char buffer[32];
+        if (r.ok()) {
+          std::snprintf(buffer, sizeof(buffer), "%10.3fs",
+                        r->seconds / cluster.threads_per_worker);
+        } else {
+          std::snprintf(buffer, sizeof(buffer), "%10s", "OOM");
+        }
+        return std::string(buffer);
+      };
+      auto dist_cell = [&](const StatusOr<WcojResult>& r) {
+        char buffer[32];
+        if (r.ok()) {
+          std::snprintf(buffer, sizeof(buffer), "%10.3fs",
+                        BaselineVirtualSeconds(r->seconds, r->shuffled_bytes,
+                                               cluster));
+        } else {
+          std::snprintf(buffer, sizeof(buffer), "%10s", "OOM");
+        }
+        return std::string(buffer);
+      };
+      if (rs.ok() && rd.ok()) {
+        BENU_CHECK(rs->matches == rd->matches);
+        BENU_CHECK(rs->matches == benu->run.total_matches);
+      }
+      std::printf("%-10s %14s %14s %12.3fs   (matches %s)\n", name.c_str(),
+                  shared_cell(rs).c_str(), dist_cell(rd).c_str(),
+                  benu->run.virtual_seconds,
+                  HumanCount(benu->run.total_matches).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape check vs paper (see EXPERIMENTS.md): the shared-memory WCOJ\n"
+      "OOMs exactly where the paper's BiGJoin(S) does — once resident\n"
+      "prefixes outgrow memory (q5 here; more cells at BENU_BENCH_FULL\n"
+      "scale) — while BENU completes every cell; the batched distributed\n"
+      "variant survives by shuffling every level. Raw times at this\n"
+      "laptop scale are compute-dominated and favor the hand-rolled join\n"
+      "loops on the easy patterns; the paper's crossover comes from the\n"
+      "same memory/shuffle pressure at 100-1000x scale.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+#ifndef BENU_BENCH_BENCH_UTIL_H_
+#define BENU_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the table/figure reproduction harnesses. Each bench
+// binary prints the rows/series of one table or figure from the paper
+// (see DESIGN.md §5 and EXPERIMENTS.md for the mapping and results).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+#include "distributed/benu_driver.h"
+#include "graph/generators.h"
+#include "graph/patterns.h"
+
+namespace benu::bench {
+
+/// True when the harness should also run the largest stand-in datasets
+/// (uk-sim, fs-sim) / deepest sweeps. Off by default so the whole bench
+/// suite completes quickly on one machine; enable with BENU_BENCH_FULL=1.
+inline bool FullScale() {
+  const char* env = std::getenv("BENU_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+/// The paper's cluster: 16 workers × 24 threads, 1 Gbps, τ = 500,
+/// 30 GB cache per worker (we scale the cache to the stand-in graphs).
+inline ClusterConfig PaperCluster() {
+  ClusterConfig config;
+  config.num_workers = 16;
+  config.threads_per_worker = 24;
+  config.db_cache_bytes = 256u << 20;
+  config.task_split_threshold = 500;
+  config.db_query_latency_us = 100.0;
+  config.network_bytes_per_us = 125.0;  // 1 Gbps
+  return config;
+}
+
+inline Graph LoadDataset(const std::string& name) {
+  auto g = GenerateStandInDataset(name);
+  BENU_CHECK(g.ok()) << g.status().ToString();
+  return std::move(g).value();
+}
+
+inline Graph LoadPattern(const std::string& name) {
+  auto p = GetPattern(name);
+  BENU_CHECK(p.ok()) << p.status().ToString();
+  return std::move(p).value();
+}
+
+/// Virtual cluster time of a BFS-style baseline measured in-process:
+/// single-threaded compute spread perfectly over the cluster's p × w
+/// threads, plus the shuffled bytes over the cluster's aggregate
+/// bisection bandwidth (p × per-machine bandwidth). Deliberately
+/// generous to the baseline (perfect parallelism, no stragglers), so a
+/// BENU win under this model is conservative.
+/// Aggregate disk bandwidth per machine for materialized MapReduce
+/// shuffles (the paper's CBF runs on HDD RAID0), bytes per second.
+inline constexpr double kDiskBytesPerSecond = 200e6;
+
+inline double BaselineVirtualSeconds(double cpu_seconds, Count shuffled_bytes,
+                                     const ClusterConfig& config,
+                                     bool disk_materialized = false) {
+  const double threads = static_cast<double>(config.num_workers) *
+                         static_cast<double>(config.threads_per_worker);
+  const double aggregate_bytes_per_second =
+      static_cast<double>(config.num_workers) *
+      config.network_bytes_per_us * 1e6;
+  double seconds =
+      cpu_seconds / threads +
+      static_cast<double>(shuffled_bytes) / aggregate_bytes_per_second;
+  if (disk_materialized) {
+    // Each MapReduce round writes the shuffle to disk on the map side and
+    // reads it back on the reduce side.
+    seconds += 2.0 * static_cast<double>(shuffled_bytes) /
+               (static_cast<double>(config.num_workers) * kDiskBytesPerSecond);
+  }
+  return seconds;
+}
+
+/// Formats a byte count like the paper's Table V cells ("26G", "512M").
+inline std::string HumanBytes(Count bytes) {
+  char buffer[32];
+  const double b = static_cast<double>(bytes);
+  if (b >= 1e9) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fG", b / 1e9);
+  } else if (b >= 1e6) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fM", b / 1e6);
+  } else if (b >= 1e3) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fK", b / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.0fB", b);
+  }
+  return buffer;
+}
+
+inline std::string HumanCount(Count value) {
+  char buffer[32];
+  const double v = static_cast<double>(value);
+  if (v >= 1e12) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fT", v / 1e12);
+  } else if (v >= 1e9) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fB", v / 1e9);
+  } else if (v >= 1e6) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fM", v / 1e6);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%llu",
+                  static_cast<unsigned long long>(value));
+  }
+  return buffer;
+}
+
+}  // namespace benu::bench
+
+#endif  // BENU_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,89 @@
+// Labeled motif search: demonstrates the property-graph extension (the
+// paper's §VIII future work). We synthesize an "interaction network"
+// whose vertices carry one of three types (0 = user, 1 = group, 2 = bot)
+// and count typed triangles and typed wedges — e.g. a user belonging to
+// two groups that share another common user.
+//
+// Usage: ./build/examples/labeled_motifs
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "distributed/benu_driver.h"
+#include "graph/generators.h"
+#include "graph/patterns.h"
+
+namespace {
+
+const char* kTypeNames[] = {"user", "group", "bot"};
+
+std::string Describe(const std::vector<int>& labels) {
+  std::string out;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += "-";
+    out += kTypeNames[labels[i]];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace benu;
+
+  auto graph = GeneratePowerLawCluster(8000, 6, 0.6, /*seed=*/77);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "generation failed\n");
+    return 1;
+  }
+  // Assign types: 70% users, 25% groups, 5% bots.
+  Rng rng(99);
+  std::vector<int> types(graph->NumVertices());
+  for (auto& t : types) {
+    const double coin = rng.NextDouble();
+    t = coin < 0.70 ? 0 : (coin < 0.95 ? 1 : 2);
+  }
+  std::printf("network: %zu vertices, %zu edges (70%% user / 25%% group / "
+              "5%% bot)\n\n",
+              graph->NumVertices(), graph->NumEdges());
+
+  BenuOptions base;
+  base.cluster.num_workers = 2;
+  base.cluster.threads_per_worker = 4;
+  base.data_labels = types;
+
+  struct Query {
+    const char* shape;
+    std::vector<int> labels;
+  };
+  const std::vector<Query> queries = {
+      {"triangle", {0, 0, 0}},  // user-user-user triangle
+      {"triangle", {0, 0, 1}},  // two users closing through a group
+      {"triangle", {2, 2, 2}},  // bot ring
+      {"path3", {1, 0, 1}},     // user bridging two groups
+      {"path3", {0, 2, 0}},     // bot between two users
+  };
+  std::printf("%-28s %14s\n", "typed motif", "count");
+  for (const Query& query : queries) {
+    Graph pattern = query.shape == std::string("path3")
+                        ? MakePath(3)
+                        : MakeClique(3);
+    BenuOptions options = base;
+    options.plan.pattern_labels = query.labels;
+    auto result = RunBenu(*graph, pattern, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-10s %-17s %14llu\n", query.shape,
+                Describe(query.labels).c_str(),
+                static_cast<unsigned long long>(result->run.total_matches));
+  }
+  std::printf(
+      "\nLabel-aware symmetry breaking keeps each typed subgraph counted\n"
+      "exactly once (only label-preserving automorphisms are broken).\n");
+  return 0;
+}

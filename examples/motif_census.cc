@@ -1,0 +1,88 @@
+// Motif census: the network-motif-mining application from the paper's
+// introduction. Counts every connected 3- and 4-vertex motif in a graph
+// and compares the census against an Erdős–Rényi null model with the same
+// density, printing the classic motif z-score-style over-representation
+// ratios (power-law graphs are triangle- and clique-rich; random graphs
+// are not).
+//
+// Usage: ./build/examples/motif_census [edge-list-file]
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "distributed/benu_driver.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/patterns.h"
+
+namespace {
+
+benu::Graph MakeMotif(const std::string& name) {
+  using namespace benu;
+  if (name == "path3") return MakePath(3);
+  if (name == "path4") return MakePath(4);
+  if (name == "star3") return MakeStar(3);
+  if (name == "paw") {
+    // Triangle with a tail.
+    auto g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 0}, {2, 3}});
+    return std::move(g).value();
+  }
+  return std::move(GetPattern(name)).value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace benu;
+  StatusOr<Graph> data = (argc > 1)
+                             ? LoadEdgeListFile(argv[1])
+                             : GenerateBarabasiAlbert(5000, 6, /*seed=*/7);
+  if (!data.ok()) {
+    std::fprintf(stderr, "failed to load graph: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+  auto null_model =
+      GenerateErdosRenyi(data->NumVertices(), data->NumEdges(), /*seed=*/99);
+  if (!null_model.ok()) {
+    std::fprintf(stderr, "null model failed\n");
+    return 1;
+  }
+  std::printf("graph: %zu vertices, %zu edges (null model: same N, M)\n",
+              data->NumVertices(), data->NumEdges());
+  std::printf("%-10s %14s %14s %10s\n", "motif", "count", "null-count",
+              "ratio");
+
+  const std::vector<std::string> motifs = {"triangle", "path3", "path4",
+                                           "star3",    "paw",   "square",
+                                           "diamond",  "clique4"};
+  BenuOptions options;
+  options.cluster.num_workers = 2;
+  options.cluster.threads_per_worker = 4;
+  options.cluster.task_split_threshold = 500;
+  options.plan.apply_vcbc = true;
+  for (const std::string name : motifs) {
+    Graph motif = MakeMotif(name);
+    auto real = RunBenu(*data, motif, options);
+    auto null = RunBenu(*null_model, motif, options);
+    if (!real.ok() || !null.ok()) {
+      std::fprintf(stderr, "%s failed\n", name.c_str());
+      return 1;
+    }
+    const double ratio =
+        null->run.total_matches == 0
+            ? 0.0
+            : static_cast<double>(real->run.total_matches) /
+                  static_cast<double>(null->run.total_matches);
+    std::printf("%-10s %14llu %14llu %9.2fx\n", name.c_str(),
+                static_cast<unsigned long long>(real->run.total_matches),
+                static_cast<unsigned long long>(null->run.total_matches),
+                ratio);
+  }
+  std::printf(
+      "\nA ratio >> 1 marks a motif over-represented relative to chance —\n"
+      "the signal network-motif mining [1] is after.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: count triangles (and a few other motifs) in a power-law
+// graph with the full BENU stack — best-plan generation, the simulated
+// distributed KV store, per-worker DB caches, and task splitting.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart [edge-list-file]
+//
+// Without an argument a synthetic Barabási–Albert graph is used.
+
+#include <cstdio>
+
+#include "distributed/benu_driver.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/patterns.h"
+
+int main(int argc, char** argv) {
+  using namespace benu;
+
+  // 1. Obtain a data graph.
+  StatusOr<Graph> data = (argc > 1)
+                             ? LoadEdgeListFile(argv[1])
+                             : GenerateBarabasiAlbert(20000, 8, /*seed=*/42);
+  if (!data.ok()) {
+    std::fprintf(stderr, "failed to load data graph: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("data graph: %zu vertices, %zu edges\n", data->NumVertices(),
+              data->NumEdges());
+
+  // 2. Configure a small simulated cluster (4 workers x 4 threads).
+  BenuOptions options;
+  options.cluster.num_workers = 4;
+  options.cluster.threads_per_worker = 4;
+  options.cluster.execution_threads = 2;  // real OS threads per worker
+  options.cluster.db_cache_bytes = 64u << 20;
+  options.cluster.task_split_threshold = 500;
+  options.plan.apply_vcbc = true;  // emit VCBC-compressed results
+
+  // 3. Enumerate a few patterns.
+  for (const char* name : {"triangle", "square", "diamond", "clique4"}) {
+    Graph pattern = std::move(GetPattern(name)).value();
+    auto result = RunBenu(*data, pattern, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", name,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "%-9s matches=%llu  codes=%llu  db-queries=%llu  cache-hit=%.1f%%  "
+        "virtual-time=%.3fs  real-time=%.3fs\n",
+        name, static_cast<unsigned long long>(result->run.total_matches),
+        static_cast<unsigned long long>(result->run.total_codes),
+        static_cast<unsigned long long>(result->run.db_queries),
+        100.0 * result->run.CacheHitRate(), result->run.virtual_seconds,
+        result->run.real_seconds);
+  }
+  return 0;
+}

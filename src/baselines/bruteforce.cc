@@ -1,0 +1,184 @@
+#include "baselines/bruteforce.h"
+
+#include <algorithm>
+
+#include "plan/symmetry_breaking.h"
+
+namespace benu {
+namespace {
+
+// Connectivity-first matching order: start at a maximum-degree vertex,
+// then repeatedly take the unmatched vertex with the most matched
+// neighbors (ties by degree, then id).
+std::vector<VertexId> DefaultOrder(const Graph& pattern) {
+  const size_t n = pattern.NumVertices();
+  std::vector<VertexId> order;
+  std::vector<char> used(n, 0);
+  for (size_t step = 0; step < n; ++step) {
+    VertexId best = kInvalidVertex;
+    size_t best_connected = 0;
+    for (VertexId u = 0; u < n; ++u) {
+      if (used[u]) continue;
+      size_t connected = 0;
+      for (VertexId w : pattern.Adjacency(u)) {
+        if (used[w]) ++connected;
+      }
+      if (best == kInvalidVertex || connected > best_connected ||
+          (connected == best_connected &&
+           pattern.Degree(u) > pattern.Degree(best))) {
+        best = u;
+        best_connected = connected;
+      }
+    }
+    used[best] = 1;
+    order.push_back(best);
+  }
+  return order;
+}
+
+class Search {
+ public:
+  Search(const Graph& data, const Graph& pattern,
+         const std::vector<OrderConstraint>& constraints,
+         std::vector<std::vector<VertexId>>* collect)
+      : data_(data),
+        pattern_(pattern),
+        constraints_(constraints),
+        collect_(collect),
+        order_(DefaultOrder(pattern)) {
+    f_.assign(pattern.NumVertices(), kInvalidVertex);
+  }
+
+  /// Restricts matches to label-preserving ones. Pointers must outlive
+  /// the search.
+  void SetLabels(const std::vector<int>* data_labels,
+                 const std::vector<int>* pattern_labels) {
+    data_labels_ = data_labels;
+    pattern_labels_ = pattern_labels;
+  }
+
+  Count Run() {
+    Extend(0);
+    return count_;
+  }
+
+ private:
+  void Extend(size_t depth) {
+    if (depth == order_.size()) {
+      ++count_;
+      if (collect_ != nullptr) collect_->push_back(f_);
+      return;
+    }
+    const VertexId u = order_[depth];
+    // RefineCandidates: intersect adjacency sets of mapped neighbors.
+    VertexSet candidates;
+    bool have = false;
+    for (VertexId w : pattern_.Adjacency(u)) {
+      if (f_[w] == kInvalidVertex) continue;
+      VertexSetView adj = data_.Adjacency(f_[w]);
+      if (!have) {
+        candidates.assign(adj.begin(), adj.end());
+        have = true;
+      } else {
+        VertexSet next;
+        Intersect(VertexSetView(candidates), adj, &next);
+        candidates.swap(next);
+      }
+      if (candidates.empty()) return;
+    }
+    if (!have) {
+      candidates.resize(data_.NumVertices());
+      for (VertexId v = 0; v < data_.NumVertices(); ++v) candidates[v] = v;
+    }
+    for (VertexId v : candidates) {
+      if (!Admissible(u, v)) continue;
+      f_[u] = v;
+      Extend(depth + 1);
+      f_[u] = kInvalidVertex;
+    }
+  }
+
+  bool Admissible(VertexId u, VertexId v) const {
+    // Label preservation (property-graph extension).
+    if (data_labels_ != nullptr &&
+        (*data_labels_)[v] != (*pattern_labels_)[u]) {
+      return false;
+    }
+    // Injectivity.
+    for (VertexId w = 0; w < pattern_.NumVertices(); ++w) {
+      if (f_[w] == v) return false;
+    }
+    // Partial-order constraints against already-mapped vertices.
+    for (const OrderConstraint& c : constraints_) {
+      if (c.first == u && f_[c.second] != kInvalidVertex &&
+          !(v < f_[c.second])) {
+        return false;
+      }
+      if (c.second == u && f_[c.first] != kInvalidVertex &&
+          !(f_[c.first] < v)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const Graph& data_;
+  const Graph& pattern_;
+  const std::vector<OrderConstraint>& constraints_;
+  std::vector<std::vector<VertexId>>* collect_;
+  const std::vector<int>* data_labels_ = nullptr;
+  const std::vector<int>* pattern_labels_ = nullptr;
+  std::vector<VertexId> order_;
+  std::vector<VertexId> f_;
+  Count count_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Count> BruteForceCount(
+    const Graph& data_graph, const Graph& pattern,
+    const std::vector<OrderConstraint>& constraints) {
+  if (pattern.NumVertices() == 0) {
+    return Status::InvalidArgument("empty pattern");
+  }
+  Search search(data_graph, pattern, constraints, nullptr);
+  return search.Run();
+}
+
+StatusOr<std::vector<std::vector<VertexId>>> BruteForceEnumerate(
+    const Graph& data_graph, const Graph& pattern,
+    const std::vector<OrderConstraint>& constraints) {
+  if (pattern.NumVertices() == 0) {
+    return Status::InvalidArgument("empty pattern");
+  }
+  std::vector<std::vector<VertexId>> matches;
+  Search search(data_graph, pattern, constraints, &matches);
+  search.Run();
+  std::sort(matches.begin(), matches.end());
+  return matches;
+}
+
+StatusOr<Count> BruteForceCountSubgraphs(const Graph& data_graph,
+                                         const Graph& pattern) {
+  return BruteForceCount(data_graph, pattern,
+                         ComputeSymmetryBreakingConstraints(pattern));
+}
+
+StatusOr<Count> BruteForceCountLabeledSubgraphs(
+    const Graph& data_graph, const std::vector<int>& data_labels,
+    const Graph& pattern, const std::vector<int>& pattern_labels) {
+  if (pattern.NumVertices() == 0) {
+    return Status::InvalidArgument("empty pattern");
+  }
+  if (data_labels.size() != data_graph.NumVertices() ||
+      pattern_labels.size() != pattern.NumVertices()) {
+    return Status::InvalidArgument("label vector size mismatch");
+  }
+  const auto constraints =
+      ComputeLabeledSymmetryBreakingConstraints(pattern, pattern_labels);
+  Search search(data_graph, pattern, constraints, nullptr);
+  search.SetLabels(&data_labels, &pattern_labels);
+  return search.Run();
+}
+
+}  // namespace benu

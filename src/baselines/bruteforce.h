@@ -1,0 +1,45 @@
+#ifndef BENU_BASELINES_BRUTEFORCE_H_
+#define BENU_BASELINES_BRUTEFORCE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/graph.h"
+#include "plan/instruction.h"
+
+namespace benu {
+
+/// Reference single-machine implementation of the generic backtracking
+/// framework (Algorithm 1). Candidate sets are recomputed directly from
+/// the in-memory data graph on every step — no execution plans, caches or
+/// instruction machinery — which makes it an independent correctness
+/// oracle for the BENU executor.
+///
+/// With `constraints` from ComputeSymmetryBreakingConstraints the result
+/// is the number of subgraphs isomorphic to the pattern (duplicate-free);
+/// with empty constraints it is the number of matches (injective
+/// edge-preserving mappings).
+StatusOr<Count> BruteForceCount(const Graph& data_graph, const Graph& pattern,
+                                const std::vector<OrderConstraint>& constraints);
+
+/// Same search, materializing every match (indexed by pattern vertex).
+StatusOr<std::vector<std::vector<VertexId>>> BruteForceEnumerate(
+    const Graph& data_graph, const Graph& pattern,
+    const std::vector<OrderConstraint>& constraints);
+
+/// Counts subgraphs isomorphic to `pattern` (computes the symmetry-
+/// breaking constraints internally).
+StatusOr<Count> BruteForceCountSubgraphs(const Graph& data_graph,
+                                         const Graph& pattern);
+
+/// Labeled oracle for the property-graph extension: counts duplicate-free
+/// label-preserving subgraph matches (labels[f(u)] == pattern_labels[u]).
+/// Computes the label-aware symmetry-breaking constraints internally.
+StatusOr<Count> BruteForceCountLabeledSubgraphs(
+    const Graph& data_graph, const std::vector<int>& data_labels,
+    const Graph& pattern, const std::vector<int>& pattern_labels);
+
+}  // namespace benu
+
+#endif  // BENU_BASELINES_BRUTEFORCE_H_

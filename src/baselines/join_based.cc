@@ -1,0 +1,313 @@
+#include "baselines/join_based.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "common/stopwatch.h"
+#include "graph/vertex_set.h"
+
+namespace benu {
+namespace {
+
+uint64_t EdgeKey(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+// Per-edge triangle index: EdgeKey(u,v) -> sorted vertices w adjacent to
+// both. Stand-in for CBF's clique index.
+class TriangleIndex {
+ public:
+  explicit TriangleIndex(const Graph& g) {
+    VertexSet common;
+    for (const auto& [u, v] : g.Edges()) {
+      Intersect(g.Adjacency(u), g.Adjacency(v), &common);
+      if (!common.empty()) {
+        entries_ += common.size();
+        index_.emplace(EdgeKey(u, v), common);
+      }
+    }
+  }
+
+  const VertexSet* Lookup(VertexId u, VertexId v) const {
+    auto it = index_.find(EdgeKey(u, v));
+    return it == index_.end() ? nullptr : &it->second;
+  }
+
+  Count SizeBytes() const {
+    return entries_ * sizeof(VertexId) + index_.size() * 24;
+  }
+
+ private:
+  std::unordered_map<uint64_t, VertexSet> index_;
+  Count entries_ = 0;
+};
+
+struct JoinState {
+  const Graph* data;
+  const Graph* pattern;
+  const std::vector<OrderConstraint>* constraints;
+  const TriangleIndex* index;  // null when triangle units are disabled
+
+  // Mapping from pattern vertex to its slot in the bound tuple, or -1.
+  std::vector<int> slot_of;
+  std::vector<VertexId> bound_order;  // pattern vertices, slot order
+};
+
+// Checks injectivity of `v` against the currently fixed values and the
+// partial-order constraints of pattern vertex `u` against fixed vertices.
+bool Admissible(const JoinState& st, const std::vector<VertexId>& fixed_f,
+                VertexId u, VertexId v) {
+  for (VertexId w = 0; w < st.pattern->NumVertices(); ++w) {
+    if (fixed_f[w] == v) return false;
+  }
+  for (const OrderConstraint& c : *st.constraints) {
+    if (c.first == u && fixed_f[c.second] != kInvalidVertex &&
+        !(v < fixed_f[c.second])) {
+      return false;
+    }
+    if (c.second == u && fixed_f[c.first] != kInvalidVertex &&
+        !(fixed_f[c.first] < v)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Extends `fixed_f` over the unit's unbound vertices, invoking `emit` for
+// every consistent assignment. Uses the triangle index for the
+// two-bound-vertices triangle case; adjacency intersections otherwise.
+template <typename Emit>
+void MatchUnit(const JoinState& st, std::vector<VertexId>& fixed_f,
+               const std::vector<VertexId>& unit, size_t next, Emit&& emit) {
+  // Verify unit edges among already-fixed unit vertices once all are set.
+  if (next == unit.size()) {
+    for (size_t i = 0; i < unit.size(); ++i) {
+      for (size_t j = i + 1; j < unit.size(); ++j) {
+        // Units are cliques (edges or triangles), so every pair is an
+        // edge constraint.
+        if (!st.data->HasEdge(fixed_f[unit[i]], fixed_f[unit[j]])) return;
+      }
+    }
+    emit();
+    return;
+  }
+  const VertexId u = unit[next];
+  if (fixed_f[u] != kInvalidVertex) {
+    MatchUnit(st, fixed_f, unit, next + 1, emit);
+    return;
+  }
+  // Candidates: prefer the triangle index when exactly the two other unit
+  // vertices are fixed and form an edge (the CBF fast path).
+  const VertexSet* indexed = nullptr;
+  if (st.index != nullptr && unit.size() == 3) {
+    VertexId a = kInvalidVertex;
+    VertexId b = kInvalidVertex;
+    for (VertexId w : unit) {
+      if (w == u) continue;
+      if (a == kInvalidVertex) {
+        a = w;
+      } else {
+        b = w;
+      }
+    }
+    if (fixed_f[a] != kInvalidVertex && fixed_f[b] != kInvalidVertex) {
+      indexed = st.index->Lookup(fixed_f[a], fixed_f[b]);
+      if (indexed == nullptr) return;
+    }
+  }
+  VertexSet fallback;
+  const VertexSet* candidates = indexed;
+  if (candidates == nullptr) {
+    bool have = false;
+    VertexSet scratch;
+    for (VertexId w : unit) {
+      if (w == u || fixed_f[w] == kInvalidVertex) continue;
+      VertexSetView adj = st.data->Adjacency(fixed_f[w]);
+      if (!have) {
+        fallback.assign(adj.begin(), adj.end());
+        have = true;
+      } else {
+        Intersect(VertexSetView(fallback), adj, &scratch);
+        fallback.swap(scratch);
+      }
+    }
+    if (!have) {
+      // First vertex of the first unit: every data vertex.
+      fallback.resize(st.data->NumVertices());
+      for (VertexId v = 0; v < st.data->NumVertices(); ++v) fallback[v] = v;
+    }
+    candidates = &fallback;
+  }
+  for (VertexId v : *candidates) {
+    if (!Admissible(st, fixed_f, u, v)) continue;
+    fixed_f[u] = v;
+    MatchUnit(st, fixed_f, unit, next + 1, emit);
+    fixed_f[u] = kInvalidVertex;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<VertexId>> DecomposeIntoJoinUnits(
+    const Graph& pattern, bool use_triangle_units) {
+  std::vector<std::vector<VertexId>> units;
+  std::vector<std::pair<VertexId, VertexId>> remaining = pattern.Edges();
+  std::vector<char> covered(pattern.NumVertices(), 0);
+  auto erase_edge = [&remaining](VertexId a, VertexId b) {
+    remaining.erase(std::remove_if(remaining.begin(), remaining.end(),
+                                   [a, b](const auto& e) {
+                                     return EdgeKey(e.first, e.second) ==
+                                            EdgeKey(a, b);
+                                   }),
+                    remaining.end());
+  };
+  bool first = true;
+  while (!remaining.empty()) {
+    std::vector<VertexId> unit;
+    if (use_triangle_units) {
+      // Best triangle: connected to covered vertices (unless first) and
+      // covering the most remaining edges.
+      size_t best_gain = 0;
+      std::vector<VertexId> best;
+      for (const auto& [a, b] : remaining) {
+        VertexSet common;
+        Intersect(pattern.Adjacency(a), pattern.Adjacency(b), &common);
+        for (VertexId c : common) {
+          if (!first && !covered[a] && !covered[b] && !covered[c]) continue;
+          size_t gain = 0;
+          for (const auto& e : remaining) {
+            uint64_t k = EdgeKey(e.first, e.second);
+            if (k == EdgeKey(a, b) || k == EdgeKey(a, c) ||
+                k == EdgeKey(b, c)) {
+              ++gain;
+            }
+          }
+          if (gain > best_gain) {
+            best_gain = gain;
+            best = {a, b, c};
+          }
+        }
+      }
+      if (best_gain >= 2) unit = best;  // a triangle unit must pay off
+    }
+    if (unit.empty()) {
+      // Edge unit: prefer one touching the covered set.
+      const std::pair<VertexId, VertexId>* chosen = nullptr;
+      for (const auto& e : remaining) {
+        if (first || covered[e.first] || covered[e.second]) {
+          chosen = &e;
+          break;
+        }
+      }
+      if (chosen == nullptr) chosen = &remaining.front();
+      unit = {chosen->first, chosen->second};
+    }
+    for (size_t i = 0; i < unit.size(); ++i) {
+      covered[unit[i]] = 1;
+      for (size_t j = i + 1; j < unit.size(); ++j) {
+        erase_edge(unit[i], unit[j]);
+      }
+    }
+    units.push_back(std::move(unit));
+    first = false;
+  }
+  return units;
+}
+
+StatusOr<JoinBasedResult> RunJoinBased(
+    const Graph& data_graph, const Graph& pattern,
+    const std::vector<OrderConstraint>& constraints,
+    const JoinBasedConfig& config) {
+  const size_t n = pattern.NumVertices();
+  if (n == 0) return Status::InvalidArgument("empty pattern");
+  if (!pattern.IsConnected()) {
+    return Status::InvalidArgument("pattern must be connected");
+  }
+  JoinBasedResult result;
+
+  std::vector<std::vector<VertexId>> units =
+      DecomposeIntoJoinUnits(pattern, config.use_triangle_units);
+  const bool need_index =
+      config.use_triangle_units &&
+      std::any_of(units.begin(), units.end(),
+                  [](const auto& u) { return u.size() == 3; });
+
+  std::unique_ptr<TriangleIndex> index;
+  if (need_index) {
+    Stopwatch watch;
+    index = std::make_unique<TriangleIndex>(data_graph);
+    result.index_seconds = watch.ElapsedSeconds();
+    result.index_bytes = index->SizeBytes();
+  }
+
+  Stopwatch join_watch;
+  JoinState st;
+  st.data = &data_graph;
+  st.pattern = &pattern;
+  st.constraints = &constraints;
+  st.index = index.get();
+  st.slot_of.assign(n, -1);
+
+  // Partial results: flattened tuples over st.bound_order.
+  std::vector<VertexId> current = {};  // one empty tuple
+  size_t num_tuples = 1;
+  std::vector<VertexId> fixed_f(n, kInvalidVertex);
+
+  for (size_t r = 0; r < units.size(); ++r) {
+    const std::vector<VertexId>& unit = units[r];
+    const size_t width = st.bound_order.size();
+    const bool last = (r + 1 == units.size());
+
+    // New pattern vertices bound by this unit.
+    std::vector<VertexId> new_vertices;
+    for (VertexId u : unit) {
+      if (st.slot_of[u] < 0) new_vertices.push_back(u);
+    }
+
+    // Shuffle accounting: every join round repartitions the current
+    // partial results across the cluster.
+    if (r > 0) {
+      result.shuffled_tuples += num_tuples;
+      result.shuffled_bytes += num_tuples * width * sizeof(VertexId);
+    }
+
+    std::vector<VertexId> next;
+    Count out_tuples = 0;
+    for (size_t t = 0; t < num_tuples; ++t) {
+      const VertexId* tuple = current.data() + t * width;
+      std::fill(fixed_f.begin(), fixed_f.end(), kInvalidVertex);
+      for (size_t j = 0; j < width; ++j) fixed_f[st.bound_order[j]] = tuple[j];
+      MatchUnit(st, fixed_f, unit, 0, [&] {
+        ++out_tuples;
+        if (!last) {
+          for (size_t j = 0; j < width; ++j) {
+            next.push_back(fixed_f[st.bound_order[j]]);
+          }
+          for (VertexId u : new_vertices) next.push_back(fixed_f[u]);
+        }
+      });
+      if (!last && out_tuples > config.max_intermediate_tuples) {
+        return Status::ResourceExhausted(
+            "join-based baseline exceeded intermediate-result budget "
+            "(simulated CRASH)");
+      }
+    }
+    result.peak_tuples = std::max<Count>(result.peak_tuples, out_tuples);
+    if (last) {
+      result.matches = out_tuples;
+      break;
+    }
+    for (VertexId u : new_vertices) {
+      st.slot_of[u] = static_cast<int>(st.bound_order.size());
+      st.bound_order.push_back(u);
+    }
+    current.swap(next);
+    num_tuples = out_tuples;
+  }
+  result.join_seconds = join_watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace benu

@@ -1,0 +1,62 @@
+#ifndef BENU_BASELINES_JOIN_BASED_H_
+#define BENU_BASELINES_JOIN_BASED_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/graph.h"
+#include "plan/instruction.h"
+
+namespace benu {
+
+/// Configuration of the CBF-like BFS-style baseline: the pattern is
+/// decomposed into join units (triangles and edges), unit matches are
+/// assembled by a left-deep join, and every round shuffles the partial
+/// matching results — the communication behaviour the paper argues
+/// against. Triangle units are answered from a precomputed per-edge
+/// triangle index, mirroring CBF's clique index (built per data graph,
+/// with real construction cost and storage).
+struct JoinBasedConfig {
+  /// Use triangle join units backed by the triangle index (CBF-style);
+  /// false degrades to an edge-only decomposition (TwinTwig/Edge-style).
+  bool use_triangle_units = true;
+  /// Maximum materialized partial-result tuples; exceeding it returns
+  /// ResourceExhausted, modelling the CRASH entries of Table V.
+  size_t max_intermediate_tuples = 100u << 20;
+};
+
+/// Outcome of a join-based run.
+struct JoinBasedResult {
+  Count matches = 0;
+  /// Partial-result tuples shuffled across join rounds.
+  Count shuffled_tuples = 0;
+  Count shuffled_bytes = 0;
+  /// Peak materialized tuples (memory proxy).
+  Count peak_tuples = 0;
+  /// Triangle ("clique") index: construction time and size.
+  double index_seconds = 0;
+  Count index_bytes = 0;
+  /// Join execution time (excluding index construction).
+  double join_seconds = 0;
+};
+
+/// Runs the join-based enumeration. `constraints` is the symmetry-breaking
+/// partial order (empty to count raw matches).
+StatusOr<JoinBasedResult> RunJoinBased(
+    const Graph& data_graph, const Graph& pattern,
+    const std::vector<OrderConstraint>& constraints,
+    const JoinBasedConfig& config);
+
+/// The decomposition used by RunJoinBased, exposed for tests: a list of
+/// units, each a list of pattern vertices (3 = triangle unit, 2 = edge
+/// unit), ordered so each unit after the first shares at least one vertex
+/// with the union of its predecessors, jointly covering E(P).
+std::vector<std::vector<VertexId>> DecomposeIntoJoinUnits(
+    const Graph& pattern, bool use_triangle_units);
+
+}  // namespace benu
+
+#endif  // BENU_BASELINES_JOIN_BASED_H_

@@ -1,0 +1,48 @@
+#ifndef BENU_BASELINES_WCOJ_H_
+#define BENU_BASELINES_WCOJ_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/graph.h"
+#include "plan/instruction.h"
+
+namespace benu {
+
+/// Configuration of the BiGJoin-like baseline (Ammar et al. [13]): a
+/// worst-case-optimal join that extends prefix tuples one pattern vertex
+/// at a time, processing the level-0 tuples in batches (BiGJoin's batching
+/// parameter; 100000 in the paper's Exp-6).
+struct WcojConfig {
+  /// Level-0 vertices processed per batch.
+  size_t batch_size = 100000;
+  /// Maximum resident prefix tuples at any instant. Exceeding it returns
+  /// ResourceExhausted, modelling the OOM failures of BiGJoin(S) in
+  /// Table VI. SIZE_MAX disables the check.
+  size_t max_resident_tuples = static_cast<size_t>(-1);
+  /// When true, accounts every level's extension output as shuffled
+  /// tuples (the distributed dataflow exchanges them between workers).
+  bool distributed = false;
+};
+
+/// Outcome of a WCOJ run.
+struct WcojResult {
+  Count matches = 0;
+  Count shuffled_tuples = 0;
+  Count shuffled_bytes = 0;
+  /// Peak number of resident prefix tuples (memory proxy).
+  Count peak_resident_tuples = 0;
+  double seconds = 0;
+};
+
+/// Runs the worst-case-optimal join. `constraints` is the symmetry-
+/// breaking partial order (empty to count raw matches).
+StatusOr<WcojResult> RunWcoj(const Graph& data_graph, const Graph& pattern,
+                             const std::vector<OrderConstraint>& constraints,
+                             const WcojConfig& config);
+
+}  // namespace benu
+
+#endif  // BENU_BASELINES_WCOJ_H_

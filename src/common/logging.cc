@@ -1,0 +1,63 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace benu {
+namespace {
+
+std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+
+// Serializes whole lines so concurrent worker threads do not interleave.
+std::mutex& LogMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void Emit(LogLevel level, const std::string& text) {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), text.c_str());
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level.store(level); }
+LogLevel GetLogLevel() { return g_log_level.load(); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= GetLogLevel()) Emit(level_, stream_.str());
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line) {
+  stream_ << file << ":" << line << "] ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  Emit(LogLevel::kError, stream_.str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace benu

@@ -1,0 +1,69 @@
+#ifndef BENU_COMMON_LOGGING_H_
+#define BENU_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace benu {
+
+/// Severity levels for the minimal logging facility. Benchmarks default to
+/// kWarning so measurement loops stay quiet.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Emits the accumulated message and aborts the process. Used by
+/// BENU_CHECK for invariant violations: per the no-exceptions convention,
+/// a broken internal invariant is a bug and terminates.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace benu
+
+#define BENU_LOG(level)                                                \
+  ::benu::internal::LogMessage(::benu::LogLevel::k##level, __FILE__,  \
+                               __LINE__)                               \
+      .stream()
+
+/// Aborts with a message when `condition` is false. Always on (used for
+/// internal invariants, not for user-input validation, which returns
+/// Status).
+#define BENU_CHECK(condition)                                       \
+  if (!(condition))                                                 \
+  ::benu::internal::FatalLogMessage(__FILE__, __LINE__).stream()    \
+      << "Check failed: " #condition " "
+
+#endif  // BENU_COMMON_LOGGING_H_

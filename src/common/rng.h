@@ -1,0 +1,34 @@
+#ifndef BENU_COMMON_RNG_H_
+#define BENU_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace benu {
+
+/// Deterministic 64-bit pseudo-random generator (xoshiro256**).
+///
+/// All generators, tests and benchmarks seed explicitly so that every
+/// experiment in EXPERIMENTS.md is reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability `p` (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace benu
+
+#endif  // BENU_COMMON_RNG_H_

@@ -1,0 +1,102 @@
+#ifndef BENU_COMMON_STATUS_H_
+#define BENU_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace benu {
+
+/// Canonical error codes, modelled after the RocksDB/Arrow convention of
+/// returning status objects instead of throwing exceptions across module
+/// boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,
+  kIoError,
+};
+
+/// A lightweight success-or-error result. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: bad vertex id".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error result in the spirit of absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value or from an error status keeps
+  /// call sites terse (`return value;` / `return Status::NotFound(...)`).
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace benu
+
+/// Propagates a non-OK status to the caller.
+#define BENU_RETURN_IF_ERROR(expr)             \
+  do {                                         \
+    ::benu::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#endif  // BENU_COMMON_STATUS_H_

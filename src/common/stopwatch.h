@@ -1,0 +1,29 @@
+#ifndef BENU_COMMON_STOPWATCH_H_
+#define BENU_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace benu {
+
+/// Wall-clock stopwatch used by the executor and benchmarks.
+class Stopwatch {
+ public:
+  /// Starts running immediately.
+  Stopwatch();
+
+  /// Restarts from zero.
+  void Restart();
+
+  /// Elapsed wall time in seconds since construction/Restart.
+  double ElapsedSeconds() const;
+
+  /// Elapsed wall time in microseconds.
+  int64_t ElapsedMicros() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace benu
+
+#endif  // BENU_COMMON_STOPWATCH_H_

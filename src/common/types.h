@@ -1,0 +1,24 @@
+#ifndef BENU_COMMON_TYPES_H_
+#define BENU_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace benu {
+
+/// Identifier of a vertex in either the data graph or the pattern graph.
+/// Vertices are consecutively numbered starting from 0.
+using VertexId = uint32_t;
+
+/// Sentinel meaning "no vertex" / "unmapped".
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// Count of matches, edges, bytes, etc. 64-bit because match counts of
+/// small patterns in large graphs routinely exceed 2^32 (Table I of the
+/// paper reports up to 2.7e12 matches).
+using Count = uint64_t;
+
+}  // namespace benu
+
+#endif  // BENU_COMMON_TYPES_H_

@@ -1,0 +1,276 @@
+#include "core/compressed_result.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+
+namespace benu {
+namespace {
+
+// |∩_{i in block} sets[i]| computed by iterative pairwise intersection.
+Count BlockIntersectionSize(const std::vector<VertexSetView>& sets,
+                            const std::vector<int>& block) {
+  if (block.size() == 1) return sets[block[0]].size;
+  VertexSet current(sets[block[0]].begin(), sets[block[0]].end());
+  VertexSet next;
+  for (size_t i = 1; i < block.size() && !current.empty(); ++i) {
+    Intersect(VertexSetView(current), sets[block[i]], &next);
+    current.swap(next);
+  }
+  return current.size();
+}
+
+// Σ over set partitions with Möbius weights. Enumerates partitions by the
+// standard "assign element i to an existing block or open a new one"
+// recursion; k ≤ ~6 in practice.
+Count PartitionLatticeCount(const std::vector<VertexSetView>& sets) {
+  const size_t k = sets.size();
+  std::vector<std::vector<int>> blocks;
+  // Signed accumulation: the Möbius weights alternate, but the total is a
+  // nonnegative integer, so accumulate in a signed 128-bit-ish double?
+  // Use __int128 to stay exact.
+  __int128 total = 0;
+
+  // factorials up to k
+  std::vector<long long> fact(k + 1, 1);
+  for (size_t i = 1; i <= k; ++i) {
+    fact[i] = fact[i - 1] * static_cast<long long>(i);
+  }
+
+  std::function<void(size_t)> recurse = [&](size_t i) {
+    if (i == k) {
+      __int128 term = 1;
+      for (const auto& block : blocks) {
+        __int128 weight = fact[block.size() - 1];
+        if (block.size() % 2 == 0) weight = -weight;
+        term *= weight * static_cast<__int128>(
+                             BlockIntersectionSize(sets, block));
+        if (term == 0) return;
+      }
+      total += term;
+      return;
+    }
+    // Index-based iteration: the recursive call may push a new block and
+    // reallocate `blocks`, which would invalidate references.
+    for (size_t b = 0; b < blocks.size(); ++b) {
+      blocks[b].push_back(static_cast<int>(i));
+      recurse(i + 1);
+      blocks[b].pop_back();
+    }
+    blocks.push_back({static_cast<int>(i)});
+    recurse(i + 1);
+    blocks.pop_back();
+  };
+  recurse(0);
+  BENU_CHECK(total >= 0) << "negative injective count";
+  return static_cast<Count>(total);
+}
+
+// Ordered pairs (x ∈ a, y ∈ b) with x < y, by linear merge.
+Count CountOrderedPairs(VertexSetView a, VertexSetView b) {
+  Count total = 0;
+  size_t ia = 0;
+  for (size_t ib = 0; ib < b.size; ++ib) {
+    while (ia < a.size && a[ia] < b[ib]) ++ia;
+    total += ia;  // number of x in a strictly below b[ib]
+  }
+  return total;
+}
+
+Count Binomial(Count n, Count k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  __int128 result = 1;
+  for (Count i = 0; i < k; ++i) {
+    result = result * static_cast<__int128>(n - i) /
+             static_cast<__int128>(i + 1);
+  }
+  return static_cast<Count>(result);
+}
+
+bool SameContents(VertexSetView a, VertexSetView b) {
+  if (a.size != b.size) return false;
+  return std::equal(a.begin(), a.end(), b.begin());
+}
+
+// True when `constraints` totally order all k positions (a chain).
+bool IsTotalChain(size_t k, const std::vector<std::pair<int, int>>& constraints,
+                  std::vector<int>* chain_order) {
+  // Build a DAG and look for a Hamiltonian-path-like topological order
+  // where consecutive elements are directly comparable via transitivity.
+  // Sufficient check for our use: the transitive closure is a total order.
+  std::vector<std::vector<char>> lt(k, std::vector<char>(k, 0));
+  for (const auto& [i, j] : constraints) lt[i][j] = 1;
+  // Floyd-Warshall style closure.
+  for (size_t m = 0; m < k; ++m) {
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < k; ++j) {
+        if (lt[i][m] && lt[m][j]) lt[i][j] = 1;
+      }
+    }
+  }
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      if (!lt[i][j] && !lt[j][i]) return false;
+      if (lt[i][j] && lt[j][i]) return false;  // cycle
+    }
+  }
+  chain_order->resize(k);
+  std::vector<int> rank(k, 0);
+  for (size_t i = 0; i < k; ++i) {
+    int below = 0;
+    for (size_t j = 0; j < k; ++j) {
+      if (lt[j][i]) ++below;
+    }
+    (*chain_order)[below] = static_cast<int>(i);
+  }
+  return true;
+}
+
+// Exhaustive recursive count honoring injectivity and constraints.
+// position-indexed constraint adjacency prepared by the caller.
+struct EnumState {
+  const std::vector<VertexSetView>* sets;
+  std::vector<std::vector<std::pair<int, bool>>> bounds;  // per i: (j, j_is_upper)
+  std::vector<VertexId> chosen;
+  Count count = 0;
+  std::vector<std::vector<VertexId>>* out = nullptr;
+};
+
+void EnumRecurse(EnumState* st, size_t i) {
+  const size_t k = st->sets->size();
+  if (i == k) {
+    ++st->count;
+    if (st->out != nullptr) st->out->push_back(st->chosen);
+    return;
+  }
+  for (VertexId v : (*st->sets)[i]) {
+    bool ok = true;
+    for (size_t j = 0; j < i && ok; ++j) {
+      if (st->chosen[j] == v) ok = false;
+    }
+    for (const auto& [j, upper] : st->bounds[i]) {
+      if (static_cast<size_t>(j) >= i) continue;  // later; checked then
+      if (upper) {
+        // constraint (i < j) checked when j assigned; here (j, upper)
+        // means: v must be < chosen[j] if upper, > chosen[j] otherwise.
+        if (!(v < st->chosen[j])) ok = false;
+      } else {
+        if (!(v > st->chosen[j])) ok = false;
+      }
+      if (!ok) break;
+    }
+    if (!ok) continue;
+    st->chosen[i] = v;
+    EnumRecurse(st, i + 1);
+  }
+  st->chosen[i] = kInvalidVertex;
+}
+
+EnumState MakeEnumState(const std::vector<VertexSetView>& sets,
+                        const std::vector<std::pair<int, int>>& constraints) {
+  EnumState st;
+  st.sets = &sets;
+  st.bounds.assign(sets.size(), {});
+  for (const auto& [i, j] : constraints) {
+    // x_i < x_j. Attach the check to whichever index is assigned later;
+    // we attach to both and skip the not-yet-assigned side at runtime.
+    st.bounds[static_cast<size_t>(i)].push_back({j, /*upper=*/true});
+    st.bounds[static_cast<size_t>(j)].push_back({i, /*upper=*/false});
+  }
+  st.chosen.assign(sets.size(), kInvalidVertex);
+  return st;
+}
+
+}  // namespace
+
+Count CountInjectiveAssignments(
+    const std::vector<VertexSetView>& sets,
+    const std::vector<std::pair<int, int>>& order_constraints) {
+  const size_t k = sets.size();
+  if (k == 0) return 1;
+  for (const VertexSetView& s : sets) {
+    if (s.empty()) return 0;
+  }
+  if (order_constraints.empty()) {
+    if (k == 1) return sets[0].size;
+    return PartitionLatticeCount(sets);
+  }
+  if (k == 2 && order_constraints.size() == 1) {
+    const auto& [i, j] = order_constraints[0];
+    return CountOrderedPairs(sets[static_cast<size_t>(i)],
+                             sets[static_cast<size_t>(j)]);
+  }
+  // Identical sets under a total chain: pick any k-subset, order forced.
+  std::vector<int> chain;
+  if (IsTotalChain(k, order_constraints, &chain)) {
+    bool identical = true;
+    for (size_t i = 1; i < k && identical; ++i) {
+      identical = SameContents(sets[0], sets[i]);
+    }
+    if (identical) return Binomial(sets[0].size, k);
+  }
+  EnumState st = MakeEnumState(sets, order_constraints);
+  EnumRecurse(&st, 0);
+  return st.count;
+}
+
+std::vector<std::vector<VertexId>> EnumerateInjectiveAssignments(
+    const std::vector<VertexSetView>& sets,
+    const std::vector<std::pair<int, int>>& order_constraints) {
+  std::vector<std::vector<VertexId>> out;
+  if (sets.empty()) {
+    out.push_back({});
+    return out;
+  }
+  EnumState st = MakeEnumState(sets, order_constraints);
+  st.out = &out;
+  EnumRecurse(&st, 0);
+  return out;
+}
+
+VcbcExpander::VcbcExpander(const ExecutionPlan& plan) {
+  BENU_CHECK(plan.compressed) << "plan is not VCBC-compressed";
+  std::vector<char> is_core(plan.NumPatternVertices(), 0);
+  for (VertexId u : plan.core_vertices) is_core[u] = 1;
+  for (VertexId u : plan.matching_order) {
+    if (!is_core[u]) non_core_.push_back(u);
+  }
+  // Order constraints between two non-core vertices, as positions into
+  // non_core_.
+  auto position_of = [this](VertexId u) {
+    for (size_t i = 0; i < non_core_.size(); ++i) {
+      if (non_core_[i] == u) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  for (const OrderConstraint& c : plan.partial_order) {
+    int a = position_of(c.first);
+    int b = position_of(c.second);
+    if (a >= 0 && b >= 0) constraints_.push_back({a, b});
+  }
+}
+
+Count VcbcExpander::CountExpansions(
+    const std::vector<VertexSetView>& image_sets) const {
+  BENU_CHECK(image_sets.size() == non_core_.size());
+  return CountInjectiveAssignments(image_sets, constraints_);
+}
+
+std::vector<std::vector<VertexId>> VcbcExpander::Expand(
+    const std::vector<VertexId>& core_f,
+    const std::vector<VertexSetView>& image_sets) const {
+  std::vector<std::vector<VertexId>> matches;
+  for (const std::vector<VertexId>& pick :
+       EnumerateInjectiveAssignments(image_sets, constraints_)) {
+    std::vector<VertexId> f = core_f;
+    for (size_t i = 0; i < non_core_.size(); ++i) {
+      f[non_core_[i]] = pick[i];
+    }
+    matches.push_back(std::move(f));
+  }
+  return matches;
+}
+
+}  // namespace benu

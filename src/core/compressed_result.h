@@ -1,0 +1,67 @@
+#ifndef BENU_CORE_COMPRESSED_RESULT_H_
+#define BENU_CORE_COMPRESSED_RESULT_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/vertex_set.h"
+#include "plan/instruction.h"
+
+namespace benu {
+
+/// Counts the injective assignments (x_0, ..., x_{k-1}) with x_i ∈ sets[i],
+/// all values pairwise distinct, subject to `order_constraints`: a pair
+/// (i, j) requires x_i < x_j.
+///
+/// This is the expansion count of one VCBC compressed code: the non-core
+/// pattern vertices pick values from their conditional image sets, and the
+/// injectivity/order constraints *between non-core vertices* — which VCBC
+/// does not encode — are enforced here. Fast paths:
+///   - no constraints: inclusion–exclusion over the set-partition lattice
+///     (Σ_partitions ∏_blocks (−1)^{|B|−1}(|B|−1)! |∩_{i∈B} sets_i|);
+///   - k == 2 with one constraint: linear merge counting ordered pairs;
+///   - identical sets forming a total order chain: C(|S|, k);
+///   - otherwise: recursive enumeration (exact, used by tests/small k).
+Count CountInjectiveAssignments(
+    const std::vector<VertexSetView>& sets,
+    const std::vector<std::pair<int, int>>& order_constraints);
+
+/// Materializes every injective, order-satisfying assignment. Exponential;
+/// intended for verification and for consumers that need full matches from
+/// compressed codes.
+std::vector<std::vector<VertexId>> EnumerateInjectiveAssignments(
+    const std::vector<VertexSetView>& sets,
+    const std::vector<std::pair<int, int>>& order_constraints);
+
+/// Precomputed expansion context for a compressed plan: which pattern
+/// vertices are non-core and which order constraints hold between pairs of
+/// non-core vertices.
+class VcbcExpander {
+ public:
+  /// `plan` must be compressed (plan.compressed == true).
+  explicit VcbcExpander(const ExecutionPlan& plan);
+
+  /// Pattern vertices not in the core, in matching order.
+  const std::vector<VertexId>& non_core() const { return non_core_; }
+
+  /// Expansion count of one code given the image sets of the non-core
+  /// vertices, ordered as `non_core()`.
+  Count CountExpansions(const std::vector<VertexSetView>& image_sets) const;
+
+  /// Expands one code into full matches. `core_f` maps every pattern
+  /// vertex to its helve value (non-core entries ignored); the result
+  /// vectors are complete matches indexed by pattern vertex.
+  std::vector<std::vector<VertexId>> Expand(
+      const std::vector<VertexId>& core_f,
+      const std::vector<VertexSetView>& image_sets) const;
+
+ private:
+  std::vector<VertexId> non_core_;
+  // Pairs of positions into non_core_: (i, j) means value_i < value_j.
+  std::vector<std::pair<int, int>> constraints_;
+};
+
+}  // namespace benu
+
+#endif  // BENU_CORE_COMPRESSED_RESULT_H_

@@ -1,0 +1,378 @@
+#include "core/executor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace benu {
+
+DirectAdjacencyProvider::DirectAdjacencyProvider(const Graph* graph)
+    : graph_(graph) {
+  sets_.reserve(graph_->NumVertices());
+  for (VertexId v = 0; v < graph_->NumVertices(); ++v) {
+    VertexSetView view = graph_->Adjacency(v);
+    sets_.push_back(
+        std::make_shared<const VertexSet>(view.begin(), view.end()));
+  }
+}
+
+AdjacencyProvider::Fetch DirectAdjacencyProvider::GetAdjacency(VertexId v) {
+  BENU_CHECK(v < sets_.size());
+  return Fetch{sets_[v], /*cache_hit=*/true, /*bytes=*/0};
+}
+
+AdjacencyProvider::Fetch CachedAdjacencyProvider::GetAdjacency(VertexId v) {
+  bool hit = false;
+  auto set = cache_->GetAdjacency(v, &hit);
+  Fetch fetch;
+  fetch.cache_hit = hit;
+  fetch.bytes = hit ? 0 : DistributedKvStore::ReplyBytes(set->size());
+  fetch.set = std::move(set);
+  return fetch;
+}
+
+void TaskStats::Accumulate(const TaskStats& other) {
+  res_executions += other.res_executions;
+  matches += other.matches;
+  adjacency_requests += other.adjacency_requests;
+  cache_hits += other.cache_hits;
+  db_queries += other.db_queries;
+  bytes_fetched += other.bytes_fetched;
+  intersections += other.intersections;
+  tcache_hits += other.tcache_hits;
+  wall_seconds += other.wall_seconds;
+}
+
+PlanExecutor::PlanExecutor(const ExecutionPlan* plan,
+                           AdjacencyProvider* provider, TriangleCache* tcache,
+                           const std::vector<VertexId>* degree_floors,
+                           const std::vector<int>* data_labels)
+    : plan_(plan),
+      provider_(provider),
+      tcache_(tcache),
+      degree_floors_(degree_floors),
+      data_labels_(data_labels) {}
+
+StatusOr<std::unique_ptr<PlanExecutor>> PlanExecutor::Create(
+    const ExecutionPlan* plan, AdjacencyProvider* provider,
+    TriangleCache* tcache, const std::vector<VertexId>* degree_floors,
+    const std::vector<int>* data_labels) {
+  std::string error;
+  if (!ValidatePlan(*plan, &error)) {
+    return Status::InvalidArgument("invalid plan: " + error);
+  }
+  bool has_trc = false;
+  for (const Instruction& ins : plan->instructions) {
+    if (ins.type == InstrType::kTriangleCache) has_trc = true;
+  }
+  if (has_trc && tcache == nullptr) {
+    return Status::InvalidArgument("plan uses TRC but no triangle cache");
+  }
+  if (plan->UsesDegreeFilters() && degree_floors == nullptr) {
+    return Status::InvalidArgument(
+        "plan carries degree filters but no degree-floor table was given");
+  }
+  if (plan->UsesLabelFilters() && data_labels == nullptr) {
+    return Status::InvalidArgument(
+        "plan matches a labeled pattern but no data labels were given");
+  }
+  std::unique_ptr<PlanExecutor> executor(new PlanExecutor(
+      plan, provider, tcache, degree_floors, data_labels));
+  BENU_RETURN_IF_ERROR(executor->Compile());
+  return executor;
+}
+
+Status PlanExecutor::Compile() {
+  const size_t n = plan_->NumPatternVertices();
+  f_.assign(n, kInvalidVertex);
+
+  std::map<VarRef, int> slot_of;
+  auto set_slot = [&slot_of, this](const VarRef& var) {
+    auto [it, inserted] =
+        slot_of.emplace(var, static_cast<int>(slot_of.size()));
+    if (inserted) slots_.emplace_back();
+    return it->second;
+  };
+  auto operand_slot = [&](const VarRef& var) -> StatusOr<int> {
+    if (var.kind == VarKind::kAllVertices) return -1;
+    if (var.kind == VarKind::kF) {
+      return Status::Internal("f variable used as set operand");
+    }
+    auto it = slot_of.find(var);
+    if (it == slot_of.end()) return Status::Internal("operand not defined");
+    return it->second;
+  };
+
+  auto annotate = [this](const Instruction& ins, Compiled* c) {
+    if (ins.min_degree > 0 && degree_floors_ != nullptr) {
+      // Clamping to the last table entry only weakens the bound, which
+      // stays sound (the filter is a pruning aid, not a correctness one).
+      const size_t d = std::min<size_t>(ins.min_degree,
+                                        degree_floors_->size() - 1);
+      c->min_candidate_id = (*degree_floors_)[d];
+    }
+    c->required_label = ins.required_label;
+  };
+
+  bool seen_enum = false;
+  for (const Instruction& ins : plan_->instructions) {
+    Compiled c;
+    c.type = ins.type;
+    c.filters = ins.filters;
+    switch (ins.type) {
+      case InstrType::kInit:
+        c.target_f = ins.target.index;
+        annotate(ins, &c);
+        break;
+      case InstrType::kDbQuery:
+        c.source_f = ins.operands[0].index;
+        c.target_set_slot = set_slot(ins.target);
+        break;
+      case InstrType::kIntersect:
+      case InstrType::kTriangleCache:
+        for (const VarRef& op : ins.operands) {
+          auto slot = operand_slot(op);
+          BENU_RETURN_IF_ERROR(slot.status());
+          // V(G) ∩ X = X: drop the pseudo-operand when a concrete set
+          // operand is present; the single-operand V(G) fast path handles
+          // the remaining case.
+          if (*slot == -1 && ins.operands.size() > 1) continue;
+          c.operand_slots.push_back(*slot);
+        }
+        if (ins.type == InstrType::kTriangleCache) {
+          // Operands are (A_start, A_neighbor); key by the neighbor's f.
+          c.trc_neighbor_f = ins.operands[1].index;
+        }
+        c.target_set_slot = set_slot(ins.target);
+        break;
+      case InstrType::kEnumerate: {
+        c.target_f = ins.target.index;
+        auto slot = operand_slot(ins.operands[0]);
+        BENU_RETURN_IF_ERROR(slot.status());
+        if (*slot == -1) {
+          return Status::Internal(
+              "ENU directly over V(G); plans always interpose a filtered "
+              "candidate instruction");
+        }
+        c.operand_slots.push_back(*slot);
+        if (!seen_enum) {
+          c.first_enum = true;
+          seen_enum = true;
+        }
+        annotate(ins, &c);
+        break;
+      }
+      case InstrType::kReport: {
+        // Image-set slots for non-core vertices, in matching order, so
+        // the consumer sees them in VcbcExpander::non_core() order.
+        std::vector<char> is_core(n, plan_->compressed ? 0 : 1);
+        for (VertexId u : plan_->core_vertices) is_core[u] = 1;
+        for (VertexId u : plan_->matching_order) {
+          if (is_core[u]) continue;
+          const VarRef& op = ins.operands[u];
+          if (op.kind == VarKind::kF) {
+            return Status::Internal("non-core RES operand is f variable");
+          }
+          auto slot = operand_slot(op);
+          BENU_RETURN_IF_ERROR(slot.status());
+          c.res_refs.push_back(*slot);
+        }
+        break;
+      }
+    }
+    code_.push_back(std::move(c));
+  }
+  report_sets_.reserve(n);
+  return Status::OK();
+}
+
+VertexSetView PlanExecutor::SlotView(int slot) const {
+  BENU_CHECK(slot >= 0) << "V(G) pseudo-operand outside its fast path";
+  return slots_[static_cast<size_t>(slot)].view;
+}
+
+void PlanExecutor::ApplyFiltersInPlace(
+    const std::vector<FilterCondition>& filters, VertexSet* set) {
+  for (const FilterCondition& fc : filters) {
+    const VertexId bound = f_[static_cast<size_t>(fc.f_index)];
+    switch (fc.kind) {
+      case FilterKind::kLess: {
+        auto it = std::lower_bound(set->begin(), set->end(), bound);
+        set->erase(it, set->end());
+        break;
+      }
+      case FilterKind::kGreater: {
+        auto it = std::upper_bound(set->begin(), set->end(), bound);
+        set->erase(set->begin(), it);
+        break;
+      }
+      case FilterKind::kNotEqual:
+        EraseValue(set, bound);
+        break;
+    }
+    if (set->empty()) return;
+  }
+}
+
+void PlanExecutor::ExecIntersect(const Compiled& ins) {
+  SetSlot& out = slots_[static_cast<size_t>(ins.target_set_slot)];
+  out.shared.reset();
+  VertexSet& result = out.owned;
+
+  const auto& ops = ins.operand_slots;
+  if (ops.size() == 1 && ops[0] == -1) {
+    // Candidate set over V(G): derive the id range from the order filters
+    // instead of materializing and filtering N vertices.
+    ++stats_.intersections;
+    VertexId lo = 0;
+    auto hi = static_cast<VertexId>(provider_->NumVertices());
+    for (const FilterCondition& fc : ins.filters) {
+      const VertexId bound = f_[static_cast<size_t>(fc.f_index)];
+      if (fc.kind == FilterKind::kLess) hi = std::min(hi, bound);
+      if (fc.kind == FilterKind::kGreater) {
+        lo = std::max(lo, static_cast<VertexId>(bound + 1));
+      }
+    }
+    result.clear();
+    for (VertexId v = lo; v < hi; ++v) result.push_back(v);
+    for (const FilterCondition& fc : ins.filters) {
+      if (fc.kind == FilterKind::kNotEqual) {
+        EraseValue(&result, f_[static_cast<size_t>(fc.f_index)]);
+      }
+    }
+    out.view = VertexSetView(result);
+    return;
+  }
+
+  ++stats_.intersections;
+  if (ops.size() == 1) {
+    VertexSetView in = SlotView(ops[0]);
+    result.assign(in.begin(), in.end());
+  } else {
+    Intersect(SlotView(ops[0]), SlotView(ops[1]), &result);
+    for (size_t i = 2; i < ops.size(); ++i) {
+      if (result.empty()) break;
+      Intersect(VertexSetView(result), SlotView(ops[i]), &scratch_);
+      result.swap(scratch_);
+    }
+  }
+  if (!result.empty()) ApplyFiltersInPlace(ins.filters, &result);
+  out.view = VertexSetView(result);
+}
+
+void PlanExecutor::Exec(size_t pc) {
+  BENU_CHECK(pc < code_.size());
+  for (;;) {
+    const Compiled& ins = code_[pc];
+    switch (ins.type) {
+      case InstrType::kInit:
+        if (task_->start < ins.min_candidate_id) return;  // degree filter
+        if (ins.required_label >= 0 &&
+            (*data_labels_)[task_->start] != ins.required_label) {
+          return;
+        }
+        f_[static_cast<size_t>(ins.target_f)] = task_->start;
+        break;
+      case InstrType::kDbQuery: {
+        AdjacencyProvider::Fetch fetch = provider_->GetAdjacency(
+            f_[static_cast<size_t>(ins.source_f)]);
+        ++stats_.adjacency_requests;
+        if (fetch.cache_hit) {
+          ++stats_.cache_hits;
+        } else {
+          ++stats_.db_queries;
+          stats_.bytes_fetched += fetch.bytes;
+        }
+        SetSlot& slot = slots_[static_cast<size_t>(ins.target_set_slot)];
+        slot.shared = std::move(fetch.set);
+        slot.view = VertexSetView(*slot.shared);
+        break;
+      }
+      case InstrType::kIntersect:
+        ExecIntersect(ins);
+        if (SlotView(ins.target_set_slot).empty()) return;  // backtrack
+        break;
+      case InstrType::kTriangleCache: {
+        const VertexId neighbor = f_[static_cast<size_t>(ins.trc_neighbor_f)];
+        SetSlot& slot = slots_[static_cast<size_t>(ins.target_set_slot)];
+        if (auto cached = tcache_->Lookup(neighbor)) {
+          ++stats_.tcache_hits;
+          slot.shared = std::move(cached);
+        } else {
+          ++stats_.intersections;
+          auto computed = std::make_shared<VertexSet>();
+          Intersect(SlotView(ins.operand_slots[0]),
+                    SlotView(ins.operand_slots[1]), computed.get());
+          tcache_->Insert(neighbor, computed);
+          slot.shared = std::move(computed);
+        }
+        slot.view = VertexSetView(*slot.shared);
+        if (slot.view.empty()) return;  // backtrack
+        break;
+      }
+      case InstrType::kEnumerate: {
+        VertexSetView candidates = SlotView(ins.operand_slots[0]);
+        // Degree filter: ids realize the (degree, id) order, so the
+        // filter is one binary search over the sorted candidate set.
+        size_t lo = 0;
+        if (ins.min_candidate_id > 0) {
+          lo = static_cast<size_t>(
+              std::lower_bound(candidates.begin(), candidates.end(),
+                               ins.min_candidate_id) -
+              candidates.begin());
+        }
+        size_t begin = lo;
+        size_t end = candidates.size;
+        if (ins.first_enum && task_->num_subtasks > 1) {
+          const size_t span = candidates.size - lo;
+          begin = lo + span * task_->subtask_index / task_->num_subtasks;
+          end = lo + span * (task_->subtask_index + 1) / task_->num_subtasks;
+        }
+        const auto f_index = static_cast<size_t>(ins.target_f);
+        for (size_t i = begin; i < end; ++i) {
+          if (ins.required_label >= 0 &&
+              (*data_labels_)[candidates[i]] != ins.required_label) {
+            continue;
+          }
+          f_[f_index] = candidates[i];
+          Exec(pc + 1);
+        }
+        f_[f_index] = kInvalidVertex;
+        return;
+      }
+      case InstrType::kReport: {
+        ++stats_.res_executions;
+        if (!plan_->compressed) {
+          consumer_->OnMatch(f_);
+        } else {
+          report_sets_.clear();
+          for (int slot : ins.res_refs) {
+            report_sets_.push_back(SlotView(slot));
+          }
+          consumer_->OnCompressedCode(f_, report_sets_);
+        }
+        return;
+      }
+    }
+    ++pc;
+  }
+}
+
+TaskStats PlanExecutor::RunTask(const SearchTask& task,
+                                MatchConsumer* consumer) {
+  Stopwatch watch;
+  stats_ = TaskStats();
+  task_ = &task;
+  consumer_ = consumer;
+  if (tcache_ != nullptr) tcache_->BeginTask(task.start);
+  std::fill(f_.begin(), f_.end(), kInvalidVertex);
+  Exec(0);
+  task_ = nullptr;
+  consumer_ = nullptr;
+  stats_.wall_seconds = watch.ElapsedSeconds();
+  return stats_;
+}
+
+}  // namespace benu

@@ -1,0 +1,176 @@
+#ifndef BENU_CORE_EXECUTOR_H_
+#define BENU_CORE_EXECUTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/match_consumer.h"
+#include "graph/graph.h"
+#include "graph/vertex_set.h"
+#include "plan/instruction.h"
+#include "storage/db_cache.h"
+#include "storage/triangle_cache.h"
+
+namespace benu {
+
+/// Source of adjacency sets for DBQ instructions. The production
+/// implementation routes through the worker's DB cache to the distributed
+/// KV store; tests and the shared-memory baselines use the direct
+/// in-memory graph.
+class AdjacencyProvider {
+ public:
+  struct Fetch {
+    std::shared_ptr<const VertexSet> set;
+    bool cache_hit = false;
+    size_t bytes = 0;  ///< simulated network bytes (0 on a hit)
+  };
+
+  virtual ~AdjacencyProvider() = default;
+  virtual Fetch GetAdjacency(VertexId v) = 0;
+  /// Number of data vertices (for the V(G) pseudo-operand and task
+  /// generation).
+  virtual size_t NumVertices() const = 0;
+};
+
+/// Adjacency provider over an in-memory graph: every fetch is "local".
+class DirectAdjacencyProvider : public AdjacencyProvider {
+ public:
+  /// `graph` must outlive the provider.
+  explicit DirectAdjacencyProvider(const Graph* graph);
+
+  Fetch GetAdjacency(VertexId v) override;
+  size_t NumVertices() const override { return graph_->NumVertices(); }
+
+ private:
+  const Graph* graph_;
+  // Materialized copies shared across fetches so the executor can hold
+  // them uniformly as shared_ptr.
+  std::vector<std::shared_ptr<const VertexSet>> sets_;
+};
+
+/// Adjacency provider through a worker's local DB cache (Fig. 2): a hit is
+/// free; a miss performs one remote query against the distributed store.
+class CachedAdjacencyProvider : public AdjacencyProvider {
+ public:
+  /// `cache` must outlive the provider.
+  explicit CachedAdjacencyProvider(DbCache* cache, size_t num_vertices)
+      : cache_(cache), num_vertices_(num_vertices) {}
+
+  Fetch GetAdjacency(VertexId v) override;
+  size_t NumVertices() const override { return num_vertices_; }
+
+ private:
+  DbCache* cache_;
+  size_t num_vertices_;
+};
+
+/// One local search task (Algorithm 2 line 4): a backtracking search
+/// rooted at `start`. Task splitting (§V-B) subdivides the candidate set
+/// of the second pattern vertex into `num_subtasks` equal slices; this
+/// task runs slice `subtask_index`.
+struct SearchTask {
+  VertexId start = 0;
+  uint32_t subtask_index = 0;
+  uint32_t num_subtasks = 1;
+};
+
+/// Per-task execution metrics.
+struct TaskStats {
+  Count res_executions = 0;   ///< RES firings (helves when compressed)
+  Count matches = 0;          ///< expanded matches (filled by the driver)
+  Count adjacency_requests = 0;
+  Count cache_hits = 0;
+  Count db_queries = 0;       ///< requests that reached the remote store
+  Count bytes_fetched = 0;
+  Count intersections = 0;    ///< INT executions + TRC misses
+  Count tcache_hits = 0;
+  double wall_seconds = 0;
+
+  void Accumulate(const TaskStats& other);
+};
+
+/// Interprets a BENU execution plan over the data graph: the distributed
+/// framework's inner loop (Algorithm 2 line 8). One executor instance is
+/// owned by one working thread; it keeps per-instruction scratch buffers
+/// that are reused across tasks.
+class PlanExecutor {
+ public:
+  /// Validates and compiles `plan`. All pointers must outlive the
+  /// executor; `tcache` may be null iff the plan has no TRC instructions.
+  /// `degree_floors` (see ComputeDegreeFloors) is required iff the plan
+  /// carries degree filters; `data_labels` (one label per data vertex) is
+  /// required iff the plan matches a labeled pattern.
+  static StatusOr<std::unique_ptr<PlanExecutor>> Create(
+      const ExecutionPlan* plan, AdjacencyProvider* provider,
+      TriangleCache* tcache,
+      const std::vector<VertexId>* degree_floors = nullptr,
+      const std::vector<int>* data_labels = nullptr);
+
+  /// Runs one local search task, streaming results into `consumer`.
+  /// Returns the task's metrics (matches is left 0; consumers count).
+  TaskStats RunTask(const SearchTask& task, MatchConsumer* consumer);
+
+  const ExecutionPlan& plan() const { return *plan_; }
+
+ private:
+  // Compiled form of one instruction with variable references resolved to
+  // register slots.
+  struct Compiled {
+    InstrType type = InstrType::kIntersect;
+    int target_set_slot = -1;   // set-producing instructions
+    int target_f = -1;          // INI/ENU
+    int source_f = -1;          // DBQ: which f to query
+    int trc_neighbor_f = -1;    // TRC: the non-start f of the key
+    // Set operands as slot ids; kAllVertices encoded as -1.
+    std::vector<int> operand_slots;
+    std::vector<FilterCondition> filters;
+    bool first_enum = false;    // the ENU of the 2nd matching-order vertex
+    // Degree filter compiled to an id lower bound (ids realize ≺).
+    VertexId min_candidate_id = 0;
+    int required_label = -1;
+    // RES operands: f index if >= 0, otherwise ~slot of a set operand.
+    std::vector<int> res_refs;
+  };
+
+  // A set register: either an owned scratch vector (INT results) or a
+  // shared immutable set (DBQ / TRC results).
+  struct SetSlot {
+    VertexSet owned;
+    std::shared_ptr<const VertexSet> shared;
+    VertexSetView view;
+  };
+
+  PlanExecutor(const ExecutionPlan* plan, AdjacencyProvider* provider,
+               TriangleCache* tcache,
+               const std::vector<VertexId>* degree_floors,
+               const std::vector<int>* data_labels);
+
+  Status Compile();
+  void Exec(size_t pc);
+  void ExecIntersect(const Compiled& ins);
+  void ApplyFiltersInPlace(const std::vector<FilterCondition>& filters,
+                           VertexSet* set);
+  VertexSetView SlotView(int slot) const;
+
+  const ExecutionPlan* plan_;
+  AdjacencyProvider* provider_;
+  TriangleCache* tcache_;
+  const std::vector<VertexId>* degree_floors_;
+  const std::vector<int>* data_labels_;
+  MatchConsumer* consumer_ = nullptr;
+
+  std::vector<Compiled> code_;
+  std::vector<VertexId> f_;       // current partial match, by pattern vertex
+  std::vector<SetSlot> slots_;
+  VertexSet scratch_;             // temporary for multi-operand folds
+  const SearchTask* task_ = nullptr;
+  TaskStats stats_;
+  std::vector<VertexId> report_f_;          // reused RES buffer
+  std::vector<VertexSetView> report_sets_;  // reused RES buffer
+};
+
+}  // namespace benu
+
+#endif  // BENU_CORE_EXECUTOR_H_

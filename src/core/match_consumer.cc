@@ -1,0 +1,52 @@
+#include "core/match_consumer.h"
+
+#include <algorithm>
+
+namespace benu {
+
+CountingConsumer::CountingConsumer(const ExecutionPlan& plan) {
+  if (plan.compressed) {
+    expander_ = std::make_unique<VcbcExpander>(plan);
+    num_core_ = plan.core_vertices.size();
+  }
+}
+
+void CountingConsumer::OnMatch(const std::vector<VertexId>& f) {
+  ++matches_;
+  ++codes_;
+  code_units_ += f.size();
+}
+
+void CountingConsumer::OnCompressedCode(
+    const std::vector<VertexId>& f,
+    const std::vector<VertexSetView>& image_sets) {
+  (void)f;
+  ++codes_;
+  code_units_ += num_core_;
+  for (const VertexSetView& s : image_sets) code_units_ += s.size;
+  matches_ += expander_->CountExpansions(image_sets);
+}
+
+CollectingConsumer::CollectingConsumer(const ExecutionPlan& plan) {
+  if (plan.compressed) expander_ = std::make_unique<VcbcExpander>(plan);
+}
+
+void CollectingConsumer::OnMatch(const std::vector<VertexId>& f) {
+  matches_.push_back(f);
+}
+
+void CollectingConsumer::OnCompressedCode(
+    const std::vector<VertexId>& f,
+    const std::vector<VertexSetView>& image_sets) {
+  for (auto& match : expander_->Expand(f, image_sets)) {
+    matches_.push_back(std::move(match));
+  }
+}
+
+std::vector<std::vector<VertexId>> CollectingConsumer::Sorted() const {
+  std::vector<std::vector<VertexId>> sorted = matches_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+}  // namespace benu

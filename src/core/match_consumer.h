@@ -1,0 +1,94 @@
+#ifndef BENU_CORE_MATCH_CONSUMER_H_
+#define BENU_CORE_MATCH_CONSUMER_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "core/compressed_result.h"
+#include "graph/vertex_set.h"
+#include "plan/instruction.h"
+
+namespace benu {
+
+/// Sink for the RES instruction of an execution plan. Executors invoke
+/// exactly one of the two callbacks per reported result, depending on
+/// whether the plan is VCBC-compressed.
+///
+/// Consumers are used from a single thread at a time (each worker thread
+/// owns its own consumer; results are merged afterwards).
+class MatchConsumer {
+ public:
+  virtual ~MatchConsumer() = default;
+
+  /// A full match: f[i] is the data vertex mapped to pattern vertex u_i.
+  virtual void OnMatch(const std::vector<VertexId>& f) = 0;
+
+  /// A compressed code: `f` holds the helve (non-core entries are
+  /// kInvalidVertex); `image_sets[i]` is the conditional image set of
+  /// non-core pattern vertex `non_core[i]` (matching-order order). The
+  /// views are only valid during the call.
+  virtual void OnCompressedCode(
+      const std::vector<VertexId>& f,
+      const std::vector<VertexSetView>& image_sets) = 0;
+};
+
+/// Counts matches. For compressed codes, counts the exact number of
+/// expansions (injective, order-constrained) of each code, so the total
+/// equals the uncompressed match count.
+class CountingConsumer : public MatchConsumer {
+ public:
+  /// `plan` is needed only for compressed plans (to know the non-core
+  /// constraints); pass the plan being executed.
+  explicit CountingConsumer(const ExecutionPlan& plan);
+
+  void OnMatch(const std::vector<VertexId>& f) override;
+  void OnCompressedCode(
+      const std::vector<VertexId>& f,
+      const std::vector<VertexSetView>& image_sets) override;
+
+  /// Expanded match count.
+  Count matches() const { return matches_; }
+  /// Number of RES executions (equals matches() for uncompressed plans;
+  /// the number of helves for compressed ones).
+  Count codes() const { return codes_; }
+  /// Total compressed-code payload: helve entries + image-set entries
+  /// (× sizeof(VertexId) gives bytes). For uncompressed plans this is
+  /// n per match.
+  Count code_units() const { return code_units_; }
+
+ private:
+  std::unique_ptr<VcbcExpander> expander_;
+  size_t num_core_ = 0;
+  Count matches_ = 0;
+  Count codes_ = 0;
+  Count code_units_ = 0;
+};
+
+/// Collects full matches in memory (expanding compressed codes). Intended
+/// for tests and small result sets.
+class CollectingConsumer : public MatchConsumer {
+ public:
+  explicit CollectingConsumer(const ExecutionPlan& plan);
+
+  void OnMatch(const std::vector<VertexId>& f) override;
+  void OnCompressedCode(
+      const std::vector<VertexId>& f,
+      const std::vector<VertexSetView>& image_sets) override;
+
+  /// All matches, each indexed by pattern vertex. Sorted lexicographically
+  /// by Sorted() for deterministic comparison.
+  const std::vector<std::vector<VertexId>>& matches() const {
+    return matches_;
+  }
+  std::vector<std::vector<VertexId>> Sorted() const;
+
+ private:
+  std::unique_ptr<VcbcExpander> expander_;
+  std::vector<std::vector<VertexId>> matches_;
+};
+
+}  // namespace benu
+
+#endif  // BENU_CORE_MATCH_CONSUMER_H_

@@ -1,0 +1,356 @@
+#include "core/result_writer.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "core/compressed_result.h"
+
+namespace benu {
+namespace {
+
+constexpr char kMagic[7] = {'B', 'E', 'N', 'U', 'R', '1', '\n'};
+
+void EncodeU32(uint32_t value, unsigned char out[4]) {
+  out[0] = static_cast<unsigned char>(value);
+  out[1] = static_cast<unsigned char>(value >> 8);
+  out[2] = static_cast<unsigned char>(value >> 16);
+  out[3] = static_cast<unsigned char>(value >> 24);
+}
+
+uint32_t DecodeU32(const unsigned char in[4]) {
+  return static_cast<uint32_t>(in[0]) | (static_cast<uint32_t>(in[1]) << 8) |
+         (static_cast<uint32_t>(in[2]) << 16) |
+         (static_cast<uint32_t>(in[3]) << 24);
+}
+
+// Streaming reader with explicit error state.
+class Reader {
+ public:
+  explicit Reader(std::FILE* file) : file_(file) {}
+
+  bool ReadU32(uint32_t* value) {
+    unsigned char buffer[4];
+    if (std::fread(buffer, 1, 4, file_) != 4) return false;
+    *value = DecodeU32(buffer);
+    return true;
+  }
+
+  bool AtEof() {
+    int c = std::fgetc(file_);
+    if (c == EOF) return true;
+    std::ungetc(c, file_);
+    return false;
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+struct Header {
+  bool compressed = false;
+  uint32_t n = 0;
+  std::vector<VertexId> order;
+  std::vector<std::pair<int, int>> constraints;  // pattern-vertex pairs
+  std::vector<VertexId> core;                    // matching-order prefix
+  std::vector<VertexId> non_core;
+  long payload_start = 0;
+};
+
+StatusOr<Header> ReadHeader(std::FILE* file) {
+  char magic[7];
+  if (std::fread(magic, 1, 7, file) != 7 ||
+      std::memcmp(magic, kMagic, 7) != 0) {
+    return Status::IoError("not a BENU result file");
+  }
+  int mode = std::fgetc(file);
+  if (mode != 'P' && mode != 'C') {
+    return Status::IoError("unknown result-file mode");
+  }
+  Header header;
+  header.compressed = mode == 'C';
+  Reader reader(file);
+  if (!reader.ReadU32(&header.n) || header.n == 0 || header.n > 64) {
+    return Status::IoError("corrupt header: bad pattern size");
+  }
+  header.order.resize(header.n);
+  for (auto& u : header.order) {
+    if (!reader.ReadU32(&u) || u >= header.n) {
+      return Status::IoError("corrupt header: bad matching order");
+    }
+  }
+  uint32_t num_constraints = 0;
+  if (!reader.ReadU32(&num_constraints) || num_constraints > 4096) {
+    return Status::IoError("corrupt header: bad constraint count");
+  }
+  for (uint32_t i = 0; i < num_constraints; ++i) {
+    uint32_t a = 0;
+    uint32_t b = 0;
+    if (!reader.ReadU32(&a) || !reader.ReadU32(&b) || a >= header.n ||
+        b >= header.n) {
+      return Status::IoError("corrupt header: bad constraint");
+    }
+    header.constraints.push_back({static_cast<int>(a), static_cast<int>(b)});
+  }
+  uint32_t core_size = header.n;
+  if (header.compressed) {
+    if (!reader.ReadU32(&core_size) || core_size == 0 ||
+        core_size > header.n) {
+      return Status::IoError("corrupt header: bad core size");
+    }
+  }
+  header.core.assign(header.order.begin(), header.order.begin() + core_size);
+  header.non_core.assign(header.order.begin() + core_size,
+                         header.order.end());
+  header.payload_start = std::ftell(file);
+  return header;
+}
+
+}  // namespace
+
+ResultFileWriter::ResultFileWriter(std::FILE* file, bool compressed,
+                                   std::vector<VertexId> core,
+                                   std::vector<VertexId> non_core)
+    : file_(file),
+      compressed_(compressed),
+      core_(std::move(core)),
+      non_core_(std::move(non_core)) {}
+
+StatusOr<std::unique_ptr<ResultFileWriter>> ResultFileWriter::Open(
+    const std::string& path, const ExecutionPlan& plan) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  const size_t n = plan.NumPatternVertices();
+  std::vector<char> is_core(n, plan.compressed ? 0 : 1);
+  for (VertexId u : plan.core_vertices) is_core[u] = 1;
+  std::vector<VertexId> core;
+  std::vector<VertexId> non_core;
+  for (VertexId u : plan.matching_order) {
+    (is_core[u] ? core : non_core).push_back(u);
+  }
+  std::unique_ptr<ResultFileWriter> writer(new ResultFileWriter(
+      file, plan.compressed, std::move(core), std::move(non_core)));
+
+  std::fwrite(kMagic, 1, 7, file);
+  std::fputc(plan.compressed ? 'C' : 'P', file);
+  writer->bytes_ += 8;
+  writer->WriteU32(static_cast<uint32_t>(n));
+  for (VertexId u : plan.matching_order) writer->WriteU32(u);
+  writer->WriteU32(static_cast<uint32_t>(plan.partial_order.size()));
+  for (const OrderConstraint& c : plan.partial_order) {
+    writer->WriteU32(c.first);
+    writer->WriteU32(c.second);
+  }
+  if (plan.compressed) {
+    writer->WriteU32(static_cast<uint32_t>(plan.core_vertices.size()));
+  }
+  if (writer->failed_) {
+    return Status::IoError("write failure on " + path);
+  }
+  return writer;
+}
+
+ResultFileWriter::~ResultFileWriter() {
+  if (file_ != nullptr) {
+    Status status = Close();
+    if (!status.ok()) {
+      BENU_LOG(Error) << "result writer: " << status.ToString();
+    }
+  }
+}
+
+void ResultFileWriter::WriteU32(uint32_t value) {
+  unsigned char buffer[4];
+  EncodeU32(value, buffer);
+  if (std::fwrite(buffer, 1, 4, file_) != 4) failed_ = true;
+  bytes_ += 4;
+}
+
+void ResultFileWriter::OnMatch(const std::vector<VertexId>& f) {
+  BENU_CHECK(!compressed_) << "plain match reported to compressed writer";
+  for (VertexId v : f) WriteU32(v);
+  ++records_;
+}
+
+void ResultFileWriter::OnCompressedCode(
+    const std::vector<VertexId>& f,
+    const std::vector<VertexSetView>& image_sets) {
+  BENU_CHECK(compressed_);
+  BENU_CHECK(image_sets.size() == non_core_.size());
+  for (VertexId u : core_) WriteU32(f[u]);
+  for (const VertexSetView& set : image_sets) {
+    WriteU32(static_cast<uint32_t>(set.size));
+    for (VertexId v : set) WriteU32(v);
+  }
+  ++records_;
+}
+
+Status ResultFileWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  const bool flush_failed = std::fclose(file_) != 0;
+  file_ = nullptr;
+  if (failed_ || flush_failed) return Status::IoError("result write failed");
+  return Status::OK();
+}
+
+StatusOr<ResultFileInfo> ReadResultFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return Status::IoError("cannot open " + path);
+  auto header = ReadHeader(file);
+  if (!header.ok()) {
+    std::fclose(file);
+    return header.status();
+  }
+  ResultFileInfo info;
+  info.compressed = header->compressed;
+  info.pattern_vertices = header->n;
+
+  // Constraint pairs restricted to non-core positions.
+  std::vector<std::pair<int, int>> non_core_constraints;
+  auto position = [&](int u) {
+    for (size_t i = 0; i < header->non_core.size(); ++i) {
+      if (header->non_core[i] == static_cast<VertexId>(u)) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+  for (const auto& [a, b] : header->constraints) {
+    int pa = position(a);
+    int pb = position(b);
+    if (pa >= 0 && pb >= 0) non_core_constraints.push_back({pa, pb});
+  }
+
+  Reader reader(file);
+  std::vector<VertexSet> sets(header->non_core.size());
+  Status error;
+  while (!reader.AtEof()) {
+    if (!header->compressed) {
+      uint32_t v = 0;
+      for (uint32_t i = 0; i < header->n; ++i) {
+        if (!reader.ReadU32(&v)) {
+          error = Status::IoError("truncated record");
+          break;
+        }
+      }
+      if (!error.ok()) break;
+      ++info.records;
+      ++info.matches;
+      info.payload_bytes += header->n * 4;
+      continue;
+    }
+    uint32_t v = 0;
+    for (size_t i = 0; i < header->core.size(); ++i) {
+      if (!reader.ReadU32(&v)) {
+        error = Status::IoError("truncated helve");
+        break;
+      }
+    }
+    if (!error.ok()) break;
+    info.payload_bytes += header->core.size() * 4;
+    for (auto& set : sets) {
+      uint32_t size = 0;
+      if (!reader.ReadU32(&size) || size > (1u << 28)) {
+        error = Status::IoError("truncated image set");
+        break;
+      }
+      set.resize(size);
+      for (uint32_t i = 0; i < size; ++i) {
+        if (!reader.ReadU32(&set[i])) {
+          error = Status::IoError("truncated image set");
+          break;
+        }
+      }
+      if (!error.ok()) break;
+      info.payload_bytes += 4 + size * 4;
+    }
+    if (!error.ok()) break;
+    ++info.records;
+    std::vector<VertexSetView> views(sets.begin(), sets.end());
+    info.matches += CountInjectiveAssignments(views, non_core_constraints);
+  }
+  std::fclose(file);
+  if (!error.ok()) return error;
+  return info;
+}
+
+StatusOr<std::vector<std::vector<VertexId>>> ReadAllMatches(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return Status::IoError("cannot open " + path);
+  auto header = ReadHeader(file);
+  if (!header.ok()) {
+    std::fclose(file);
+    return header.status();
+  }
+  std::vector<std::pair<int, int>> non_core_constraints;
+  for (const auto& [a, b] : header->constraints) {
+    int pa = -1;
+    int pb = -1;
+    for (size_t i = 0; i < header->non_core.size(); ++i) {
+      if (header->non_core[i] == static_cast<VertexId>(a)) {
+        pa = static_cast<int>(i);
+      }
+      if (header->non_core[i] == static_cast<VertexId>(b)) {
+        pb = static_cast<int>(i);
+      }
+    }
+    if (pa >= 0 && pb >= 0) non_core_constraints.push_back({pa, pb});
+  }
+
+  Reader reader(file);
+  std::vector<std::vector<VertexId>> matches;
+  std::vector<VertexSet> sets(header->non_core.size());
+  Status error;
+  while (!reader.AtEof()) {
+    std::vector<VertexId> f(header->n, kInvalidVertex);
+    if (!header->compressed) {
+      bool ok = true;
+      for (uint32_t u = 0; u < header->n && ok; ++u) {
+        ok = reader.ReadU32(&f[u]);
+      }
+      if (!ok) {
+        error = Status::IoError("truncated record");
+        break;
+      }
+      matches.push_back(std::move(f));
+      continue;
+    }
+    bool ok = true;
+    for (VertexId u : header->core) {
+      if (!reader.ReadU32(&f[u])) {
+        ok = false;
+        break;
+      }
+    }
+    for (auto& set : sets) {
+      if (!ok) break;
+      uint32_t size = 0;
+      ok = reader.ReadU32(&size) && size <= (1u << 28);
+      if (!ok) break;
+      set.resize(size);
+      for (uint32_t i = 0; i < size && ok; ++i) {
+        ok = reader.ReadU32(&set[i]);
+      }
+    }
+    if (!ok) {
+      error = Status::IoError("truncated record");
+      break;
+    }
+    std::vector<VertexSetView> views(sets.begin(), sets.end());
+    for (const auto& pick :
+         EnumerateInjectiveAssignments(views, non_core_constraints)) {
+      std::vector<VertexId> full = f;
+      for (size_t i = 0; i < header->non_core.size(); ++i) {
+        full[header->non_core[i]] = pick[i];
+      }
+      matches.push_back(std::move(full));
+    }
+  }
+  std::fclose(file);
+  if (!error.ok()) return error;
+  return matches;
+}
+
+}  // namespace benu

@@ -1,0 +1,92 @@
+#ifndef BENU_CORE_RESULT_WRITER_H_
+#define BENU_CORE_RESULT_WRITER_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/match_consumer.h"
+#include "plan/instruction.h"
+
+namespace benu {
+
+/// Streams enumeration results to a binary file, preserving VCBC
+/// compression on disk — the output path of a production deployment
+/// (the paper's systems write results to HDFS; VCBC's payoff is exactly
+/// that the persisted codes are much smaller than the expanded matches).
+///
+/// File layout (all integers little-endian u32 unless noted):
+///   magic "BENUR1\n" (7 bytes) + mode byte ('P' plain, 'C' compressed)
+///   n, matching order (n entries)
+///   #constraints, constraint pairs (for expansion of compressed codes)
+///   core size, core vertices          (compressed mode only)
+///   then records until EOF:
+///     plain:       n vertex ids
+///     compressed:  core values in matching-order core order, then for
+///                  each non-core vertex (matching order): size, values
+///
+/// Not thread-safe: one writer per worker thread, files merged offline
+/// (mirroring one output file per reducer).
+class ResultFileWriter : public MatchConsumer {
+ public:
+  /// Opens `path` for writing and emits the header. The plan decides the
+  /// mode (compressed iff plan.compressed).
+  static StatusOr<std::unique_ptr<ResultFileWriter>> Open(
+      const std::string& path, const ExecutionPlan& plan);
+
+  ~ResultFileWriter() override;
+
+  ResultFileWriter(const ResultFileWriter&) = delete;
+  ResultFileWriter& operator=(const ResultFileWriter&) = delete;
+
+  void OnMatch(const std::vector<VertexId>& f) override;
+  void OnCompressedCode(const std::vector<VertexId>& f,
+                        const std::vector<VertexSetView>& image_sets) override;
+
+  /// Flushes and closes; reports any deferred I/O error. Called by the
+  /// destructor if omitted (errors then only logged).
+  Status Close();
+
+  Count records_written() const { return records_; }
+  Count bytes_written() const { return bytes_; }
+
+ private:
+  ResultFileWriter(std::FILE* file, bool compressed,
+                   std::vector<VertexId> core, std::vector<VertexId> non_core);
+
+  void WriteU32(uint32_t value);
+
+  std::FILE* file_;
+  bool compressed_;
+  std::vector<VertexId> core_;      // core pattern vertices, matching order
+  std::vector<VertexId> non_core_;  // non-core pattern vertices, same order
+  Count records_ = 0;
+  Count bytes_ = 0;
+  bool failed_ = false;
+};
+
+/// Summary of a result file.
+struct ResultFileInfo {
+  bool compressed = false;
+  size_t pattern_vertices = 0;
+  Count records = 0;        ///< stored records (codes or matches)
+  Count matches = 0;        ///< expanded match count
+  Count payload_bytes = 0;  ///< file size minus header
+};
+
+/// Reads a result file, validating the format, and returns its summary.
+/// For compressed files the expansion count applies the stored
+/// injectivity/order constraints (exactly like CountingConsumer).
+StatusOr<ResultFileInfo> ReadResultFile(const std::string& path);
+
+/// Reads a result file and materializes every (expanded) match, indexed
+/// by pattern vertex. Intended for tests and small result sets.
+StatusOr<std::vector<std::vector<VertexId>>> ReadAllMatches(
+    const std::string& path);
+
+}  // namespace benu
+
+#endif  // BENU_CORE_RESULT_WRITER_H_

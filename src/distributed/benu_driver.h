@@ -1,0 +1,45 @@
+#ifndef BENU_DISTRIBUTED_BENU_DRIVER_H_
+#define BENU_DISTRIBUTED_BENU_DRIVER_H_
+
+#include "common/status.h"
+#include "distributed/cluster.h"
+#include "graph/graph.h"
+#include "plan/plan_search.h"
+
+namespace benu {
+
+/// End-to-end options: plan generation plus cluster execution.
+struct BenuOptions {
+  PlanSearchOptions plan;
+  ClusterConfig cluster;
+  /// Relabel the data graph by (degree, id) so vertex ids realize the
+  /// total order ≺ of the symmetry-breaking technique. Disable only if the
+  /// input graph is already relabeled.
+  bool relabel_by_degree = true;
+  /// Property-graph extension: one label per *input* data vertex (the
+  /// driver permutes them alongside the relabeling). Must be set iff
+  /// plan.pattern_labels is set.
+  std::vector<int> data_labels;
+};
+
+/// Outcome of a full BENU run.
+struct BenuResult {
+  PlanSearchResult plan;
+  ClusterRunResult run;
+};
+
+/// Algorithm 2 end to end: preprocesses the data graph (total-order
+/// relabeling; storing into the distributed database), generates the best
+/// execution plan for `pattern` on the master, "broadcasts" it, and
+/// executes the local search tasks on the simulated cluster.
+StatusOr<BenuResult> RunBenu(const Graph& data_graph, const Graph& pattern,
+                             const BenuOptions& options);
+
+/// Convenience wrapper that only returns the number of subgraphs of
+/// `data_graph` isomorphic to `pattern` (duplicate-free via symmetry
+/// breaking), using a default single-worker configuration.
+StatusOr<Count> CountSubgraphs(const Graph& data_graph, const Graph& pattern);
+
+}  // namespace benu
+
+#endif  // BENU_DISTRIBUTED_BENU_DRIVER_H_

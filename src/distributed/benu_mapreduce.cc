@@ -1,0 +1,129 @@
+#include "distributed/benu_mapreduce.h"
+
+#include <map>
+#include <memory>
+
+#include "core/executor.h"
+#include "distributed/task.h"
+#include "plan/filters.h"
+#include "storage/kv_store.h"
+#include "storage/triangle_cache.h"
+
+namespace benu {
+
+StatusOr<MapReduceBenuResult> RunBenuOnMapReduce(
+    const Graph& data_graph, const Graph& pattern, int num_reducers,
+    size_t cache_bytes_per_reducer, uint32_t task_split_threshold,
+    const PlanSearchOptions& plan_options) {
+  // Preprocessing + plan generation (Algorithm 2 lines 1-3).
+  const Graph relabeled = data_graph.RelabelByDegree();
+  auto plan = GenerateBestPlan(pattern, DataGraphStats::FromGraph(relabeled),
+                               plan_options);
+  BENU_RETURN_IF_ERROR(plan.status());
+  DistributedKvStore store(relabeled, static_cast<size_t>(num_reducers));
+  std::vector<VertexId> degree_floors;
+  if (plan->plan.UsesDegreeFilters()) {
+    degree_floors = ComputeDegreeFloors(relabeled, pattern.MaxDegree());
+  }
+
+  // Map inputs: one record per data vertex.
+  std::vector<mapreduce::Record> inputs;
+  inputs.reserve(relabeled.NumVertices());
+  for (VertexId v = 0; v < relabeled.NumVertices(); ++v) {
+    inputs.push_back({v});
+  }
+
+  // Map phase: expand each vertex into its (possibly split) local search
+  // tasks, keyed by a running counter so the hash partitioner spreads
+  // them evenly ("shuffled evenly to 16 reducers").
+  uint64_t next_key = 0;
+  const Graph* graph_ptr = &relabeled;
+  const ExecutionPlan* plan_ptr = &plan->plan;
+  auto map_fn = [graph_ptr, plan_ptr, task_split_threshold, &next_key](
+                    const mapreduce::Record& input,
+                    mapreduce::Emitter* emitter) {
+    const VertexId v = input[0];
+    uint32_t num_subtasks = 1;
+    if (task_split_threshold > 0 &&
+        graph_ptr->Degree(v) >= task_split_threshold) {
+      const bool adjacent = plan_ptr->matching_order.size() >= 2 &&
+                            plan_ptr->pattern.HasEdge(
+                                plan_ptr->matching_order[0],
+                                plan_ptr->matching_order[1]);
+      const uint64_t basis = adjacent
+                                 ? graph_ptr->Degree(v)
+                                 : static_cast<uint64_t>(
+                                       graph_ptr->NumVertices());
+      num_subtasks = static_cast<uint32_t>(
+          (basis + task_split_threshold - 1) / task_split_threshold);
+      if (num_subtasks == 0) num_subtasks = 1;
+    }
+    for (uint32_t s = 0; s < num_subtasks; ++s) {
+      emitter->Emit(next_key++, {v, s, num_subtasks});
+    }
+  };
+
+  // Reduce phase: each reducer owns one DB cache + executor context and
+  // runs every task it receives (one task per key group).
+  struct ReducerContext {
+    std::unique_ptr<DbCache> cache;
+    std::unique_ptr<CachedAdjacencyProvider> provider;
+    std::unique_ptr<TriangleCache> tcache;
+    std::unique_ptr<PlanExecutor> executor;
+    std::unique_ptr<CountingConsumer> consumer;
+    TaskStats totals;
+  };
+  std::map<int, ReducerContext> contexts;
+  Status reduce_error;
+  auto reduce_fn = [&](int reducer, const mapreduce::KeyGroup& group,
+                       std::vector<mapreduce::Record>* output) {
+    (void)output;  // counting run: results are aggregated, not re-emitted
+    if (!reduce_error.ok()) return;
+    auto it = contexts.find(reducer);
+    if (it == contexts.end()) {
+      ReducerContext ctx;
+      ctx.cache =
+          std::make_unique<DbCache>(&store, cache_bytes_per_reducer);
+      ctx.provider = std::make_unique<CachedAdjacencyProvider>(
+          ctx.cache.get(), relabeled.NumVertices());
+      ctx.tcache = std::make_unique<TriangleCache>();
+      auto executor = PlanExecutor::Create(
+          plan_ptr, ctx.provider.get(), ctx.tcache.get(),
+          degree_floors.empty() ? nullptr : &degree_floors, nullptr);
+      if (!executor.ok()) {
+        reduce_error = executor.status();
+        return;
+      }
+      ctx.executor = std::move(executor).value();
+      ctx.consumer = std::make_unique<CountingConsumer>(plan->plan);
+      it = contexts.emplace(reducer, std::move(ctx)).first;
+    }
+    for (const mapreduce::Record& record : group.records) {
+      SearchTask task{record[0], record[1], record[2]};
+      it->second.totals.Accumulate(
+          it->second.executor->RunTask(task, it->second.consumer.get()));
+    }
+  };
+
+  mapreduce::JobConfig config;
+  config.num_reducers = num_reducers;
+  MapReduceBenuResult result;
+  auto job = mapreduce::RunJob(inputs, map_fn, reduce_fn, config,
+                               &result.job);
+  BENU_RETURN_IF_ERROR(job.status());
+  BENU_RETURN_IF_ERROR(reduce_error);
+
+  for (auto& [reducer, ctx] : contexts) {
+    (void)reducer;
+    result.total_matches += ctx.consumer->matches();
+    result.total_codes += ctx.consumer->codes();
+    result.db_queries += ctx.totals.db_queries;
+    result.bytes_fetched += ctx.totals.bytes_fetched;
+    DbCacheStats stats = ctx.cache->stats();
+    result.cache.hits += stats.hits;
+    result.cache.misses += stats.misses;
+  }
+  return result;
+}
+
+}  // namespace benu

@@ -1,0 +1,43 @@
+#ifndef BENU_DISTRIBUTED_BENU_MAPREDUCE_H_
+#define BENU_DISTRIBUTED_BENU_MAPREDUCE_H_
+
+#include "common/status.h"
+#include "distributed/mapreduce.h"
+#include "graph/graph.h"
+#include "plan/plan_search.h"
+#include "storage/db_cache.h"
+
+namespace benu {
+
+/// Outcome of a MapReduce-deployed BENU run.
+struct MapReduceBenuResult {
+  Count total_matches = 0;
+  Count total_codes = 0;
+  /// Task-shuffle statistics: the only thing BENU ever shuffles besides
+  /// on-demand data-graph queries — note how small it is next to the
+  /// join baselines' partial results.
+  mapreduce::JobStats job;
+  /// Aggregated DB cache statistics over all reducers.
+  DbCacheStats cache;
+  Count db_queries = 0;
+  Count bytes_fetched = 0;
+};
+
+/// Deploys BENU exactly as the paper does (§VII "BENU"): the local search
+/// tasks are generated in the map phase — one map input per data vertex,
+/// task splitting applied — shuffled evenly to `num_reducers` reducers,
+/// and every reducer executes its tasks against the distributed KV store
+/// through its own local DB cache.
+///
+/// Functionally equivalent to ClusterSimulator (the tests assert equal
+/// counts); this entry point exists to exercise the MapReduce substrate
+/// end to end. `data_graph` is relabeled internally.
+StatusOr<MapReduceBenuResult> RunBenuOnMapReduce(
+    const Graph& data_graph, const Graph& pattern, int num_reducers,
+    size_t cache_bytes_per_reducer, uint32_t task_split_threshold = 0,
+    const PlanSearchOptions& plan_options = {.optimize = true,
+                                             .apply_vcbc = true});
+
+}  // namespace benu
+
+#endif  // BENU_DISTRIBUTED_BENU_MAPREDUCE_H_

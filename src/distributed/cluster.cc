@@ -1,0 +1,159 @@
+#include "distributed/cluster.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <queue>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "distributed/task.h"
+#include "plan/filters.h"
+#include "storage/triangle_cache.h"
+
+namespace benu {
+namespace {
+
+// List-schedules task times (in submission order) onto `threads` identical
+// virtual threads; returns the makespan. Reproduces the straggler
+// behaviour of Fig. 9: one huge task bounds the makespan from below no
+// matter how many threads exist.
+double ListScheduleMakespan(const std::vector<double>& task_times,
+                            int threads) {
+  if (threads <= 1) {
+    double total = 0;
+    for (double t : task_times) total += t;
+    return total;
+  }
+  std::priority_queue<double, std::vector<double>, std::greater<>> loads;
+  for (int i = 0; i < threads; ++i) loads.push(0.0);
+  double makespan = 0;
+  for (double t : task_times) {
+    double load = loads.top();
+    loads.pop();
+    load += t;
+    makespan = std::max(makespan, load);
+    loads.push(load);
+  }
+  return makespan;
+}
+
+}  // namespace
+
+ClusterSimulator::ClusterSimulator(const Graph& data_graph,
+                                   const ClusterConfig& config)
+    : data_graph_(data_graph),
+      config_(config),
+      store_(data_graph_, config.db_partitions) {}
+
+StatusOr<ClusterRunResult> ClusterSimulator::Run(
+    const ExecutionPlan& plan, const std::vector<int>* data_labels) {
+  Stopwatch total_watch;
+  ClusterRunResult result;
+
+  // Degree filters compile against the data graph's degree floors; this
+  // is pattern-independent preprocessing shared by all workers.
+  std::vector<VertexId> degree_floors;
+  if (plan.UsesDegreeFilters()) {
+    degree_floors =
+        ComputeDegreeFloors(data_graph_, plan.pattern.MaxDegree());
+  }
+
+  std::vector<SearchTask> tasks =
+      GenerateSearchTasks(data_graph_, plan, config_.task_split_threshold);
+  result.num_tasks = tasks.size();
+
+  const int p = std::max(1, config_.num_workers);
+  // "The local search tasks ... shuffled evenly to the reducers":
+  // round-robin over workers in task order.
+  std::vector<std::vector<SearchTask>> per_worker(p);
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    per_worker[i % static_cast<size_t>(p)].push_back(tasks[i]);
+  }
+
+  const int exec_threads = std::max(1, config_.execution_threads);
+  result.workers.resize(static_cast<size_t>(p));
+  for (int w = 0; w < p; ++w) {
+    WorkerSummary& summary = result.workers[static_cast<size_t>(w)];
+    const std::vector<SearchTask>& tasks =
+        per_worker[static_cast<size_t>(w)];
+    DbCache cache(&store_, config_.db_cache_bytes);
+    CachedAdjacencyProvider provider(&cache, data_graph_.NumVertices());
+
+    // One execution context per OS thread; the DB cache is the shared
+    // structure (as in Fig. 2), everything else is thread-private.
+    struct ThreadContext {
+      std::unique_ptr<TriangleCache> tcache;
+      std::unique_ptr<PlanExecutor> executor;
+      std::unique_ptr<CountingConsumer> consumer;
+      TaskStats totals;
+    };
+    std::vector<ThreadContext> contexts(static_cast<size_t>(exec_threads));
+    for (ThreadContext& ctx : contexts) {
+      ctx.tcache = std::make_unique<TriangleCache>();
+      auto executor = PlanExecutor::Create(
+          &plan, &provider, ctx.tcache.get(),
+          degree_floors.empty() ? nullptr : &degree_floors, data_labels);
+      BENU_RETURN_IF_ERROR(executor.status());
+      ctx.executor = std::move(executor).value();
+      ctx.consumer = std::make_unique<CountingConsumer>(plan);
+    }
+
+    std::vector<TaskStats> per_task(tasks.size());
+    auto run_range = [&](ThreadContext* ctx, std::atomic<size_t>* next) {
+      for (size_t i = next->fetch_add(1); i < tasks.size();
+           i = next->fetch_add(1)) {
+        per_task[i] = ctx->executor->RunTask(tasks[i], ctx->consumer.get());
+        ctx->totals.Accumulate(per_task[i]);
+      }
+    };
+    std::atomic<size_t> next_task{0};
+    if (exec_threads == 1) {
+      run_range(&contexts[0], &next_task);
+    } else {
+      ThreadPool pool(static_cast<size_t>(exec_threads));
+      for (ThreadContext& ctx : contexts) {
+        pool.Submit([&run_range, &ctx, &next_task] {
+          run_range(&ctx, &next_task);
+        });
+      }
+      pool.Wait();
+    }
+
+    std::vector<double> virtual_times;
+    virtual_times.reserve(tasks.size());
+    for (const TaskStats& stats : per_task) {
+      const double network_us =
+          static_cast<double>(stats.db_queries) * config_.db_query_latency_us +
+          static_cast<double>(stats.bytes_fetched) /
+              std::max(1e-9, config_.network_bytes_per_us);
+      const double virtual_us = stats.wall_seconds * 1e6 + network_us;
+      virtual_times.push_back(virtual_us);
+      summary.busy_virtual_us += virtual_us;
+      result.task_virtual_us.push_back(virtual_us);
+    }
+    Count worker_matches = 0;
+    for (ThreadContext& ctx : contexts) {
+      summary.totals.Accumulate(ctx.totals);
+      worker_matches += ctx.consumer->matches();
+      result.total_matches += ctx.consumer->matches();
+      result.total_codes += ctx.consumer->codes();
+      result.code_units += ctx.consumer->code_units();
+    }
+    summary.tasks = tasks.size();
+    summary.totals.matches = worker_matches;
+    summary.cache = cache.stats();
+    summary.makespan_virtual_us =
+        ListScheduleMakespan(virtual_times, config_.threads_per_worker);
+    result.db_queries += summary.totals.db_queries;
+    result.bytes_fetched += summary.totals.bytes_fetched;
+    result.adjacency_requests += summary.totals.adjacency_requests;
+    result.cache_hits += summary.totals.cache_hits;
+    result.virtual_seconds =
+        std::max(result.virtual_seconds, summary.makespan_virtual_us * 1e-6);
+  }
+  result.real_seconds = total_watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace benu

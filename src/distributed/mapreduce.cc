@@ -1,0 +1,77 @@
+#include "distributed/mapreduce.h"
+
+#include <algorithm>
+#include <map>
+
+namespace benu {
+namespace mapreduce {
+namespace {
+
+class CollectingEmitter : public Emitter {
+ public:
+  explicit CollectingEmitter(int num_reducers)
+      : partitions_(static_cast<size_t>(num_reducers)) {}
+
+  void Emit(uint64_t key, Record record) override {
+    // Hash-partition by key (Hadoop's default partitioner).
+    const size_t partition =
+        (key * 0x9e3779b97f4a7c15ULL >> 32) % partitions_.size();
+    shuffled_bytes_ += record.size() * sizeof(uint32_t) + sizeof(uint64_t);
+    ++shuffled_records_;
+    partitions_[partition].push_back(KeyedRecord{key, std::move(record)});
+  }
+
+  std::vector<std::vector<KeyedRecord>> partitions_;
+  Count shuffled_records_ = 0;
+  Count shuffled_bytes_ = 0;
+};
+
+}  // namespace
+
+StatusOr<std::vector<Record>> RunJob(const std::vector<Record>& inputs,
+                                     const MapFn& map, const ReduceFn& reduce,
+                                     const JobConfig& config,
+                                     JobStats* stats) {
+  if (config.num_reducers <= 0) {
+    return Status::InvalidArgument("need at least one reducer");
+  }
+  JobStats local;
+  local.map_input_records = inputs.size();
+
+  // Map phase.
+  CollectingEmitter emitter(config.num_reducers);
+  for (const Record& input : inputs) {
+    map(input, &emitter);
+    if (emitter.shuffled_records_ > config.max_shuffle_records) {
+      return Status::ResourceExhausted(
+          "MapReduce shuffle exceeded the record budget (simulated "
+          "shuffle error)");
+    }
+  }
+  local.shuffled_records = emitter.shuffled_records_;
+  local.shuffled_bytes = emitter.shuffled_bytes_;
+
+  // Shuffle + sort: group by key within each partition.
+  std::vector<Record> output;
+  for (int r = 0; r < config.num_reducers; ++r) {
+    auto& partition = emitter.partitions_[static_cast<size_t>(r)];
+    std::map<uint64_t, KeyGroup> groups;
+    for (KeyedRecord& kr : partition) {
+      KeyGroup& group = groups[kr.key];
+      group.key = kr.key;
+      group.records.push_back(std::move(kr.record));
+    }
+    // Reduce phase.
+    std::vector<Record> reducer_output;
+    for (auto& [key, group] : groups) {
+      reduce(r, group, &reducer_output);
+    }
+    local.reduce_output_records += reducer_output.size();
+    for (Record& rec : reducer_output) output.push_back(std::move(rec));
+  }
+  if (stats != nullptr) *stats = local;
+  return output;
+}
+
+}  // namespace mapreduce
+}  // namespace benu

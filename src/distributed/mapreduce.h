@@ -1,0 +1,78 @@
+#ifndef BENU_DISTRIBUTED_MAPREDUCE_H_
+#define BENU_DISTRIBUTED_MAPREDUCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace benu {
+
+/// A minimal in-process MapReduce engine — the task-parallel substrate
+/// the paper's systems run on (Hadoop 2.7): BENU generates local search
+/// tasks in the map phase and shuffles them evenly to reducers; CBF runs
+/// its joins as chains of MapReduce rounds.
+///
+/// Records are flat u32 tuples. The mapper emits (key, record) pairs; the
+/// engine hash-partitions keys over the reducers, accounting every
+/// shuffled record/byte (the quantity Table V reports); reducers receive
+/// their partition grouped by key.
+namespace mapreduce {
+
+using Record = std::vector<uint32_t>;
+
+/// One emitted key/record pair.
+struct KeyedRecord {
+  uint64_t key = 0;
+  Record record;
+};
+
+/// Emit sink handed to mappers.
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void Emit(uint64_t key, Record record) = 0;
+};
+
+/// A group of records sharing one key, delivered to a reducer.
+struct KeyGroup {
+  uint64_t key = 0;
+  std::vector<Record> records;
+};
+
+struct JobConfig {
+  int num_reducers = 4;
+  /// Simulated cluster-memory budget: exceeding this many shuffled
+  /// records fails the job with ResourceExhausted (the CRASH rows of
+  /// Table V model Hadoop shuffle errors this way).
+  size_t max_shuffle_records = static_cast<size_t>(-1);
+};
+
+struct JobStats {
+  Count map_input_records = 0;
+  Count shuffled_records = 0;
+  Count shuffled_bytes = 0;
+  Count reduce_output_records = 0;
+};
+
+/// Mapper: input record -> emits zero or more keyed records.
+using MapFn = std::function<void(const Record& input, Emitter* emitter)>;
+/// Reducer: one key group -> zero or more output records.
+using ReduceFn =
+    std::function<void(int reducer, const KeyGroup& group,
+                       std::vector<Record>* output)>;
+
+/// Runs one MapReduce round. Output records of all reducers are
+/// concatenated (reducer-major, key-sorted within a reducer) so rounds
+/// chain deterministically.
+StatusOr<std::vector<Record>> RunJob(const std::vector<Record>& inputs,
+                                     const MapFn& map, const ReduceFn& reduce,
+                                     const JobConfig& config,
+                                     JobStats* stats);
+
+}  // namespace mapreduce
+}  // namespace benu
+
+#endif  // BENU_DISTRIBUTED_MAPREDUCE_H_

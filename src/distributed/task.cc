@@ -1,0 +1,30 @@
+#include "distributed/task.h"
+
+namespace benu {
+
+std::vector<SearchTask> GenerateSearchTasks(const Graph& data_graph,
+                                            const ExecutionPlan& plan,
+                                            uint32_t tau) {
+  std::vector<SearchTask> tasks;
+  const size_t n_data = data_graph.NumVertices();
+  tasks.reserve(n_data);
+  const bool second_from_adjacency =
+      plan.matching_order.size() >= 2 &&
+      plan.pattern.HasEdge(plan.matching_order[0], plan.matching_order[1]);
+  for (VertexId v = 0; v < n_data; ++v) {
+    uint32_t num_subtasks = 1;
+    if (tau > 0 && data_graph.Degree(v) >= tau) {
+      const uint64_t basis = second_from_adjacency
+                                 ? data_graph.Degree(v)
+                                 : static_cast<uint64_t>(n_data);
+      num_subtasks = static_cast<uint32_t>((basis + tau - 1) / tau);
+      if (num_subtasks == 0) num_subtasks = 1;
+    }
+    for (uint32_t s = 0; s < num_subtasks; ++s) {
+      tasks.push_back(SearchTask{v, s, num_subtasks});
+    }
+  }
+  return tasks;
+}
+
+}  // namespace benu

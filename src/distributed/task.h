@@ -1,0 +1,28 @@
+#ifndef BENU_DISTRIBUTED_TASK_H_
+#define BENU_DISTRIBUTED_TASK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/executor.h"
+#include "graph/graph.h"
+#include "plan/instruction.h"
+
+namespace benu {
+
+/// Generates the local search tasks of Algorithm 2 (one per data vertex),
+/// applying the task splitting technique of §V-B with degree threshold
+/// `tau` (0 disables splitting):
+///   - a vertex v with d(v) ≥ tau is split into ⌈d(v)/τ⌉ subtasks when the
+///     first two matching-order vertices are adjacent in P (the candidate
+///     set of the second vertex derives from A of the first);
+///   - ⌈|V(G)|/τ⌉ subtasks otherwise (candidate set derives from V(G)).
+/// Each subtask enumerates a distinct equal-sized slice of the second
+/// vertex's candidate set.
+std::vector<SearchTask> GenerateSearchTasks(const Graph& data_graph,
+                                            const ExecutionPlan& plan,
+                                            uint32_t tau);
+
+}  // namespace benu
+
+#endif  // BENU_DISTRIBUTED_TASK_H_

@@ -1,0 +1,56 @@
+#ifndef BENU_GRAPH_GENERATORS_H_
+#define BENU_GRAPH_GENERATORS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace benu {
+
+/// Synthetic data-graph generators. The paper evaluates on SNAP/LAW graphs
+/// (as-Skitter, LiveJournal, Orkut, uk-2002, FriendSter); those datasets
+/// are not available offline, so benchmarks use scaled-down synthetic
+/// stand-ins with matched density and a power-law degree distribution (see
+/// DESIGN.md §2). All generators are deterministic given `seed`.
+
+/// Erdős–Rényi G(n, m): exactly `num_edges` distinct uniform random edges.
+/// Used as a locality-free control workload.
+StatusOr<Graph> GenerateErdosRenyi(size_t num_vertices, size_t num_edges,
+                                   uint64_t seed);
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new vertex to `edges_per_vertex` existing vertices chosen
+/// proportionally to degree. Produces the power-law degree skew that drives
+/// the paper's task-splitting experiment (Exp-4).
+StatusOr<Graph> GenerateBarabasiAlbert(size_t num_vertices,
+                                       size_t edges_per_vertex, uint64_t seed);
+
+/// Holme–Kim power-law graph with tunable clustering: like Barabási–
+/// Albert, but after each preferential attachment step a triad-formation
+/// step follows with probability `triangle_prob` (the new vertex links to
+/// a random neighbor of the vertex it just attached to, closing a
+/// triangle). Real social/web graphs are both heavy-tailed *and*
+/// triangle-rich; plain BA lacks the clustering that drives the paper's
+/// Table I counts, so the stand-in datasets use this generator.
+StatusOr<Graph> GeneratePowerLawCluster(size_t num_vertices,
+                                        size_t edges_per_vertex,
+                                        double triangle_prob, uint64_t seed);
+
+/// Uniform random connected pattern graph with `num_vertices` vertices:
+/// a random spanning tree plus each remaining pair independently with
+/// probability `extra_edge_prob`. Used by Exp-1's "random graphs" column.
+StatusOr<Graph> GenerateRandomConnected(size_t num_vertices,
+                                        double extra_edge_prob, uint64_t seed);
+
+/// Named stand-in data graphs for the paper's five datasets, scaled to run
+/// on one machine: "as-sim", "lj-sim", "ok-sim", "uk-sim", "fs-sim".
+/// Each is a Barabási–Albert graph whose vertex count and average degree
+/// mirror the ratios of Table I at roughly 1/300 scale.
+StatusOr<Graph> GenerateStandInDataset(const std::string& name);
+
+}  // namespace benu
+
+#endif  // BENU_GRAPH_GENERATORS_H_

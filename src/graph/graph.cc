@@ -1,0 +1,149 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace benu {
+
+StatusOr<Graph> Graph::FromEdges(
+    size_t num_vertices,
+    const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  std::vector<std::vector<VertexId>> adj(num_vertices);
+  for (const auto& [u, v] : edges) {
+    if (u >= num_vertices || v >= num_vertices) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+    if (u == v) {
+      return Status::InvalidArgument("self loop not allowed in simple graph");
+    }
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  }
+  Graph g;
+  g.offsets_.assign(1, 0);
+  g.offsets_.reserve(num_vertices + 1);
+  for (size_t v = 0; v < num_vertices; ++v) {
+    auto& nbrs = adj[v];
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    g.neighbors_.insert(g.neighbors_.end(), nbrs.begin(), nbrs.end());
+    g.offsets_.push_back(g.neighbors_.size());
+  }
+  return g;
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  // Probe the smaller adjacency set.
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  return Contains(Adjacency(u), v);
+}
+
+std::vector<std::pair<VertexId, VertexId>> Graph::Edges() const {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(NumEdges());
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    for (VertexId v : Adjacency(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+size_t Graph::MaxDegree() const {
+  size_t best = 0;
+  for (VertexId v = 0; v < NumVertices(); ++v) best = std::max(best, Degree(v));
+  return best;
+}
+
+Graph Graph::RelabelByDegree(std::vector<VertexId>* old_to_new) const {
+  const size_t n = NumVertices();
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](VertexId a, VertexId b) {
+    if (Degree(a) != Degree(b)) return Degree(a) < Degree(b);
+    return a < b;
+  });
+  std::vector<VertexId> mapping(n);
+  for (size_t rank = 0; rank < n; ++rank) {
+    mapping[order[rank]] = static_cast<VertexId>(rank);
+  }
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(NumEdges());
+  for (const auto& [u, v] : Edges()) edges.emplace_back(mapping[u], mapping[v]);
+  auto relabeled = FromEdges(n, edges);
+  if (old_to_new != nullptr) *old_to_new = std::move(mapping);
+  return std::move(relabeled).value();
+}
+
+StatusOr<Graph> Graph::InducedSubgraph(
+    const std::vector<VertexId>& vertices) const {
+  std::vector<VertexId> local(NumVertices(), kInvalidVertex);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    VertexId v = vertices[i];
+    if (v >= NumVertices()) {
+      return Status::InvalidArgument("induced vertex out of range");
+    }
+    if (local[v] != kInvalidVertex) {
+      return Status::InvalidArgument("duplicate vertex in induced set");
+    }
+    local[v] = static_cast<VertexId>(i);
+  }
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    for (VertexId w : Adjacency(vertices[i])) {
+      if (local[w] != kInvalidVertex && vertices[i] < w) {
+        edges.emplace_back(static_cast<VertexId>(i), local[w]);
+      }
+    }
+  }
+  return FromEdges(vertices.size(), edges);
+}
+
+bool Graph::IsConnected() const {
+  const size_t n = NumVertices();
+  if (n <= 1) return true;
+  std::vector<char> seen(n, 0);
+  std::vector<VertexId> stack = {0};
+  seen[0] = 1;
+  size_t visited = 1;
+  while (!stack.empty()) {
+    VertexId v = stack.back();
+    stack.pop_back();
+    for (VertexId w : Adjacency(v)) {
+      if (!seen[w]) {
+        seen[w] = 1;
+        ++visited;
+        stack.push_back(w);
+      }
+    }
+  }
+  return visited == n;
+}
+
+std::vector<std::vector<VertexId>> Graph::ConnectedComponents() const {
+  const size_t n = NumVertices();
+  std::vector<char> seen(n, 0);
+  std::vector<std::vector<VertexId>> components;
+  for (VertexId start = 0; start < n; ++start) {
+    if (seen[start]) continue;
+    std::vector<VertexId> component;
+    std::vector<VertexId> stack = {start};
+    seen[start] = 1;
+    while (!stack.empty()) {
+      VertexId v = stack.back();
+      stack.pop_back();
+      component.push_back(v);
+      for (VertexId w : Adjacency(v)) {
+        if (!seen[w]) {
+          seen[w] = 1;
+          stack.push_back(w);
+        }
+      }
+    }
+    std::sort(component.begin(), component.end());
+    components.push_back(std::move(component));
+  }
+  return components;
+}
+
+}  // namespace benu

@@ -1,0 +1,96 @@
+#ifndef BENU_GRAPH_GRAPH_H_
+#define BENU_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/vertex_set.h"
+
+namespace benu {
+
+/// An undirected, unlabeled simple graph in CSR (compressed sparse row)
+/// form. Used for both the data graph G and the pattern graph P.
+///
+/// Adjacency sets are sorted ascending, which makes `Adjacency(v)` directly
+/// usable as an operand of the INT instruction.
+///
+/// Symmetry breaking requires a total order ≺ on V(G). Following the
+/// convention of SEED [5], we make the vertex *ids themselves* realize the
+/// total order: `RelabelByDegree()` returns an isomorphic copy whose ids
+/// are assigned in (degree, original id) order, after which `id(u) < id(v)`
+/// iff `u ≺ v`. All symmetry-breaking filters then reduce to integer
+/// comparisons.
+class Graph {
+ public:
+  /// Constructs the empty graph.
+  Graph() = default;
+
+  /// Builds a graph with `num_vertices` vertices from an undirected edge
+  /// list. Self loops are rejected; duplicate edges (in either direction)
+  /// are collapsed. Endpoints must be < num_vertices.
+  static StatusOr<Graph> FromEdges(
+      size_t num_vertices, const std::vector<std::pair<VertexId, VertexId>>& edges);
+
+  /// Number of vertices N.
+  size_t NumVertices() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+
+  /// Number of undirected edges M.
+  size_t NumEdges() const { return neighbors_.size() / 2; }
+
+  /// Sorted adjacency set Γ(v) as a non-owning view into the CSR arrays.
+  VertexSetView Adjacency(VertexId v) const {
+    return VertexSetView(neighbors_.data() + offsets_[v],
+                         offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Degree d(v).
+  size_t Degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  /// True iff (u, v) is an edge. O(log d(u)).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// All undirected edges, each reported once with first < second.
+  std::vector<std::pair<VertexId, VertexId>> Edges() const;
+
+  /// Maximum degree over all vertices (0 for the empty graph).
+  size_t MaxDegree() const;
+
+  /// Total bytes of adjacency-set payload (used to size DB caches relative
+  /// to the data graph, as in Exp-3): 2·M entries of sizeof(VertexId).
+  size_t AdjacencyBytes() const { return neighbors_.size() * sizeof(VertexId); }
+
+  /// Returns an isomorphic copy whose vertex ids realize the total order
+  /// ≺ of [5]: ascending (degree, original id). `old_to_new`, if non-null,
+  /// receives the permutation.
+  Graph RelabelByDegree(std::vector<VertexId>* old_to_new = nullptr) const;
+
+  /// Induced subgraph on `vertices` (need not be sorted; duplicates are an
+  /// error). Vertex i of the result corresponds to vertices[i], so callers
+  /// keep control of the local numbering — required when inducing partial
+  /// pattern graphs P_i in matching-order prefixes.
+  StatusOr<Graph> InducedSubgraph(const std::vector<VertexId>& vertices) const;
+
+  /// True iff the graph is connected (the empty graph counts as connected).
+  bool IsConnected() const;
+
+  /// Connected components; each component lists its vertices ascending.
+  std::vector<std::vector<VertexId>> ConnectedComponents() const;
+
+  bool operator==(const Graph& other) const {
+    return offsets_ == other.offsets_ && neighbors_ == other.neighbors_;
+  }
+
+ private:
+  // offsets_ has NumVertices()+1 entries; neighbors_ holds each undirected
+  // edge twice.
+  std::vector<uint64_t> offsets_{0};
+  std::vector<VertexId> neighbors_;
+};
+
+}  // namespace benu
+
+#endif  // BENU_GRAPH_GRAPH_H_

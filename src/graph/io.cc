@@ -1,0 +1,63 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace benu {
+namespace {
+
+StatusOr<Graph> ParseEdgeListStream(std::istream& in) {
+  std::unordered_map<uint64_t, VertexId> id_map;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  auto intern = [&id_map](uint64_t raw) {
+    auto [it, inserted] =
+        id_map.emplace(raw, static_cast<VertexId>(id_map.size()));
+    (void)inserted;
+    return it->second;
+  };
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream fields(line);
+    uint64_t raw_u = 0;
+    uint64_t raw_v = 0;
+    if (!(fields >> raw_u >> raw_v)) {
+      return Status::IoError("malformed edge at line " +
+                             std::to_string(line_no));
+    }
+    if (raw_u == raw_v) continue;  // drop self loops like SNAP loaders do
+    edges.emplace_back(intern(raw_u), intern(raw_v));
+  }
+  return Graph::FromEdges(id_map.size(), edges);
+}
+
+}  // namespace
+
+StatusOr<Graph> LoadEdgeListFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  return ParseEdgeListStream(in);
+}
+
+StatusOr<Graph> ParseEdgeList(const std::string& text) {
+  std::istringstream in(text);
+  return ParseEdgeListStream(in);
+}
+
+Status SaveEdgeListFile(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  for (const auto& [u, v] : graph.Edges()) {
+    out << u << ' ' << v << '\n';
+  }
+  if (!out) return Status::IoError("write failure on " + path);
+  return Status::OK();
+}
+
+}  // namespace benu

@@ -1,0 +1,25 @@
+#ifndef BENU_GRAPH_IO_H_
+#define BENU_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace benu {
+
+/// Parses an undirected edge list: one `u v` pair per line, whitespace
+/// separated; lines starting with '#' or '%' are comments. Vertex ids are
+/// compacted to 0..N-1 in order of first appearance, matching the SNAP
+/// dataset convention where ids are sparse.
+StatusOr<Graph> LoadEdgeListFile(const std::string& path);
+
+/// Parses the same format from an in-memory string (used by tests).
+StatusOr<Graph> ParseEdgeList(const std::string& text);
+
+/// Writes `graph` as an edge list ("u v" per line, u < v) to `path`.
+Status SaveEdgeListFile(const Graph& graph, const std::string& path);
+
+}  // namespace benu
+
+#endif  // BENU_GRAPH_IO_H_

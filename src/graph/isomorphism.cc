@@ -1,0 +1,147 @@
+#include "graph/isomorphism.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace benu {
+namespace {
+
+// Backtracking search for bijections a -> b preserving edges both ways.
+// Emits every mapping when collect_all, otherwise stops at the first.
+class IsoSearch {
+ public:
+  IsoSearch(const Graph& a, const Graph& b, bool collect_all)
+      : a_(a), b_(b), collect_all_(collect_all) {
+    mapping_.assign(a_.NumVertices(), kInvalidVertex);
+    used_.assign(b_.NumVertices(), false);
+  }
+
+  bool Run() {
+    Extend(0);
+    return found_any_;
+  }
+
+  std::vector<Permutation> TakeResults() { return std::move(results_); }
+
+ private:
+  void Extend(VertexId u) {
+    if (!collect_all_ && found_any_) return;
+    if (u == a_.NumVertices()) {
+      found_any_ = true;
+      if (collect_all_) results_.push_back(mapping_);
+      return;
+    }
+    for (VertexId v = 0; v < b_.NumVertices(); ++v) {
+      if (used_[v]) continue;
+      if (a_.Degree(u) != b_.Degree(v)) continue;
+      if (!Compatible(u, v)) continue;
+      mapping_[u] = v;
+      used_[v] = true;
+      Extend(u + 1);
+      used_[v] = false;
+      mapping_[u] = kInvalidVertex;
+      if (!collect_all_ && found_any_) return;
+    }
+  }
+
+  // Mapping u -> v must preserve adjacency and non-adjacency against every
+  // already-mapped vertex (induced check, valid because the final mapping
+  // is a bijection between whole vertex sets).
+  bool Compatible(VertexId u, VertexId v) const {
+    for (VertexId w = 0; w < u; ++w) {
+      bool edge_a = a_.HasEdge(u, w);
+      bool edge_b = b_.HasEdge(v, mapping_[w]);
+      if (edge_a != edge_b) return false;
+    }
+    return true;
+  }
+
+  const Graph& a_;
+  const Graph& b_;
+  bool collect_all_;
+  Permutation mapping_;
+  std::vector<char> used_;
+  std::vector<Permutation> results_;
+  bool found_any_ = false;
+};
+
+}  // namespace
+
+std::vector<Permutation> Automorphisms(const Graph& pattern) {
+  IsoSearch search(pattern, pattern, /*collect_all=*/true);
+  search.Run();
+  return search.TakeResults();
+}
+
+bool AreIsomorphic(const Graph& a, const Graph& b) {
+  if (a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges()) {
+    return false;
+  }
+  auto degree_sequence = [](const Graph& g) {
+    std::vector<size_t> degrees;
+    degrees.reserve(g.NumVertices());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      degrees.push_back(g.Degree(v));
+    }
+    std::sort(degrees.begin(), degrees.end());
+    return degrees;
+  };
+  if (degree_sequence(a) != degree_sequence(b)) return false;
+  IsoSearch search(a, b, /*collect_all=*/false);
+  return search.Run();
+}
+
+bool SyntacticallyEquivalent(const Graph& pattern, VertexId u, VertexId v) {
+  if (u == v) return true;
+  VertexSet gu(pattern.Adjacency(u).begin(), pattern.Adjacency(u).end());
+  VertexSet gv(pattern.Adjacency(v).begin(), pattern.Adjacency(v).end());
+  EraseValue(&gu, v);
+  EraseValue(&gv, u);
+  return gu == gv;
+}
+
+bool IsVertexCover(const Graph& pattern,
+                   const std::vector<VertexId>& vertices) {
+  std::vector<char> in_cover(pattern.NumVertices(), 0);
+  for (VertexId v : vertices) {
+    if (v >= pattern.NumVertices()) return false;
+    in_cover[v] = 1;
+  }
+  for (const auto& [u, v] : pattern.Edges()) {
+    if (!in_cover[u] && !in_cover[v]) return false;
+  }
+  return true;
+}
+
+std::vector<VertexId> MinimumVertexCover(const Graph& pattern) {
+  const size_t n = pattern.NumVertices();
+  // Exhaustive subset search by increasing size; n ≤ ~10 for patterns.
+  for (size_t k = 0; k <= n; ++k) {
+    std::vector<VertexId> subset(k);
+    // Enumerate k-subsets with the classic odometer.
+    std::vector<size_t> idx(k);
+    for (size_t i = 0; i < k; ++i) idx[i] = i;
+    for (;;) {
+      for (size_t i = 0; i < k; ++i) {
+        subset[i] = static_cast<VertexId>(idx[i]);
+      }
+      if (IsVertexCover(pattern, subset)) return subset;
+      // Advance odometer.
+      size_t pos = k;
+      while (pos > 0) {
+        --pos;
+        if (idx[pos] != pos + n - k) break;
+      }
+      if (k == 0 || idx[pos] == pos + n - k) break;
+      ++idx[pos];
+      for (size_t i = pos + 1; i < k; ++i) idx[i] = idx[i - 1] + 1;
+    }
+    if (k == 0 && pattern.NumEdges() == 0) return {};
+  }
+  // Full vertex set always covers.
+  std::vector<VertexId> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = static_cast<VertexId>(i);
+  return all;
+}
+
+}  // namespace benu

@@ -1,0 +1,39 @@
+#ifndef BENU_GRAPH_ISOMORPHISM_H_
+#define BENU_GRAPH_ISOMORPHISM_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace benu {
+
+/// A permutation of V(P): perm[i] is the image of vertex i.
+using Permutation = std::vector<VertexId>;
+
+/// Enumerates all automorphisms of `pattern` by backtracking. Pattern
+/// graphs are small (n ≤ ~10), so the exponential worst case is irrelevant
+/// in practice; the 10-clique (10! = 3.6M automorphisms) is the heaviest
+/// case in the paper's Exp-1 and finishes in seconds.
+std::vector<Permutation> Automorphisms(const Graph& pattern);
+
+/// True iff `a` and `b` are isomorphic. Intended for small graphs (tests,
+/// plan verification); does degree-sequence pre-filtering then backtracking.
+bool AreIsomorphic(const Graph& a, const Graph& b);
+
+/// True iff u and v are syntactically equivalent in `pattern` (§IV-D):
+/// Γ(u) − {v} == Γ(v) − {u}. SE vertices are interchangeable in matching
+/// orders, which drives the dual-pruning rule of Algorithm 3.
+bool SyntacticallyEquivalent(const Graph& pattern, VertexId u, VertexId v);
+
+/// Returns some minimum vertex cover of `pattern` (exact search; patterns
+/// are small). Used by the VCBC compression support to find the smallest
+/// prefix of a matching order that covers every edge.
+std::vector<VertexId> MinimumVertexCover(const Graph& pattern);
+
+/// True iff `vertices` covers every edge of `pattern`.
+bool IsVertexCover(const Graph& pattern, const std::vector<VertexId>& vertices);
+
+}  // namespace benu
+
+#endif  // BENU_GRAPH_ISOMORPHISM_H_

@@ -1,0 +1,127 @@
+#include "graph/patterns.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace benu {
+namespace {
+
+using EdgeList = std::vector<std::pair<VertexId, VertexId>>;
+
+Graph BuildOrDie(size_t n, const EdgeList& edges) {
+  auto result = Graph::FromEdges(n, edges);
+  BENU_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+// Diamond (chordal square): C4 on 0-1-2-3 plus the chord (0,2). This is
+// the shared core of q7–q9 ("the chordal square, shown with bold edges in
+// Fig. 6").
+Graph MakeDiamond() {
+  return BuildOrDie(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}});
+}
+
+}  // namespace
+
+Graph MakeClique(size_t n) {
+  EdgeList edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  return BuildOrDie(n, edges);
+}
+
+Graph MakeCycle(size_t n) {
+  BENU_CHECK(n >= 3) << "cycle needs at least 3 vertices";
+  EdgeList edges;
+  for (VertexId v = 0; v < n; ++v) {
+    edges.emplace_back(v, static_cast<VertexId>((v + 1) % n));
+  }
+  return BuildOrDie(n, edges);
+}
+
+Graph MakePath(size_t n) {
+  EdgeList edges;
+  for (VertexId v = 0; v + 1 < n; ++v) {
+    edges.emplace_back(v, static_cast<VertexId>(v + 1));
+  }
+  return BuildOrDie(n, edges);
+}
+
+Graph MakeStar(size_t leaves) {
+  EdgeList edges;
+  for (VertexId v = 1; v <= leaves; ++v) edges.emplace_back(0, v);
+  return BuildOrDie(leaves + 1, edges);
+}
+
+StatusOr<Graph> GetPattern(const std::string& name) {
+  if (name == "triangle") return MakeClique(3);
+  if (name == "square") return MakeCycle(4);
+  if (name == "diamond" || name == "chordal-square") return MakeDiamond();
+  if (name.rfind("clique", 0) == 0) {
+    char* end = nullptr;
+    long k = std::strtol(name.c_str() + 6, &end, 10);
+    if (end == nullptr || *end != '\0' || k < 2) {
+      return Status::InvalidArgument("bad clique size in " + name);
+    }
+    return MakeClique(static_cast<size_t>(k));
+  }
+  // Fig. 6 reconstruction (DESIGN.md §3).
+  if (name == "q1") {
+    // House: square 0-1-2-3 with apex 4 on edge (0,1).
+    return BuildOrDie(5, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {4, 0}, {4, 1}});
+  }
+  if (name == "q2") {
+    // K4 with a tail.
+    return BuildOrDie(5,
+                      {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4}});
+  }
+  if (name == "q3") {
+    // Bowtie: two triangles sharing vertex 2.
+    return BuildOrDie(5, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}});
+  }
+  if (name == "q4") {
+    // K4 with an ear: K4 on 0..3 plus vertex 4 adjacent to 0 and 1.
+    return BuildOrDie(
+        5, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {4, 0}, {4, 1}});
+  }
+  if (name == "q5") {
+    // 5-cycle: the hardest 5-vertex query of the evaluation.
+    return MakeCycle(5);
+  }
+  if (name == "q6") {
+    // Dumbbell: triangles 0-1-2 and 3-4-5 bridged by (2,3).
+    return BuildOrDie(6, {{0, 1}, {0, 2}, {1, 2}, {3, 4}, {3, 5}, {4, 5}, {2, 3}});
+  }
+  if (name == "q7") {
+    // Diamond core (0,1,2,3; chord 0-2) + 4 adj {0,1} + 5 adj {2,3}.
+    return BuildOrDie(6, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2},
+                          {4, 0}, {4, 1}, {5, 2}, {5, 3}});
+  }
+  if (name == "q8") {
+    // Diamond core + two extra vertices both adjacent to the chord {0,2}.
+    return BuildOrDie(6, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2},
+                          {4, 0}, {4, 2}, {5, 0}, {5, 2}});
+  }
+  if (name == "q9") {
+    // Diamond core + 4 adj {0,1} + 5 adj {0,3}.
+    return BuildOrDie(6, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2},
+                          {4, 0}, {4, 1}, {5, 0}, {5, 3}});
+  }
+  return Status::NotFound("unknown pattern: " + name);
+}
+
+std::vector<std::string> Fig6QueryNames() {
+  return {"q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8", "q9"};
+}
+
+std::vector<std::string> AllPatternNames() {
+  std::vector<std::string> names = {"triangle", "square", "diamond",
+                                    "clique4", "clique5"};
+  for (const std::string& q : Fig6QueryNames()) names.push_back(q);
+  return names;
+}
+
+}  // namespace benu

@@ -1,0 +1,44 @@
+#ifndef BENU_GRAPH_PATTERNS_H_
+#define BENU_GRAPH_PATTERNS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace benu {
+
+/// Catalog of the pattern graphs used throughout the paper's evaluation:
+/// the basic motifs of Table I (triangle, 4-clique, chordal square), the
+/// extra Exp-6 patterns (square, clique5) and the nine queries q1–q9 of
+/// Fig. 6. The exact drawings of Fig. 6 are not part of the provided paper
+/// text; DESIGN.md §3 documents the reconstruction and the textual
+/// constraints it satisfies.
+
+/// Returns the named pattern. Known names: "triangle", "square",
+/// "diamond" (alias "chordal-square"), "clique4", "clique5", and
+/// "q1".."q9". Cliques of any size are available as "cliqueK" (K ≥ 2).
+StatusOr<Graph> GetPattern(const std::string& name);
+
+/// Names of the Fig. 6 queries in order: {"q1", ..., "q9"}.
+std::vector<std::string> Fig6QueryNames();
+
+/// Names of every catalog pattern (Fig. 6 queries plus basic motifs).
+std::vector<std::string> AllPatternNames();
+
+/// Builds the complete graph K_n.
+Graph MakeClique(size_t n);
+
+/// Builds the cycle C_n (n ≥ 3).
+Graph MakeCycle(size_t n);
+
+/// Builds the path P_n with n vertices (n-1 edges).
+Graph MakePath(size_t n);
+
+/// Builds the star with `leaves` leaves (center is vertex 0).
+Graph MakeStar(size_t leaves);
+
+}  // namespace benu
+
+#endif  // BENU_GRAPH_PATTERNS_H_

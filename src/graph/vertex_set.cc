@@ -1,0 +1,112 @@
+#include "graph/vertex_set.h"
+
+#include <algorithm>
+
+namespace benu {
+namespace {
+
+// When |larger| / |smaller| exceeds this ratio, galloping search beats the
+// linear merge.
+constexpr size_t kGallopRatio = 32;
+
+void IntersectMerge(VertexSetView a, VertexSetView b, VertexSet* out) {
+  const VertexId* pa = a.begin();
+  const VertexId* pb = b.begin();
+  const VertexId* ea = a.end();
+  const VertexId* eb = b.end();
+  while (pa != ea && pb != eb) {
+    if (*pa < *pb) {
+      ++pa;
+    } else if (*pb < *pa) {
+      ++pb;
+    } else {
+      out->push_back(*pa);
+      ++pa;
+      ++pb;
+    }
+  }
+}
+
+void IntersectGallop(VertexSetView small, VertexSetView large,
+                     VertexSet* out) {
+  const VertexId* lo = large.begin();
+  const VertexId* end = large.end();
+  for (VertexId v : small) {
+    lo = std::lower_bound(lo, end, v);
+    if (lo == end) return;
+    if (*lo == v) {
+      out->push_back(v);
+      ++lo;
+    }
+  }
+}
+
+}  // namespace
+
+void Intersect(VertexSetView a, VertexSetView b, VertexSet* out) {
+  out->clear();
+  if (a.empty() || b.empty()) return;
+  if (a.size > b.size) std::swap(a, b);
+  if (b.size / a.size >= kGallopRatio) {
+    IntersectGallop(a, b, out);
+  } else {
+    IntersectMerge(a, b, out);
+  }
+}
+
+size_t IntersectSize(VertexSetView a, VertexSetView b) {
+  if (a.empty() || b.empty()) return 0;
+  if (a.size > b.size) std::swap(a, b);
+  size_t count = 0;
+  if (b.size / a.size >= kGallopRatio) {
+    const VertexId* lo = b.begin();
+    const VertexId* end = b.end();
+    for (VertexId v : a) {
+      lo = std::lower_bound(lo, end, v);
+      if (lo == end) break;
+      if (*lo == v) {
+        ++count;
+        ++lo;
+      }
+    }
+  } else {
+    const VertexId* pa = a.begin();
+    const VertexId* pb = b.begin();
+    while (pa != a.end() && pb != b.end()) {
+      if (*pa < *pb) {
+        ++pa;
+      } else if (*pb < *pa) {
+        ++pb;
+      } else {
+        ++count;
+        ++pa;
+        ++pb;
+      }
+    }
+  }
+  return count;
+}
+
+bool Contains(VertexSetView s, VertexId v) {
+  return std::binary_search(s.begin(), s.end(), v);
+}
+
+void FilterGreater(VertexSetView in, VertexId bound, VertexSet* out) {
+  out->clear();
+  const VertexId* first =
+      std::upper_bound(in.begin(), in.end(), bound);
+  out->assign(first, in.end());
+}
+
+void FilterLess(VertexSetView in, VertexId bound, VertexSet* out) {
+  out->clear();
+  const VertexId* last = std::lower_bound(in.begin(), in.end(), bound);
+  out->assign(in.begin(), last);
+}
+
+void EraseValue(VertexSet* out, VertexId v) {
+  auto it = std::lower_bound(out->begin(), out->end(), v);
+  if (it != out->end() && *it == v) out->erase(it);
+}
+
+}  // namespace benu

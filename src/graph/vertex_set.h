@@ -1,0 +1,58 @@
+#ifndef BENU_GRAPH_VERTEX_SET_H_
+#define BENU_GRAPH_VERTEX_SET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace benu {
+
+/// A set of vertex ids kept in strictly ascending order. Adjacency sets,
+/// temporary sets (T_i) and candidate sets (C_i) in execution plans are all
+/// VertexSets; the INT instruction is a sorted-set intersection.
+using VertexSet = std::vector<VertexId>;
+
+/// Span-like non-owning view over a sorted vertex sequence, so intersection
+/// kernels accept both owned sets and CSR adjacency slices without copying.
+struct VertexSetView {
+  const VertexId* data = nullptr;
+  size_t size = 0;
+
+  VertexSetView() = default;
+  VertexSetView(const VertexId* d, size_t n) : data(d), size(n) {}
+  /// Implicit view of an owned set, mirroring std::span's converting ctor.
+  VertexSetView(const VertexSet& s) : data(s.data()), size(s.size()) {}
+
+  const VertexId* begin() const { return data; }
+  const VertexId* end() const { return data + size; }
+  bool empty() const { return size == 0; }
+  VertexId operator[](size_t i) const { return data[i]; }
+};
+
+/// Intersects two sorted sets into `out` (cleared first). Uses a linear
+/// merge when the sizes are comparable and galloping (binary probing of the
+/// larger set) when one side is much smaller, the standard kernel for
+/// worst-case-optimal joins and backtracking matchers.
+void Intersect(VertexSetView a, VertexSetView b, VertexSet* out);
+
+/// Returns |a ∩ b| without materializing the intersection.
+size_t IntersectSize(VertexSetView a, VertexSetView b);
+
+/// True iff sorted set `s` contains `v` (binary search).
+bool Contains(VertexSetView s, VertexId v);
+
+/// Copies `in` to `out` keeping only elements strictly greater than
+/// `bound`. Implements the symmetry-breaking filter `> f_i`.
+void FilterGreater(VertexSetView in, VertexId bound, VertexSet* out);
+
+/// Copies `in` to `out` keeping only elements strictly smaller than
+/// `bound`. Implements the symmetry-breaking filter `< f_i`.
+void FilterLess(VertexSetView in, VertexId bound, VertexSet* out);
+
+/// Removes `v` from `out` in place if present (injective filter `≠ f_i`).
+void EraseValue(VertexSet* out, VertexId v);
+
+}  // namespace benu
+
+#endif  // BENU_GRAPH_VERTEX_SET_H_

@@ -1,0 +1,80 @@
+#include "plan/cost_model.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace benu {
+namespace {
+
+// Estimate for one connected component with np vertices and mp edges.
+double EstimateComponent(double np, double mp, const DataGraphStats& stats) {
+  const double n = stats.num_vertices;
+  const double m = stats.num_edges;
+  if (n < np) return 0;
+  double log_est = 0;
+  for (double i = 0; i < np; ++i) log_est += std::log(n - i);
+  if (mp > 0) {
+    const double edge_prob = 2.0 * m / (n * (n - 1.0));
+    if (edge_prob <= 0) return 0;
+    log_est += mp * std::log(edge_prob);
+  }
+  return std::exp(log_est);
+}
+
+}  // namespace
+
+double EstimateMatches(const Graph& p, const DataGraphStats& stats) {
+  if (p.NumVertices() == 0) return 1;
+  double total = 1;
+  for (const auto& component : p.ConnectedComponents()) {
+    auto sub = p.InducedSubgraph(component);
+    BENU_CHECK(sub.ok());
+    total *= EstimateComponent(static_cast<double>(sub->NumVertices()),
+                               static_cast<double>(sub->NumEdges()), stats);
+  }
+  return total;
+}
+
+PlanCost EstimatePlanCost(const ExecutionPlan& plan,
+                          const DataGraphStats& stats) {
+  PlanCost cost;
+  // Pattern vertices mapped so far (INI counts: instructions between INI
+  // and the first ENU execute once per local search task, i.e. N times).
+  std::vector<VertexId> mapped;
+  double current = 0;
+  auto refresh = [&]() {
+    auto sub = plan.pattern.InducedSubgraph(mapped);
+    BENU_CHECK(sub.ok());
+    current = EstimateMatches(*sub, stats);
+  };
+  for (const Instruction& ins : plan.instructions) {
+    switch (ins.type) {
+      case InstrType::kInit:
+      case InstrType::kEnumerate:
+        mapped.push_back(static_cast<VertexId>(ins.target.index));
+        refresh();
+        break;
+      case InstrType::kIntersect:
+      case InstrType::kTriangleCache:
+        cost.computation += current;
+        break;
+      case InstrType::kDbQuery:
+        cost.communication += current;
+        break;
+      case InstrType::kReport:
+        break;
+    }
+  }
+  return cost;
+}
+
+bool CheaperThan(const PlanCost& a, const PlanCost& b) {
+  if (a.communication != b.communication) {
+    return a.communication < b.communication;
+  }
+  return a.computation < b.computation;
+}
+
+}  // namespace benu

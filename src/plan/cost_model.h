@@ -1,0 +1,56 @@
+#ifndef BENU_PLAN_COST_MODEL_H_
+#define BENU_PLAN_COST_MODEL_H_
+
+#include <cstddef>
+
+#include "graph/graph.h"
+#include "plan/instruction.h"
+
+namespace benu {
+
+/// Summary statistics of a data graph consumed by the cost estimator. The
+/// estimator only needs N and M, so plan search can run before the data
+/// graph is materialized (e.g. from catalog metadata).
+struct DataGraphStats {
+  double num_vertices = 0;  ///< N
+  double num_edges = 0;     ///< M
+
+  static DataGraphStats FromGraph(const Graph& g) {
+    return {static_cast<double>(g.NumVertices()),
+            static_cast<double>(g.NumEdges())};
+  }
+};
+
+/// Estimates the number of matches of the (possibly disconnected) partial
+/// pattern `p` in a data graph with statistics `stats`, using the
+/// Erdős–Rényi-style model of SEED [5] §5.1: the expected number of
+/// injective edge-preserving mappings is the falling factorial
+/// N(N−1)···(N−n_p+1) times (2M / N(N−1))^{m_p}. Disconnected patterns
+/// multiply the estimates of their connected components (the paper's
+/// rule). Returned in log-space? No — as a double; values can be huge but
+/// stay well inside double range for realistic inputs.
+double EstimateMatches(const Graph& p, const DataGraphStats& stats);
+
+/// Cost of an execution plan (§IV-C).
+struct PlanCost {
+  /// Total estimated execution times of DBQ instructions.
+  double communication = 0;
+  /// Total estimated execution times of INT and TRC instructions.
+  double computation = 0;
+};
+
+/// Walks the instructions of `plan` front to back, tracking the partial
+/// pattern graph induced by the already-enumerated prefix, and charges
+/// each INT/TRC (computation) and DBQ (communication) the estimated number
+/// of matches of the current partial pattern (Algorithm 3,
+/// EstimateComputationCost, extended to communication).
+PlanCost EstimatePlanCost(const ExecutionPlan& plan,
+                          const DataGraphStats& stats);
+
+/// Orders plans as §IV-D: first by communication cost, ties by computation
+/// cost. Returns true iff a is strictly cheaper than b.
+bool CheaperThan(const PlanCost& a, const PlanCost& b);
+
+}  // namespace benu
+
+#endif  // BENU_PLAN_COST_MODEL_H_

@@ -1,0 +1,47 @@
+#include "plan/filters.h"
+
+namespace benu {
+
+void ApplyDegreeFilters(ExecutionPlan* plan) {
+  for (Instruction& ins : plan->instructions) {
+    if (ins.type == InstrType::kInit || ins.type == InstrType::kEnumerate) {
+      const auto u = static_cast<VertexId>(ins.target.index);
+      ins.min_degree = static_cast<uint32_t>(plan->pattern.Degree(u));
+    }
+  }
+}
+
+Status ApplyLabelFilters(ExecutionPlan* plan,
+                         const std::vector<int>& labels) {
+  if (labels.size() != plan->NumPatternVertices()) {
+    return Status::InvalidArgument("label vector size mismatch");
+  }
+  for (Instruction& ins : plan->instructions) {
+    if (ins.type == InstrType::kInit || ins.type == InstrType::kEnumerate) {
+      ins.required_label = labels[static_cast<size_t>(ins.target.index)];
+    }
+  }
+  plan->pattern_labels = labels;
+  return Status::OK();
+}
+
+std::vector<VertexId> ComputeDegreeFloors(const Graph& graph,
+                                          size_t max_degree) {
+  const auto n = static_cast<VertexId>(graph.NumVertices());
+  // Degrees are non-decreasing in id after RelabelByDegree, so one
+  // forward sweep finds every threshold. Degrees with no qualifying
+  // vertex map to n (empty candidate range).
+  std::vector<VertexId> floors(max_degree + 1, n);
+  floors[0] = 0;
+  size_t d = 1;
+  for (VertexId v = 0; v < n && d <= max_degree; ++v) {
+    const size_t deg = graph.Degree(v);
+    while (d <= deg && d <= max_degree) {
+      floors[d] = v;
+      ++d;
+    }
+  }
+  return floors;
+}
+
+}  // namespace benu

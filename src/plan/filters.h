@@ -1,0 +1,36 @@
+#ifndef BENU_PLAN_FILTERS_H_
+#define BENU_PLAN_FILTERS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "plan/instruction.h"
+
+namespace benu {
+
+/// Attaches degree filters (§IV-A) to the plan: pattern vertex u can only
+/// map to data vertices of degree ≥ d_P(u), so every INI/ENU instruction
+/// is annotated with the pattern vertex's degree. Because vertex ids
+/// realize the (degree, id) total order ≺, the executor turns each
+/// annotation into a lower bound on candidate ids. Purely a pruning
+/// optimization: match counts are unchanged.
+void ApplyDegreeFilters(ExecutionPlan* plan);
+
+/// Attaches label filters to the plan (the property-graph extension the
+/// paper leaves to future work): pattern vertex u only maps to data
+/// vertices carrying `labels[u]`. The plan must have been generated with
+/// label-aware symmetry-breaking constraints
+/// (ComputeLabeledSymmetryBreakingConstraints) for duplicate-free counts.
+Status ApplyLabelFilters(ExecutionPlan* plan, const std::vector<int>& labels);
+
+/// The degree-floor table the executor needs to evaluate degree filters:
+/// floors[d] = smallest vertex id whose degree is ≥ d, for
+/// 0 ≤ d ≤ max_degree (N when no such vertex exists). Requires `graph` to
+/// be relabeled by (degree, id) — see Graph::RelabelByDegree.
+std::vector<VertexId> ComputeDegreeFloors(const Graph& graph,
+                                          size_t max_degree);
+
+}  // namespace benu
+
+#endif  // BENU_PLAN_FILTERS_H_

@@ -1,0 +1,168 @@
+#include "plan/instruction.h"
+
+#include <set>
+#include <sstream>
+
+namespace benu {
+namespace {
+
+std::string VarName(const VarRef& var) {
+  switch (var.kind) {
+    case VarKind::kF:
+      return "f" + std::to_string(var.index + 1);
+    case VarKind::kA:
+      return "A" + std::to_string(var.index + 1);
+    case VarKind::kT:
+      return "T" + std::to_string(var.index + 1);
+    case VarKind::kC:
+      return "C" + std::to_string(var.index + 1);
+    case VarKind::kAllVertices:
+      return "V(G)";
+  }
+  return "?";
+}
+
+std::string FilterText(const FilterCondition& fc) {
+  std::string f = "f" + std::to_string(fc.f_index + 1);
+  switch (fc.kind) {
+    case FilterKind::kLess:
+      return "<" + f;
+    case FilterKind::kGreater:
+      return ">" + f;
+    case FilterKind::kNotEqual:
+      return "!=" + f;
+  }
+  return "?";
+}
+
+const char* OpName(InstrType type) {
+  switch (type) {
+    case InstrType::kInit:
+      return "Init";
+    case InstrType::kDbQuery:
+      return "GetAdj";
+    case InstrType::kIntersect:
+      return "Intersect";
+    case InstrType::kEnumerate:
+      return "Foreach";
+    case InstrType::kTriangleCache:
+      return "TCache";
+    case InstrType::kReport:
+      return "ReportMatch";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Instruction::ToString() const {
+  std::ostringstream out;
+  if (type == InstrType::kReport) {
+    out << "f := ReportMatch(";
+  } else {
+    out << VarName(target) << " := " << OpName(type) << "(";
+    if (type == InstrType::kInit) out << "start";
+  }
+  for (size_t i = 0; i < operands.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << VarName(operands[i]);
+  }
+  out << ")";
+  if (!filters.empty()) {
+    out << " | ";
+    for (size_t i = 0; i < filters.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << FilterText(filters[i]);
+    }
+  }
+  if (min_degree > 0) out << " | deg>=" << min_degree;
+  if (required_label >= 0) out << " | label=" << required_label;
+  return out.str();
+}
+
+bool ExecutionPlan::UsesDegreeFilters() const {
+  for (const Instruction& ins : instructions) {
+    if (ins.min_degree > 0) return true;
+  }
+  return false;
+}
+
+std::string ExecutionPlan::ToString() const {
+  std::ostringstream out;
+  out << "ExecutionPlan (order:";
+  for (VertexId u : matching_order) out << " u" << (u + 1);
+  if (compressed) out << ", VCBC";
+  out << ")\n";
+  for (size_t i = 0; i < instructions.size(); ++i) {
+    out << "  " << (i + 1) << ": " << instructions[i].ToString() << "\n";
+  }
+  return out.str();
+}
+
+bool ValidatePlan(const ExecutionPlan& plan, std::string* error) {
+  auto fail = [error](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  if (plan.instructions.empty()) return fail("plan has no instructions");
+  std::set<VarRef> defined;
+  bool saw_report = false;
+  for (size_t i = 0; i < plan.instructions.size(); ++i) {
+    const Instruction& ins = plan.instructions[i];
+    if (saw_report) return fail("instruction after RES");
+    auto check_defined = [&](const VarRef& var) {
+      if (var.kind == VarKind::kAllVertices) return true;
+      return defined.count(var) > 0;
+    };
+    for (const VarRef& op : ins.operands) {
+      if (!check_defined(op)) {
+        return fail("undefined operand in instruction " + std::to_string(i) +
+                    ": " + ins.ToString());
+      }
+    }
+    for (const FilterCondition& fc : ins.filters) {
+      if (!check_defined({VarKind::kF, fc.f_index})) {
+        return fail("filter references unmapped f" +
+                    std::to_string(fc.f_index + 1));
+      }
+    }
+    switch (ins.type) {
+      case InstrType::kInit:
+        if (ins.target.kind != VarKind::kF) return fail("INI target not f");
+        break;
+      case InstrType::kDbQuery:
+        if (ins.target.kind != VarKind::kA) return fail("DBQ target not A");
+        if (ins.operands.size() != 1 || ins.operands[0].kind != VarKind::kF) {
+          return fail("DBQ operand must be a single f variable");
+        }
+        break;
+      case InstrType::kIntersect:
+        if (ins.operands.empty()) return fail("INT without operands");
+        break;
+      case InstrType::kTriangleCache:
+        if (ins.operands.size() != 2) return fail("TRC needs two operands");
+        break;
+      case InstrType::kEnumerate:
+        if (ins.target.kind != VarKind::kF) return fail("ENU target not f");
+        if (ins.operands.size() != 1) return fail("ENU needs one operand");
+        break;
+      case InstrType::kReport:
+        saw_report = true;
+        if (ins.operands.size() != plan.NumPatternVertices()) {
+          return fail("RES arity mismatch");
+        }
+        break;
+    }
+    if (ins.type != InstrType::kReport) {
+      if (defined.count(ins.target) > 0) {
+        return fail("variable redefined: " + ins.ToString());
+      }
+      defined.insert(ins.target);
+    }
+  }
+  if (!saw_report) return fail("plan missing RES");
+  if (error != nullptr) error->clear();
+  return true;
+}
+
+}  // namespace benu

@@ -1,0 +1,135 @@
+#ifndef BENU_PLAN_INSTRUCTION_H_
+#define BENU_PLAN_INSTRUCTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace benu {
+
+/// The six instruction types of a BENU execution plan (Table III of the
+/// paper).
+enum class InstrType {
+  kInit,           ///< INI: f_i := Init(start)
+  kDbQuery,        ///< DBQ: A_i := GetAdj(f_i)
+  kIntersect,      ///< INT: X := Intersect(...) [| filters]
+  kEnumerate,      ///< ENU: f_i := Foreach(X)
+  kTriangleCache,  ///< TRC: X := TCache(f_i, f_j, A_i, A_j)
+  kReport,         ///< RES: f := ReportMatch(f_1, ..., f_n)
+};
+
+/// Kinds of plan variables.
+enum class VarKind {
+  kF,        ///< f_i — the data vertex mapped to pattern vertex u_i
+  kA,        ///< A_i — the adjacency set of f_i
+  kT,        ///< T_j — a temporary set
+  kC,        ///< C_i — the candidate set for pattern vertex u_i
+  kAllVertices,  ///< the pseudo-operand V(G)
+};
+
+/// A reference to a plan variable, e.g. A_3 is {kA, 3}.
+struct VarRef {
+  VarKind kind = VarKind::kT;
+  int index = 0;
+
+  friend bool operator==(const VarRef& a, const VarRef& b) {
+    return a.kind == b.kind && a.index == b.index;
+  }
+  friend bool operator<(const VarRef& a, const VarRef& b) {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.index < b.index;
+  }
+};
+
+/// The two kinds of filtering conditions (§IV-A): symmetry-breaking order
+/// conditions and injective conditions, both against an already-mapped f_i.
+enum class FilterKind {
+  kLess,      ///< keep v ≺ f_i   (written "< f_i")
+  kGreater,   ///< keep v ≻ f_i   (written "> f_i")
+  kNotEqual,  ///< keep v ≠ f_i
+};
+
+struct FilterCondition {
+  FilterKind kind = FilterKind::kNotEqual;
+  /// Pattern-vertex index i of the f_i being compared against.
+  int f_index = 0;
+
+  friend bool operator==(const FilterCondition& a, const FilterCondition& b) {
+    return a.kind == b.kind && a.f_index == b.f_index;
+  }
+};
+
+/// One execution instruction: `target := Op(operands) [| filters]`.
+struct Instruction {
+  InstrType type = InstrType::kIntersect;
+  VarRef target;
+  /// INT/TRC: set operands. DBQ: the single f operand. ENU: the candidate
+  /// set. RES: the reported variables (f_i, or C_i under VCBC), in pattern
+  /// vertex order. INI: empty (start vertex is implicit).
+  std::vector<VarRef> operands;
+  std::vector<FilterCondition> filters;
+
+  /// Degree filter (§IV-A, "other filtering techniques like degree
+  /// filter"): on INI/ENU instructions, candidates must have data-graph
+  /// degree ≥ min_degree. Because the data graph is relabeled so ids
+  /// realize the (degree, id) total order, the executor implements this
+  /// as a lower bound on candidate ids — zero cost per candidate.
+  uint32_t min_degree = 0;
+
+  /// Label filter (property-graph extension): on INI/ENU instructions,
+  /// candidates must carry this vertex label; -1 disables.
+  int required_label = -1;
+
+  /// Renders like the paper, e.g. "C3 := Intersect(A1) | >f1, ≠f2".
+  std::string ToString() const;
+};
+
+/// A partial-order constraint from symmetry breaking: f(first) ≺ f(second).
+struct OrderConstraint {
+  VertexId first = 0;
+  VertexId second = 0;
+
+  friend bool operator==(const OrderConstraint& a, const OrderConstraint& b) {
+    return a.first == b.first && a.second == b.second;
+  }
+};
+
+/// A complete BENU execution plan for a pattern graph.
+struct ExecutionPlan {
+  Graph pattern;
+  /// Pattern vertices in matching order O (k_1, ..., k_n).
+  std::vector<VertexId> matching_order;
+  /// Symmetry-breaking partial order on V(P).
+  std::vector<OrderConstraint> partial_order;
+  std::vector<Instruction> instructions;
+  /// True once the VCBC transformation has been applied.
+  bool compressed = false;
+  /// Under VCBC: the prefix of `matching_order` forming the vertex cover.
+  std::vector<VertexId> core_vertices;
+
+  /// Pattern vertex labels for the property-graph extension; empty for
+  /// the paper's unlabeled setting.
+  std::vector<int> pattern_labels;
+
+  /// Number of pattern vertices n.
+  size_t NumPatternVertices() const { return pattern.NumVertices(); }
+
+  /// True when any instruction carries a degree filter.
+  bool UsesDegreeFilters() const;
+  /// True when the plan matches a labeled pattern.
+  bool UsesLabelFilters() const { return !pattern_labels.empty(); }
+
+  /// Multi-line listing of the instructions.
+  std::string ToString() const;
+};
+
+/// Checks structural well-formedness: every operand/filter variable is
+/// defined by an earlier instruction (or is V(G)/an INI f), exactly one
+/// RES at the end, ENU targets are f variables, etc.
+bool ValidatePlan(const ExecutionPlan& plan, std::string* error);
+
+}  // namespace benu
+
+#endif  // BENU_PLAN_INSTRUCTION_H_

@@ -1,0 +1,256 @@
+#include "plan/optimizer.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/logging.h"
+#include "plan/plan_generator.h"
+
+namespace benu {
+namespace {
+
+using OperandSet = std::vector<VarRef>;  // sorted, unique
+
+// Definition position of each variable: instruction index that defines it,
+// or -1 for the V(G) pseudo-variable.
+std::map<VarRef, int> DefinitionPositions(const ExecutionPlan& plan) {
+  std::map<VarRef, int> defs;
+  for (size_t i = 0; i < plan.instructions.size(); ++i) {
+    const Instruction& ins = plan.instructions[i];
+    if (ins.type != InstrType::kReport) {
+      defs[ins.target] = static_cast<int>(i);
+    }
+  }
+  return defs;
+}
+
+// All subsets of `operands` with size >= 2, as sorted vectors.
+std::vector<OperandSet> SubsetsOfSizeTwoPlus(const OperandSet& operands) {
+  std::vector<OperandSet> subsets;
+  const size_t n = operands.size();
+  if (n < 2) return subsets;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    if (__builtin_popcount(mask) < 2) continue;
+    OperandSet subset;
+    for (size_t b = 0; b < n; ++b) {
+      if (mask & (1u << b)) subset.push_back(operands[b]);
+    }
+    subsets.push_back(std::move(subset));
+  }
+  return subsets;
+}
+
+bool IsSubset(const OperandSet& small, const OperandSet& large) {
+  return std::includes(large.begin(), large.end(), small.begin(), small.end());
+}
+
+OperandSet SortedOperands(const Instruction& ins) {
+  OperandSet ops = ins.operands;
+  std::sort(ops.begin(), ops.end());
+  ops.erase(std::unique(ops.begin(), ops.end()), ops.end());
+  return ops;
+}
+
+}  // namespace
+
+void EliminateCommonSubexpressions(ExecutionPlan* plan) {
+  int next_temp = 0;
+  for (const Instruction& ins : plan->instructions) {
+    if (ins.type != InstrType::kReport && ins.target.kind == VarKind::kT) {
+      next_temp = std::max(next_temp, ins.target.index + 1);
+    }
+  }
+  next_temp = std::max<int>(next_temp,
+                            static_cast<int>(plan->NumPatternVertices()));
+
+  // Bounded fixpoint; each round removes at least one duplicated
+  // subexpression occurrence, but cap defensively.
+  for (int round = 0; round < 64; ++round) {
+    // Frequency of each subexpression across INT instructions (counted
+    // once per instruction), plus the first instruction it appears in.
+    struct Stats {
+      int count = 0;
+      int first_pos = 1 << 30;
+    };
+    std::map<OperandSet, Stats> table;
+    for (size_t i = 0; i < plan->instructions.size(); ++i) {
+      const Instruction& ins = plan->instructions[i];
+      if (ins.type != InstrType::kIntersect) continue;
+      OperandSet ops = SortedOperands(ins);
+      for (OperandSet& subset : SubsetsOfSizeTwoPlus(ops)) {
+        Stats& st = table[subset];
+        ++st.count;
+        st.first_pos = std::min(st.first_pos, static_cast<int>(i));
+      }
+    }
+    // Pick: most operands, then most frequent, then earliest appearance.
+    const OperandSet* best = nullptr;
+    Stats best_stats;
+    for (const auto& [subset, stats] : table) {
+      if (stats.count < 2) continue;
+      if (best == nullptr ||
+          subset.size() > best->size() ||
+          (subset.size() == best->size() &&
+           (stats.count > best_stats.count ||
+            (stats.count == best_stats.count &&
+             stats.first_pos < best_stats.first_pos)))) {
+        best = &subset;
+        best_stats = stats;
+      }
+    }
+    if (best == nullptr) break;
+
+    OperandSet subexpr = *best;
+    Instruction hoisted;
+    hoisted.type = InstrType::kIntersect;
+    hoisted.target = {VarKind::kT, next_temp++};
+    hoisted.operands = subexpr;
+    // Replace the subexpression in every INT instruction that contains it.
+    for (Instruction& ins : plan->instructions) {
+      if (ins.type != InstrType::kIntersect) continue;
+      OperandSet ops = SortedOperands(ins);
+      if (ops.size() < subexpr.size() || !IsSubset(subexpr, ops)) continue;
+      OperandSet remaining;
+      std::set_difference(ops.begin(), ops.end(), subexpr.begin(),
+                          subexpr.end(), std::back_inserter(remaining));
+      ins.operands = remaining;
+      ins.operands.push_back(hoisted.target);
+    }
+    plan->instructions.insert(
+        plan->instructions.begin() + best_stats.first_pos, hoisted);
+  }
+  EliminateUniOperandIntersections(plan);
+}
+
+void ReorderInstructions(ExecutionPlan* plan) {
+  // --- Step 1: flatten INT instructions to at most two operands. ---
+  {
+    std::vector<Instruction> flattened;
+    int next_temp = static_cast<int>(plan->NumPatternVertices());
+    for (const Instruction& ins : plan->instructions) {
+      if (ins.type != InstrType::kReport && ins.target.kind == VarKind::kT) {
+        next_temp = std::max(next_temp, ins.target.index + 1);
+      }
+    }
+    std::map<VarRef, int> defs = DefinitionPositions(*plan);
+    for (const Instruction& ins : plan->instructions) {
+      if (ins.type != InstrType::kIntersect || ins.operands.size() <= 2) {
+        flattened.push_back(ins);
+        continue;
+      }
+      // Operands defined earlier come first.
+      std::vector<VarRef> ops = ins.operands;
+      std::sort(ops.begin(), ops.end(), [&defs](const VarRef& a,
+                                                const VarRef& b) {
+        int da = a.kind == VarKind::kAllVertices ? -1 : defs.at(a);
+        int db = b.kind == VarKind::kAllVertices ? -1 : defs.at(b);
+        return da < db;
+      });
+      VarRef chain = ops[0];
+      for (size_t i = 1; i < ops.size(); ++i) {
+        Instruction step;
+        step.type = InstrType::kIntersect;
+        step.operands = {chain, ops[i]};
+        if (i + 1 == ops.size()) {
+          step.target = ins.target;
+          step.filters = ins.filters;
+        } else {
+          step.target = {VarKind::kT, next_temp++};
+        }
+        chain = step.target;
+        flattened.push_back(step);
+      }
+    }
+    plan->instructions = std::move(flattened);
+  }
+
+  // --- Step 2: dependency graph. ---
+  const size_t count = plan->instructions.size();
+  std::map<VarRef, int> defs = DefinitionPositions(*plan);
+  std::vector<std::vector<int>> dependents(count);
+  std::vector<int> pending(count, 0);
+  for (size_t i = 0; i < count; ++i) {
+    const Instruction& ins = plan->instructions[i];
+    std::vector<int> deps;
+    for (const VarRef& op : ins.operands) {
+      if (op.kind == VarKind::kAllVertices) continue;
+      deps.push_back(defs.at(op));
+    }
+    for (const FilterCondition& fc : ins.filters) {
+      deps.push_back(defs.at({VarKind::kF, fc.f_index}));
+    }
+    std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+    pending[i] = static_cast<int>(deps.size());
+    for (int d : deps) dependents[d].push_back(static_cast<int>(i));
+  }
+
+  // --- Step 3: topological sort ranked by instruction type. ---
+  auto rank = [](InstrType type) {
+    switch (type) {
+      case InstrType::kInit:
+        return 0;
+      case InstrType::kIntersect:
+        return 1;
+      case InstrType::kTriangleCache:
+        return 2;
+      case InstrType::kDbQuery:
+        return 3;
+      case InstrType::kEnumerate:
+        return 4;
+      case InstrType::kReport:
+        return 5;
+    }
+    return 6;
+  };
+  std::vector<Instruction> ordered;
+  ordered.reserve(count);
+  std::vector<char> emitted(count, 0);
+  for (size_t step = 0; step < count; ++step) {
+    int best = -1;
+    for (size_t i = 0; i < count; ++i) {
+      if (emitted[i] || pending[i] > 0) continue;
+      if (best < 0 ||
+          rank(plan->instructions[i].type) <
+              rank(plan->instructions[best].type)) {
+        best = static_cast<int>(i);
+      }
+      // Ties keep the earlier original position: the scan order does that.
+    }
+    BENU_CHECK(best >= 0) << "cycle in plan dependency graph";
+    emitted[best] = 1;
+    ordered.push_back(plan->instructions[best]);
+    for (int dep : dependents[best]) --pending[dep];
+  }
+  plan->instructions = std::move(ordered);
+}
+
+void ApplyTriangleCaching(ExecutionPlan* plan) {
+  if (plan->matching_order.empty()) return;
+  const VertexId first = plan->matching_order[0];
+  for (Instruction& ins : plan->instructions) {
+    if (ins.type != InstrType::kIntersect) continue;
+    if (ins.operands.size() != 2 || !ins.filters.empty()) continue;
+    const VarRef& a = ins.operands[0];
+    const VarRef& b = ins.operands[1];
+    if (a.kind != VarKind::kA || b.kind != VarKind::kA) continue;
+    VertexId ua = static_cast<VertexId>(a.index);
+    VertexId ub = static_cast<VertexId>(b.index);
+    bool qualifies = false;
+    if (ua == first && plan->pattern.HasEdge(first, ub)) qualifies = true;
+    if (ub == first && plan->pattern.HasEdge(first, ua)) {
+      std::swap(ins.operands[0], ins.operands[1]);
+      qualifies = true;
+    }
+    if (qualifies) ins.type = InstrType::kTriangleCache;
+  }
+}
+
+void OptimizePlan(ExecutionPlan* plan) {
+  EliminateCommonSubexpressions(plan);
+  ReorderInstructions(plan);
+  ApplyTriangleCaching(plan);
+}
+
+}  // namespace benu

@@ -1,0 +1,33 @@
+#ifndef BENU_PLAN_OPTIMIZER_H_
+#define BENU_PLAN_OPTIMIZER_H_
+
+#include "plan/instruction.h"
+
+namespace benu {
+
+/// Optimization 1 (§IV-B): common subexpression elimination. Operand
+/// combinations (size ≥ 2) shared by multiple INT instructions are hoisted
+/// into fresh temporary INT instructions; repeats until fixpoint, then
+/// re-runs uni-operand elimination.
+void EliminateCommonSubexpressions(ExecutionPlan* plan);
+
+/// Optimization 2 (§IV-B): instruction reordering. Flattens INT
+/// instructions to at most two operands, builds the dependency graph, and
+/// topologically sorts with the type rank INI < INT < TRC < DBQ < ENU < RES
+/// (ties broken by original position) so cheap, failure-detecting work is
+/// hoisted out of inner enumeration loops.
+void ReorderInstructions(ExecutionPlan* plan);
+
+/// Optimization 3 (§IV-B): triangle caching. Rewrites
+/// `X := Intersect(A_i, A_j)` into `X := TCache(...)` when one of u_i/u_j
+/// is the first vertex of the matching order and the other is one of its
+/// pattern neighbors — those intersections enumerate triangles around the
+/// start vertex and repeat across search branches.
+void ApplyTriangleCaching(ExecutionPlan* plan);
+
+/// Applies Opt 1 → Opt 2 → Opt 3 in the paper's order.
+void OptimizePlan(ExecutionPlan* plan);
+
+}  // namespace benu
+
+#endif  // BENU_PLAN_OPTIMIZER_H_

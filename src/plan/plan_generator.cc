@@ -1,0 +1,175 @@
+#include "plan/plan_generator.h"
+
+#include <algorithm>
+#include <set>
+
+namespace benu {
+namespace {
+
+// Replaces every occurrence of `from` in operand lists with `to`.
+void SubstituteOperand(std::vector<Instruction>* instructions,
+                       const VarRef& from, const VarRef& to) {
+  for (Instruction& ins : *instructions) {
+    for (VarRef& op : ins.operands) {
+      if (op == from) op = to;
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<ExecutionPlan> GenerateRawPlan(
+    const Graph& pattern, const std::vector<VertexId>& matching_order,
+    const std::vector<OrderConstraint>& constraints) {
+  const size_t n = pattern.NumVertices();
+  if (n == 0) return Status::InvalidArgument("empty pattern");
+  if (matching_order.size() != n) {
+    return Status::InvalidArgument("matching order size mismatch");
+  }
+  {
+    std::set<VertexId> seen(matching_order.begin(), matching_order.end());
+    if (seen.size() != n || *seen.rbegin() >= n) {
+      return Status::InvalidArgument("matching order is not a permutation");
+    }
+  }
+
+  ExecutionPlan plan;
+  plan.pattern = pattern;
+  plan.matching_order = matching_order;
+  plan.partial_order = constraints;
+
+  // position_in_order[u] = index of pattern vertex u within O.
+  std::vector<size_t> position(n);
+  for (size_t i = 0; i < n; ++i) position[matching_order[i]] = i;
+
+  auto has_constraint = [&constraints](VertexId a, VertexId b,
+                                       FilterKind* kind) {
+    for (const OrderConstraint& c : constraints) {
+      if (c.first == a && c.second == b) {
+        // f(a) ≺ f(b): candidates for b must be greater than f_a.
+        *kind = FilterKind::kGreater;
+        return true;
+      }
+      if (c.first == b && c.second == a) {
+        *kind = FilterKind::kLess;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  int next_temp = static_cast<int>(n);  // T indices after f/A/C index space
+
+  // First vertex: INI + DBQ.
+  const VertexId first = matching_order[0];
+  {
+    Instruction ini;
+    ini.type = InstrType::kInit;
+    ini.target = {VarKind::kF, static_cast<int>(first)};
+    plan.instructions.push_back(ini);
+
+    // A DBQ is needed iff some later vertex is adjacent to `first`
+    // (always true for connected patterns with n >= 2).
+    bool needed = false;
+    for (VertexId w : pattern.Adjacency(first)) {
+      if (position[w] > 0) needed = true;
+    }
+    if (needed) {
+      Instruction dbq;
+      dbq.type = InstrType::kDbQuery;
+      dbq.target = {VarKind::kA, static_cast<int>(first)};
+      dbq.operands = {{VarKind::kF, static_cast<int>(first)}};
+      plan.instructions.push_back(dbq);
+    }
+  }
+
+  for (size_t i = 1; i < n; ++i) {
+    const VertexId u = matching_order[i];
+    // 1) Raw candidate set: intersect adjacency sets of mapped neighbors.
+    Instruction raw;
+    raw.type = InstrType::kIntersect;
+    raw.target = {VarKind::kT, next_temp++};
+    for (size_t j = 0; j < i; ++j) {
+      const VertexId prev = matching_order[j];
+      if (pattern.HasEdge(prev, u)) {
+        raw.operands.push_back({VarKind::kA, static_cast<int>(prev)});
+      }
+    }
+    if (raw.operands.empty()) {
+      raw.operands.push_back({VarKind::kAllVertices, 0});
+    }
+    plan.instructions.push_back(raw);
+
+    // 2) Refined candidate set with filtering conditions.
+    Instruction refine;
+    refine.type = InstrType::kIntersect;
+    refine.target = {VarKind::kC, static_cast<int>(u)};
+    refine.operands = {raw.target};
+    for (size_t j = 0; j < i; ++j) {
+      const VertexId prev = matching_order[j];
+      FilterKind kind;
+      if (has_constraint(prev, u, &kind)) {
+        refine.filters.push_back({kind, static_cast<int>(prev)});
+      } else if (!pattern.HasEdge(prev, u)) {
+        // Injective condition; omitted for neighbors because
+        // T ⊆ A_prev and f_prev ∉ A_prev (simple graph) imply f_prev ∉ T.
+        refine.filters.push_back({FilterKind::kNotEqual,
+                                  static_cast<int>(prev)});
+      }
+    }
+    plan.instructions.push_back(refine);
+
+    // 3) ENU.
+    Instruction enu;
+    enu.type = InstrType::kEnumerate;
+    enu.target = {VarKind::kF, static_cast<int>(u)};
+    enu.operands = {refine.target};
+    plan.instructions.push_back(enu);
+
+    // 4) DBQ when a later neighbor will intersect with A_u.
+    bool needed = false;
+    for (VertexId w : pattern.Adjacency(u)) {
+      if (position[w] > i) needed = true;
+    }
+    if (needed) {
+      Instruction dbq;
+      dbq.type = InstrType::kDbQuery;
+      dbq.target = {VarKind::kA, static_cast<int>(u)};
+      dbq.operands = {{VarKind::kF, static_cast<int>(u)}};
+      plan.instructions.push_back(dbq);
+    }
+  }
+
+  // RES with f_1..f_n in pattern-vertex order.
+  Instruction res;
+  res.type = InstrType::kReport;
+  for (size_t u = 0; u < n; ++u) {
+    res.operands.push_back({VarKind::kF, static_cast<int>(u)});
+  }
+  plan.instructions.push_back(res);
+
+  EliminateUniOperandIntersections(&plan);
+  return plan;
+}
+
+void EliminateUniOperandIntersections(ExecutionPlan* plan) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    auto& code = plan->instructions;
+    for (size_t i = 0; i < code.size(); ++i) {
+      const Instruction& ins = code[i];
+      if (ins.type == InstrType::kIntersect && ins.operands.size() == 1 &&
+          ins.filters.empty()) {
+        VarRef target = ins.target;
+        VarRef replacement = ins.operands[0];
+        code.erase(code.begin() + static_cast<ptrdiff_t>(i));
+        SubstituteOperand(&code, target, replacement);
+        changed = true;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace benu

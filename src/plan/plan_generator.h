@@ -1,0 +1,33 @@
+#ifndef BENU_PLAN_PLAN_GENERATOR_H_
+#define BENU_PLAN_PLAN_GENERATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "plan/instruction.h"
+
+namespace benu {
+
+/// Generates the raw (unoptimized) BENU execution plan for `pattern` under
+/// `matching_order` (§IV-A):
+///   - INI + DBQ for the first vertex;
+///   - for each later vertex: raw-candidate INT, filtered-candidate INT,
+///     ENU, and a DBQ when a later neighbor needs the adjacency set;
+///   - the trailing RES;
+///   - followed by uni-operand elimination.
+/// `constraints` is the symmetry-breaking partial order on V(P); pass the
+/// result of ComputeSymmetryBreakingConstraints for duplicate-free
+/// enumeration or {} to enumerate all matches.
+StatusOr<ExecutionPlan> GenerateRawPlan(
+    const Graph& pattern, const std::vector<VertexId>& matching_order,
+    const std::vector<OrderConstraint>& constraints);
+
+/// Removes INT instructions of the form `X := Intersect(Y)` with no
+/// filtering conditions, substituting Y for X everywhere. Exposed for
+/// the optimizer, which re-runs it after common-subexpression elimination.
+void EliminateUniOperandIntersections(ExecutionPlan* plan);
+
+}  // namespace benu
+
+#endif  // BENU_PLAN_PLAN_GENERATOR_H_

@@ -1,0 +1,206 @@
+#include "plan/plan_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "graph/isomorphism.h"
+#include "plan/filters.h"
+#include "plan/optimizer.h"
+#include "plan/plan_generator.h"
+#include "plan/symmetry_breaking.h"
+#include "plan/vcbc.h"
+
+namespace benu {
+namespace {
+
+// Relative tolerance for comparing accumulated cost estimates: logically
+// identical orders can differ by rounding because addition order differs.
+constexpr double kRelTol = 1e-9;
+
+bool DefinitelyGreater(double a, double b) {
+  return a > b * (1 + kRelTol) + kRelTol;
+}
+
+bool ApproximatelyEqual(double a, double b) {
+  return !DefinitelyGreater(a, b) && !DefinitelyGreater(b, a);
+}
+
+// Recursive state of Algorithm 3's Search procedure.
+class OrderSearch {
+ public:
+  OrderSearch(const Graph& pattern, const DataGraphStats& stats)
+      : pattern_(pattern), stats_(stats), n_(pattern.NumVertices()) {
+    // Precompute the syntactic-equivalence relation for dual pruning.
+    se_.assign(n_, std::vector<char>(n_, 0));
+    for (VertexId u = 0; u < n_; ++u) {
+      for (VertexId v = 0; v < n_; ++v) {
+        se_[u][v] = SyntacticallyEquivalent(pattern_, u, v) ? 1 : 0;
+      }
+    }
+    used_.assign(n_, 0);
+  }
+
+  void Run() {
+    order_.clear();
+    Search(0.0);
+  }
+
+  const std::vector<std::vector<VertexId>>& candidates() const {
+    return candidates_;
+  }
+  double best_comm_cost() const { return best_comm_cost_; }
+  uint64_t estimate_calls() const { return estimate_calls_; }
+
+ private:
+  void Search(double comm_cost) {
+    if (order_.size() == n_) {
+      if (candidates_.empty() ||
+          DefinitelyGreater(best_comm_cost_, comm_cost)) {
+        best_comm_cost_ = comm_cost;
+        candidates_.clear();
+        candidates_.push_back(order_);
+      } else if (ApproximatelyEqual(comm_cost, best_comm_cost_)) {
+        candidates_.push_back(order_);
+      }
+      return;
+    }
+    for (VertexId u = 0; u < n_; ++u) {
+      if (used_[u]) continue;
+      if (!PassesDualCondition(u)) continue;
+      // Case 1: u still has an unused neighbor, so the plan will issue a
+      // DBQ for u, executed once per match of the partial pattern p'.
+      // Case 2: all neighbors used — no DBQ, cost unchanged.
+      double step_cost = 0;
+      used_[u] = 1;
+      order_.push_back(u);
+      if (HasUnusedNeighbor(u)) {
+        step_cost = EstimatePrefix();
+        ++estimate_calls_;
+      }
+      const double next_cost = comm_cost + step_cost;
+      if (candidates_.empty() ||
+          !DefinitelyGreater(next_cost, best_comm_cost_)) {
+        Search(next_cost);
+      }
+      order_.pop_back();
+      used_[u] = 0;
+    }
+  }
+
+  // Rejects u when an unused syntactically-equivalent vertex with a
+  // smaller id exists: the dual order (with the two swapped) has the same
+  // cost, so only the id-ascending representative is explored.
+  bool PassesDualCondition(VertexId u) const {
+    for (VertexId v = 0; v < u; ++v) {
+      if (!used_[v] && se_[u][v]) return false;
+    }
+    return true;
+  }
+
+  bool HasUnusedNeighbor(VertexId u) const {
+    for (VertexId w : pattern_.Adjacency(u)) {
+      if (!used_[w]) return true;
+    }
+    return false;
+  }
+
+  double EstimatePrefix() {
+    auto sub = pattern_.InducedSubgraph(order_);
+    BENU_CHECK(sub.ok());
+    return EstimateMatches(*sub, stats_);
+  }
+
+  const Graph& pattern_;
+  const DataGraphStats& stats_;
+  const size_t n_;
+  std::vector<std::vector<char>> se_;
+  std::vector<char> used_;
+  std::vector<VertexId> order_;
+  std::vector<std::vector<VertexId>> candidates_;
+  double best_comm_cost_ = std::numeric_limits<double>::infinity();
+  uint64_t estimate_calls_ = 0;
+};
+
+}  // namespace
+
+StatusOr<PlanSearchResult> GenerateBestPlan(const Graph& pattern,
+                                            const DataGraphStats& stats,
+                                            const PlanSearchOptions& options) {
+  if (pattern.NumVertices() == 0) {
+    return Status::InvalidArgument("empty pattern");
+  }
+  if (!pattern.IsConnected()) {
+    return Status::InvalidArgument(
+        "pattern must be connected; decompose disconnected patterns into "
+        "components and enumerate each separately");
+  }
+  const bool labeled = !options.pattern_labels.empty();
+  if (labeled && options.pattern_labels.size() != pattern.NumVertices()) {
+    return Status::InvalidArgument("pattern label count mismatch");
+  }
+  if (labeled && options.apply_vcbc) {
+    return Status::InvalidArgument(
+        "VCBC compression is not supported for labeled patterns: "
+        "conditional image sets are not label-filtered");
+  }
+  Stopwatch watch;
+  const std::vector<OrderConstraint> constraints =
+      labeled ? ComputeLabeledSymmetryBreakingConstraints(
+                    pattern, options.pattern_labels)
+              : ComputeSymmetryBreakingConstraints(pattern);
+
+  OrderSearch search(pattern, stats);
+  search.Run();
+
+  PlanSearchResult result;
+  result.estimate_calls = search.estimate_calls();
+  bool have_best = false;
+  PlanCost best_cost;
+  for (const std::vector<VertexId>& order : search.candidates()) {
+    auto plan = GenerateRawPlan(pattern, order, constraints);
+    BENU_RETURN_IF_ERROR(plan.status());
+    if (options.optimize) OptimizePlan(&plan.value());
+    ++result.plans_generated;
+    PlanCost cost = EstimatePlanCost(*plan, stats);
+    if (!have_best || cost.computation < best_cost.computation) {
+      have_best = true;
+      best_cost = cost;
+      result.plan = std::move(plan).value();
+    }
+  }
+  if (!have_best) return Status::Internal("no candidate matching order");
+  if (options.apply_vcbc) {
+    BENU_RETURN_IF_ERROR(ApplyVcbcCompression(&result.plan));
+  }
+  if (options.apply_degree_filter) ApplyDegreeFilters(&result.plan);
+  if (labeled) {
+    BENU_RETURN_IF_ERROR(
+        ApplyLabelFilters(&result.plan, options.pattern_labels));
+  }
+  result.cost = best_cost;
+  result.elapsed_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+double AlphaUpperBound(size_t n) {
+  // Σ_{i=1..n} P(n, i) where P(n, i) = n! / (n-i)!.
+  double total = 0;
+  double perm = 1;
+  for (size_t i = 1; i <= n; ++i) {
+    perm *= static_cast<double>(n - i + 1);
+    total += perm;
+  }
+  return total;
+}
+
+double BetaUpperBound(size_t n) {
+  double factorial = 1;
+  for (size_t i = 2; i <= n; ++i) factorial *= static_cast<double>(i);
+  return factorial;
+}
+
+}  // namespace benu

@@ -1,0 +1,60 @@
+#ifndef BENU_PLAN_PLAN_SEARCH_H_
+#define BENU_PLAN_PLAN_SEARCH_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "plan/cost_model.h"
+#include "plan/instruction.h"
+
+namespace benu {
+
+/// Options controlling best-plan generation.
+struct PlanSearchOptions {
+  /// Apply Opt 1–3 to each candidate plan (true reproduces the paper;
+  /// false is used by the Exp-2 ablation).
+  bool optimize = true;
+  /// Apply VCBC compression to the winning plan.
+  bool apply_vcbc = false;
+  /// Annotate INI/ENU instructions with degree filters (§IV-A); the
+  /// executor then needs a degree-floor table (ComputeDegreeFloors).
+  bool apply_degree_filter = false;
+  /// Property-graph extension: per-pattern-vertex labels (empty for the
+  /// paper's unlabeled setting). Symmetry breaking is restricted to
+  /// label-preserving automorphisms and label filters are attached.
+  /// Incompatible with apply_vcbc (image sets are not label-filtered).
+  std::vector<int> pattern_labels;
+};
+
+/// Result of Algorithm 3 plus the counters reported in Exp-1 / Table IV.
+struct PlanSearchResult {
+  ExecutionPlan plan;
+  PlanCost cost;
+  /// α: number of match-count estimations performed inside Search.
+  uint64_t estimate_calls = 0;
+  /// β: number of optimized execution plans generated (|O_cand|).
+  uint64_t plans_generated = 0;
+  /// Wall time of the whole search, seconds.
+  double elapsed_seconds = 0;
+};
+
+/// Algorithm 3: searches all matching orders with dual pruning (syntactic
+/// equivalence) and cost-based pruning for the set O_cand of orders with
+/// the least estimated communication cost, generates an optimized plan for
+/// each, and returns the one with the least computation cost. Symmetry-
+/// breaking constraints are computed internally (Grochow–Kellis).
+StatusOr<PlanSearchResult> GenerateBestPlan(
+    const Graph& pattern, const DataGraphStats& stats,
+    const PlanSearchOptions& options = {});
+
+/// Upper bound of α discussed in §IV-D: Σ_{i=1..n} P(n, i), the number of
+/// i-permutations summed over prefix lengths.
+double AlphaUpperBound(size_t n);
+
+/// Upper bound of β: n!.
+double BetaUpperBound(size_t n);
+
+}  // namespace benu
+
+#endif  // BENU_PLAN_PLAN_SEARCH_H_

@@ -1,0 +1,77 @@
+#include "plan/symmetry_breaking.h"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/isomorphism.h"
+
+namespace benu {
+
+namespace {
+
+// Grochow–Kellis reduction over a given automorphism group.
+std::vector<OrderConstraint> BreakGroup(const Graph& pattern,
+                                        std::vector<Permutation> autos);
+
+}  // namespace
+
+std::vector<OrderConstraint> ComputeSymmetryBreakingConstraints(
+    const Graph& pattern) {
+  return BreakGroup(pattern, Automorphisms(pattern));
+}
+
+std::vector<OrderConstraint> ComputeLabeledSymmetryBreakingConstraints(
+    const Graph& pattern, const std::vector<int>& labels) {
+  std::vector<Permutation> autos;
+  for (Permutation& a : Automorphisms(pattern)) {
+    bool preserves = true;
+    for (VertexId v = 0; v < pattern.NumVertices() && preserves; ++v) {
+      preserves = labels[a[v]] == labels[v];
+    }
+    if (preserves) autos.push_back(std::move(a));
+  }
+  return BreakGroup(pattern, std::move(autos));
+}
+
+namespace {
+
+std::vector<OrderConstraint> BreakGroup(const Graph& pattern,
+                                        std::vector<Permutation> autos) {
+  std::vector<OrderConstraint> constraints;
+  while (autos.size() > 1) {
+    // Find the smallest vertex with a non-trivial orbit.
+    VertexId pivot = kInvalidVertex;
+    std::set<VertexId> orbit;
+    for (VertexId v = 0; v < pattern.NumVertices(); ++v) {
+      orbit.clear();
+      for (const Permutation& a : autos) orbit.insert(a[v]);
+      if (orbit.size() > 1) {
+        pivot = v;
+        break;
+      }
+    }
+    if (pivot == kInvalidVertex) break;  // only the identity remains
+    for (VertexId w : orbit) {
+      if (w != pivot) constraints.push_back({pivot, w});
+    }
+    // Restrict to the stabilizer of the pivot.
+    std::vector<Permutation> stabilizer;
+    for (Permutation& a : autos) {
+      if (a[pivot] == pivot) stabilizer.push_back(std::move(a));
+    }
+    autos = std::move(stabilizer);
+  }
+  return constraints;
+}
+
+}  // namespace
+
+bool SatisfiesConstraints(const std::vector<OrderConstraint>& constraints,
+                          const std::vector<VertexId>& f) {
+  for (const OrderConstraint& c : constraints) {
+    if (!(f[c.first] < f[c.second])) return false;
+  }
+  return true;
+}
+
+}  // namespace benu

@@ -1,0 +1,34 @@
+#ifndef BENU_PLAN_SYMMETRY_BREAKING_H_
+#define BENU_PLAN_SYMMETRY_BREAKING_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "plan/instruction.h"
+
+namespace benu {
+
+/// Computes the symmetry-breaking partial order on V(P) with the
+/// Grochow–Kellis technique [15]: repeatedly pick a vertex v lying in a
+/// non-trivial orbit of the (remaining) automorphism group, emit
+/// f(v) ≺ f(w) for every other w in v's orbit, and restrict the group to
+/// the stabilizer of v. The resulting constraints guarantee that every
+/// subgraph isomorphic to P has exactly one constraint-satisfying match.
+std::vector<OrderConstraint> ComputeSymmetryBreakingConstraints(
+    const Graph& pattern);
+
+/// Label-aware variant for the property-graph extension: only
+/// label-preserving automorphisms (labels[a(v)] == labels[v]) create
+/// duplicates, so the partial order is derived from that subgroup.
+/// `labels` must have one entry per pattern vertex.
+std::vector<OrderConstraint> ComputeLabeledSymmetryBreakingConstraints(
+    const Graph& pattern, const std::vector<int>& labels);
+
+/// True iff the data-vertex assignment `f` (pattern index -> data vertex,
+/// ids realizing the total order ≺) satisfies all `constraints`.
+bool SatisfiesConstraints(const std::vector<OrderConstraint>& constraints,
+                          const std::vector<VertexId>& f);
+
+}  // namespace benu
+
+#endif  // BENU_PLAN_SYMMETRY_BREAKING_H_

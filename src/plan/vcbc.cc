@@ -1,0 +1,72 @@
+#include "plan/vcbc.h"
+
+#include <algorithm>
+
+#include "graph/isomorphism.h"
+#include "plan/plan_generator.h"
+
+namespace benu {
+
+Status ApplyVcbcCompression(ExecutionPlan* plan) {
+  if (plan->compressed) {
+    return Status::FailedPrecondition("plan already compressed");
+  }
+  const size_t n = plan->NumPatternVertices();
+  // Smallest k whose matching-order prefix covers every edge.
+  size_t k = 0;
+  std::vector<VertexId> prefix;
+  for (k = 1; k <= n; ++k) {
+    prefix.assign(plan->matching_order.begin(),
+                  plan->matching_order.begin() + static_cast<ptrdiff_t>(k));
+    if (IsVertexCover(plan->pattern, prefix)) break;
+  }
+  if (k > n) return Status::Internal("no vertex-cover prefix found");
+  if (k == n) {
+    // Nothing to compress; the plan is unchanged but marked, so callers
+    // know every RES operand is still an f variable.
+    plan->compressed = true;
+    plan->core_vertices = prefix;
+    return Status::OK();
+  }
+
+  std::vector<char> is_core(n, 0);
+  for (VertexId u : prefix) is_core[u] = 1;
+
+  auto& code = plan->instructions;
+  for (size_t pos = k; pos < n; ++pos) {
+    const VertexId u = plan->matching_order[pos];
+    // Locate the ENU of f_u and remember its candidate variable.
+    auto enu = std::find_if(code.begin(), code.end(), [u](const Instruction& ins) {
+      return ins.type == InstrType::kEnumerate &&
+             ins.target == VarRef{VarKind::kF, static_cast<int>(u)};
+    });
+    if (enu == code.end()) {
+      return Status::Internal("missing ENU for non-core pattern vertex");
+    }
+    const VarRef candidate = enu->operands[0];
+    code.erase(enu);
+    // Replace f_u with its candidate set in the RES operands.
+    for (Instruction& ins : code) {
+      if (ins.type != InstrType::kReport) continue;
+      for (VarRef& op : ins.operands) {
+        if (op == VarRef{VarKind::kF, static_cast<int>(u)}) op = candidate;
+      }
+    }
+  }
+  // Drop filters that reference non-core f variables (the expansion step
+  // re-applies the corresponding constraints).
+  for (Instruction& ins : code) {
+    auto& filters = ins.filters;
+    filters.erase(std::remove_if(filters.begin(), filters.end(),
+                                 [&is_core](const FilterCondition& fc) {
+                                   return !is_core[fc.f_index];
+                                 }),
+                  filters.end());
+  }
+  EliminateUniOperandIntersections(plan);
+  plan->compressed = true;
+  plan->core_vertices = prefix;
+  return Status::OK();
+}
+
+}  // namespace benu

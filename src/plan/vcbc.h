@@ -1,0 +1,24 @@
+#ifndef BENU_PLAN_VCBC_H_
+#define BENU_PLAN_VCBC_H_
+
+#include "common/status.h"
+#include "plan/instruction.h"
+
+namespace benu {
+
+/// Applies the VCBC (vertex-cover based compression [6]) transformation of
+/// §IV-B to an optimized plan:
+///   1. finds the smallest k such that the first k vertices of the matching
+///      order form a vertex cover V_c of P (the core);
+///   2. deletes the ENU instruction of every non-core vertex and removes
+///      filters that reference non-core f variables;
+///   3. replaces f_j with C_j in the RES operands for non-core u_j.
+/// The transformed plan emits compressed codes: the match of the core
+/// (helve) plus one conditional image set per non-core vertex. Injectivity
+/// and order constraints *between* non-core vertices are not encoded in the
+/// codes; expansion/counting re-applies them (core/compressed_result.h).
+Status ApplyVcbcCompression(ExecutionPlan* plan);
+
+}  // namespace benu
+
+#endif  // BENU_PLAN_VCBC_H_

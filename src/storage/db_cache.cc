@@ -1,0 +1,71 @@
+#include "storage/db_cache.h"
+
+namespace benu {
+
+DbCache::DbCache(const DistributedKvStore* store, size_t capacity_bytes,
+                 size_t num_shards)
+    : store_(store), capacity_bytes_(capacity_bytes) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<const VertexSet> DbCache::GetAdjacency(VertexId v,
+                                                       bool* was_hit) {
+  Shard& shard = ShardFor(v);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(v);
+    if (it != shard.index.end()) {
+      ++shard.hits;
+      if (was_hit != nullptr) *was_hit = true;
+      // Move to the front of the LRU list.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return it->second->value;
+    }
+    ++shard.misses;
+  }
+  if (was_hit != nullptr) *was_hit = false;
+  // Miss path: query the distributed database outside the shard lock so a
+  // slow remote fetch does not block other threads hitting this shard.
+  std::shared_ptr<const VertexSet> value = store_->GetAdjacency(v);
+  if (capacity_bytes_ == 0) return value;
+  const size_t bytes = EntryBytes(*value);
+  const size_t shard_capacity = capacity_bytes_ / shards_.size();
+  if (bytes > shard_capacity) return value;  // too large to retain
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.index.count(v) > 0) return value;  // raced with another thread
+  shard.lru.push_front(Entry{v, value, bytes});
+  shard.index[v] = shard.lru.begin();
+  shard.bytes += bytes;
+  while (shard.bytes > shard_capacity && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+  }
+  return value;
+}
+
+DbCacheStats DbCache::stats() const {
+  DbCacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+  }
+  return total;
+}
+
+size_t DbCache::SizeBytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->bytes;
+  }
+  return total;
+}
+
+}  // namespace benu

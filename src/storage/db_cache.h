@@ -1,0 +1,93 @@
+#ifndef BENU_STORAGE_DB_CACHE_H_
+#define BENU_STORAGE_DB_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/vertex_set.h"
+#include "storage/kv_store.h"
+
+namespace benu {
+
+/// Hit/miss statistics of a database cache.
+struct DbCacheStats {
+  Count hits = 0;
+  Count misses = 0;
+
+  double HitRate() const {
+    const Count total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// The local in-memory database cache of §V-A: one per worker machine,
+/// shared by all of the worker's threads, storing adjacency sets fetched
+/// from the distributed database. LRU replacement captures the intra-task
+/// locality of the backtracking search; sharing across threads captures
+/// the inter-task locality of overlapping neighborhoods. Capacity is in
+/// bytes of cached adjacency payload, so experiments can size it relative
+/// to the data graph (Exp-3).
+///
+/// Sharded LRU: the key space is split over independent shards, each with
+/// its own mutex, list and map, so concurrent worker threads do not
+/// serialize on one lock.
+class DbCache {
+ public:
+  /// `capacity_bytes` == 0 disables caching (every get is a miss that
+  /// goes to the store and is not retained).
+  DbCache(const DistributedKvStore* store, size_t capacity_bytes,
+          size_t num_shards = 8);
+
+  DbCache(const DbCache&) = delete;
+  DbCache& operator=(const DbCache&) = delete;
+
+  /// Returns Γ(v), from cache when present, otherwise querying the
+  /// distributed store and inserting the reply. `was_hit`, if non-null,
+  /// reports whether this call was served from cache.
+  std::shared_ptr<const VertexSet> GetAdjacency(VertexId v,
+                                                bool* was_hit = nullptr);
+
+  /// Aggregated statistics over all shards.
+  DbCacheStats stats() const;
+
+  /// Current cached payload bytes over all shards.
+  size_t SizeBytes() const;
+
+  size_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  struct Entry {
+    VertexId key;
+    std::shared_ptr<const VertexSet> value;
+    size_t bytes;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<VertexId, std::list<Entry>::iterator> index;
+    size_t bytes = 0;
+    Count hits = 0;
+    Count misses = 0;
+  };
+
+  Shard& ShardFor(VertexId v) { return *shards_[v % shards_.size()]; }
+  static size_t EntryBytes(const VertexSet& set) {
+    return set.size() * sizeof(VertexId) + kEntryOverheadBytes;
+  }
+
+  static constexpr size_t kEntryOverheadBytes = 32;
+
+  const DistributedKvStore* store_;
+  size_t capacity_bytes_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace benu
+
+#endif  // BENU_STORAGE_DB_CACHE_H_

@@ -1,0 +1,28 @@
+#include "storage/kv_store.h"
+
+#include "common/logging.h"
+
+namespace benu {
+
+DistributedKvStore::DistributedKvStore(const Graph& graph,
+                                       size_t num_partitions)
+    : num_partitions_(num_partitions == 0 ? 1 : num_partitions) {
+  adjacency_.reserve(graph.NumVertices());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    VertexSetView view = graph.Adjacency(v);
+    adjacency_.push_back(
+        std::make_shared<const VertexSet>(view.begin(), view.end()));
+  }
+}
+
+std::shared_ptr<const VertexSet> DistributedKvStore::GetAdjacency(
+    VertexId v) const {
+  BENU_CHECK(v < adjacency_.size()) << "vertex out of range: " << v;
+  const auto& set = adjacency_[v];
+  stats_.queries.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_fetched.fetch_add(ReplyBytes(set->size()),
+                                 std::memory_order_relaxed);
+  return set;
+}
+
+}  // namespace benu

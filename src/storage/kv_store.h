@@ -1,0 +1,72 @@
+#ifndef BENU_STORAGE_KV_STORE_H_
+#define BENU_STORAGE_KV_STORE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/graph.h"
+#include "graph/vertex_set.h"
+
+namespace benu {
+
+/// Communication statistics of the distributed database. Counters are
+/// atomic because worker threads query concurrently.
+struct KvStoreStats {
+  std::atomic<Count> queries{0};
+  std::atomic<Count> bytes_fetched{0};
+
+  void Reset() {
+    queries.store(0);
+    bytes_fetched.store(0);
+  }
+};
+
+/// Simulation of the distributed key-value database of the BENU
+/// architecture (Fig. 2; HBase in the paper). Stores the adjacency set of
+/// every data vertex, hash-partitioned over `num_partitions` virtual
+/// storage nodes. Every `GetAdjacency` models one remote query: it bumps
+/// the query counter and accounts the payload bytes. The cluster simulator
+/// converts these counters into virtual network time.
+///
+/// Thread-safe: the store is immutable after construction; stats are
+/// atomic.
+class DistributedKvStore {
+ public:
+  /// Loads the data graph into the store (Algorithm 2 line 1, the
+  /// pattern-independent preprocessing step).
+  DistributedKvStore(const Graph& graph, size_t num_partitions);
+
+  /// Fetches Γ(v). The returned set is shared with the store and
+  /// immutable. Also returns, via the stats, the simulated communication.
+  std::shared_ptr<const VertexSet> GetAdjacency(VertexId v) const;
+
+  /// Partition (virtual storage node) holding vertex v.
+  size_t PartitionOf(VertexId v) const { return v % num_partitions_; }
+
+  size_t num_partitions() const { return num_partitions_; }
+  size_t num_vertices() const { return adjacency_.size(); }
+
+  /// Payload bytes of one adjacency-set reply (entries × 4 plus a fixed
+  /// per-reply framing overhead, mirroring a KV get of a serialized set).
+  static size_t ReplyBytes(size_t set_size) {
+    return set_size * sizeof(VertexId) + kReplyOverheadBytes;
+  }
+
+  const KvStoreStats& stats() const { return stats_; }
+  KvStoreStats& mutable_stats() { return stats_; }
+
+  static constexpr size_t kReplyOverheadBytes = 16;
+
+ private:
+  std::vector<std::shared_ptr<const VertexSet>> adjacency_;
+  size_t num_partitions_;
+  mutable KvStoreStats stats_;
+};
+
+}  // namespace benu
+
+#endif  // BENU_STORAGE_KV_STORE_H_

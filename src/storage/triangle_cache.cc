@@ -1,0 +1,30 @@
+#include "storage/triangle_cache.h"
+
+#include <utility>
+
+namespace benu {
+
+void TriangleCache::BeginTask(VertexId start) {
+  if (start != current_start_) {
+    entries_.clear();
+    current_start_ = start;
+  }
+}
+
+std::shared_ptr<const VertexSet> TriangleCache::Lookup(VertexId neighbor) {
+  auto it = entries_.find(neighbor);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void TriangleCache::Insert(VertexId neighbor,
+                           std::shared_ptr<const VertexSet> set) {
+  if (max_entries_ == 0 || entries_.size() >= max_entries_) return;
+  entries_.emplace(neighbor, std::move(set));
+}
+
+}  // namespace benu

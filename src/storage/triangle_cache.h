@@ -1,0 +1,64 @@
+#ifndef BENU_STORAGE_TRIANGLE_CACHE_H_
+#define BENU_STORAGE_TRIANGLE_CACHE_H_
+
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "graph/vertex_set.h"
+
+namespace benu {
+
+/// Hit/miss statistics of a triangle cache.
+struct TriangleCacheStats {
+  Count hits = 0;
+  Count misses = 0;
+
+  double HitRate() const {
+    const Count total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// The per-working-thread triangle cache of Optimization 3 (§IV-B). A TRC
+/// instruction `X := TCache(f_i, f_j, A_i, A_j)` — where f_i is the start
+/// vertex of the local search task and f_j one of its data-graph
+/// neighbors — first probes the cache with key [f_i, f_j]; on a miss it
+/// computes A_i ∩ A_j (the triangles through the edge) and retains it.
+///
+/// Entries are only reusable while the task's start vertex is unchanged,
+/// so the executor calls `BeginTask(start)` which flushes on a new start
+/// vertex; subtasks produced by task splitting share the start vertex and
+/// keep the warm cache. Not thread-safe by design: each working thread
+/// owns one instance (as in Fig. 2).
+class TriangleCache {
+ public:
+  /// `max_entries` bounds memory; 0 disables caching.
+  explicit TriangleCache(size_t max_entries = 1 << 16)
+      : max_entries_(max_entries) {}
+
+  /// Prepares for a task with the given start vertex; flushes stale
+  /// entries when the start vertex changed.
+  void BeginTask(VertexId start);
+
+  /// Looks up the triangle set for neighbor key `f_j` (the start vertex is
+  /// implicit). Returns nullptr on miss.
+  std::shared_ptr<const VertexSet> Lookup(VertexId neighbor);
+
+  /// Inserts the computed set for `f_j` (no-op when full or disabled).
+  void Insert(VertexId neighbor, std::shared_ptr<const VertexSet> set);
+
+  const TriangleCacheStats& stats() const { return stats_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  size_t max_entries_;
+  VertexId current_start_ = kInvalidVertex;
+  std::unordered_map<VertexId, std::shared_ptr<const VertexSet>> entries_;
+  TriangleCacheStats stats_;
+};
+
+}  // namespace benu
+
+#endif  // BENU_STORAGE_TRIANGLE_CACHE_H_

@@ -1,0 +1,82 @@
+#include "baselines/bruteforce.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/isomorphism.h"
+#include "graph/patterns.h"
+#include "plan/symmetry_breaking.h"
+
+namespace benu {
+namespace {
+
+TEST(BruteForceTest, TrianglesInCliques) {
+  // K_n contains C(n,3) triangles.
+  Graph triangle = MakeClique(3);
+  EXPECT_EQ(*BruteForceCountSubgraphs(MakeClique(4), triangle), 4u);
+  EXPECT_EQ(*BruteForceCountSubgraphs(MakeClique(5), triangle), 10u);
+  EXPECT_EQ(*BruteForceCountSubgraphs(MakeClique(6), triangle), 20u);
+}
+
+TEST(BruteForceTest, WithoutConstraintsCountsAllMatches) {
+  // Matches = subgraphs × |Aut(P)|.
+  Graph triangle = MakeClique(3);
+  auto matches = BruteForceCount(MakeClique(5), triangle, {});
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(*matches, 10u * 6u);
+}
+
+TEST(BruteForceTest, CyclesInCycles) {
+  EXPECT_EQ(*BruteForceCountSubgraphs(MakeCycle(5), MakeCycle(5)), 1u);
+  EXPECT_EQ(*BruteForceCountSubgraphs(MakeCycle(6), MakeCycle(5)), 0u);
+}
+
+TEST(BruteForceTest, SquaresInBipartiteClique) {
+  // K_{2,3}: squares = C(2,2) × C(3,2) = 3.
+  auto k23 = Graph::FromEdges(
+      5, {{0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 4}});
+  ASSERT_TRUE(k23.ok());
+  EXPECT_EQ(*BruteForceCountSubgraphs(*k23, MakeCycle(4)), 3u);
+}
+
+TEST(BruteForceTest, EnumerateReturnsDistinctSortedMatches) {
+  auto data = GenerateErdosRenyi(25, 80, 4);
+  ASSERT_TRUE(data.ok());
+  Graph p = MakeClique(3);
+  auto cs = ComputeSymmetryBreakingConstraints(p);
+  auto matches = BruteForceEnumerate(*data, p, cs);
+  ASSERT_TRUE(matches.ok());
+  for (size_t i = 1; i < matches->size(); ++i) {
+    EXPECT_LT((*matches)[i - 1], (*matches)[i]);
+  }
+  for (const auto& f : *matches) {
+    EXPECT_TRUE(data->HasEdge(f[0], f[1]));
+    EXPECT_TRUE(data->HasEdge(f[1], f[2]));
+    EXPECT_TRUE(data->HasEdge(f[0], f[2]));
+  }
+}
+
+TEST(BruteForceTest, SubgraphCountIsLabelingInvariant) {
+  // Counting subgraphs must not depend on the total order realization.
+  auto data = GenerateBarabasiAlbert(100, 3, 6);
+  ASSERT_TRUE(data.ok());
+  Graph relabeled = data->RelabelByDegree();
+  for (const std::string name : {"triangle", "square", "q3"}) {
+    Graph p = std::move(GetPattern(name)).value();
+    EXPECT_EQ(*BruteForceCountSubgraphs(*data, p),
+              *BruteForceCountSubgraphs(relabeled, p))
+        << name;
+  }
+}
+
+TEST(BruteForceTest, EmptyPatternRejected) {
+  Graph empty;
+  EXPECT_FALSE(BruteForceCount(MakeClique(3), empty, {}).ok());
+}
+
+TEST(BruteForceTest, PatternLargerThanDataYieldsZero) {
+  EXPECT_EQ(*BruteForceCountSubgraphs(MakeClique(3), MakeClique(4)), 0u);
+}
+
+}  // namespace
+}  // namespace benu

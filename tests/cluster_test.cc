@@ -1,0 +1,237 @@
+#include "distributed/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/bruteforce.h"
+#include "distributed/benu_driver.h"
+#include "graph/generators.h"
+#include "graph/patterns.h"
+#include "plan/plan_search.h"
+
+namespace benu {
+namespace {
+
+ClusterConfig SmallCluster() {
+  ClusterConfig config;
+  config.num_workers = 3;
+  config.threads_per_worker = 2;
+  config.db_cache_bytes = 1 << 20;
+  return config;
+}
+
+TEST(ClusterTest, CountsMatchBruteForce) {
+  auto raw = GenerateBarabasiAlbert(150, 4, 2);
+  ASSERT_TRUE(raw.ok());
+  Graph data = raw->RelabelByDegree();
+  for (const std::string name : {"triangle", "q1", "q4"}) {
+    Graph p = std::move(GetPattern(name)).value();
+    auto plan = GenerateBestPlan(p, DataGraphStats::FromGraph(data));
+    ASSERT_TRUE(plan.ok()) << name;
+    ClusterSimulator cluster(data, SmallCluster());
+    auto result = cluster.Run(plan->plan);
+    ASSERT_TRUE(result.ok()) << name;
+    auto expected = BruteForceCountSubgraphs(data, p);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(result->total_matches, *expected) << name;
+  }
+}
+
+TEST(ClusterTest, WorkerCountDoesNotChangeResults) {
+  auto raw = GenerateBarabasiAlbert(120, 4, 9);
+  ASSERT_TRUE(raw.ok());
+  Graph data = raw->RelabelByDegree();
+  Graph p = std::move(GetPattern("q3")).value();
+  auto plan = GenerateBestPlan(p, DataGraphStats::FromGraph(data));
+  ASSERT_TRUE(plan.ok());
+  Count reference = 0;
+  for (int workers : {1, 2, 4, 8}) {
+    ClusterConfig config = SmallCluster();
+    config.num_workers = workers;
+    ClusterSimulator cluster(data, config);
+    auto result = cluster.Run(plan->plan);
+    ASSERT_TRUE(result.ok());
+    if (workers == 1) {
+      reference = result->total_matches;
+    } else {
+      EXPECT_EQ(result->total_matches, reference) << workers;
+    }
+  }
+}
+
+TEST(ClusterTest, TaskSplittingPreservesCounts) {
+  auto raw = GenerateBarabasiAlbert(200, 6, 13);
+  ASSERT_TRUE(raw.ok());
+  Graph data = raw->RelabelByDegree();
+  Graph p = std::move(GetPattern("q5")).value();
+  auto plan = GenerateBestPlan(p, DataGraphStats::FromGraph(data));
+  ASSERT_TRUE(plan.ok());
+
+  ClusterConfig no_split = SmallCluster();
+  ClusterConfig split = SmallCluster();
+  split.task_split_threshold = 8;
+  ClusterSimulator a(data, no_split);
+  ClusterSimulator b(data, split);
+  auto ra = a.Run(plan->plan);
+  auto rb = b.Run(plan->plan);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->total_matches, rb->total_matches);
+  EXPECT_GT(rb->num_tasks, ra->num_tasks);
+}
+
+TEST(ClusterTest, CacheReducesDbQueries) {
+  auto raw = GenerateBarabasiAlbert(300, 5, 21);
+  ASSERT_TRUE(raw.ok());
+  Graph data = raw->RelabelByDegree();
+  Graph p = std::move(GetPattern("q4")).value();
+  auto plan = GenerateBestPlan(p, DataGraphStats::FromGraph(data));
+  ASSERT_TRUE(plan.ok());
+
+  ClusterConfig cold = SmallCluster();
+  cold.db_cache_bytes = 0;
+  ClusterConfig warm = SmallCluster();
+  warm.db_cache_bytes = 64 << 20;
+  ClusterSimulator a(data, cold);
+  ClusterSimulator b(data, warm);
+  auto ra = a.Run(plan->plan);
+  auto rb = b.Run(plan->plan);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->total_matches, rb->total_matches);
+  EXPECT_LT(rb->db_queries, ra->db_queries);
+  EXPECT_GT(rb->CacheHitRate(), 0.5);
+  EXPECT_EQ(ra->cache_hits, 0u);
+}
+
+TEST(ClusterTest, StatsAreInternallyConsistent) {
+  auto raw = GenerateBarabasiAlbert(100, 4, 33);
+  ASSERT_TRUE(raw.ok());
+  Graph data = raw->RelabelByDegree();
+  Graph p = std::move(GetPattern("triangle")).value();
+  auto plan = GenerateBestPlan(p, DataGraphStats::FromGraph(data));
+  ASSERT_TRUE(plan.ok());
+  ClusterSimulator cluster(data, SmallCluster());
+  auto result = cluster.Run(plan->plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->adjacency_requests,
+            result->cache_hits + result->db_queries);
+  EXPECT_EQ(result->task_virtual_us.size(), result->num_tasks);
+  size_t tasks_across_workers = 0;
+  for (const WorkerSummary& w : result->workers) {
+    tasks_across_workers += w.tasks;
+    EXPECT_LE(w.makespan_virtual_us, w.busy_virtual_us + 1e-6);
+  }
+  EXPECT_EQ(tasks_across_workers, result->num_tasks);
+  EXPECT_GT(result->virtual_seconds, 0.0);
+}
+
+TEST(ClusterTest, RealExecutionThreadsPreserveCounts) {
+  // Multithreaded in-worker execution (threads share the worker's DB
+  // cache) must produce identical totals to serial execution.
+  auto raw = GenerateBarabasiAlbert(200, 5, 61);
+  ASSERT_TRUE(raw.ok());
+  Graph data = raw->RelabelByDegree();
+  Graph p = std::move(GetPattern("q4")).value();
+  auto plan = GenerateBestPlan(p, DataGraphStats::FromGraph(data),
+                               {.optimize = true, .apply_vcbc = true});
+  ASSERT_TRUE(plan.ok());
+  Count serial_matches = 0;
+  for (int threads : {1, 2, 4}) {
+    ClusterConfig config = SmallCluster();
+    config.execution_threads = threads;
+    config.task_split_threshold = 12;
+    ClusterSimulator cluster(data, config);
+    auto result = cluster.Run(plan->plan);
+    ASSERT_TRUE(result.ok()) << threads;
+    if (threads == 1) {
+      serial_matches = result->total_matches;
+    } else {
+      EXPECT_EQ(result->total_matches, serial_matches) << threads;
+    }
+    EXPECT_EQ(result->adjacency_requests,
+              result->cache_hits + result->db_queries);
+    EXPECT_EQ(result->task_virtual_us.size(), result->num_tasks);
+  }
+}
+
+TEST(ClusterTest, MakespanBoundsHold) {
+  // List scheduling guarantees: max-task ≤ makespan ≤ busy, and
+  // makespan ≥ busy / threads.
+  auto raw = GenerateBarabasiAlbert(150, 5, 42);
+  ASSERT_TRUE(raw.ok());
+  Graph data = raw->RelabelByDegree();
+  Graph p = std::move(GetPattern("q4")).value();
+  auto plan = GenerateBestPlan(p, DataGraphStats::FromGraph(data));
+  ASSERT_TRUE(plan.ok());
+  ClusterConfig config = SmallCluster();
+  config.threads_per_worker = 3;
+  ClusterSimulator cluster(data, config);
+  auto result = cluster.Run(plan->plan);
+  ASSERT_TRUE(result.ok());
+  double max_task = 0;
+  for (double t : result->task_virtual_us) max_task = std::max(max_task, t);
+  for (const WorkerSummary& w : result->workers) {
+    EXPECT_LE(w.makespan_virtual_us, w.busy_virtual_us + 1e-6);
+    EXPECT_GE(w.makespan_virtual_us + 1e-6,
+              w.busy_virtual_us / config.threads_per_worker);
+  }
+  EXPECT_GE(result->virtual_seconds * 1e6 + 1e-6, max_task);
+}
+
+TEST(ClusterTest, VirtualTimeGrowsWithQueryLatency) {
+  auto raw = GenerateBarabasiAlbert(120, 4, 52);
+  ASSERT_TRUE(raw.ok());
+  Graph data = raw->RelabelByDegree();
+  Graph p = std::move(GetPattern("triangle")).value();
+  auto plan = GenerateBestPlan(p, DataGraphStats::FromGraph(data));
+  ASSERT_TRUE(plan.ok());
+  ClusterConfig slow = SmallCluster();
+  slow.db_cache_bytes = 0;
+  slow.db_query_latency_us = 10000.0;
+  ClusterConfig fast = slow;
+  fast.db_query_latency_us = 0.0;
+  fast.network_bytes_per_us = 1e12;
+  ClusterSimulator a(data, slow);
+  ClusterSimulator b(data, fast);
+  auto ra = a.Run(plan->plan);
+  auto rb = b.Run(plan->plan);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->total_matches, rb->total_matches);
+  EXPECT_GT(ra->virtual_seconds, rb->virtual_seconds);
+}
+
+TEST(BenuDriverTest, EndToEndCount) {
+  auto data = GenerateErdosRenyi(80, 320, 12);
+  ASSERT_TRUE(data.ok());
+  Graph p = std::move(GetPattern("diamond")).value();
+  auto expected = BruteForceCountSubgraphs(*data, p);
+  ASSERT_TRUE(expected.ok());
+  auto count = CountSubgraphs(*data, p);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, *expected);
+}
+
+TEST(BenuDriverTest, CompressedRunMatches) {
+  auto data = GenerateBarabasiAlbert(150, 4, 77);
+  ASSERT_TRUE(data.ok());
+  Graph p = std::move(GetPattern("q7")).value();
+  BenuOptions options;
+  options.cluster = SmallCluster();
+  auto plain = RunBenu(*data, p, options);
+  ASSERT_TRUE(plain.ok());
+  options.plan.apply_vcbc = true;
+  auto compressed = RunBenu(*data, p, options);
+  ASSERT_TRUE(compressed.ok());
+  EXPECT_EQ(plain->run.total_matches, compressed->run.total_matches);
+  // Compression emits fewer codes than matches.
+  EXPECT_LE(compressed->run.total_codes, compressed->run.total_matches);
+  // And a smaller payload than n entries per match.
+  EXPECT_LE(compressed->run.code_units,
+            plain->run.total_matches * p.NumVertices());
+}
+
+}  // namespace
+}  // namespace benu

@@ -1,0 +1,115 @@
+#include "core/compressed_result.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace benu {
+namespace {
+
+using Pair = std::pair<int, int>;
+
+VertexSet Make(std::initializer_list<VertexId> values) {
+  return VertexSet(values);
+}
+
+// Oracle: count via explicit enumeration.
+Count Oracle(const std::vector<VertexSet>& sets,
+             const std::vector<Pair>& constraints) {
+  std::vector<VertexSetView> views(sets.begin(), sets.end());
+  return EnumerateInjectiveAssignments(views, constraints).size();
+}
+
+Count Fast(const std::vector<VertexSet>& sets,
+           const std::vector<Pair>& constraints) {
+  std::vector<VertexSetView> views(sets.begin(), sets.end());
+  return CountInjectiveAssignments(views, constraints);
+}
+
+TEST(CountInjectiveTest, NoSetsCountsOne) {
+  EXPECT_EQ(Fast({}, {}), 1u);
+}
+
+TEST(CountInjectiveTest, SingleSet) {
+  EXPECT_EQ(Fast({Make({1, 5, 9})}, {}), 3u);
+  EXPECT_EQ(Fast({Make({})}, {}), 0u);
+}
+
+TEST(CountInjectiveTest, TwoDisjointSetsMultiply) {
+  EXPECT_EQ(Fast({Make({1, 2}), Make({3, 4, 5})}, {}), 6u);
+}
+
+TEST(CountInjectiveTest, TwoIdenticalSets) {
+  // |S|^2 - |S| ordered injective pairs.
+  EXPECT_EQ(Fast({Make({1, 2, 3}), Make({1, 2, 3})}, {}), 6u);
+}
+
+TEST(CountInjectiveTest, OrderedPairMerge) {
+  // x from {1,4,7}, y from {2,5}: pairs with x<y: (1,2),(1,5),(4,5) = 3.
+  EXPECT_EQ(Fast({Make({1, 4, 7}), Make({2, 5})}, {{0, 1}}), 3u);
+}
+
+TEST(CountInjectiveTest, TotalChainOfIdenticalSets) {
+  // 3 identical sets of size 5, total order: C(5,3) = 10.
+  VertexSet s = Make({1, 2, 3, 4, 5});
+  EXPECT_EQ(Fast({s, s, s}, {{0, 1}, {1, 2}}), 10u);
+  // Transitively closed chain gives the same answer.
+  EXPECT_EQ(Fast({s, s, s}, {{0, 1}, {1, 2}, {0, 2}}), 10u);
+}
+
+TEST(CountInjectiveTest, ThreeSetsPartitionFormula) {
+  // Verified against the enumeration oracle.
+  std::vector<VertexSet> sets = {Make({1, 2, 3}), Make({2, 3, 4}),
+                                 Make({3, 4, 5})};
+  EXPECT_EQ(Fast(sets, {}), Oracle(sets, {}));
+}
+
+TEST(CountInjectiveTest, RandomizedAgainstOracle) {
+  Rng rng(42);
+  for (int trial = 0; trial < 120; ++trial) {
+    const size_t k = 1 + rng.NextBounded(4);
+    std::vector<VertexSet> sets(k);
+    for (auto& s : sets) {
+      const size_t size = rng.NextBounded(8);
+      for (size_t i = 0; i < size; ++i) {
+        s.push_back(static_cast<VertexId>(rng.NextBounded(12)));
+      }
+      std::sort(s.begin(), s.end());
+      s.erase(std::unique(s.begin(), s.end()), s.end());
+    }
+    std::vector<Pair> constraints;
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = i + 1; j < k; ++j) {
+        if (rng.NextBernoulli(0.3)) {
+          constraints.push_back({static_cast<int>(i), static_cast<int>(j)});
+        }
+      }
+    }
+    EXPECT_EQ(Fast(sets, constraints), Oracle(sets, constraints))
+        << "trial " << trial;
+  }
+}
+
+TEST(EnumerateInjectiveTest, ProducesDistinctOrderedTuples) {
+  std::vector<VertexSetView> views;
+  VertexSet a = Make({1, 2});
+  VertexSet b = Make({1, 2, 3});
+  views.push_back(a);
+  views.push_back(b);
+  auto all = EnumerateInjectiveAssignments(views, {{0, 1}});
+  // (1,2),(1,3),(2,3).
+  ASSERT_EQ(all.size(), 3u);
+  for (const auto& tuple : all) EXPECT_LT(tuple[0], tuple[1]);
+}
+
+TEST(EnumerateInjectiveTest, EmptySetsYieldNothing) {
+  std::vector<VertexSetView> views;
+  VertexSet empty;
+  views.push_back(empty);
+  EXPECT_TRUE(EnumerateInjectiveAssignments(views, {}).empty());
+}
+
+}  // namespace
+}  // namespace benu

@@ -1,0 +1,87 @@
+#include "plan/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/patterns.h"
+#include "plan/optimizer.h"
+#include "plan/plan_generator.h"
+
+namespace benu {
+namespace {
+
+std::vector<VertexId> Identity(size_t n) {
+  std::vector<VertexId> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<VertexId>(i);
+  return order;
+}
+
+TEST(EstimateMatchesTest, SingleVertexEstimatesN) {
+  auto one = Graph::FromEdges(1, {});
+  ASSERT_TRUE(one.ok());
+  DataGraphStats stats{1000, 5000};
+  EXPECT_DOUBLE_EQ(EstimateMatches(*one, stats), 1000.0);
+}
+
+TEST(EstimateMatchesTest, EdgeEstimatesTwiceEdgeCount) {
+  // Injective pairs N(N-1) times edge probability 2M/(N(N-1)) = 2M.
+  Graph edge = MakeClique(2);
+  DataGraphStats stats{1000, 5000};
+  EXPECT_NEAR(EstimateMatches(edge, stats), 10000.0, 1e-6);
+}
+
+TEST(EstimateMatchesTest, DenserPatternsAreRarer) {
+  DataGraphStats stats{10000, 50000};
+  double triangle = EstimateMatches(MakeClique(3), stats);
+  double path3 = EstimateMatches(MakePath(3), stats);
+  EXPECT_LT(triangle, path3);
+}
+
+TEST(EstimateMatchesTest, DisconnectedPatternMultipliesComponents) {
+  auto two_edges = Graph::FromEdges(4, {{0, 1}, {2, 3}});
+  ASSERT_TRUE(two_edges.ok());
+  DataGraphStats stats{1000, 5000};
+  Graph edge = MakeClique(2);
+  double single = EstimateMatches(edge, stats);
+  EXPECT_NEAR(EstimateMatches(*two_edges, stats), single * single, 1e-3);
+}
+
+TEST(EstimateMatchesTest, PatternLargerThanGraphIsZero) {
+  DataGraphStats stats{3, 3};
+  EXPECT_DOUBLE_EQ(EstimateMatches(MakeClique(5), stats), 0.0);
+}
+
+TEST(EstimatePlanCostTest, DbqBeforeFirstEnuChargedNTimes) {
+  // Edge pattern K2: plan is INI, DBQ(A1), C2, ENU, RES. The DBQ runs once
+  // per local search task = N times.
+  Graph edge = MakeClique(2);
+  auto plan = GenerateRawPlan(edge, Identity(2), {{0, 1}});
+  ASSERT_TRUE(plan.ok());
+  DataGraphStats stats{1000, 5000};
+  PlanCost cost = EstimatePlanCost(*plan, stats);
+  EXPECT_DOUBLE_EQ(cost.communication, 1000.0);
+}
+
+TEST(EstimatePlanCostTest, ReorderingReducesComputationCost) {
+  // Moving INT instructions out of inner loops lowers the estimated
+  // computation cost (that is the point of Optimization 2).
+  Graph q7 = std::move(GetPattern("q7")).value();
+  auto raw = GenerateRawPlan(q7, Identity(6), {});
+  ASSERT_TRUE(raw.ok());
+  ExecutionPlan optimized = *raw;
+  OptimizePlan(&optimized);
+  DataGraphStats stats{10000, 200000};
+  PlanCost raw_cost = EstimatePlanCost(*raw, stats);
+  PlanCost opt_cost = EstimatePlanCost(optimized, stats);
+  EXPECT_LE(opt_cost.computation, raw_cost.computation);
+  EXPECT_DOUBLE_EQ(opt_cost.communication, raw_cost.communication);
+}
+
+TEST(CheaperThanTest, CommunicationDominates) {
+  EXPECT_TRUE(CheaperThan({10, 1e9}, {11, 0}));
+  EXPECT_FALSE(CheaperThan({11, 0}, {10, 1e9}));
+  EXPECT_TRUE(CheaperThan({10, 5}, {10, 6}));
+  EXPECT_FALSE(CheaperThan({10, 6}, {10, 6}));
+}
+
+}  // namespace
+}  // namespace benu

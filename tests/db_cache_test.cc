@@ -1,0 +1,114 @@
+#include "storage/db_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/thread_pool.h"
+#include "graph/generators.h"
+#include "graph/patterns.h"
+
+namespace benu {
+namespace {
+
+TEST(DbCacheTest, SecondFetchHits) {
+  Graph g = MakeCycle(5);
+  DistributedKvStore store(g, 1);
+  DbCache cache(&store, 1 << 20, /*num_shards=*/1);
+  bool hit = true;
+  cache.GetAdjacency(2, &hit);
+  EXPECT_FALSE(hit);
+  cache.GetAdjacency(2, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(store.stats().queries.load(), 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(DbCacheTest, ReturnsCorrectSets) {
+  Graph g = MakeStar(4);
+  DistributedKvStore store(g, 1);
+  DbCache cache(&store, 1 << 20);
+  EXPECT_EQ(*cache.GetAdjacency(0), (VertexSet{1, 2, 3, 4}));
+  EXPECT_EQ(*cache.GetAdjacency(3), (VertexSet{0}));
+  // Cached copies stay correct.
+  EXPECT_EQ(*cache.GetAdjacency(0), (VertexSet{1, 2, 3, 4}));
+}
+
+TEST(DbCacheTest, ZeroCapacityNeverCaches) {
+  Graph g = MakeCycle(4);
+  DistributedKvStore store(g, 1);
+  DbCache cache(&store, 0);
+  bool hit = true;
+  cache.GetAdjacency(1, &hit);
+  EXPECT_FALSE(hit);
+  cache.GetAdjacency(1, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(store.stats().queries.load(), 2u);
+  EXPECT_EQ(cache.SizeBytes(), 0u);
+}
+
+TEST(DbCacheTest, LruEvictsColdEntries) {
+  // Capacity for roughly two entries in one shard.
+  Graph g = MakeCycle(8);  // every adjacency has 2 entries
+  DistributedKvStore store(g, 1);
+  const size_t entry_bytes = 2 * sizeof(VertexId) + 32;
+  DbCache cache(&store, 2 * entry_bytes, /*num_shards=*/1);
+  bool hit = false;
+  cache.GetAdjacency(0, &hit);
+  cache.GetAdjacency(1, &hit);
+  cache.GetAdjacency(0, &hit);  // refresh 0: LRU order is [0, 1]
+  EXPECT_TRUE(hit);
+  cache.GetAdjacency(2, &hit);  // evicts 1
+  cache.GetAdjacency(1, &hit);
+  EXPECT_FALSE(hit);
+  cache.GetAdjacency(0, &hit);  // wait: inserting 1 evicted 0? LRU [2,1]
+  // After inserting 2 the set is {0,2}; fetching 1 evicts 0.
+  EXPECT_FALSE(hit);
+}
+
+TEST(DbCacheTest, CapacityBoundRespected) {
+  auto g = GenerateBarabasiAlbert(500, 4, 9);
+  ASSERT_TRUE(g.ok());
+  DistributedKvStore store(*g, 1);
+  const size_t capacity = 4096;
+  DbCache cache(&store, capacity, 4);
+  for (VertexId v = 0; v < g->NumVertices(); ++v) cache.GetAdjacency(v);
+  EXPECT_LE(cache.SizeBytes(), capacity);
+}
+
+TEST(DbCacheTest, OversizedEntryNotRetained) {
+  Graph g = MakeStar(100);
+  DistributedKvStore store(g, 1);
+  DbCache cache(&store, 64, 1);  // hub set (400B) exceeds shard capacity
+  bool hit = true;
+  cache.GetAdjacency(0, &hit);
+  EXPECT_FALSE(hit);
+  cache.GetAdjacency(0, &hit);
+  EXPECT_FALSE(hit);  // still not cached
+}
+
+TEST(DbCacheTest, ConcurrentAccessIsSafeAndComplete) {
+  auto g = GenerateBarabasiAlbert(300, 3, 4);
+  ASSERT_TRUE(g.ok());
+  DistributedKvStore store(*g, 4);
+  DbCache cache(&store, 1 << 20, 8);
+  ThreadPool pool(4);
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 4; ++t) {
+    pool.Submit([&] {
+      for (VertexId v = 0; v < g->NumVertices(); ++v) {
+        auto set = cache.GetAdjacency(v);
+        VertexSetView expected = g->Adjacency(v);
+        if (set->size() != expected.size) mismatches.fetch_add(1);
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses,
+            4 * g->NumVertices());
+}
+
+}  // namespace
+}  // namespace benu

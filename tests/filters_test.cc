@@ -1,0 +1,229 @@
+// Tests for the degree filter (§IV-A) and the property-graph (labeled)
+// extension.
+
+#include "plan/filters.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/bruteforce.h"
+#include "common/rng.h"
+#include "core/executor.h"
+#include "distributed/benu_driver.h"
+#include "graph/generators.h"
+#include "graph/patterns.h"
+#include "plan/plan_search.h"
+#include "plan/symmetry_breaking.h"
+
+namespace benu {
+namespace {
+
+TEST(DegreeFloorsTest, FloorsAreTightOnAStar) {
+  // Relabeled star: leaves get ids 0..k-1 (degree 1), hub id k (degree k).
+  Graph star = MakeStar(5).RelabelByDegree();
+  auto floors = ComputeDegreeFloors(star, star.MaxDegree());
+  EXPECT_EQ(floors[0], 0u);
+  EXPECT_EQ(floors[1], 0u);
+  EXPECT_EQ(floors[2], 5u);  // first vertex with degree >= 2 is the hub
+  EXPECT_EQ(floors[5], 5u);
+}
+
+TEST(DegreeFloorsTest, UnreachableDegreeMapsPastTheEnd) {
+  Graph cycle = MakeCycle(4).RelabelByDegree();
+  auto floors = ComputeDegreeFloors(cycle, 7);
+  EXPECT_EQ(floors[2], 0u);
+  for (size_t d = 3; d <= 7; ++d) {
+    EXPECT_EQ(floors[d], cycle.NumVertices());
+  }
+}
+
+TEST(DegreeFloorsTest, MonotoneNonDecreasing) {
+  Graph g = std::move(GenerateBarabasiAlbert(200, 4, 5)).value()
+                .RelabelByDegree();
+  auto floors = ComputeDegreeFloors(g, g.MaxDegree());
+  for (size_t d = 1; d < floors.size(); ++d) {
+    EXPECT_GE(floors[d], floors[d - 1]);
+  }
+}
+
+TEST(DegreeFilterTest, AnnotatesIniAndEnuWithPatternDegrees) {
+  Graph q4 = std::move(GetPattern("q4")).value();
+  PlanSearchOptions options;
+  options.apply_degree_filter = true;
+  auto plan = GenerateBestPlan(q4, DataGraphStats{1e5, 1e6}, options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->plan.UsesDegreeFilters());
+  for (const Instruction& ins : plan->plan.instructions) {
+    if (ins.type == InstrType::kInit || ins.type == InstrType::kEnumerate) {
+      EXPECT_EQ(ins.min_degree,
+                q4.Degree(static_cast<VertexId>(ins.target.index)));
+    } else {
+      EXPECT_EQ(ins.min_degree, 0u);
+    }
+  }
+}
+
+TEST(DegreeFilterTest, ExecutorRequiresFloorTable) {
+  Graph triangle = MakeClique(3);
+  PlanSearchOptions options;
+  options.apply_degree_filter = true;
+  auto plan = GenerateBestPlan(triangle, DataGraphStats{1e3, 1e4}, options);
+  ASSERT_TRUE(plan.ok());
+  Graph data = MakeClique(4);
+  DirectAdjacencyProvider provider(&data);
+  TriangleCache tcache;
+  auto executor = PlanExecutor::Create(&plan->plan, &provider, &tcache);
+  EXPECT_FALSE(executor.ok());
+}
+
+TEST(DegreeFilterTest, CountsAreUnchangedAcrossPatterns) {
+  auto raw = GenerateBarabasiAlbert(150, 4, 71);
+  ASSERT_TRUE(raw.ok());
+  Graph data = raw->RelabelByDegree();
+  for (const std::string name : {"triangle", "q1", "q4", "q5", "q7"}) {
+    Graph p = std::move(GetPattern(name)).value();
+    auto expected = BruteForceCountSubgraphs(data, p);
+    ASSERT_TRUE(expected.ok());
+    PlanSearchOptions options;
+    options.apply_degree_filter = true;
+    auto plan =
+        GenerateBestPlan(p, DataGraphStats::FromGraph(data), options);
+    ASSERT_TRUE(plan.ok()) << name;
+    ClusterConfig config;
+    config.num_workers = 2;
+    config.threads_per_worker = 2;
+    ClusterSimulator cluster(data, config);
+    auto result = cluster.Run(plan->plan);
+    ASSERT_TRUE(result.ok()) << name;
+    EXPECT_EQ(result->total_matches, *expected) << name;
+  }
+}
+
+TEST(DegreeFilterTest, PrunesWorkOnSkewedGraphs) {
+  // Matching K4 requires degree >= 3 everywhere. Build a power-law core
+  // plus pendant (degree-1) vertices: the filter must skip the pendants'
+  // local search tasks outright, cutting adjacency requests.
+  auto core = GenerateBarabasiAlbert(300, 3, 99);
+  ASSERT_TRUE(core.ok());
+  auto edges = core->Edges();
+  for (VertexId i = 0; i < 200; ++i) {
+    edges.emplace_back(static_cast<VertexId>(300 + i), i % 300);
+  }
+  auto raw = Graph::FromEdges(500, edges);
+  ASSERT_TRUE(raw.ok());
+  Graph data = raw->RelabelByDegree();
+  Graph k4 = MakeClique(4);
+  auto unfiltered = GenerateBestPlan(k4, DataGraphStats::FromGraph(data));
+  PlanSearchOptions filter_options;
+  filter_options.apply_degree_filter = true;
+  auto filtered =
+      GenerateBestPlan(k4, DataGraphStats::FromGraph(data), filter_options);
+  ASSERT_TRUE(unfiltered.ok());
+  ASSERT_TRUE(filtered.ok());
+  ClusterConfig config;
+  config.num_workers = 1;
+  config.threads_per_worker = 1;
+  ClusterSimulator cluster(data, config);
+  auto a = cluster.Run(unfiltered->plan);
+  auto b = cluster.Run(filtered->plan);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->total_matches, b->total_matches);
+  EXPECT_LT(b->adjacency_requests, a->adjacency_requests);
+}
+
+// ---------------------------------------------------------------------------
+// Labeled (property-graph) extension.
+// ---------------------------------------------------------------------------
+
+std::vector<int> RandomLabels(size_t n, int alphabet, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> labels(n);
+  for (auto& l : labels) l = static_cast<int>(rng.NextBounded(alphabet));
+  return labels;
+}
+
+TEST(LabeledTest, LabeledSymmetryBreakingRespectsLabels) {
+  // Triangle with labels {0, 0, 1}: only the automorphism swapping the
+  // two 0-labeled vertices survives, so exactly one constraint is
+  // emitted.
+  Graph triangle = MakeClique(3);
+  auto cs = ComputeLabeledSymmetryBreakingConstraints(triangle, {0, 0, 1});
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs[0].first, 0u);
+  EXPECT_EQ(cs[0].second, 1u);
+  // All-distinct labels: no symmetry at all.
+  EXPECT_TRUE(
+      ComputeLabeledSymmetryBreakingConstraints(triangle, {0, 1, 2}).empty());
+}
+
+TEST(LabeledTest, EndToEndMatchesLabeledOracle) {
+  auto raw = GenerateBarabasiAlbert(120, 4, 41);
+  ASSERT_TRUE(raw.ok());
+  const Graph& data = *raw;
+  std::vector<int> data_labels = RandomLabels(data.NumVertices(), 3, 7);
+  for (const std::string name : {"triangle", "square", "q1", "q3"}) {
+    Graph p = std::move(GetPattern(name)).value();
+    std::vector<int> pattern_labels =
+        RandomLabels(p.NumVertices(), 3, 1000 + name.size());
+    auto oracle = BruteForceCountLabeledSubgraphs(data, data_labels, p,
+                                                  pattern_labels);
+    ASSERT_TRUE(oracle.ok());
+    BenuOptions options;
+    options.cluster.num_workers = 2;
+    options.cluster.threads_per_worker = 2;
+    options.plan.pattern_labels = pattern_labels;
+    options.data_labels = data_labels;
+    auto result = RunBenu(data, p, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->run.total_matches, *oracle) << name;
+  }
+}
+
+TEST(LabeledTest, UniformLabelsMatchUnlabeledCounts) {
+  auto raw = GenerateErdosRenyi(60, 240, 21);
+  ASSERT_TRUE(raw.ok());
+  Graph p = std::move(GetPattern("diamond")).value();
+  auto unlabeled = BruteForceCountSubgraphs(*raw, p);
+  ASSERT_TRUE(unlabeled.ok());
+  BenuOptions options;
+  options.cluster.num_workers = 1;
+  options.cluster.threads_per_worker = 1;
+  options.plan.pattern_labels = {5, 5, 5, 5};
+  options.data_labels.assign(raw->NumVertices(), 5);
+  auto result = RunBenu(*raw, p, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->run.total_matches, *unlabeled);
+}
+
+TEST(LabeledTest, MissingLabelsRejected) {
+  Graph p = MakeClique(3);
+  Graph data = MakeClique(5);
+  BenuOptions options;
+  options.plan.pattern_labels = {0, 0, 0};
+  // No data labels supplied.
+  EXPECT_FALSE(RunBenu(data, p, options).ok());
+}
+
+TEST(LabeledTest, VcbcWithLabelsRejected) {
+  Graph p = MakeClique(3);
+  PlanSearchOptions options;
+  options.pattern_labels = {0, 0, 0};
+  options.apply_vcbc = true;
+  EXPECT_FALSE(GenerateBestPlan(p, DataGraphStats{1e3, 1e4}, options).ok());
+}
+
+TEST(LabeledTest, ImpossibleLabelYieldsZero) {
+  auto raw = GenerateErdosRenyi(40, 120, 31);
+  ASSERT_TRUE(raw.ok());
+  Graph p = MakeClique(3);
+  BenuOptions options;
+  options.cluster.num_workers = 1;
+  options.plan.pattern_labels = {9, 9, 9};  // label absent from the data
+  options.data_labels.assign(raw->NumVertices(), 1);
+  auto result = RunBenu(*raw, p, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->run.total_matches, 0u);
+}
+
+}  // namespace
+}  // namespace benu

@@ -1,0 +1,142 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace benu {
+namespace {
+
+TEST(ErdosRenyiTest, ExactEdgeCount) {
+  auto g = GenerateErdosRenyi(100, 250, 1);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 100u);
+  EXPECT_EQ(g->NumEdges(), 250u);
+}
+
+TEST(ErdosRenyiTest, DeterministicForSeed) {
+  auto a = GenerateErdosRenyi(50, 100, 7);
+  auto b = GenerateErdosRenyi(50, 100, 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(*a == *b);
+}
+
+TEST(ErdosRenyiTest, DifferentSeedsDiffer) {
+  auto a = GenerateErdosRenyi(50, 100, 7);
+  auto b = GenerateErdosRenyi(50, 100, 8);
+  EXPECT_FALSE(*a == *b);
+}
+
+TEST(ErdosRenyiTest, RejectsOverfullGraph) {
+  EXPECT_FALSE(GenerateErdosRenyi(3, 4, 1).ok());
+}
+
+TEST(BarabasiAlbertTest, EdgeCountMatchesModel) {
+  const size_t n = 500;
+  const size_t m = 4;
+  auto g = GenerateBarabasiAlbert(n, m, 3);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), n);
+  // Seed clique of m+1 vertices contributes C(m+1,2); every later vertex
+  // adds exactly m edges.
+  const size_t expected = (m + 1) * m / 2 + (n - (m + 1)) * m;
+  EXPECT_EQ(g->NumEdges(), expected);
+}
+
+TEST(BarabasiAlbertTest, ProducesSkewedDegrees) {
+  auto g = GenerateBarabasiAlbert(2000, 3, 5);
+  ASSERT_TRUE(g.ok());
+  // Power-law graphs have hubs far above the average degree (~6).
+  EXPECT_GT(g->MaxDegree(), 40u);
+}
+
+TEST(BarabasiAlbertTest, Deterministic) {
+  auto a = GenerateBarabasiAlbert(300, 3, 11);
+  auto b = GenerateBarabasiAlbert(300, 3, 11);
+  EXPECT_TRUE(*a == *b);
+}
+
+TEST(BarabasiAlbertTest, RejectsTinyGraphs) {
+  EXPECT_FALSE(GenerateBarabasiAlbert(2, 5, 1).ok());
+  EXPECT_FALSE(GenerateBarabasiAlbert(10, 0, 1).ok());
+}
+
+TEST(PowerLawClusterTest, MoreTrianglesThanPlainBa) {
+  auto ba = GenerateBarabasiAlbert(2000, 5, 8);
+  auto hk = GeneratePowerLawCluster(2000, 5, 0.7, 8);
+  ASSERT_TRUE(ba.ok());
+  ASSERT_TRUE(hk.ok());
+  auto count_triangles = [](const Graph& g) {
+    size_t count = 0;
+    for (const auto& [u, v] : g.Edges()) {
+      count += IntersectSize(g.Adjacency(u), g.Adjacency(v));
+    }
+    return count / 3;
+  };
+  EXPECT_GT(count_triangles(*hk), 3 * count_triangles(*ba));
+}
+
+TEST(PowerLawClusterTest, DeterministicAndSimple) {
+  auto a = GeneratePowerLawCluster(500, 4, 0.5, 3);
+  auto b = GeneratePowerLawCluster(500, 4, 0.5, 3);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(*a == *b);
+  EXPECT_EQ(a->NumVertices(), 500u);
+  // Roughly m edges per non-seed vertex (attempt cap may drop a few).
+  EXPECT_GE(a->NumEdges(), 495u * 4u * 9 / 10);
+}
+
+TEST(PowerLawClusterTest, HeavyTailedDegrees) {
+  // The hubs that motivate task splitting: the maximum degree dwarfs the
+  // median.
+  auto g = GeneratePowerLawCluster(5000, 6, 0.6, 17);
+  ASSERT_TRUE(g.ok());
+  std::vector<size_t> degrees;
+  for (VertexId v = 0; v < g->NumVertices(); ++v) {
+    degrees.push_back(g->Degree(v));
+  }
+  std::nth_element(degrees.begin(), degrees.begin() + degrees.size() / 2,
+                   degrees.end());
+  const size_t median = degrees[degrees.size() / 2];
+  EXPECT_GT(g->MaxDegree(), 10 * median);
+}
+
+TEST(PowerLawClusterTest, RejectsBadParameters) {
+  EXPECT_FALSE(GeneratePowerLawCluster(3, 5, 0.5, 1).ok());
+  EXPECT_FALSE(GeneratePowerLawCluster(10, 0, 0.5, 1).ok());
+}
+
+TEST(RandomConnectedTest, AlwaysConnected) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    auto g = GenerateRandomConnected(8, 0.3, seed);
+    ASSERT_TRUE(g.ok());
+    EXPECT_TRUE(g->IsConnected());
+    EXPECT_EQ(g->NumVertices(), 8u);
+    EXPECT_GE(g->NumEdges(), 7u);  // at least the spanning tree
+  }
+}
+
+TEST(RandomConnectedTest, ZeroExtraProbabilityGivesTree) {
+  auto g = GenerateRandomConnected(10, 0.0, 2);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 9u);
+}
+
+TEST(StandInDatasetTest, KnownNamesResolve) {
+  for (const char* name : {"as-sim", "lj-sim", "ok-sim"}) {
+    auto g = GenerateStandInDataset(name);
+    ASSERT_TRUE(g.ok()) << name;
+    EXPECT_GT(g->NumVertices(), 1000u);
+  }
+}
+
+TEST(StandInDatasetTest, UnknownNameFails) {
+  EXPECT_EQ(GenerateStandInDataset("twitter").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace benu

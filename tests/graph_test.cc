@@ -1,0 +1,148 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/isomorphism.h"
+#include "graph/patterns.h"
+
+namespace benu {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(GraphTest, FromEdgesBuildsSortedAdjacency) {
+  auto g = Graph::FromEdges(4, {{0, 2}, {0, 1}, {2, 3}, {1, 2}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 4u);
+  EXPECT_EQ(g->NumEdges(), 4u);
+  VertexSetView adj = g->Adjacency(2);
+  ASSERT_EQ(adj.size, 3u);
+  EXPECT_EQ(adj[0], 0u);
+  EXPECT_EQ(adj[1], 1u);
+  EXPECT_EQ(adj[2], 3u);
+}
+
+TEST(GraphTest, DuplicateEdgesCollapse) {
+  auto g = Graph::FromEdges(3, {{0, 1}, {1, 0}, {0, 1}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 1u);
+}
+
+TEST(GraphTest, SelfLoopRejected) {
+  auto g = Graph::FromEdges(3, {{1, 1}});
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphTest, OutOfRangeEndpointRejected) {
+  auto g = Graph::FromEdges(2, {{0, 5}});
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(GraphTest, HasEdgeBothDirections) {
+  auto g = Graph::FromEdges(3, {{0, 1}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_TRUE(g->HasEdge(1, 0));
+  EXPECT_FALSE(g->HasEdge(0, 2));
+}
+
+TEST(GraphTest, EdgesReportsEachOnce) {
+  Graph g = MakeClique(4);
+  auto edges = g.Edges();
+  EXPECT_EQ(edges.size(), 6u);
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+}
+
+TEST(GraphTest, DegreeAndMaxDegree) {
+  Graph star = MakeStar(5);
+  EXPECT_EQ(star.Degree(0), 5u);
+  EXPECT_EQ(star.Degree(3), 1u);
+  EXPECT_EQ(star.MaxDegree(), 5u);
+}
+
+TEST(GraphTest, AdjacencyBytesCountsBothDirections) {
+  Graph g = MakeClique(3);
+  EXPECT_EQ(g.AdjacencyBytes(), 6 * sizeof(VertexId));
+}
+
+TEST(GraphTest, RelabelByDegreeRealizesTotalOrder) {
+  // Star: the hub must get the largest id.
+  Graph star = MakeStar(4);
+  std::vector<VertexId> old_to_new;
+  Graph relabeled = star.RelabelByDegree(&old_to_new);
+  EXPECT_EQ(relabeled.NumEdges(), star.NumEdges());
+  EXPECT_EQ(old_to_new[0], 4u);  // hub had degree 4
+  // Ids are now ascending by degree.
+  for (VertexId v = 0; v + 1 < relabeled.NumVertices(); ++v) {
+    EXPECT_LE(relabeled.Degree(v), relabeled.Degree(v + 1));
+  }
+}
+
+TEST(GraphTest, RelabelByDegreePreservesStructure) {
+  auto g = Graph::FromEdges(
+      6, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {3, 4}, {4, 5}});
+  ASSERT_TRUE(g.ok());
+  std::vector<VertexId> old_to_new;
+  Graph relabeled = g->RelabelByDegree(&old_to_new);
+  // The mapping is a bijection preserving edges exactly.
+  for (const auto& [u, v] : g->Edges()) {
+    EXPECT_TRUE(relabeled.HasEdge(old_to_new[u], old_to_new[v]));
+  }
+  EXPECT_EQ(relabeled.NumEdges(), g->NumEdges());
+  EXPECT_TRUE(AreIsomorphic(*g, relabeled));
+}
+
+TEST(GraphTest, RelabelTiesBrokenById) {
+  // All-equal degrees: relabeling must be the identity.
+  Graph cycle = MakeCycle(6);
+  std::vector<VertexId> old_to_new;
+  Graph relabeled = cycle.RelabelByDegree(&old_to_new);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(old_to_new[v], v);
+  EXPECT_TRUE(cycle == relabeled);
+}
+
+TEST(GraphTest, InducedSubgraphKeepsLocalNumbering) {
+  Graph clique = MakeClique(5);
+  auto sub = clique.InducedSubgraph({4, 1, 2});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->NumVertices(), 3u);
+  EXPECT_EQ(sub->NumEdges(), 3u);  // triangle
+}
+
+TEST(GraphTest, InducedSubgraphRejectsDuplicates) {
+  Graph clique = MakeClique(3);
+  EXPECT_FALSE(clique.InducedSubgraph({0, 0}).ok());
+}
+
+TEST(GraphTest, InducedSubgraphOfPathDropsEdges) {
+  Graph path = MakePath(4);  // 0-1-2-3
+  auto sub = path.InducedSubgraph({0, 3});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->NumEdges(), 0u);
+}
+
+TEST(GraphTest, ConnectivityChecks) {
+  auto disconnected = Graph::FromEdges(4, {{0, 1}, {2, 3}});
+  ASSERT_TRUE(disconnected.ok());
+  EXPECT_FALSE(disconnected->IsConnected());
+  auto components = disconnected->ConnectedComponents();
+  ASSERT_EQ(components.size(), 2u);
+  EXPECT_EQ(components[0], (std::vector<VertexId>{0, 1}));
+  EXPECT_EQ(components[1], (std::vector<VertexId>{2, 3}));
+  EXPECT_TRUE(MakeCycle(5).IsConnected());
+}
+
+TEST(GraphTest, IsolatedVerticesFormComponents) {
+  auto g = Graph::FromEdges(3, {});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->ConnectedComponents().size(), 3u);
+}
+
+}  // namespace
+}  // namespace benu

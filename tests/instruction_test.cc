@@ -1,0 +1,153 @@
+// Rendering and validation tests for the execution-plan IR.
+
+#include "plan/instruction.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/patterns.h"
+
+namespace benu {
+namespace {
+
+TEST(InstructionToStringTest, InitAndDbq) {
+  Instruction ini;
+  ini.type = InstrType::kInit;
+  ini.target = {VarKind::kF, 0};
+  EXPECT_EQ(ini.ToString(), "f1 := Init(start)");
+
+  Instruction dbq;
+  dbq.type = InstrType::kDbQuery;
+  dbq.target = {VarKind::kA, 2};
+  dbq.operands = {{VarKind::kF, 2}};
+  EXPECT_EQ(dbq.ToString(), "A3 := GetAdj(f3)");
+}
+
+TEST(InstructionToStringTest, TriangleCache) {
+  Instruction trc;
+  trc.type = InstrType::kTriangleCache;
+  trc.target = {VarKind::kT, 6};
+  trc.operands = {{VarKind::kA, 0}, {VarKind::kA, 2}};
+  EXPECT_EQ(trc.ToString(), "T7 := TCache(A1, A3)");
+}
+
+TEST(InstructionToStringTest, ReportAndAllVertices) {
+  Instruction res;
+  res.type = InstrType::kReport;
+  res.operands = {{VarKind::kF, 0}, {VarKind::kC, 1}};
+  EXPECT_EQ(res.ToString(), "f := ReportMatch(f1, C2)");
+
+  Instruction with_all;
+  with_all.type = InstrType::kIntersect;
+  with_all.target = {VarKind::kC, 1};
+  with_all.operands = {{VarKind::kAllVertices, 0}};
+  with_all.filters = {{FilterKind::kNotEqual, 0}};
+  EXPECT_EQ(with_all.ToString(), "C2 := Intersect(V(G)) | !=f1");
+}
+
+TEST(InstructionToStringTest, DegreeAndLabelAnnotations) {
+  Instruction enu;
+  enu.type = InstrType::kEnumerate;
+  enu.target = {VarKind::kF, 1};
+  enu.operands = {{VarKind::kC, 1}};
+  enu.min_degree = 3;
+  enu.required_label = 7;
+  EXPECT_EQ(enu.ToString(), "f2 := Foreach(C2) | deg>=3 | label=7");
+}
+
+TEST(ValidatePlanTest, RejectsEmptyPlan) {
+  ExecutionPlan plan;
+  std::string error;
+  EXPECT_FALSE(ValidatePlan(plan, &error));
+}
+
+TEST(ValidatePlanTest, RejectsMissingReport) {
+  ExecutionPlan plan;
+  plan.pattern = MakeClique(2);
+  plan.matching_order = {0, 1};
+  Instruction ini;
+  ini.type = InstrType::kInit;
+  ini.target = {VarKind::kF, 0};
+  plan.instructions = {ini};
+  std::string error;
+  EXPECT_FALSE(ValidatePlan(plan, &error));
+  EXPECT_NE(error.find("RES"), std::string::npos);
+}
+
+TEST(ValidatePlanTest, RejectsInstructionAfterReport) {
+  ExecutionPlan plan;
+  plan.pattern = MakeClique(1);
+  plan.matching_order = {0};
+  Instruction ini;
+  ini.type = InstrType::kInit;
+  ini.target = {VarKind::kF, 0};
+  Instruction res;
+  res.type = InstrType::kReport;
+  res.operands = {{VarKind::kF, 0}};
+  plan.instructions = {ini, res, ini};
+  std::string error;
+  EXPECT_FALSE(ValidatePlan(plan, &error));
+}
+
+TEST(ValidatePlanTest, RejectsRedefinedVariable) {
+  ExecutionPlan plan;
+  plan.pattern = MakeClique(1);
+  plan.matching_order = {0};
+  Instruction ini;
+  ini.type = InstrType::kInit;
+  ini.target = {VarKind::kF, 0};
+  Instruction res;
+  res.type = InstrType::kReport;
+  res.operands = {{VarKind::kF, 0}};
+  plan.instructions = {ini, ini, res};
+  std::string error;
+  EXPECT_FALSE(ValidatePlan(plan, &error));
+  EXPECT_NE(error.find("redefined"), std::string::npos);
+}
+
+TEST(ValidatePlanTest, RejectsFilterOnUnmappedVertex) {
+  ExecutionPlan plan;
+  plan.pattern = MakeClique(2);
+  plan.matching_order = {0, 1};
+  Instruction ini;
+  ini.type = InstrType::kInit;
+  ini.target = {VarKind::kF, 0};
+  Instruction dbq;
+  dbq.type = InstrType::kDbQuery;
+  dbq.target = {VarKind::kA, 0};
+  dbq.operands = {{VarKind::kF, 0}};
+  Instruction refine;
+  refine.type = InstrType::kIntersect;
+  refine.target = {VarKind::kC, 1};
+  refine.operands = {{VarKind::kA, 0}};
+  refine.filters = {{FilterKind::kGreater, 1}};  // f2 not mapped yet
+  plan.instructions = {ini, dbq, refine};
+  std::string error;
+  EXPECT_FALSE(ValidatePlan(plan, &error));
+}
+
+TEST(VarRefTest, OrderingAndEquality) {
+  VarRef a{VarKind::kA, 1};
+  VarRef b{VarKind::kA, 2};
+  VarRef c{VarKind::kT, 1};
+  EXPECT_TRUE(a == a);
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a < c);  // kA sorts before kT
+}
+
+TEST(ExecutionPlanTest, UsesDegreeFiltersFlag) {
+  ExecutionPlan plan;
+  Instruction ini;
+  ini.type = InstrType::kInit;
+  ini.target = {VarKind::kF, 0};
+  plan.instructions = {ini};
+  EXPECT_FALSE(plan.UsesDegreeFilters());
+  plan.instructions[0].min_degree = 2;
+  EXPECT_TRUE(plan.UsesDegreeFilters());
+  EXPECT_FALSE(plan.UsesLabelFilters());
+  plan.pattern_labels = {1};
+  EXPECT_TRUE(plan.UsesLabelFilters());
+}
+
+}  // namespace
+}  // namespace benu

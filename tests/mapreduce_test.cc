@@ -1,0 +1,121 @@
+#include "distributed/mapreduce.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "baselines/bruteforce.h"
+#include "distributed/benu_mapreduce.h"
+#include "graph/generators.h"
+#include "graph/patterns.h"
+
+namespace benu {
+namespace {
+
+using mapreduce::JobConfig;
+using mapreduce::JobStats;
+using mapreduce::KeyGroup;
+using mapreduce::Record;
+using mapreduce::RunJob;
+
+TEST(MapReduceTest, WordCountStyleAggregation) {
+  // Inputs: single-value records; map emits (value, 1); reduce sums.
+  std::vector<Record> inputs = {{3}, {5}, {3}, {3}, {7}, {5}};
+  auto map = [](const Record& in, mapreduce::Emitter* emitter) {
+    emitter->Emit(in[0], {1});
+  };
+  auto reduce = [](int, const KeyGroup& group, std::vector<Record>* out) {
+    uint32_t total = 0;
+    for (const Record& r : group.records) total += r[0];
+    out->push_back({static_cast<uint32_t>(group.key), total});
+  };
+  JobStats stats;
+  auto output = RunJob(inputs, map, reduce, JobConfig{3}, &stats);
+  ASSERT_TRUE(output.ok());
+  std::map<uint32_t, uint32_t> counts;
+  for (const Record& r : *output) counts[r[0]] = r[1];
+  EXPECT_EQ(counts[3], 3u);
+  EXPECT_EQ(counts[5], 2u);
+  EXPECT_EQ(counts[7], 1u);
+  EXPECT_EQ(stats.map_input_records, 6u);
+  EXPECT_EQ(stats.shuffled_records, 6u);
+  EXPECT_EQ(stats.reduce_output_records, 3u);
+  EXPECT_GT(stats.shuffled_bytes, 0u);
+}
+
+TEST(MapReduceTest, KeysStayWithinOneReducer) {
+  // Every record of one key must reach exactly one group.
+  std::vector<Record> inputs;
+  for (uint32_t i = 0; i < 100; ++i) inputs.push_back({i % 10});
+  auto map = [](const Record& in, mapreduce::Emitter* emitter) {
+    emitter->Emit(in[0], in);
+  };
+  std::map<uint64_t, int> groups_seen;
+  auto reduce = [&groups_seen](int, const KeyGroup& group,
+                               std::vector<Record>*) {
+    ++groups_seen[group.key];
+    EXPECT_EQ(group.records.size(), 10u);
+  };
+  auto output = RunJob(inputs, map, reduce, JobConfig{4}, nullptr);
+  ASSERT_TRUE(output.ok());
+  EXPECT_EQ(groups_seen.size(), 10u);
+  for (const auto& [key, times] : groups_seen) EXPECT_EQ(times, 1) << key;
+}
+
+TEST(MapReduceTest, ShuffleBudgetTriggersFailure) {
+  std::vector<Record> inputs(100, Record{1});
+  auto map = [](const Record&, mapreduce::Emitter* emitter) {
+    for (uint32_t i = 0; i < 10; ++i) emitter->Emit(i, {i});
+  };
+  auto reduce = [](int, const KeyGroup&, std::vector<Record>*) {};
+  JobConfig config;
+  config.num_reducers = 2;
+  config.max_shuffle_records = 50;
+  auto output = RunJob(inputs, map, reduce, config, nullptr);
+  EXPECT_FALSE(output.ok());
+  EXPECT_EQ(output.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(MapReduceTest, RejectsZeroReducers) {
+  auto map = [](const Record&, mapreduce::Emitter*) {};
+  auto reduce = [](int, const KeyGroup&, std::vector<Record>*) {};
+  EXPECT_FALSE(RunJob({}, map, reduce, JobConfig{0}, nullptr).ok());
+}
+
+TEST(BenuOnMapReduceTest, MatchesOracleAcrossPatterns) {
+  auto data = GenerateBarabasiAlbert(150, 4, 88);
+  ASSERT_TRUE(data.ok());
+  for (const std::string name : {"triangle", "q1", "q4", "q7"}) {
+    Graph p = std::move(GetPattern(name)).value();
+    auto oracle = BruteForceCountSubgraphs(*data, p);
+    ASSERT_TRUE(oracle.ok());
+    auto result = RunBenuOnMapReduce(*data, p, /*num_reducers=*/4,
+                                     /*cache_bytes_per_reducer=*/1 << 20,
+                                     /*task_split_threshold=*/10);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status().ToString();
+    EXPECT_EQ(result->total_matches, *oracle) << name;
+    // BENU's only shuffle is the task list: a few records per vertex.
+    EXPECT_GE(result->job.shuffled_records, data->NumVertices());
+    EXPECT_LT(result->job.shuffled_records, 4 * data->NumVertices());
+  }
+}
+
+TEST(BenuOnMapReduceTest, ReducerCountInvariant) {
+  auto data = GenerateErdosRenyi(80, 320, 14);
+  ASSERT_TRUE(data.ok());
+  Graph p = std::move(GetPattern("diamond")).value();
+  Count reference = 0;
+  for (int reducers : {1, 3, 8}) {
+    auto result = RunBenuOnMapReduce(*data, p, reducers, 1 << 20);
+    ASSERT_TRUE(result.ok());
+    if (reducers == 1) {
+      reference = result->total_matches;
+    } else {
+      EXPECT_EQ(result->total_matches, reference) << reducers;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace benu

@@ -1,0 +1,184 @@
+#include "plan/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/patterns.h"
+#include "plan/plan_generator.h"
+#include "plan/symmetry_breaking.h"
+
+namespace benu {
+namespace {
+
+std::vector<VertexId> Identity(size_t n) {
+  std::vector<VertexId> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<VertexId>(i);
+  return order;
+}
+
+size_t CountType(const ExecutionPlan& plan, InstrType type) {
+  size_t count = 0;
+  for (const Instruction& ins : plan.instructions) {
+    if (ins.type == type) ++count;
+  }
+  return count;
+}
+
+ExecutionPlan RawPlanFor(const std::string& name) {
+  Graph p = std::move(GetPattern(name)).value();
+  auto cs = ComputeSymmetryBreakingConstraints(p);
+  auto plan = GenerateRawPlan(p, Identity(p.NumVertices()), cs);
+  EXPECT_TRUE(plan.ok());
+  return std::move(plan).value();
+}
+
+TEST(CseTest, CliqueSharesPrefixIntersections) {
+  // K4 in identity order: candidates for u3 are A1∩A2, for u4 are
+  // A1∩A2∩A3 — the common subexpression {A1,A2} must be hoisted once.
+  ExecutionPlan plan = RawPlanFor("clique4");
+  EliminateCommonSubexpressions(&plan);
+  std::string error;
+  ASSERT_TRUE(ValidatePlan(plan, &error)) << error;
+  size_t with_a1_a2 = 0;
+  for (const Instruction& ins : plan.instructions) {
+    if (ins.type != InstrType::kIntersect) continue;
+    bool has_a1 = false;
+    bool has_a2 = false;
+    for (const VarRef& op : ins.operands) {
+      if (op == VarRef{VarKind::kA, 0}) has_a1 = true;
+      if (op == VarRef{VarKind::kA, 1}) has_a2 = true;
+    }
+    if (has_a1 && has_a2) ++with_a1_a2;
+  }
+  EXPECT_EQ(with_a1_a2, 1u) << plan.ToString();
+}
+
+TEST(CseTest, NoOpWhenNoCommonSubexpressions) {
+  ExecutionPlan plan = RawPlanFor("q5");  // C5: every INT has ≤1 adjacency
+  const size_t before = plan.instructions.size();
+  EliminateCommonSubexpressions(&plan);
+  EXPECT_EQ(plan.instructions.size(), before);
+}
+
+TEST(ReorderTest, IntersectionsBeforeDependentsPreserved) {
+  ExecutionPlan plan = RawPlanFor("q4");
+  EliminateCommonSubexpressions(&plan);
+  ReorderInstructions(&plan);
+  std::string error;
+  EXPECT_TRUE(ValidatePlan(plan, &error)) << error << plan.ToString();
+}
+
+TEST(ReorderTest, FlattensToAtMostTwoOperands) {
+  ExecutionPlan plan = RawPlanFor("clique5");
+  ReorderInstructions(&plan);
+  for (const Instruction& ins : plan.instructions) {
+    if (ins.type == InstrType::kIntersect) {
+      EXPECT_LE(ins.operands.size(), 2u) << ins.ToString();
+    }
+  }
+  std::string error;
+  EXPECT_TRUE(ValidatePlan(plan, &error)) << error;
+}
+
+TEST(ReorderTest, EnuRelativeOrderFollowsMatchingOrder) {
+  ExecutionPlan plan = RawPlanFor("q7");
+  OptimizePlan(&plan);
+  std::vector<int> enu_targets;
+  for (const Instruction& ins : plan.instructions) {
+    if (ins.type == InstrType::kEnumerate) {
+      enu_targets.push_back(ins.target.index);
+    }
+  }
+  // ENU targets must be matching_order[1..] in order.
+  ASSERT_EQ(enu_targets.size(), plan.matching_order.size() - 1);
+  for (size_t i = 0; i < enu_targets.size(); ++i) {
+    EXPECT_EQ(enu_targets[i],
+              static_cast<int>(plan.matching_order[i + 1]));
+  }
+}
+
+TEST(ReorderTest, InitIsFirstReportIsLast) {
+  ExecutionPlan plan = RawPlanFor("q2");
+  OptimizePlan(&plan);
+  ASSERT_FALSE(plan.instructions.empty());
+  EXPECT_EQ(plan.instructions.front().type, InstrType::kInit);
+  EXPECT_EQ(plan.instructions.back().type, InstrType::kReport);
+}
+
+TEST(TriangleCachingTest, CliquePlanGetsTrcInstructions) {
+  // In K4 identity order, Intersect(A1, A2)-style instructions around the
+  // start vertex qualify for caching.
+  ExecutionPlan plan = RawPlanFor("clique4");
+  EliminateCommonSubexpressions(&plan);
+  ReorderInstructions(&plan);
+  ApplyTriangleCaching(&plan);
+  EXPECT_GE(CountType(plan, InstrType::kTriangleCache), 1u)
+      << plan.ToString();
+  std::string error;
+  EXPECT_TRUE(ValidatePlan(plan, &error)) << error;
+}
+
+TEST(TriangleCachingTest, TrcFirstOperandIsStartVertex) {
+  ExecutionPlan plan = RawPlanFor("q7");
+  OptimizePlan(&plan);
+  for (const Instruction& ins : plan.instructions) {
+    if (ins.type == InstrType::kTriangleCache) {
+      EXPECT_EQ(ins.operands[0],
+                (VarRef{VarKind::kA, static_cast<int>(plan.matching_order[0])}));
+    }
+  }
+}
+
+TEST(TriangleCachingTest, PathPlanHasNoTrc) {
+  // No triangles around the start vertex in a path pattern.
+  Graph path = MakePath(4);
+  auto plan = GenerateRawPlan(path, Identity(4), {});
+  ASSERT_TRUE(plan.ok());
+  OptimizePlan(&plan.value());
+  EXPECT_EQ(CountType(*plan, InstrType::kTriangleCache), 0u);
+}
+
+TEST(CseTest, IdempotentOnSecondApplication) {
+  ExecutionPlan plan = RawPlanFor("clique5");
+  EliminateCommonSubexpressions(&plan);
+  ExecutionPlan again = plan;
+  EliminateCommonSubexpressions(&again);
+  EXPECT_EQ(plan.instructions.size(), again.instructions.size());
+}
+
+TEST(ReorderTest, IdempotentOnSecondApplication) {
+  ExecutionPlan plan = RawPlanFor("q7");
+  OptimizePlan(&plan);
+  ExecutionPlan again = plan;
+  ReorderInstructions(&again);
+  ASSERT_EQ(plan.instructions.size(), again.instructions.size());
+  for (size_t i = 0; i < plan.instructions.size(); ++i) {
+    EXPECT_EQ(plan.instructions[i].ToString(),
+              again.instructions[i].ToString());
+  }
+}
+
+TEST(TriangleCachingTest, FilteredIntersectionsAreNotConverted) {
+  // An INT with filters must not become TRC: the cache key ignores the
+  // filter context, so caching a filtered set would corrupt reuse.
+  ExecutionPlan plan = RawPlanFor("triangle");
+  EliminateCommonSubexpressions(&plan);
+  ReorderInstructions(&plan);
+  ApplyTriangleCaching(&plan);
+  for (const Instruction& ins : plan.instructions) {
+    if (ins.type == InstrType::kTriangleCache) {
+      EXPECT_TRUE(ins.filters.empty());
+    }
+  }
+}
+
+TEST(OptimizePlanTest, AllCatalogPlansRemainValid) {
+  for (const std::string& name : AllPatternNames()) {
+    ExecutionPlan plan = RawPlanFor(name);
+    OptimizePlan(&plan);
+    std::string error;
+    EXPECT_TRUE(ValidatePlan(plan, &error)) << name << ": " << error;
+  }
+}
+
+}  // namespace
+}  // namespace benu

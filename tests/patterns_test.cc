@@ -1,0 +1,103 @@
+#include "graph/patterns.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/isomorphism.h"
+
+namespace benu {
+namespace {
+
+TEST(PatternsTest, BasicMotifs) {
+  auto triangle = GetPattern("triangle");
+  ASSERT_TRUE(triangle.ok());
+  EXPECT_EQ(triangle->NumVertices(), 3u);
+  EXPECT_EQ(triangle->NumEdges(), 3u);
+
+  auto square = GetPattern("square");
+  ASSERT_TRUE(square.ok());
+  EXPECT_EQ(square->NumVertices(), 4u);
+  EXPECT_EQ(square->NumEdges(), 4u);
+
+  auto diamond = GetPattern("diamond");
+  ASSERT_TRUE(diamond.ok());
+  EXPECT_EQ(diamond->NumVertices(), 4u);
+  EXPECT_EQ(diamond->NumEdges(), 5u);
+  auto alias = GetPattern("chordal-square");
+  ASSERT_TRUE(alias.ok());
+  EXPECT_TRUE(AreIsomorphic(*diamond, *alias));
+}
+
+TEST(PatternsTest, CliquesOfAnySize) {
+  for (size_t k = 2; k <= 8; ++k) {
+    auto clique = GetPattern("clique" + std::to_string(k));
+    ASSERT_TRUE(clique.ok());
+    EXPECT_EQ(clique->NumVertices(), k);
+    EXPECT_EQ(clique->NumEdges(), k * (k - 1) / 2);
+  }
+  EXPECT_FALSE(GetPattern("clique1").ok());
+  EXPECT_FALSE(GetPattern("cliqueX").ok());
+}
+
+TEST(PatternsTest, Fig6SizeConstraints) {
+  // q1-q5 have 5 vertices; q6-q9 have 6 (the paper's stated sizes).
+  for (const std::string name : {"q1", "q2", "q3", "q4", "q5"}) {
+    auto q = GetPattern(name);
+    ASSERT_TRUE(q.ok()) << name;
+    EXPECT_EQ(q->NumVertices(), 5u) << name;
+    EXPECT_TRUE(q->IsConnected()) << name;
+  }
+  for (const std::string name : {"q6", "q7", "q8", "q9"}) {
+    auto q = GetPattern(name);
+    ASSERT_TRUE(q.ok()) << name;
+    EXPECT_EQ(q->NumVertices(), 6u) << name;
+    EXPECT_TRUE(q->IsConnected()) << name;
+  }
+}
+
+TEST(PatternsTest, Q7ToQ9ContainDiamondCore) {
+  // "The hard test cases q7 to q9 shared the same core structure, i.e.
+  // the chordal square." The first four vertices induce the diamond.
+  Graph diamond = std::move(GetPattern("diamond")).value();
+  for (const std::string name : {"q7", "q8", "q9"}) {
+    Graph q = std::move(GetPattern(name)).value();
+    auto core = q.InducedSubgraph({0, 1, 2, 3});
+    ASSERT_TRUE(core.ok());
+    EXPECT_TRUE(AreIsomorphic(*core, diamond)) << name;
+  }
+}
+
+TEST(PatternsTest, Q5IsTheFiveCycle) {
+  Graph q5 = std::move(GetPattern("q5")).value();
+  EXPECT_TRUE(AreIsomorphic(q5, MakeCycle(5)));
+}
+
+TEST(PatternsTest, QueriesPairwiseNonIsomorphic) {
+  auto names = Fig6QueryNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    for (size_t j = i + 1; j < names.size(); ++j) {
+      Graph a = std::move(GetPattern(names[i])).value();
+      Graph b = std::move(GetPattern(names[j])).value();
+      EXPECT_FALSE(AreIsomorphic(a, b)) << names[i] << " vs " << names[j];
+    }
+  }
+}
+
+TEST(PatternsTest, UnknownNameFails) {
+  EXPECT_EQ(GetPattern("q10").status().code(), StatusCode::kNotFound);
+}
+
+TEST(PatternsTest, AllPatternNamesResolve) {
+  for (const std::string& name : AllPatternNames()) {
+    EXPECT_TRUE(GetPattern(name).ok()) << name;
+  }
+}
+
+TEST(MakersTest, CyclePathStar) {
+  EXPECT_EQ(MakeCycle(6).NumEdges(), 6u);
+  EXPECT_EQ(MakePath(6).NumEdges(), 5u);
+  EXPECT_EQ(MakeStar(6).NumEdges(), 6u);
+  EXPECT_EQ(MakeStar(6).NumVertices(), 7u);
+}
+
+}  // namespace
+}  // namespace benu

@@ -1,0 +1,158 @@
+#include "plan/plan_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/patterns.h"
+#include "plan/symmetry_breaking.h"
+
+namespace benu {
+namespace {
+
+std::vector<VertexId> Identity(size_t n) {
+  std::vector<VertexId> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<VertexId>(i);
+  return order;
+}
+
+size_t CountType(const ExecutionPlan& plan, InstrType type) {
+  size_t count = 0;
+  for (const Instruction& ins : plan.instructions) {
+    if (ins.type == type) ++count;
+  }
+  return count;
+}
+
+TEST(PlanGeneratorTest, TrianglePlanShape) {
+  Graph triangle = MakeClique(3);
+  auto cs = ComputeSymmetryBreakingConstraints(triangle);
+  auto plan = GenerateRawPlan(triangle, Identity(3), cs);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  std::string error;
+  EXPECT_TRUE(ValidatePlan(*plan, &error)) << error << "\n"
+                                           << plan->ToString();
+  EXPECT_EQ(CountType(*plan, InstrType::kInit), 1u);
+  EXPECT_EQ(CountType(*plan, InstrType::kEnumerate), 2u);
+  EXPECT_EQ(CountType(*plan, InstrType::kReport), 1u);
+  // DBQ for u1 and u2 (u3 has no later neighbor).
+  EXPECT_EQ(CountType(*plan, InstrType::kDbQuery), 2u);
+}
+
+TEST(PlanGeneratorTest, LastVertexNeedsNoDbq) {
+  Graph path = MakePath(3);  // 0-1-2, order 0,1,2
+  auto plan = GenerateRawPlan(path, Identity(3), {});
+  ASSERT_TRUE(plan.ok());
+  // Vertex 2 is last: no DBQ for it. Vertex 0 feeds vertex 1's candidates;
+  // vertex 1 feeds vertex 2's.
+  EXPECT_EQ(CountType(*plan, InstrType::kDbQuery), 2u);
+  for (const Instruction& ins : plan->instructions) {
+    if (ins.type == InstrType::kDbQuery) {
+      EXPECT_NE(ins.operands[0].index, 2);
+    }
+  }
+}
+
+TEST(PlanGeneratorTest, InjectiveFiltersOnlyForNonNeighbors) {
+  Graph path = MakePath(3);
+  auto plan = GenerateRawPlan(path, Identity(3), {});
+  ASSERT_TRUE(plan.ok());
+  // Candidate instruction for u3 (index 2) intersects A2 and must carry
+  // ≠f1 (vertex 0 is not adjacent to vertex 2) but not ≠f2.
+  bool found = false;
+  for (const Instruction& ins : plan->instructions) {
+    if (ins.type == InstrType::kIntersect &&
+        ins.target == VarRef{VarKind::kC, 2}) {
+      found = true;
+      ASSERT_EQ(ins.filters.size(), 1u);
+      EXPECT_EQ(ins.filters[0].kind, FilterKind::kNotEqual);
+      EXPECT_EQ(ins.filters[0].f_index, 0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PlanGeneratorTest, SymmetryFiltersReplaceInjective) {
+  Graph triangle = MakeClique(3);
+  auto cs = ComputeSymmetryBreakingConstraints(triangle);
+  auto plan = GenerateRawPlan(triangle, Identity(3), cs);
+  ASSERT_TRUE(plan.ok());
+  // Clique constraints are 0<1<2 (total order): every candidate
+  // instruction uses order filters, never ≠.
+  for (const Instruction& ins : plan->instructions) {
+    for (const FilterCondition& fc : ins.filters) {
+      EXPECT_NE(fc.kind, FilterKind::kNotEqual);
+    }
+  }
+}
+
+TEST(PlanGeneratorTest, DisconnectedPrefixUsesAllVertices) {
+  // Path 0-1-2 matched in order 0,2,1: vertex 2 is not adjacent to 0, so
+  // its raw candidates are V(G).
+  Graph path = MakePath(3);
+  auto plan = GenerateRawPlan(path, {0, 2, 1}, {});
+  ASSERT_TRUE(plan.ok());
+  bool saw_all = false;
+  for (const Instruction& ins : plan->instructions) {
+    for (const VarRef& op : ins.operands) {
+      if (op.kind == VarKind::kAllVertices) saw_all = true;
+    }
+  }
+  EXPECT_TRUE(saw_all);
+}
+
+TEST(PlanGeneratorTest, RejectsBadMatchingOrders) {
+  Graph triangle = MakeClique(3);
+  EXPECT_FALSE(GenerateRawPlan(triangle, {0, 1}, {}).ok());
+  EXPECT_FALSE(GenerateRawPlan(triangle, {0, 1, 1}, {}).ok());
+  EXPECT_FALSE(GenerateRawPlan(triangle, {0, 1, 5}, {}).ok());
+}
+
+TEST(PlanGeneratorTest, UniOperandEliminationRemovesTrivialIntersections) {
+  // In a path plan, T instructions with a single operand and C
+  // instructions without filters are removed.
+  Graph path = MakePath(2);
+  auto plan = GenerateRawPlan(path, Identity(2), {});
+  ASSERT_TRUE(plan.ok());
+  for (const Instruction& ins : plan->instructions) {
+    if (ins.type == InstrType::kIntersect) {
+      EXPECT_TRUE(ins.operands.size() > 1 || !ins.filters.empty())
+          << ins.ToString();
+    }
+  }
+}
+
+TEST(PlanGeneratorTest, EveryQueryPatternProducesValidPlan) {
+  for (const std::string& name : AllPatternNames()) {
+    Graph p = std::move(GetPattern(name)).value();
+    auto cs = ComputeSymmetryBreakingConstraints(p);
+    auto plan = GenerateRawPlan(p, Identity(p.NumVertices()), cs);
+    ASSERT_TRUE(plan.ok()) << name;
+    std::string error;
+    EXPECT_TRUE(ValidatePlan(*plan, &error)) << name << ": " << error;
+  }
+}
+
+TEST(ValidatePlanTest, CatchesUndefinedOperands) {
+  ExecutionPlan plan;
+  plan.pattern = MakeClique(2);
+  plan.matching_order = {0, 1};
+  Instruction bad;
+  bad.type = InstrType::kIntersect;
+  bad.target = {VarKind::kT, 5};
+  bad.operands = {{VarKind::kA, 0}};  // A1 never defined
+  plan.instructions = {bad};
+  std::string error;
+  EXPECT_FALSE(ValidatePlan(plan, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(InstructionTest, ToStringRendersLikeThePaper) {
+  Instruction ins;
+  ins.type = InstrType::kIntersect;
+  ins.target = {VarKind::kC, 2};
+  ins.operands = {{VarKind::kA, 0}, {VarKind::kA, 1}};
+  ins.filters = {{FilterKind::kGreater, 0}};
+  EXPECT_EQ(ins.ToString(), "C3 := Intersect(A1, A2) | >f1");
+}
+
+}  // namespace
+}  // namespace benu

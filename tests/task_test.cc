@@ -1,0 +1,73 @@
+#include "distributed/task.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "graph/generators.h"
+#include "graph/patterns.h"
+#include "plan/plan_search.h"
+
+namespace benu {
+namespace {
+
+ExecutionPlan PlanFor(const std::string& name, const Graph& data) {
+  Graph p = std::move(GetPattern(name)).value();
+  auto result = GenerateBestPlan(p, DataGraphStats::FromGraph(data));
+  EXPECT_TRUE(result.ok());
+  return std::move(result)->plan;
+}
+
+TEST(TaskTest, NoSplittingOneTaskPerVertex) {
+  auto data = GenerateBarabasiAlbert(200, 4, 1);
+  ASSERT_TRUE(data.ok());
+  ExecutionPlan plan = PlanFor("triangle", *data);
+  auto tasks = GenerateSearchTasks(*data, plan, 0);
+  EXPECT_EQ(tasks.size(), data->NumVertices());
+  for (const SearchTask& t : tasks) {
+    EXPECT_EQ(t.num_subtasks, 1u);
+    EXPECT_EQ(t.subtask_index, 0u);
+  }
+}
+
+TEST(TaskTest, HeavyVerticesAreSplit) {
+  Graph star = MakeStar(100).RelabelByDegree();
+  ExecutionPlan plan = PlanFor("triangle", star);
+  auto tasks = GenerateSearchTasks(star, plan, 10);
+  // The hub (degree 100) splits into ⌈100/10⌉ = 10 subtasks when the
+  // first two matching-order vertices are adjacent (true for triangle).
+  EXPECT_EQ(tasks.size(), 100u /*leaves*/ + 10u /*hub subtasks*/);
+}
+
+TEST(TaskTest, SubtaskIndicesAreComplete) {
+  Graph star = MakeStar(50).RelabelByDegree();
+  ExecutionPlan plan = PlanFor("triangle", star);
+  auto tasks = GenerateSearchTasks(star, plan, 7);
+  // Every (start, num_subtasks) group has contiguous subtask indices.
+  std::map<VertexId, std::vector<uint32_t>> groups;
+  for (const SearchTask& t : tasks) {
+    groups[t.start].push_back(t.subtask_index);
+  }
+  for (auto& [start, indices] : groups) {
+    std::sort(indices.begin(), indices.end());
+    for (size_t i = 0; i < indices.size(); ++i) {
+      EXPECT_EQ(indices[i], i) << "start " << start;
+    }
+  }
+}
+
+TEST(TaskTest, ThresholdBoundary) {
+  // Degree exactly τ is split (d ≥ τ per §V-B).
+  Graph star = MakeStar(10).RelabelByDegree();
+  ExecutionPlan plan = PlanFor("triangle", star);
+  auto tasks = GenerateSearchTasks(star, plan, 10);
+  size_t hub_tasks = 0;
+  for (const SearchTask& t : tasks) {
+    if (star.Degree(t.start) == 10) ++hub_tasks;
+  }
+  EXPECT_EQ(hub_tasks, 1u);  // ⌈10/10⌉ = 1 subtask, still "split"
+}
+
+}  // namespace
+}  // namespace benu

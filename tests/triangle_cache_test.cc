@@ -1,0 +1,60 @@
+#include "storage/triangle_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace benu {
+namespace {
+
+std::shared_ptr<const VertexSet> Set(std::initializer_list<VertexId> v) {
+  return std::make_shared<const VertexSet>(v);
+}
+
+TEST(TriangleCacheTest, MissThenHit) {
+  TriangleCache cache;
+  cache.BeginTask(7);
+  EXPECT_EQ(cache.Lookup(3), nullptr);
+  cache.Insert(3, Set({1, 2}));
+  auto found = cache.Lookup(3);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(*found, (VertexSet{1, 2}));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(TriangleCacheTest, NewStartVertexFlushes) {
+  TriangleCache cache;
+  cache.BeginTask(7);
+  cache.Insert(3, Set({1}));
+  cache.BeginTask(8);
+  EXPECT_EQ(cache.Lookup(3), nullptr);
+}
+
+TEST(TriangleCacheTest, SameStartKeepsEntries) {
+  // Subtasks produced by task splitting share the start vertex and must
+  // reuse the warm cache.
+  TriangleCache cache;
+  cache.BeginTask(7);
+  cache.Insert(3, Set({1}));
+  cache.BeginTask(7);
+  EXPECT_NE(cache.Lookup(3), nullptr);
+}
+
+TEST(TriangleCacheTest, CapacityBoundsEntries) {
+  TriangleCache cache(2);
+  cache.BeginTask(1);
+  cache.Insert(10, Set({1}));
+  cache.Insert(11, Set({2}));
+  cache.Insert(12, Set({3}));  // beyond capacity: dropped
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Lookup(12), nullptr);
+}
+
+TEST(TriangleCacheTest, ZeroCapacityDisables) {
+  TriangleCache cache(0);
+  cache.BeginTask(1);
+  cache.Insert(10, Set({1}));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace benu

@@ -1,0 +1,115 @@
+#include "plan/vcbc.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/isomorphism.h"
+#include "graph/patterns.h"
+#include "plan/optimizer.h"
+#include "plan/plan_generator.h"
+#include "plan/symmetry_breaking.h"
+
+namespace benu {
+namespace {
+
+std::vector<VertexId> Identity(size_t n) {
+  std::vector<VertexId> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<VertexId>(i);
+  return order;
+}
+
+ExecutionPlan OptimizedPlanFor(const std::string& name) {
+  Graph p = std::move(GetPattern(name)).value();
+  auto cs = ComputeSymmetryBreakingConstraints(p);
+  auto plan = GenerateRawPlan(p, Identity(p.NumVertices()), cs);
+  EXPECT_TRUE(plan.ok());
+  OptimizePlan(&plan.value());
+  return std::move(plan).value();
+}
+
+size_t CountType(const ExecutionPlan& plan, InstrType type) {
+  size_t count = 0;
+  for (const Instruction& ins : plan.instructions) {
+    if (ins.type == type) ++count;
+  }
+  return count;
+}
+
+TEST(VcbcTest, CorePrefixIsAVertexCover) {
+  for (const std::string name : {"q4", "q5", "q7", "square", "clique5"}) {
+    ExecutionPlan plan = OptimizedPlanFor(name);
+    ASSERT_TRUE(ApplyVcbcCompression(&plan).ok()) << name;
+    EXPECT_TRUE(plan.compressed);
+    EXPECT_TRUE(IsVertexCover(plan.pattern, plan.core_vertices)) << name;
+    // Minimality within the matching order: dropping the last core vertex
+    // breaks coverage (unless the whole order is core).
+    if (plan.core_vertices.size() < plan.NumPatternVertices()) {
+      std::vector<VertexId> shorter(plan.core_vertices.begin(),
+                                    plan.core_vertices.end() - 1);
+      EXPECT_FALSE(IsVertexCover(plan.pattern, shorter)) << name;
+    }
+  }
+}
+
+TEST(VcbcTest, NonCoreEnuInstructionsRemoved) {
+  ExecutionPlan plan = OptimizedPlanFor("square");
+  ASSERT_TRUE(ApplyVcbcCompression(&plan).ok());
+  // Square in identity order: core {0, 1, 2}? The matching-order prefix
+  // {0,1} is not a cover; {0,1,2} is. Non-core = {3}: one ENU gone.
+  EXPECT_EQ(CountType(plan, InstrType::kEnumerate),
+            plan.core_vertices.size() - 1);
+  std::string error;
+  EXPECT_TRUE(ValidatePlan(plan, &error)) << error << plan.ToString();
+}
+
+TEST(VcbcTest, ResReportsSetsForNonCore) {
+  ExecutionPlan plan = OptimizedPlanFor("q4");
+  ASSERT_TRUE(ApplyVcbcCompression(&plan).ok());
+  const Instruction& res = plan.instructions.back();
+  ASSERT_EQ(res.type, InstrType::kReport);
+  std::vector<char> is_core(plan.NumPatternVertices(), 0);
+  for (VertexId u : plan.core_vertices) is_core[u] = 1;
+  for (size_t u = 0; u < plan.NumPatternVertices(); ++u) {
+    if (is_core[u]) {
+      EXPECT_EQ(res.operands[u].kind, VarKind::kF) << plan.ToString();
+    } else {
+      EXPECT_NE(res.operands[u].kind, VarKind::kF) << plan.ToString();
+    }
+  }
+}
+
+TEST(VcbcTest, NoFiltersReferenceNonCoreVertices) {
+  for (const std::string name : {"q4", "q5", "q8"}) {
+    ExecutionPlan plan = OptimizedPlanFor(name);
+    ASSERT_TRUE(ApplyVcbcCompression(&plan).ok()) << name;
+    std::vector<char> is_core(plan.NumPatternVertices(), 0);
+    for (VertexId u : plan.core_vertices) is_core[u] = 1;
+    for (const Instruction& ins : plan.instructions) {
+      for (const FilterCondition& fc : ins.filters) {
+        EXPECT_TRUE(is_core[fc.f_index]) << name << ": " << ins.ToString();
+      }
+    }
+  }
+}
+
+TEST(VcbcTest, DoubleCompressionRejected) {
+  ExecutionPlan plan = OptimizedPlanFor("square");
+  ASSERT_TRUE(ApplyVcbcCompression(&plan).ok());
+  EXPECT_EQ(ApplyVcbcCompression(&plan).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(VcbcTest, FullCoverPatternIsMarkedButUnchanged) {
+  // For K2 the minimum matching-order cover prefix is just {0}; check a
+  // pattern whose cover is the whole prefix anyway: the path 0-1 has
+  // cover {0}, so vertex 1 is compressed away.
+  Graph path = MakePath(2);
+  auto plan = GenerateRawPlan(path, Identity(2), {});
+  ASSERT_TRUE(plan.ok());
+  OptimizePlan(&plan.value());
+  ASSERT_TRUE(ApplyVcbcCompression(&plan.value()).ok());
+  EXPECT_EQ(plan->core_vertices.size(), 1u);
+  EXPECT_EQ(CountType(*plan, InstrType::kEnumerate), 0u);
+}
+
+}  // namespace
+}  // namespace benu

@@ -1,0 +1,129 @@
+#include "graph/vertex_set.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace benu {
+namespace {
+
+VertexSet Make(std::initializer_list<VertexId> values) {
+  return VertexSet(values);
+}
+
+TEST(IntersectTest, DisjointSetsYieldEmpty) {
+  VertexSet out;
+  Intersect(Make({1, 3, 5}), Make({2, 4, 6}), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IntersectTest, IdenticalSetsYieldSelf) {
+  VertexSet a = Make({2, 4, 8, 16});
+  VertexSet out;
+  Intersect(a, a, &out);
+  EXPECT_EQ(out, a);
+}
+
+TEST(IntersectTest, PartialOverlap) {
+  VertexSet out;
+  Intersect(Make({1, 2, 3, 7, 9}), Make({2, 3, 4, 9, 11}), &out);
+  EXPECT_EQ(out, Make({2, 3, 9}));
+}
+
+TEST(IntersectTest, EmptyOperand) {
+  VertexSet out = Make({5});
+  Intersect(Make({}), Make({1, 2}), &out);
+  EXPECT_TRUE(out.empty());
+  Intersect(Make({1, 2}), Make({}), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IntersectTest, OutputIsClearedFirst) {
+  VertexSet out = Make({42, 43});
+  Intersect(Make({1}), Make({1}), &out);
+  EXPECT_EQ(out, Make({1}));
+}
+
+TEST(IntersectTest, GallopingPathMatchesMerge) {
+  // A tiny set against a large one triggers the galloping kernel; compare
+  // against the straightforward answer.
+  VertexSet large;
+  for (VertexId v = 0; v < 10000; v += 3) large.push_back(v);
+  VertexSet small = Make({0, 3, 4, 9000, 9998});
+  VertexSet out;
+  Intersect(small, large, &out);
+  EXPECT_EQ(out, Make({0, 3, 9000}));
+  // Symmetric argument order must agree.
+  VertexSet out2;
+  Intersect(large, small, &out2);
+  EXPECT_EQ(out2, out);
+}
+
+TEST(IntersectTest, RandomizedAgreesWithStdSetIntersection) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 200; ++trial) {
+    VertexSet a;
+    VertexSet b;
+    const size_t size_a = rng.NextBounded(60);
+    const size_t size_b = rng.NextBounded(2000) + 1;
+    for (size_t i = 0; i < size_a; ++i) {
+      a.push_back(static_cast<VertexId>(rng.NextBounded(500)));
+    }
+    for (size_t i = 0; i < size_b; ++i) {
+      b.push_back(static_cast<VertexId>(rng.NextBounded(500)));
+    }
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+    std::sort(b.begin(), b.end());
+    b.erase(std::unique(b.begin(), b.end()), b.end());
+    VertexSet expected;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expected));
+    VertexSet out;
+    Intersect(a, b, &out);
+    EXPECT_EQ(out, expected);
+    EXPECT_EQ(IntersectSize(a, b), expected.size());
+  }
+}
+
+TEST(IntersectSizeTest, CountsWithoutMaterializing) {
+  EXPECT_EQ(IntersectSize(Make({1, 2, 3}), Make({2, 3, 4})), 2u);
+  EXPECT_EQ(IntersectSize(Make({}), Make({2, 3, 4})), 0u);
+}
+
+TEST(ContainsTest, FindsPresentAndAbsent) {
+  VertexSet s = Make({1, 5, 9});
+  EXPECT_TRUE(Contains(s, 1));
+  EXPECT_TRUE(Contains(s, 9));
+  EXPECT_FALSE(Contains(s, 4));
+  EXPECT_FALSE(Contains(VertexSet{}, 4));
+}
+
+TEST(FilterTest, GreaterKeepsStrictlyAbove) {
+  VertexSet out;
+  FilterGreater(Make({1, 3, 5, 7}), 3, &out);
+  EXPECT_EQ(out, Make({5, 7}));
+  FilterGreater(Make({1, 3}), 9, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(FilterTest, LessKeepsStrictlyBelow) {
+  VertexSet out;
+  FilterLess(Make({1, 3, 5, 7}), 5, &out);
+  EXPECT_EQ(out, Make({1, 3}));
+  FilterLess(Make({4, 5}), 1, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(EraseValueTest, RemovesOnlyPresentValue) {
+  VertexSet s = Make({1, 2, 3});
+  EraseValue(&s, 2);
+  EXPECT_EQ(s, Make({1, 3}));
+  EraseValue(&s, 99);
+  EXPECT_EQ(s, Make({1, 3}));
+}
+
+}  // namespace
+}  // namespace benu

@@ -1,0 +1,102 @@
+#include "baselines/wcoj.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/bruteforce.h"
+#include "graph/generators.h"
+#include "graph/patterns.h"
+#include "plan/symmetry_breaking.h"
+
+namespace benu {
+namespace {
+
+TEST(WcojTest, MatchesBruteForceAcrossPatterns) {
+  auto data = GenerateErdosRenyi(60, 240, 8);
+  ASSERT_TRUE(data.ok());
+  for (const std::string name :
+       {"triangle", "square", "diamond", "clique4", "q1", "q4", "q5"}) {
+    Graph p = std::move(GetPattern(name)).value();
+    auto cs = ComputeSymmetryBreakingConstraints(p);
+    auto expected = BruteForceCount(*data, p, cs);
+    ASSERT_TRUE(expected.ok());
+    auto result = RunWcoj(*data, p, cs, WcojConfig{});
+    ASSERT_TRUE(result.ok()) << name;
+    EXPECT_EQ(result->matches, *expected) << name;
+  }
+}
+
+TEST(WcojTest, BatchSizeDoesNotChangeCounts) {
+  auto data = GenerateBarabasiAlbert(120, 4, 3);
+  ASSERT_TRUE(data.ok());
+  Graph p = std::move(GetPattern("q3")).value();
+  auto cs = ComputeSymmetryBreakingConstraints(p);
+  Count reference = 0;
+  for (size_t batch : {size_t{1}, size_t{17}, size_t{100000}}) {
+    WcojConfig config;
+    config.batch_size = batch;
+    auto result = RunWcoj(*data, p, cs, config);
+    ASSERT_TRUE(result.ok());
+    if (batch == 1) {
+      reference = result->matches;
+    } else {
+      EXPECT_EQ(result->matches, reference) << batch;
+    }
+  }
+}
+
+TEST(WcojTest, SmallBatchesBoundMemory) {
+  auto data = GenerateBarabasiAlbert(200, 5, 10);
+  ASSERT_TRUE(data.ok());
+  Graph p = std::move(GetPattern("triangle")).value();
+  auto cs = ComputeSymmetryBreakingConstraints(p);
+  WcojConfig small;
+  small.batch_size = 8;
+  WcojConfig large;
+  large.batch_size = 1000000;
+  auto rs = RunWcoj(*data, p, cs, small);
+  auto rl = RunWcoj(*data, p, cs, large);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rl.ok());
+  EXPECT_LE(rs->peak_resident_tuples, rl->peak_resident_tuples);
+}
+
+TEST(WcojTest, MemoryBudgetTriggersOom) {
+  auto data = GenerateBarabasiAlbert(500, 8, 11);
+  ASSERT_TRUE(data.ok());
+  Graph p = std::move(GetPattern("q5")).value();
+  auto cs = ComputeSymmetryBreakingConstraints(p);
+  WcojConfig config;
+  config.batch_size = 1000000;  // whole graph in one batch
+  config.max_resident_tuples = 100;
+  auto result = RunWcoj(*data, p, cs, config);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(WcojTest, DistributedModeAccountsShuffles) {
+  auto data = GenerateBarabasiAlbert(150, 4, 12);
+  ASSERT_TRUE(data.ok());
+  Graph p = std::move(GetPattern("square")).value();
+  auto cs = ComputeSymmetryBreakingConstraints(p);
+  WcojConfig local;
+  WcojConfig dist;
+  dist.distributed = true;
+  auto rl = RunWcoj(*data, p, cs, local);
+  auto rd = RunWcoj(*data, p, cs, dist);
+  ASSERT_TRUE(rl.ok());
+  ASSERT_TRUE(rd.ok());
+  EXPECT_EQ(rl->matches, rd->matches);
+  EXPECT_EQ(rl->shuffled_tuples, 0u);
+  EXPECT_GT(rd->shuffled_tuples, 0u);
+}
+
+TEST(WcojTest, RejectsDegeneratePatterns) {
+  Graph empty;
+  auto disconnected = Graph::FromEdges(4, {{0, 1}, {2, 3}});
+  ASSERT_TRUE(disconnected.ok());
+  EXPECT_FALSE(RunWcoj(MakeClique(3), empty, {}, WcojConfig{}).ok());
+  EXPECT_FALSE(RunWcoj(MakeClique(3), *disconnected, {}, WcojConfig{}).ok());
+}
+
+}  // namespace
+}  // namespace benu
