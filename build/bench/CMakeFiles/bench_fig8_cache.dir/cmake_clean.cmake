@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_cache.dir/bench_fig8_cache.cc.o"
+  "CMakeFiles/bench_fig8_cache.dir/bench_fig8_cache.cc.o.d"
+  "bench_fig8_cache"
+  "bench_fig8_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

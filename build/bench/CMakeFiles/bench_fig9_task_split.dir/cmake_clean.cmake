@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_task_split.dir/bench_fig9_task_split.cc.o"
+  "CMakeFiles/bench_fig9_task_split.dir/bench_fig9_task_split.cc.o.d"
+  "bench_fig9_task_split"
+  "bench_fig9_task_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_task_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

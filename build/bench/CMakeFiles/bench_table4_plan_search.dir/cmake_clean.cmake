@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_plan_search.dir/bench_table4_plan_search.cc.o"
+  "CMakeFiles/bench_table4_plan_search.dir/bench_table4_plan_search.cc.o.d"
+  "bench_table4_plan_search"
+  "bench_table4_plan_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_plan_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_vs_cbf.dir/bench_table5_vs_cbf.cc.o"
+  "CMakeFiles/bench_table5_vs_cbf.dir/bench_table5_vs_cbf.cc.o.d"
+  "bench_table5_vs_cbf"
+  "bench_table5_vs_cbf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_vs_cbf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_vs_bigjoin.dir/bench_table6_vs_bigjoin.cc.o"
+  "CMakeFiles/bench_table6_vs_bigjoin.dir/bench_table6_vs_bigjoin.cc.o.d"
+  "bench_table6_vs_bigjoin"
+  "bench_table6_vs_bigjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_vs_bigjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

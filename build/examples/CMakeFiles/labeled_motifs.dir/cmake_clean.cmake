@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labeled_motifs.dir/labeled_motifs.cc.o"
+  "CMakeFiles/labeled_motifs.dir/labeled_motifs.cc.o.d"
+  "labeled_motifs"
+  "labeled_motifs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labeled_motifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

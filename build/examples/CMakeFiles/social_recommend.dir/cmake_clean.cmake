@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_recommend.dir/social_recommend.cc.o"
+  "CMakeFiles/social_recommend.dir/social_recommend.cc.o.d"
+  "social_recommend"
+  "social_recommend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_recommend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

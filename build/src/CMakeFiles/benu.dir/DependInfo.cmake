@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bruteforce.cc" "src/CMakeFiles/benu.dir/baselines/bruteforce.cc.o" "gcc" "src/CMakeFiles/benu.dir/baselines/bruteforce.cc.o.d"
+  "/root/repo/src/baselines/join_based.cc" "src/CMakeFiles/benu.dir/baselines/join_based.cc.o" "gcc" "src/CMakeFiles/benu.dir/baselines/join_based.cc.o.d"
+  "/root/repo/src/baselines/wcoj.cc" "src/CMakeFiles/benu.dir/baselines/wcoj.cc.o" "gcc" "src/CMakeFiles/benu.dir/baselines/wcoj.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/benu.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/benu.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/benu.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/benu.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/benu.dir/common/status.cc.o" "gcc" "src/CMakeFiles/benu.dir/common/status.cc.o.d"
+  "/root/repo/src/common/stopwatch.cc" "src/CMakeFiles/benu.dir/common/stopwatch.cc.o" "gcc" "src/CMakeFiles/benu.dir/common/stopwatch.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/benu.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/benu.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/compressed_result.cc" "src/CMakeFiles/benu.dir/core/compressed_result.cc.o" "gcc" "src/CMakeFiles/benu.dir/core/compressed_result.cc.o.d"
+  "/root/repo/src/core/executor.cc" "src/CMakeFiles/benu.dir/core/executor.cc.o" "gcc" "src/CMakeFiles/benu.dir/core/executor.cc.o.d"
+  "/root/repo/src/core/match_consumer.cc" "src/CMakeFiles/benu.dir/core/match_consumer.cc.o" "gcc" "src/CMakeFiles/benu.dir/core/match_consumer.cc.o.d"
+  "/root/repo/src/core/result_writer.cc" "src/CMakeFiles/benu.dir/core/result_writer.cc.o" "gcc" "src/CMakeFiles/benu.dir/core/result_writer.cc.o.d"
+  "/root/repo/src/distributed/benu_driver.cc" "src/CMakeFiles/benu.dir/distributed/benu_driver.cc.o" "gcc" "src/CMakeFiles/benu.dir/distributed/benu_driver.cc.o.d"
+  "/root/repo/src/distributed/benu_mapreduce.cc" "src/CMakeFiles/benu.dir/distributed/benu_mapreduce.cc.o" "gcc" "src/CMakeFiles/benu.dir/distributed/benu_mapreduce.cc.o.d"
+  "/root/repo/src/distributed/cluster.cc" "src/CMakeFiles/benu.dir/distributed/cluster.cc.o" "gcc" "src/CMakeFiles/benu.dir/distributed/cluster.cc.o.d"
+  "/root/repo/src/distributed/mapreduce.cc" "src/CMakeFiles/benu.dir/distributed/mapreduce.cc.o" "gcc" "src/CMakeFiles/benu.dir/distributed/mapreduce.cc.o.d"
+  "/root/repo/src/distributed/task.cc" "src/CMakeFiles/benu.dir/distributed/task.cc.o" "gcc" "src/CMakeFiles/benu.dir/distributed/task.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/CMakeFiles/benu.dir/graph/generators.cc.o" "gcc" "src/CMakeFiles/benu.dir/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/benu.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/benu.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/CMakeFiles/benu.dir/graph/io.cc.o" "gcc" "src/CMakeFiles/benu.dir/graph/io.cc.o.d"
+  "/root/repo/src/graph/isomorphism.cc" "src/CMakeFiles/benu.dir/graph/isomorphism.cc.o" "gcc" "src/CMakeFiles/benu.dir/graph/isomorphism.cc.o.d"
+  "/root/repo/src/graph/patterns.cc" "src/CMakeFiles/benu.dir/graph/patterns.cc.o" "gcc" "src/CMakeFiles/benu.dir/graph/patterns.cc.o.d"
+  "/root/repo/src/graph/vertex_set.cc" "src/CMakeFiles/benu.dir/graph/vertex_set.cc.o" "gcc" "src/CMakeFiles/benu.dir/graph/vertex_set.cc.o.d"
+  "/root/repo/src/plan/cost_model.cc" "src/CMakeFiles/benu.dir/plan/cost_model.cc.o" "gcc" "src/CMakeFiles/benu.dir/plan/cost_model.cc.o.d"
+  "/root/repo/src/plan/filters.cc" "src/CMakeFiles/benu.dir/plan/filters.cc.o" "gcc" "src/CMakeFiles/benu.dir/plan/filters.cc.o.d"
+  "/root/repo/src/plan/instruction.cc" "src/CMakeFiles/benu.dir/plan/instruction.cc.o" "gcc" "src/CMakeFiles/benu.dir/plan/instruction.cc.o.d"
+  "/root/repo/src/plan/optimizer.cc" "src/CMakeFiles/benu.dir/plan/optimizer.cc.o" "gcc" "src/CMakeFiles/benu.dir/plan/optimizer.cc.o.d"
+  "/root/repo/src/plan/plan_generator.cc" "src/CMakeFiles/benu.dir/plan/plan_generator.cc.o" "gcc" "src/CMakeFiles/benu.dir/plan/plan_generator.cc.o.d"
+  "/root/repo/src/plan/plan_search.cc" "src/CMakeFiles/benu.dir/plan/plan_search.cc.o" "gcc" "src/CMakeFiles/benu.dir/plan/plan_search.cc.o.d"
+  "/root/repo/src/plan/symmetry_breaking.cc" "src/CMakeFiles/benu.dir/plan/symmetry_breaking.cc.o" "gcc" "src/CMakeFiles/benu.dir/plan/symmetry_breaking.cc.o.d"
+  "/root/repo/src/plan/vcbc.cc" "src/CMakeFiles/benu.dir/plan/vcbc.cc.o" "gcc" "src/CMakeFiles/benu.dir/plan/vcbc.cc.o.d"
+  "/root/repo/src/storage/db_cache.cc" "src/CMakeFiles/benu.dir/storage/db_cache.cc.o" "gcc" "src/CMakeFiles/benu.dir/storage/db_cache.cc.o.d"
+  "/root/repo/src/storage/kv_store.cc" "src/CMakeFiles/benu.dir/storage/kv_store.cc.o" "gcc" "src/CMakeFiles/benu.dir/storage/kv_store.cc.o.d"
+  "/root/repo/src/storage/triangle_cache.cc" "src/CMakeFiles/benu.dir/storage/triangle_cache.cc.o" "gcc" "src/CMakeFiles/benu.dir/storage/triangle_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

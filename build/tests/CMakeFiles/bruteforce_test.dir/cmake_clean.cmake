@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bruteforce_test.dir/bruteforce_test.cc.o"
+  "CMakeFiles/bruteforce_test.dir/bruteforce_test.cc.o.d"
+  "bruteforce_test"
+  "bruteforce_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bruteforce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_result_test.dir/compressed_result_test.cc.o"
+  "CMakeFiles/compressed_result_test.dir/compressed_result_test.cc.o.d"
+  "compressed_result_test"
+  "compressed_result_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_result_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

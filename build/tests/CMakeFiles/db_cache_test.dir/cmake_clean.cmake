@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_cache_test.dir/db_cache_test.cc.o"
+  "CMakeFiles/db_cache_test.dir/db_cache_test.cc.o.d"
+  "db_cache_test"
+  "db_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

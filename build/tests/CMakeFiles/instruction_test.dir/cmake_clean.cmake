@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instruction_test.dir/instruction_test.cc.o"
+  "CMakeFiles/instruction_test.dir/instruction_test.cc.o.d"
+  "instruction_test"
+  "instruction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instruction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_based_test.dir/join_based_test.cc.o"
+  "CMakeFiles/join_based_test.dir/join_based_test.cc.o.d"
+  "join_based_test"
+  "join_based_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_based_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_generator_test.dir/plan_generator_test.cc.o"
+  "CMakeFiles/plan_generator_test.dir/plan_generator_test.cc.o.d"
+  "plan_generator_test"
+  "plan_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

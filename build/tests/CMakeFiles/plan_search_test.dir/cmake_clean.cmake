@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_search_test.dir/plan_search_test.cc.o"
+  "CMakeFiles/plan_search_test.dir/plan_search_test.cc.o.d"
+  "plan_search_test"
+  "plan_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/result_writer_test.dir/result_writer_test.cc.o"
+  "CMakeFiles/result_writer_test.dir/result_writer_test.cc.o.d"
+  "result_writer_test"
+  "result_writer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/result_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

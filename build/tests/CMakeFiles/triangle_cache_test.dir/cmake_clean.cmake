@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triangle_cache_test.dir/triangle_cache_test.cc.o"
+  "CMakeFiles/triangle_cache_test.dir/triangle_cache_test.cc.o.d"
+  "triangle_cache_test"
+  "triangle_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triangle_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcbc_test.dir/vcbc_test.cc.o"
+  "CMakeFiles/vcbc_test.dir/vcbc_test.cc.o.d"
+  "vcbc_test"
+  "vcbc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcbc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

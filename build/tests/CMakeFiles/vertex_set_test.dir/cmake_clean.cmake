@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertex_set_test.dir/vertex_set_test.cc.o"
+  "CMakeFiles/vertex_set_test.dir/vertex_set_test.cc.o.d"
+  "vertex_set_test"
+  "vertex_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertex_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcoj_test.dir/wcoj_test.cc.o"
+  "CMakeFiles/wcoj_test.dir/wcoj_test.cc.o.d"
+  "wcoj_test"
+  "wcoj_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcoj_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
