@@ -1,5 +1,9 @@
 #include "common/stopwatch.h"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <time.h>
+#endif
+
 namespace benu {
 
 Stopwatch::Stopwatch() { Restart(); }
@@ -14,6 +18,17 @@ int64_t Stopwatch::ElapsedMicros() const {
   auto now = std::chrono::steady_clock::now();
   return std::chrono::duration_cast<std::chrono::microseconds>(now - start_)
       .count();
+}
+
+double ThreadCpuSeconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return -1.0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+#else
+  return -1.0;
+#endif
 }
 
 }  // namespace benu

@@ -24,6 +24,12 @@ class Stopwatch {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// CPU time consumed by the calling thread, in seconds, or a negative
+/// value when the platform offers no per-thread CPU clock. The executor
+/// stamps tasks with it so the compute times feeding the virtual-time
+/// model are immune to preemption when many OS threads share few cores.
+double ThreadCpuSeconds();
+
 }  // namespace benu
 
 #endif  // BENU_COMMON_STOPWATCH_H_

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/logging.h"
+
 namespace benu {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -12,18 +14,25 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::unique_lock<std::mutex> lock(mu_);
     shutting_down_ = true;
   }
   work_available_.notify_all();
-  for (auto& t : threads_) t.join();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
+    BENU_CHECK(!shutting_down_)
+        << "ThreadPool::Submit called after shutdown began; the task "
+           "would never run";
     queue_.push_back(std::move(task));
     ++in_flight_;
   }

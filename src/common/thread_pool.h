@@ -19,18 +19,24 @@ class ThreadPool {
   /// Spawns `num_threads` workers (at least 1).
   explicit ThreadPool(size_t num_threads);
 
-  /// Drains outstanding work and joins all workers.
+  /// Equivalent to Shutdown().
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Must not be called after Wait() started from another
-  /// thread concurrently with destruction.
+  /// Enqueues a task. Aborts (BENU_CHECK) if shutdown has already begun:
+  /// a task submitted during teardown would silently never run, which is
+  /// exactly the race that bites when a pool outlives its producers.
   void Submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.
   void Wait();
+
+  /// Begins shutdown, drains outstanding work and joins all workers.
+  /// Idempotent; called by the destructor. After it returns, Submit
+  /// aborts instead of enqueueing into a dead pool.
+  void Shutdown();
 
   size_t num_threads() const { return threads_.size(); }
 

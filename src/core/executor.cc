@@ -24,12 +24,16 @@ AdjacencyProvider::Fetch DirectAdjacencyProvider::GetAdjacency(VertexId v) {
 }
 
 AdjacencyProvider::Fetch CachedAdjacencyProvider::GetAdjacency(VertexId v) {
-  bool hit = false;
-  auto set = cache_->GetAdjacency(v, &hit);
+  DbCache::Reply reply = cache_->Get(v);
   Fetch fetch;
-  fetch.cache_hit = hit;
-  fetch.bytes = hit ? 0 : DistributedKvStore::ReplyBytes(set->size());
-  fetch.set = std::move(set);
+  fetch.cache_hit = reply.outcome == DbCache::Outcome::kHit;
+  fetch.coalesced = reply.outcome == DbCache::Outcome::kCoalesced;
+  // A coalesced fetch transfers no bytes of its own: the primary miss
+  // accounts the reply payload once.
+  fetch.bytes = reply.outcome == DbCache::Outcome::kMiss
+                    ? DistributedKvStore::ReplyBytes(reply.value->size())
+                    : 0;
+  fetch.set = std::move(reply.value);
   return fetch;
 }
 
@@ -39,10 +43,14 @@ void TaskStats::Accumulate(const TaskStats& other) {
   adjacency_requests += other.adjacency_requests;
   cache_hits += other.cache_hits;
   db_queries += other.db_queries;
+  coalesced_fetches += other.coalesced_fetches;
   bytes_fetched += other.bytes_fetched;
   intersections += other.intersections;
   tcache_hits += other.tcache_hits;
   wall_seconds += other.wall_seconds;
+  if (other.cpu_seconds >= 0) {
+    cpu_seconds = (cpu_seconds < 0 ? 0 : cpu_seconds) + other.cpu_seconds;
+  }
 }
 
 PlanExecutor::PlanExecutor(const ExecutionPlan* plan,
@@ -281,6 +289,8 @@ void PlanExecutor::Exec(size_t pc) {
         ++stats_.adjacency_requests;
         if (fetch.cache_hit) {
           ++stats_.cache_hits;
+        } else if (fetch.coalesced) {
+          ++stats_.coalesced_fetches;
         } else {
           ++stats_.db_queries;
           stats_.bytes_fetched += fetch.bytes;
@@ -363,6 +373,7 @@ void PlanExecutor::Exec(size_t pc) {
 TaskStats PlanExecutor::RunTask(const SearchTask& task,
                                 MatchConsumer* consumer) {
   Stopwatch watch;
+  const double cpu_start = ThreadCpuSeconds();
   stats_ = TaskStats();
   task_ = &task;
   consumer_ = consumer;
@@ -372,6 +383,9 @@ TaskStats PlanExecutor::RunTask(const SearchTask& task,
   task_ = nullptr;
   consumer_ = nullptr;
   stats_.wall_seconds = watch.ElapsedSeconds();
+  const double cpu_end = ThreadCpuSeconds();
+  stats_.cpu_seconds =
+      (cpu_start >= 0 && cpu_end >= 0) ? cpu_end - cpu_start : -1;
   return stats_;
 }
 

@@ -24,6 +24,10 @@ class AdjacencyProvider {
   struct Fetch {
     std::shared_ptr<const VertexSet> set;
     bool cache_hit = false;
+    /// Miss served by piggybacking on another thread's in-flight store
+    /// query (single-flight coalescing): the caller waited one round
+    /// trip but issued no query of its own.
+    bool coalesced = false;
     size_t bytes = 0;  ///< simulated network bytes (0 on a hit)
   };
 
@@ -83,10 +87,15 @@ struct TaskStats {
   Count adjacency_requests = 0;
   Count cache_hits = 0;
   Count db_queries = 0;       ///< requests that reached the remote store
+  Count coalesced_fetches = 0;  ///< misses served by a sibling's query
   Count bytes_fetched = 0;
   Count intersections = 0;    ///< INT executions + TRC misses
   Count tcache_hits = 0;
   double wall_seconds = 0;
+  /// CPU time of the executing thread; < 0 when the platform cannot
+  /// measure it. The cluster's virtual-time model prefers this over
+  /// wall_seconds so concurrent execution does not inflate task times.
+  double cpu_seconds = -1;
 
   void Accumulate(const TaskStats& other);
 };

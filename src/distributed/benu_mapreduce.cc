@@ -122,6 +122,7 @@ StatusOr<MapReduceBenuResult> RunBenuOnMapReduce(
     DbCacheStats stats = ctx.cache->stats();
     result.cache.hits += stats.hits;
     result.cache.misses += stats.misses;
+    result.cache.coalesced += stats.coalesced;
   }
   return result;
 }

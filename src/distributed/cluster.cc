@@ -4,7 +4,9 @@
 #include <atomic>
 #include <memory>
 #include <queue>
+#include <thread>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "distributed/task.h"
@@ -71,81 +73,164 @@ StatusOr<ClusterRunResult> ClusterSimulator::Run(
     per_worker[i % static_cast<size_t>(p)].push_back(tasks[i]);
   }
 
-  const int exec_threads = std::max(1, config_.execution_threads);
-  result.workers.resize(static_cast<size_t>(p));
-  for (int w = 0; w < p; ++w) {
-    WorkerSummary& summary = result.workers[static_cast<size_t>(w)];
-    const std::vector<SearchTask>& tasks =
-        per_worker[static_cast<size_t>(w)];
-    DbCache cache(&store_, config_.db_cache_bytes);
-    CachedAdjacencyProvider provider(&cache, data_graph_.NumVertices());
+  const unsigned hw = std::thread::hardware_concurrency();
+  int exec_threads = std::max(1, config_.execution_threads);
+  if (!config_.allow_thread_oversubscription && hw > 0 &&
+      exec_threads > static_cast<int>(hw)) {
+    BENU_LOG(Warning)
+        << "execution_threads=" << exec_threads
+        << " exceeds hardware concurrency (" << hw
+        << "); clamping so oversubscribed wall times do not pollute the "
+           "virtual-time model (set allow_thread_oversubscription to "
+           "override)";
+    exec_threads = static_cast<int>(hw);
+  }
+  result.execution_threads = exec_threads;
 
-    // One execution context per OS thread; the DB cache is the shared
-    // structure (as in Fig. 2), everything else is thread-private.
-    struct ThreadContext {
-      std::unique_ptr<TriangleCache> tcache;
-      std::unique_ptr<PlanExecutor> executor;
-      std::unique_ptr<CountingConsumer> consumer;
-      TaskStats totals;
-    };
-    std::vector<ThreadContext> contexts(static_cast<size_t>(exec_threads));
-    for (ThreadContext& ctx : contexts) {
+  // One execution context per OS thread of a worker; the worker's DB
+  // cache is the shared structure (as in Fig. 2), everything else is
+  // thread-private.
+  struct ThreadContext {
+    std::unique_ptr<TriangleCache> tcache;
+    std::unique_ptr<PlanExecutor> executor;
+    std::unique_ptr<CountingConsumer> consumer;
+    Count steals = 0;
+  };
+  struct WorkerState {
+    const std::vector<SearchTask>* tasks = nullptr;
+    std::unique_ptr<DbCache> cache;
+    std::unique_ptr<CachedAdjacencyProvider> provider;
+    std::vector<ThreadContext> contexts;
+    std::unique_ptr<WorkStealingScheduler> scheduler;
+    std::vector<TaskStats> per_task;
+    std::atomic<int> remaining{0};
+    double real_seconds = 0;
+  };
+
+  // Set up every worker before any of them runs, so executor-compile
+  // errors surface before a single task executes.
+  std::vector<std::unique_ptr<WorkerState>> workers;
+  workers.reserve(static_cast<size_t>(p));
+  for (int w = 0; w < p; ++w) {
+    auto ws = std::make_unique<WorkerState>();
+    ws->tasks = &per_worker[static_cast<size_t>(w)];
+    ws->cache = std::make_unique<DbCache>(&store_, config_.db_cache_bytes);
+    ws->provider = std::make_unique<CachedAdjacencyProvider>(
+        ws->cache.get(), data_graph_.NumVertices());
+    ws->contexts.resize(static_cast<size_t>(exec_threads));
+    for (ThreadContext& ctx : ws->contexts) {
       ctx.tcache = std::make_unique<TriangleCache>();
       auto executor = PlanExecutor::Create(
-          &plan, &provider, ctx.tcache.get(),
+          &plan, ws->provider.get(), ctx.tcache.get(),
           degree_floors.empty() ? nullptr : &degree_floors, data_labels);
       BENU_RETURN_IF_ERROR(executor.status());
       ctx.executor = std::move(executor).value();
       ctx.consumer = std::make_unique<CountingConsumer>(plan);
     }
+    ws->scheduler = std::make_unique<WorkStealingScheduler>(
+        ws->tasks->size(), static_cast<size_t>(exec_threads));
+    ws->per_task.resize(ws->tasks->size());
+    ws->remaining.store(exec_threads, std::memory_order_relaxed);
+    workers.push_back(std::move(ws));
+  }
 
-    std::vector<TaskStats> per_task(tasks.size());
-    auto run_range = [&](ThreadContext* ctx, std::atomic<size_t>* next) {
-      for (size_t i = next->fetch_add(1); i < tasks.size();
-           i = next->fetch_add(1)) {
-        per_task[i] = ctx->executor->RunTask(tasks[i], ctx->consumer.get());
-        ctx->totals.Accumulate(per_task[i]);
-      }
-    };
-    std::atomic<size_t> next_task{0};
-    if (exec_threads == 1) {
-      run_range(&contexts[0], &next_task);
-    } else {
-      ThreadPool pool(static_cast<size_t>(exec_threads));
-      for (ThreadContext& ctx : contexts) {
-        pool.Submit([&run_range, &ctx, &next_task] {
-          run_range(&ctx, &next_task);
-        });
-      }
-      pool.Wait();
+  // One execution thread of one worker: claim tasks (stealing from
+  // sibling threads when the own deque runs dry) until the worker's task
+  // list is exhausted.
+  auto run_thread = [&total_watch](WorkerState* ws, size_t t) {
+    ThreadContext& ctx = ws->contexts[t];
+    size_t index = 0;
+    bool stolen = false;
+    while (ws->scheduler->Claim(t, &index, &stolen)) {
+      if (stolen) ++ctx.steals;
+      ws->per_task[index] =
+          ctx.executor->RunTask((*ws->tasks)[index], ctx.consumer.get());
     }
+    if (ws->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      ws->real_seconds = total_watch.ElapsedSeconds();
+    }
+  };
+
+  // All p workers run concurrently on one shared pool sized by the
+  // hardware (Fig. 2's p workers × w threads, collapsed onto one
+  // machine). max_runtime_threads = 1 reproduces the sequential seed.
+  const size_t total_contexts =
+      static_cast<size_t>(p) * static_cast<size_t>(exec_threads);
+  size_t pool_threads;
+  if (config_.max_runtime_threads > 0) {
+    pool_threads = static_cast<size_t>(config_.max_runtime_threads);
+  } else if (config_.allow_thread_oversubscription) {
+    pool_threads = total_contexts;
+  } else {
+    pool_threads = hw > 0 ? static_cast<size_t>(hw) : 1;
+  }
+  pool_threads = std::max<size_t>(1, std::min(pool_threads, total_contexts));
+  result.runtime_threads = static_cast<int>(pool_threads);
+
+  if (pool_threads == 1) {
+    // Degenerate pool: run inline and spare the thread churn (this is
+    // the sequential seed's execution order).
+    for (auto& ws : workers) {
+      for (size_t t = 0; t < ws->contexts.size(); ++t) {
+        run_thread(ws.get(), t);
+      }
+    }
+  } else {
+    ThreadPool pool(pool_threads);
+    for (auto& ws : workers) {
+      for (size_t t = 0; t < ws->contexts.size(); ++t) {
+        WorkerState* state = ws.get();
+        pool.Submit([&run_thread, state, t] { run_thread(state, t); });
+      }
+    }
+    pool.Wait();
+  }
+
+  // Aggregate in worker order so totals are independent of the actual
+  // thread interleaving (integer totals per task are interleaving-
+  // invariant; summation order here is fixed).
+  for (int w = 0; w < p; ++w) {
+    WorkerState& ws = *workers[static_cast<size_t>(w)];
+    result.workers.emplace_back();
+    WorkerSummary& summary = result.workers.back();
 
     std::vector<double> virtual_times;
-    virtual_times.reserve(tasks.size());
-    for (const TaskStats& stats : per_task) {
+    virtual_times.reserve(ws.per_task.size());
+    for (const TaskStats& stats : ws.per_task) {
+      summary.totals.Accumulate(stats);
+      // Coalesced fetches issue no query of their own but do wait out
+      // the primary's round trip, so they are charged the latency (not
+      // the bytes) in the task's virtual time.
       const double network_us =
-          static_cast<double>(stats.db_queries) * config_.db_query_latency_us +
+          static_cast<double>(stats.db_queries + stats.coalesced_fetches) *
+              config_.db_query_latency_us +
           static_cast<double>(stats.bytes_fetched) /
               std::max(1e-9, config_.network_bytes_per_us);
-      const double virtual_us = stats.wall_seconds * 1e6 + network_us;
+      const double compute_us =
+          (stats.cpu_seconds >= 0 ? stats.cpu_seconds : stats.wall_seconds) *
+          1e6;
+      const double virtual_us = compute_us + network_us;
       virtual_times.push_back(virtual_us);
       summary.busy_virtual_us += virtual_us;
       result.task_virtual_us.push_back(virtual_us);
     }
     Count worker_matches = 0;
-    for (ThreadContext& ctx : contexts) {
-      summary.totals.Accumulate(ctx.totals);
+    for (ThreadContext& ctx : ws.contexts) {
       worker_matches += ctx.consumer->matches();
       result.total_matches += ctx.consumer->matches();
       result.total_codes += ctx.consumer->codes();
       result.code_units += ctx.consumer->code_units();
+      summary.steals += ctx.steals;
     }
-    summary.tasks = tasks.size();
+    summary.tasks = ws.tasks->size();
     summary.totals.matches = worker_matches;
-    summary.cache = cache.stats();
+    summary.cache = ws.cache->stats();
+    summary.real_seconds = ws.real_seconds;
     summary.makespan_virtual_us =
         ListScheduleMakespan(virtual_times, config_.threads_per_worker);
+    result.steals += summary.steals;
     result.db_queries += summary.totals.db_queries;
+    result.coalesced_fetches += summary.totals.coalesced_fetches;
     result.bytes_fetched += summary.totals.bytes_fetched;
     result.adjacency_requests += summary.totals.adjacency_requests;
     result.cache_hits += summary.totals.cache_hits;

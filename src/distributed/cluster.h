@@ -39,6 +39,17 @@ struct ClusterConfig {
   /// machines, where extra threads only add measurement noise to the
   /// per-task times that feed the virtual-time model.
   int execution_threads = 1;
+  /// When false (the default), execution_threads is clamped to the
+  /// host's hardware concurrency with a warning: oversubscribed OS
+  /// threads inflate measured per-task wall times, which pollutes the
+  /// virtual-time model on machines without a per-thread CPU clock.
+  /// Tests that must exercise preemptive interleaving set this to true.
+  bool allow_thread_oversubscription = false;
+  /// Size cap of the shared runtime pool that executes all workers'
+  /// threads concurrently. 0 sizes the pool by hardware concurrency;
+  /// 1 reproduces the sequential seed runtime (workers drain one after
+  /// another on a single OS thread).
+  int max_runtime_threads = 0;
   /// Simulated round-trip latency charged per remote DB query, µs.
   double db_query_latency_us = 100.0;
   /// Simulated network bandwidth, bytes per µs (125 ≈ 1 Gbps).
@@ -50,10 +61,16 @@ struct WorkerSummary {
   size_t tasks = 0;
   TaskStats totals;
   DbCacheStats cache;
+  /// Tasks the worker's threads claimed from a sibling thread's deque.
+  Count steals = 0;
   /// Σ task virtual time (compute + simulated network), µs.
   double busy_virtual_us = 0;
   /// Makespan of the worker's tasks list-scheduled on its threads, µs.
   double makespan_virtual_us = 0;
+  /// Real wall time from run start until the worker's last execution
+  /// thread finished, seconds. Workers run concurrently, so these
+  /// overlap; they do not sum to ClusterRunResult::real_seconds.
+  double real_seconds = 0;
 };
 
 /// Aggregate outcome of one distributed enumeration.
@@ -67,7 +84,18 @@ struct ClusterRunResult {
   Count bytes_fetched = 0;
   Count adjacency_requests = 0;
   Count cache_hits = 0;
+  /// Cache misses served by piggybacking on another thread's in-flight
+  /// store query (single-flight coalescing): no store traffic of their
+  /// own. adjacency_requests == cache_hits + db_queries +
+  /// coalesced_fetches.
+  Count coalesced_fetches = 0;
+  /// Work-stealing claims across all workers' threads.
+  Count steals = 0;
   size_t num_tasks = 0;
+  /// OS threads in the shared runtime pool that executed this run.
+  int runtime_threads = 0;
+  /// Per-worker execution threads actually used (after clamping).
+  int execution_threads = 0;
   /// Cluster virtual execution time: max worker makespan, seconds.
   double virtual_seconds = 0;
   /// Real wall time of the in-process simulation, seconds.

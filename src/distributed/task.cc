@@ -27,4 +27,54 @@ std::vector<SearchTask> GenerateSearchTasks(const Graph& data_graph,
   return tasks;
 }
 
+WorkStealingScheduler::WorkStealingScheduler(size_t num_tasks,
+                                             size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  queues_.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  for (size_t i = 0; i < num_tasks; ++i) {
+    queues_[i % num_threads]->tasks.push_back(i);
+  }
+}
+
+bool WorkStealingScheduler::Claim(size_t thread, size_t* task_index,
+                                  bool* stolen) {
+  Queue& own = *queues_[thread % queues_.size()];
+  {
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      *task_index = own.tasks.front();
+      own.tasks.pop_front();
+      if (stolen != nullptr) *stolen = false;
+      return true;
+    }
+  }
+  // Own deque is dry: steal from the back of the most loaded sibling.
+  // Sizes are sampled one lock at a time, so the choice is heuristic; the
+  // claim itself re-checks under the victim's lock. Tasks never re-enter
+  // a deque, so "every deque observed empty" is a stable termination
+  // condition.
+  for (;;) {
+    size_t victim = queues_.size();
+    size_t victim_size = 0;
+    for (size_t q = 0; q < queues_.size(); ++q) {
+      if (q == thread % queues_.size()) continue;
+      std::lock_guard<std::mutex> lock(queues_[q]->mu);
+      if (queues_[q]->tasks.size() > victim_size) {
+        victim = q;
+        victim_size = queues_[q]->tasks.size();
+      }
+    }
+    if (victim == queues_.size()) return false;
+    std::lock_guard<std::mutex> lock(queues_[victim]->mu);
+    if (queues_[victim]->tasks.empty()) continue;  // lost the race; rescan
+    *task_index = queues_[victim]->tasks.back();
+    queues_[victim]->tasks.pop_back();
+    if (stolen != nullptr) *stolen = true;
+    return true;
+  }
+}
+
 }  // namespace benu

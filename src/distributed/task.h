@@ -2,6 +2,9 @@
 #define BENU_DISTRIBUTED_TASK_H_
 
 #include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/executor.h"
@@ -22,6 +25,41 @@ namespace benu {
 std::vector<SearchTask> GenerateSearchTasks(const Graph& data_graph,
                                             const ExecutionPlan& plan,
                                             uint32_t tau);
+
+/// Work-stealing claim over one worker's task list (§V: w threads per
+/// worker execute the worker's local search tasks). Task indices
+/// [0, num_tasks) are dealt round-robin into one deque per thread — the
+/// same even spread the shuffle gives workers. An owner claims from the
+/// front of its own deque; a thread whose deque runs dry steals from the
+/// back of the most loaded sibling, so a straggler task (§V-B, Fig. 9)
+/// pins one thread while the rest of the worker's tasks drain on its
+/// siblings instead of idling behind a shared cursor position.
+///
+/// Thread-safe; Claim may be called concurrently from any thread as long
+/// as each caller passes a distinct `thread` id (owners must be unique,
+/// stealing is unrestricted).
+class WorkStealingScheduler {
+ public:
+  WorkStealingScheduler(size_t num_tasks, size_t num_threads);
+
+  WorkStealingScheduler(const WorkStealingScheduler&) = delete;
+  WorkStealingScheduler& operator=(const WorkStealingScheduler&) = delete;
+
+  /// Claims the next task for `thread`. Returns false when no tasks are
+  /// left anywhere (the worker is done). `*stolen`, if non-null, reports
+  /// whether the claim came from a sibling's deque.
+  bool Claim(size_t thread, size_t* task_index, bool* stolen = nullptr);
+
+  size_t num_threads() const { return queues_.size(); }
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<size_t> tasks;
+  };
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+};
 
 }  // namespace benu
 

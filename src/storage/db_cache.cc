@@ -12,41 +12,84 @@ DbCache::DbCache(const DistributedKvStore* store, size_t capacity_bytes,
   }
 }
 
-std::shared_ptr<const VertexSet> DbCache::GetAdjacency(VertexId v,
-                                                       bool* was_hit) {
+DbCache::Reply DbCache::Get(VertexId v) {
   Shard& shard = ShardFor(v);
+  std::shared_ptr<Flight> flight;
+  bool primary = false;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.index.find(v);
     if (it != shard.index.end()) {
       ++shard.hits;
-      if (was_hit != nullptr) *was_hit = true;
       // Move to the front of the LRU list.
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      return it->second->value;
+      return Reply{it->second->value, Outcome::kHit};
     }
-    ++shard.misses;
+    auto fit = shard.inflight.find(v);
+    if (fit != shard.inflight.end()) {
+      // Another thread is already fetching v: piggyback on its query.
+      ++shard.coalesced;
+      flight = fit->second;
+    } else {
+      ++shard.misses;
+      flight = std::make_shared<Flight>();
+      shard.inflight.emplace(v, flight);
+      primary = true;
+    }
   }
-  if (was_hit != nullptr) *was_hit = false;
-  // Miss path: query the distributed database outside the shard lock so a
-  // slow remote fetch does not block other threads hitting this shard.
+
+  if (!primary) {
+    std::unique_lock<std::mutex> fl(flight->mu);
+    flight->ready_cv.wait(fl, [&flight] { return flight->ready; });
+    return Reply{flight->value, Outcome::kCoalesced};
+  }
+
+  // Primary miss path: query the distributed database outside any lock so
+  // a slow remote fetch blocks neither other keys of this shard nor the
+  // waiters of other flights.
   std::shared_ptr<const VertexSet> value = store_->GetAdjacency(v);
-  if (capacity_bytes_ == 0) return value;
   const size_t bytes = EntryBytes(*value);
-  const size_t shard_capacity = capacity_bytes_ / shards_.size();
-  if (bytes > shard_capacity) return value;  // too large to retain
-  std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.index.count(v) > 0) return value;  // raced with another thread
-  shard.lru.push_front(Entry{v, value, bytes});
-  shard.index[v] = shard.lru.begin();
-  shard.bytes += bytes;
-  while (shard.bytes > shard_capacity && !shard.lru.empty()) {
-    const Entry& victim = shard.lru.back();
-    shard.bytes -= victim.bytes;
-    shard.index.erase(victim.key);
-    shard.lru.pop_back();
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.inflight.erase(v);
+    const size_t shard_capacity =
+        capacity_bytes_ == 0 ? 0 : capacity_bytes_ / shards_.size();
+    if (bytes <= shard_capacity) {  // capacity 0 / oversized: not retained
+      auto it = shard.index.find(v);
+      if (it != shard.index.end()) {
+        // Raced insert (unreachable while single-flight holds, kept as
+        // defense): the entry is hot — promote it to MRU instead of
+        // leaving it where a concurrent eviction pass would take it.
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      } else {
+        shard.lru.push_front(Entry{v, value, bytes});
+        shard.index[v] = shard.lru.begin();
+        shard.bytes += bytes;
+        while (shard.bytes > shard_capacity && !shard.lru.empty()) {
+          const Entry& victim = shard.lru.back();
+          shard.bytes -= victim.bytes;
+          shard.index.erase(victim.key);
+          shard.lru.pop_back();
+        }
+      }
+    }
   }
-  return value;
+  // Publish to waiters only after the flight is unlinked from the shard,
+  // so a late Get either sees the cached entry or starts a fresh flight.
+  {
+    std::lock_guard<std::mutex> fl(flight->mu);
+    flight->value = value;
+    flight->ready = true;
+  }
+  flight->ready_cv.notify_all();
+  return Reply{std::move(value), Outcome::kMiss};
+}
+
+std::shared_ptr<const VertexSet> DbCache::GetAdjacency(VertexId v,
+                                                       bool* was_hit) {
+  Reply reply = Get(v);
+  if (was_hit != nullptr) *was_hit = reply.outcome == Outcome::kHit;
+  return std::move(reply.value);
 }
 
 DbCacheStats DbCache::stats() const {
@@ -55,6 +98,7 @@ DbCacheStats DbCache::stats() const {
     std::lock_guard<std::mutex> lock(shard->mu);
     total.hits += shard->hits;
     total.misses += shard->misses;
+    total.coalesced += shard->coalesced;
   }
   return total;
 }

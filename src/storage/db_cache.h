@@ -1,7 +1,7 @@
 #ifndef BENU_STORAGE_DB_CACHE_H_
 #define BENU_STORAGE_DB_CACHE_H_
 
-#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <list>
 #include <memory>
@@ -15,13 +15,17 @@
 
 namespace benu {
 
-/// Hit/miss statistics of a database cache.
+/// Hit/miss statistics of a database cache. Every lookup is counted in
+/// exactly one bucket: `hits` (served from cache), `misses` (this lookup
+/// issued the store query) or `coalesced` (this lookup waited on another
+/// thread's in-flight query for the same key — no store traffic).
 struct DbCacheStats {
   Count hits = 0;
   Count misses = 0;
+  Count coalesced = 0;
 
   double HitRate() const {
-    const Count total = hits + misses;
+    const Count total = hits + misses + coalesced;
     return total == 0 ? 0.0 : static_cast<double>(hits) / total;
   }
 };
@@ -37,19 +41,42 @@ struct DbCacheStats {
 /// Sharded LRU: the key space is split over independent shards, each with
 /// its own mutex, list and map, so concurrent worker threads do not
 /// serialize on one lock.
+///
+/// Single-flight misses: concurrent lookups of the same absent key are
+/// coalesced — exactly one thread (the primary) queries the distributed
+/// store while the others block on the in-flight entry and share its
+/// reply, so N racing threads cost one remote query instead of N.
 class DbCache {
  public:
+  /// How one Get was served.
+  enum class Outcome {
+    kHit,        ///< present in the cache
+    kMiss,       ///< this call queried the distributed store
+    kCoalesced,  ///< waited on another thread's in-flight store query
+  };
+
+  struct Reply {
+    std::shared_ptr<const VertexSet> value;
+    Outcome outcome = Outcome::kMiss;
+  };
+
   /// `capacity_bytes` == 0 disables caching (every get is a miss that
-  /// goes to the store and is not retained).
+  /// goes to the store and is not retained; concurrent misses still
+  /// coalesce).
   DbCache(const DistributedKvStore* store, size_t capacity_bytes,
           size_t num_shards = 8);
 
   DbCache(const DbCache&) = delete;
   DbCache& operator=(const DbCache&) = delete;
 
-  /// Returns Γ(v), from cache when present, otherwise querying the
-  /// distributed store and inserting the reply. `was_hit`, if non-null,
-  /// reports whether this call was served from cache.
+  /// Returns Γ(v) and how the lookup was served: from cache when present,
+  /// otherwise querying the distributed store (or piggybacking on a
+  /// concurrent in-flight query) and inserting the reply.
+  Reply Get(VertexId v);
+
+  /// Convenience wrapper around Get. `was_hit`, if non-null, reports
+  /// whether this call was served from cache (coalesced waits count as
+  /// not-hit: the caller did pay a remote round trip, just a shared one).
   std::shared_ptr<const VertexSet> GetAdjacency(VertexId v,
                                                 bool* was_hit = nullptr);
 
@@ -67,13 +94,22 @@ class DbCache {
     std::shared_ptr<const VertexSet> value;
     size_t bytes;
   };
+  /// One in-flight store query; waiters block on `ready_cv`.
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable ready_cv;
+    std::shared_ptr<const VertexSet> value;
+    bool ready = false;
+  };
   struct Shard {
     mutable std::mutex mu;
     std::list<Entry> lru;  // front = most recent
     std::unordered_map<VertexId, std::list<Entry>::iterator> index;
+    std::unordered_map<VertexId, std::shared_ptr<Flight>> inflight;
     size_t bytes = 0;
     Count hits = 0;
     Count misses = 0;
+    Count coalesced = 0;
   };
 
   Shard& ShardFor(VertexId v) { return *shards_[v % shards_.size()]; }

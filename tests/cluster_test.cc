@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <thread>
 
 #include "baselines/bruteforce.h"
 #include "distributed/benu_driver.h"
@@ -115,16 +116,25 @@ TEST(ClusterTest, StatsAreInternallyConsistent) {
   ClusterSimulator cluster(data, SmallCluster());
   auto result = cluster.Run(plan->plan);
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result->adjacency_requests,
-            result->cache_hits + result->db_queries);
+  EXPECT_EQ(result->adjacency_requests, result->cache_hits +
+                                            result->db_queries +
+                                            result->coalesced_fetches);
   EXPECT_EQ(result->task_virtual_us.size(), result->num_tasks);
   size_t tasks_across_workers = 0;
+  Count coalesced_in_caches = 0;
   for (const WorkerSummary& w : result->workers) {
     tasks_across_workers += w.tasks;
+    coalesced_in_caches += w.cache.coalesced;
     EXPECT_LE(w.makespan_virtual_us, w.busy_virtual_us + 1e-6);
+    EXPECT_GT(w.real_seconds, 0.0);
+    EXPECT_LE(w.real_seconds, result->real_seconds + 1e-6);
   }
   EXPECT_EQ(tasks_across_workers, result->num_tasks);
+  // The executors' view of coalescing agrees with the caches'.
+  EXPECT_EQ(coalesced_in_caches, result->coalesced_fetches);
   EXPECT_GT(result->virtual_seconds, 0.0);
+  EXPECT_GE(result->runtime_threads, 1);
+  EXPECT_GE(result->execution_threads, 1);
 }
 
 TEST(ClusterTest, RealExecutionThreadsPreserveCounts) {
@@ -141,18 +151,86 @@ TEST(ClusterTest, RealExecutionThreadsPreserveCounts) {
   for (int threads : {1, 2, 4}) {
     ClusterConfig config = SmallCluster();
     config.execution_threads = threads;
+    // Keep real threads even on single-core CI machines so the counts
+    // are genuinely produced under preemptive interleaving.
+    config.allow_thread_oversubscription = true;
     config.task_split_threshold = 12;
     ClusterSimulator cluster(data, config);
     auto result = cluster.Run(plan->plan);
     ASSERT_TRUE(result.ok()) << threads;
+    EXPECT_EQ(result->execution_threads, threads);
     if (threads == 1) {
       serial_matches = result->total_matches;
     } else {
       EXPECT_EQ(result->total_matches, serial_matches) << threads;
     }
-    EXPECT_EQ(result->adjacency_requests,
-              result->cache_hits + result->db_queries);
+    EXPECT_EQ(result->adjacency_requests, result->cache_hits +
+                                              result->db_queries +
+                                              result->coalesced_fetches);
     EXPECT_EQ(result->task_virtual_us.size(), result->num_tasks);
+  }
+}
+
+TEST(ClusterTest, ExecutionThreadsClampedToHardware) {
+  auto raw = GenerateBarabasiAlbert(80, 4, 3);
+  ASSERT_TRUE(raw.ok());
+  Graph data = raw->RelabelByDegree();
+  Graph p = std::move(GetPattern("triangle")).value();
+  auto plan = GenerateBestPlan(p, DataGraphStats::FromGraph(data));
+  ASSERT_TRUE(plan.ok());
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  ClusterConfig config = SmallCluster();
+  config.execution_threads = 4096;  // absurd oversubscription
+  ClusterSimulator cluster(data, config);
+  auto result = cluster.Run(plan->plan);
+  ASSERT_TRUE(result.ok());
+  if (hw > 0) {
+    EXPECT_LE(result->execution_threads, hw);
+  } else {
+    EXPECT_EQ(result->execution_threads, 4096);  // unknown: not clamped
+  }
+
+  // The escape hatch preserves the configured count.
+  config.allow_thread_oversubscription = true;
+  config.execution_threads = 3;
+  ClusterSimulator unclamped(data, config);
+  auto result2 = unclamped.Run(plan->plan);
+  ASSERT_TRUE(result2.ok());
+  EXPECT_EQ(result2->execution_threads, 3);
+  EXPECT_EQ(result2->total_matches, result->total_matches);
+}
+
+TEST(ClusterTest, ThreadInterleavingDoesNotChangeCounts) {
+  // Two runs of the same plan with 4 oversubscribed execution threads
+  // (plus a sequential reference) must agree on every logical count:
+  // totals may not depend on which thread claimed which task.
+  auto raw = GenerateBarabasiAlbert(180, 5, 91);
+  ASSERT_TRUE(raw.ok());
+  Graph data = raw->RelabelByDegree();
+  Graph p = std::move(GetPattern("q4")).value();
+  auto plan = GenerateBestPlan(p, DataGraphStats::FromGraph(data),
+                               {.optimize = true, .apply_vcbc = true});
+  ASSERT_TRUE(plan.ok());
+  ClusterConfig config = SmallCluster();
+  config.execution_threads = 4;
+  config.allow_thread_oversubscription = true;
+  config.task_split_threshold = 10;
+
+  ClusterConfig sequential = config;
+  sequential.execution_threads = 1;
+  sequential.max_runtime_threads = 1;
+  ClusterSimulator reference(data, sequential);
+  auto expected = reference.Run(plan->plan);
+  ASSERT_TRUE(expected.ok());
+
+  for (int run = 0; run < 2; ++run) {
+    ClusterSimulator cluster(data, config);
+    auto result = cluster.Run(plan->plan);
+    ASSERT_TRUE(result.ok()) << run;
+    EXPECT_EQ(result->total_matches, expected->total_matches) << run;
+    EXPECT_EQ(result->total_codes, expected->total_codes) << run;
+    EXPECT_EQ(result->code_units, expected->code_units) << run;
+    EXPECT_EQ(result->num_tasks, expected->num_tasks) << run;
   }
 }
 

@@ -126,5 +126,33 @@ TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
   EXPECT_EQ(counter.load(), 1);
 }
 
+TEST(ThreadPoolTest, ShutdownDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.Submit([] {});
+  pool.Shutdown();
+  pool.Shutdown();  // must not deadlock or double-join
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(1);
+        pool.Shutdown();
+        pool.Submit([] {});
+      },
+      "Submit called after shutdown");
+}
+
 }  // namespace
 }  // namespace benu

@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <map>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "graph/generators.h"
 #include "graph/patterns.h"
 #include "plan/plan_search.h"
@@ -67,6 +69,71 @@ TEST(TaskTest, ThresholdBoundary) {
     if (star.Degree(t.start) == 10) ++hub_tasks;
   }
   EXPECT_EQ(hub_tasks, 1u);  // ⌈10/10⌉ = 1 subtask, still "split"
+}
+
+TEST(WorkStealingSchedulerTest, SingleThreadClaimsAllInOrder) {
+  WorkStealingScheduler scheduler(5, 1);
+  size_t index = 0;
+  bool stolen = true;
+  for (size_t expected = 0; expected < 5; ++expected) {
+    ASSERT_TRUE(scheduler.Claim(0, &index, &stolen));
+    EXPECT_EQ(index, expected);
+    EXPECT_FALSE(stolen);
+  }
+  EXPECT_FALSE(scheduler.Claim(0, &index, &stolen));
+}
+
+TEST(WorkStealingSchedulerTest, DrainedOwnerStealsFromSibling) {
+  // Round-robin deal over 2 threads: thread 0 owns {0,2,4,6}, thread 1
+  // owns {1,3,5,7}. Thread 0 claims everything; once its own deque is
+  // dry it must steal thread 1's tasks from the back.
+  WorkStealingScheduler scheduler(8, 2);
+  std::vector<size_t> own, stolen_tasks;
+  size_t index = 0;
+  bool stolen = false;
+  while (scheduler.Claim(0, &index, &stolen)) {
+    (stolen ? stolen_tasks : own).push_back(index);
+  }
+  EXPECT_EQ(own, (std::vector<size_t>{0, 2, 4, 6}));
+  // Steals come from the victim's back: 7, 5, 3, 1.
+  EXPECT_EQ(stolen_tasks, (std::vector<size_t>{7, 5, 3, 1}));
+  EXPECT_FALSE(scheduler.Claim(1, &index, &stolen));
+}
+
+TEST(WorkStealingSchedulerTest, StealsTargetTheMostLoadedSibling) {
+  // Thread 1 drains its own deque first; its steal must then come from
+  // whichever sibling has the most tasks left (thread 0 or 2 both start
+  // with 4; after thread 0 claims twice, thread 2 is the most loaded).
+  WorkStealingScheduler scheduler(12, 3);  // t0:{0,3,6,9} t1:{1,4,7,10} t2:{2,5,8,11}
+  size_t index = 0;
+  bool stolen = false;
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(scheduler.Claim(0, &index, &stolen));
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(scheduler.Claim(1, &index, &stolen));
+  ASSERT_TRUE(scheduler.Claim(1, &index, &stolen));
+  EXPECT_TRUE(stolen);
+  EXPECT_EQ(index, 11u);  // back of thread 2's deque
+}
+
+TEST(WorkStealingSchedulerTest, ConcurrentClaimsCoverEveryTaskOnce) {
+  constexpr size_t kTasks = 2000;
+  constexpr size_t kThreads = 4;
+  WorkStealingScheduler scheduler(kTasks, kThreads);
+  std::vector<std::vector<size_t>> claimed(kThreads);
+  ThreadPool pool(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    pool.Submit([&scheduler, &claimed, t] {
+      size_t index = 0;
+      while (scheduler.Claim(t, &index, nullptr)) {
+        claimed[t].push_back(index);
+      }
+    });
+  }
+  pool.Wait();
+  std::vector<size_t> all;
+  for (const auto& c : claimed) all.insert(all.end(), c.begin(), c.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), kTasks);
+  for (size_t i = 0; i < kTasks; ++i) EXPECT_EQ(all[i], i);
 }
 
 }  // namespace
