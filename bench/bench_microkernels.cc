@@ -2,12 +2,25 @@
 // the table/figure harnesses: set intersection kernels, the DB cache hit
 // and miss paths, the triangle cache, plan generation, and one full local
 // search task. Useful for regression-tracking the executor's inner loops.
+//
+// Before the google-benchmark registrations run, main() executes the
+// intersection-kernel suite (scalar merge/gallop vs AVX2 vs fused-filter,
+// across size ratios) and writes the results to BENCH_kernels.json in the
+// working directory, so successive PRs can track the kernel-layer perf
+// trajectory mechanically.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
 #include "core/executor.h"
 #include "graph/generators.h"
 #include "graph/patterns.h"
+#include "graph/simd_intersect.h"
 #include "plan/optimizer.h"
 #include "plan/plan_generator.h"
 #include "plan/plan_search.h"
@@ -105,7 +118,159 @@ void BM_LocalSearchTask(benchmark::State& state) {
 }
 BENCHMARK(BM_LocalSearchTask);
 
+// ---------------------------------------------------------------------
+// Intersection-kernel suite: hand-rolled (not google-benchmark) so one
+// run emits a single machine-readable JSON file with the scalar-vs-SIMD
+// speedups, independent of benchmark CLI flags.
+
+struct KernelResult {
+  std::string test_case;
+  std::string kernel;
+  size_t small_size = 0;
+  size_t large_size = 0;
+  double ns_per_call = 0;
+  double speedup_vs_scalar = 1.0;
+};
+
+VertexSet RandomSorted(Rng* rng, size_t size, uint64_t universe) {
+  VertexSet s;
+  s.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    s.push_back(static_cast<VertexId>(rng->NextBounded(universe)));
+  }
+  std::sort(s.begin(), s.end());
+  s.erase(std::unique(s.begin(), s.end()), s.end());
+  return s;
+}
+
+// Best-of-3 nanoseconds per call of `fn` (called `iters` times per rep).
+template <typename Fn>
+double TimeNs(size_t iters, Fn&& fn) {
+  double best = 1e18;
+  for (int rep = 0; rep < 3; ++rep) {
+    Stopwatch watch;
+    for (size_t i = 0; i < iters; ++i) fn();
+    best = std::min(best, watch.ElapsedSeconds() * 1e9 /
+                              static_cast<double>(iters));
+  }
+  return best;
+}
+
+void RunKernelSuite(const char* json_path) {
+  const bool simd_at_start = simd::SimdEnabled();
+  std::vector<KernelResult> results;
+  Rng rng(42);
+  // Size ratios from balanced to beyond the galloping threshold (32); the
+  // dispatcher picks merge/SIMD below it and galloping above it.
+  const size_t kSmall = 4096;
+  const size_t ratios[] = {1, 4, 16, 64, 256};
+  std::printf("Intersection kernels (CPU kernel family: %s)\n",
+              simd::ActiveKernelName());
+  std::printf("%-28s %10s %10s %12s %10s\n", "case", "|small|", "|large|",
+              "ns/call", "speedup");
+  for (size_t ratio : ratios) {
+    const uint64_t universe = 2 * kSmall * ratio;  // ~50% hit density
+    const VertexSet a = RandomSorted(&rng, kSmall, universe);
+    const VertexSet b = RandomSorted(&rng, kSmall * ratio, universe);
+    const size_t iters = ratio == 1 ? 16384 : 4096;
+    VertexSet out;
+    const VertexId excludes[] = {a.empty() ? 0 : a[a.size() / 2]};
+    const VertexId lo = static_cast<VertexId>(universe / 16);
+    const VertexId hi = static_cast<VertexId>(universe - universe / 16);
+
+    struct Variant {
+      const char* name;
+      bool simd;
+      bool fused;
+    };
+    const Variant variants[] = {{"intersect/scalar", false, false},
+                                {"intersect/simd", true, false},
+                                {"intersect_fused/scalar", false, true},
+                                {"intersect_fused/simd", true, true}};
+    double scalar_ns = 0;
+    double scalar_fused_ns = 0;
+    for (const Variant& v : variants) {
+      const bool effective = simd::SetSimdEnabled(v.simd);
+      if (v.simd && !effective) continue;  // no AVX2 on this machine
+      const double ns = TimeNs(iters, [&] {
+        if (v.fused) {
+          IntersectExcluding(ClampView(a, lo, hi), b, excludes, 1, &out);
+        } else {
+          Intersect(a, b, &out);
+        }
+      });
+      if (!v.simd && !v.fused) scalar_ns = ns;
+      if (!v.simd && v.fused) scalar_fused_ns = ns;
+      KernelResult r;
+      r.test_case = "ratio_" + std::to_string(ratio) + "/" + v.name;
+      r.kernel = v.simd ? "avx2" : "scalar";
+      r.small_size = a.size();
+      r.large_size = b.size();
+      r.ns_per_call = ns;
+      const double base = v.fused ? scalar_fused_ns : scalar_ns;
+      r.speedup_vs_scalar = base > 0 ? base / ns : 1.0;
+      std::printf("%-28s %10zu %10zu %12.1f %9.2fx\n", r.test_case.c_str(),
+                  r.small_size, r.large_size, r.ns_per_call,
+                  r.speedup_vs_scalar);
+      results.push_back(std::move(r));
+    }
+
+    // IntersectSize, both kernels, unlimited.
+    double size_scalar_ns = 0;
+    for (bool use_simd : {false, true}) {
+      const bool effective = simd::SetSimdEnabled(use_simd);
+      if (use_simd && !effective) continue;
+      size_t sink = 0;
+      const double ns = TimeNs(iters, [&] { sink += IntersectSize(a, b); });
+      benchmark::DoNotOptimize(sink);
+      if (!use_simd) size_scalar_ns = ns;
+      KernelResult r;
+      r.test_case = "ratio_" + std::to_string(ratio) + "/intersect_size/" +
+                    (use_simd ? "simd" : "scalar");
+      r.kernel = use_simd ? "avx2" : "scalar";
+      r.small_size = a.size();
+      r.large_size = b.size();
+      r.ns_per_call = ns;
+      r.speedup_vs_scalar =
+          size_scalar_ns > 0 ? size_scalar_ns / ns : 1.0;
+      std::printf("%-28s %10zu %10zu %12.1f %9.2fx\n", r.test_case.c_str(),
+                  r.small_size, r.large_size, r.ns_per_call,
+                  r.speedup_vs_scalar);
+      results.push_back(std::move(r));
+    }
+  }
+  simd::SetSimdEnabled(simd_at_start);
+
+  std::FILE* f = std::fopen(json_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"kernel_family\": \"%s\",\n  \"results\": [\n",
+               simd::ActiveKernelName());
+  for (size_t i = 0; i < results.size(); ++i) {
+    const KernelResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"case\": \"%s\", \"kernel\": \"%s\", "
+                 "\"small\": %zu, \"large\": %zu, \"ns_per_call\": %.1f, "
+                 "\"speedup_vs_scalar\": %.3f}%s\n",
+                 r.test_case.c_str(), r.kernel.c_str(), r.small_size,
+                 r.large_size, r.ns_per_call, r.speedup_vs_scalar,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n\n", json_path);
+}
+
 }  // namespace
 }  // namespace benu
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benu::RunKernelSuite("BENCH_kernels.json");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,25 +2,21 @@
 
 #include <algorithm>
 #include <map>
+#include <numeric>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
 
 namespace benu {
 
-DirectAdjacencyProvider::DirectAdjacencyProvider(const Graph* graph)
-    : graph_(graph) {
-  sets_.reserve(graph_->NumVertices());
-  for (VertexId v = 0; v < graph_->NumVertices(); ++v) {
-    VertexSetView view = graph_->Adjacency(v);
-    sets_.push_back(
-        std::make_shared<const VertexSet>(view.begin(), view.end()));
-  }
-}
-
 AdjacencyProvider::Fetch DirectAdjacencyProvider::GetAdjacency(VertexId v) {
-  BENU_CHECK(v < sets_.size());
-  return Fetch{sets_[v], /*cache_hit=*/true, /*bytes=*/0};
+  BENU_CHECK(v < graph_->NumVertices());
+  Fetch fetch;
+  // Zero-copy: alias the graph's CSR arrays. No shared_ptr is needed
+  // because the graph outlives the executor by contract.
+  fetch.view = graph_->Adjacency(v);
+  fetch.cache_hit = true;
+  return fetch;
 }
 
 AdjacencyProvider::Fetch CachedAdjacencyProvider::GetAdjacency(VertexId v) {
@@ -34,6 +30,7 @@ AdjacencyProvider::Fetch CachedAdjacencyProvider::GetAdjacency(VertexId v) {
                     ? DistributedKvStore::ReplyBytes(reply.value->size())
                     : 0;
   fetch.set = std::move(reply.value);
+  fetch.view = VertexSetView(*fetch.set);
   return fetch;
 }
 
@@ -128,7 +125,28 @@ Status PlanExecutor::Compile() {
   for (const Instruction& ins : plan_->instructions) {
     Compiled c;
     c.type = ins.type;
-    c.filters = ins.filters;
+    // Split filters by kind: order filters become [lo, hi) clamps fused
+    // into the intersection inputs, injective filters fold into the
+    // emission loop (see ExecIntersect).
+    for (const FilterCondition& fc : ins.filters) {
+      switch (fc.kind) {
+        case FilterKind::kGreater:
+          c.gt_filter_f.push_back(fc.f_index);
+          break;
+        case FilterKind::kLess:
+          c.lt_filter_f.push_back(fc.f_index);
+          break;
+        case FilterKind::kNotEqual:
+          c.ne_filter_f.push_back(fc.f_index);
+          break;
+      }
+    }
+    if (ins.type == InstrType::kTriangleCache &&
+        !ins.filters.empty()) {
+      return Status::Internal(
+          "TRC instructions must be filter-free (cached sets are shared "
+          "across enumerations)");
+    }
     switch (ins.type) {
       case InstrType::kInit:
         c.target_f = ins.target.index;
@@ -201,72 +219,71 @@ VertexSetView PlanExecutor::SlotView(int slot) const {
   return slots_[static_cast<size_t>(slot)].view;
 }
 
-void PlanExecutor::ApplyFiltersInPlace(
-    const std::vector<FilterCondition>& filters, VertexSet* set) {
-  for (const FilterCondition& fc : filters) {
-    const VertexId bound = f_[static_cast<size_t>(fc.f_index)];
-    switch (fc.kind) {
-      case FilterKind::kLess: {
-        auto it = std::lower_bound(set->begin(), set->end(), bound);
-        set->erase(it, set->end());
-        break;
-      }
-      case FilterKind::kGreater: {
-        auto it = std::upper_bound(set->begin(), set->end(), bound);
-        set->erase(set->begin(), it);
-        break;
-      }
-      case FilterKind::kNotEqual:
-        EraseValue(set, bound);
-        break;
-    }
-    if (set->empty()) return;
-  }
-}
-
 void PlanExecutor::ExecIntersect(const Compiled& ins) {
   SetSlot& out = slots_[static_cast<size_t>(ins.target_set_slot)];
   out.shared.reset();
   VertexSet& result = out.owned;
+  ++stats_.intersections;
+
+  // Resolve the compiled filters against the current partial match: keep
+  // values in [lo, hi), drop the ≠ values. Clamping an input view costs
+  // two binary searches and replaces the seed's intersect-then-erase
+  // post-pass; ≠ folds into the kernels' emission loops.
+  VertexId lo = 0;
+  VertexId hi = kInvalidVertex;
+  for (int f : ins.gt_filter_f) {
+    lo = std::max(lo, f_[static_cast<size_t>(f)] + 1);
+  }
+  for (int f : ins.lt_filter_f) {
+    hi = std::min(hi, f_[static_cast<size_t>(f)]);
+  }
+  ne_values_.clear();
+  for (int f : ins.ne_filter_f) {
+    const VertexId v = f_[static_cast<size_t>(f)];
+    if (v >= lo && v < hi) ne_values_.push_back(v);
+  }
 
   const auto& ops = ins.operand_slots;
   if (ops.size() == 1 && ops[0] == -1) {
-    // Candidate set over V(G): derive the id range from the order filters
-    // instead of materializing and filtering N vertices.
-    ++stats_.intersections;
-    VertexId lo = 0;
-    auto hi = static_cast<VertexId>(provider_->NumVertices());
-    for (const FilterCondition& fc : ins.filters) {
-      const VertexId bound = f_[static_cast<size_t>(fc.f_index)];
-      if (fc.kind == FilterKind::kLess) hi = std::min(hi, bound);
-      if (fc.kind == FilterKind::kGreater) {
-        lo = std::max(lo, static_cast<VertexId>(bound + 1));
-      }
-    }
+    // Candidate set over V(G): the clamp alone defines the id range; no
+    // set is scanned at all.
+    hi = std::min(hi, static_cast<VertexId>(provider_->NumVertices()));
     result.clear();
-    for (VertexId v = lo; v < hi; ++v) result.push_back(v);
-    for (const FilterCondition& fc : ins.filters) {
-      if (fc.kind == FilterKind::kNotEqual) {
-        EraseValue(&result, f_[static_cast<size_t>(fc.f_index)]);
-      }
+    if (lo < hi) {
+      result.resize(static_cast<size_t>(hi - lo));
+      std::iota(result.begin(), result.end(), lo);
+      for (VertexId v : ne_values_) EraseValue(&result, v);
     }
     out.view = VertexSetView(result);
     return;
   }
 
-  ++stats_.intersections;
   if (ops.size() == 1) {
-    VertexSetView in = SlotView(ops[0]);
-    result.assign(in.begin(), in.end());
-  } else {
-    Intersect(SlotView(ops[0]), SlotView(ops[1]), &result);
-    for (size_t i = 2; i < ops.size(); ++i) {
-      if (result.empty()) break;
-      Intersect(VertexSetView(result), SlotView(ops[i]), &scratch_);
-      result.swap(scratch_);
-    }
+    const VertexSetView in = ClampView(SlotView(ops[0]), lo, hi);
+    CopyExcluding(in, ne_values_.data(), ne_values_.size(), &result);
+    out.view = VertexSetView(result);
+    return;
   }
-  if (!result.empty()) ApplyFiltersInPlace(ins.filters, &result);
+
+  // Multi-way: order operands by ascending size so the cheapest pair is
+  // intersected first and every later operand probes a shrinking result.
+  // Clamping the smallest operand clamps the result (result ⊆ each
+  // operand); the fold ping-pongs between two reused scratch buffers, so
+  // no per-call allocation after warm-up.
+  operand_views_.clear();
+  for (int slot : ops) operand_views_.push_back(SlotView(slot));
+  std::sort(operand_views_.begin(), operand_views_.end(),
+            [](const VertexSetView& a, const VertexSetView& b) {
+              return a.size < b.size;
+            });
+  operand_views_[0] = ClampView(operand_views_[0], lo, hi);
+  IntersectExcluding(operand_views_[0], operand_views_[1], ne_values_.data(),
+                     ne_values_.size(), &result);
+  for (size_t i = 2; i < operand_views_.size(); ++i) {
+    if (result.empty()) break;
+    Intersect(VertexSetView(result), operand_views_[i], &scratch_);
+    result.swap(scratch_);
+  }
   out.view = VertexSetView(result);
 }
 
@@ -296,8 +313,10 @@ void PlanExecutor::Exec(size_t pc) {
           stats_.bytes_fetched += fetch.bytes;
         }
         SetSlot& slot = slots_[static_cast<size_t>(ins.target_set_slot)];
+        // fetch.view stays valid across the move: it points into the
+        // shared payload (owned path) or provider storage (zero-copy).
         slot.shared = std::move(fetch.set);
-        slot.view = VertexSetView(*slot.shared);
+        slot.view = fetch.view;
         break;
       }
       case InstrType::kIntersect:

@@ -22,7 +22,14 @@ namespace benu {
 class AdjacencyProvider {
  public:
   struct Fetch {
+    /// Keeps the adjacency payload alive while the executor references
+    /// it. Null on zero-copy paths (DirectAdjacencyProvider), where
+    /// `view` aliases storage owned by the provider's graph.
     std::shared_ptr<const VertexSet> set;
+    /// The adjacency set itself; always valid. Points into `set` when
+    /// `set` is non-null, otherwise into provider-owned storage that
+    /// outlives the executor.
+    VertexSetView view;
     bool cache_hit = false;
     /// Miss served by piggybacking on another thread's in-flight store
     /// query (single-flight coalescing): the caller waited one round
@@ -38,20 +45,19 @@ class AdjacencyProvider {
   virtual size_t NumVertices() const = 0;
 };
 
-/// Adjacency provider over an in-memory graph: every fetch is "local".
+/// Adjacency provider over an in-memory graph: every fetch is "local" and
+/// zero-copy — the returned view aliases the graph's CSR arrays directly,
+/// with no per-vertex materialization at construction or fetch time.
 class DirectAdjacencyProvider : public AdjacencyProvider {
  public:
-  /// `graph` must outlive the provider.
-  explicit DirectAdjacencyProvider(const Graph* graph);
+  /// `graph` must outlive the provider and every executor using it.
+  explicit DirectAdjacencyProvider(const Graph* graph) : graph_(graph) {}
 
   Fetch GetAdjacency(VertexId v) override;
   size_t NumVertices() const override { return graph_->NumVertices(); }
 
  private:
   const Graph* graph_;
-  // Materialized copies shared across fetches so the executor can hold
-  // them uniformly as shared_ptr.
-  std::vector<std::shared_ptr<const VertexSet>> sets_;
 };
 
 /// Adjacency provider through a worker's local DB cache (Fig. 2): a hit is
@@ -134,7 +140,13 @@ class PlanExecutor {
     int trc_neighbor_f = -1;    // TRC: the non-start f of the key
     // Set operands as slot ids; kAllVertices encoded as -1.
     std::vector<int> operand_slots;
-    std::vector<FilterCondition> filters;
+    // Filters split by kind at compile time so ExecIntersect can fuse
+    // them into the kernels: `> f` / `< f` become [lo, hi) clamps on an
+    // input view (two binary searches), `≠ f` folds into the emission
+    // loop. Each entry is the f index whose runtime value bounds the set.
+    std::vector<int> gt_filter_f;
+    std::vector<int> lt_filter_f;
+    std::vector<int> ne_filter_f;
     bool first_enum = false;    // the ENU of the 2nd matching-order vertex
     // Degree filter compiled to an id lower bound (ids realize ≺).
     VertexId min_candidate_id = 0;
@@ -159,8 +171,6 @@ class PlanExecutor {
   Status Compile();
   void Exec(size_t pc);
   void ExecIntersect(const Compiled& ins);
-  void ApplyFiltersInPlace(const std::vector<FilterCondition>& filters,
-                           VertexSet* set);
   VertexSetView SlotView(int slot) const;
 
   const ExecutionPlan* plan_;
@@ -174,6 +184,8 @@ class PlanExecutor {
   std::vector<VertexId> f_;       // current partial match, by pattern vertex
   std::vector<SetSlot> slots_;
   VertexSet scratch_;             // temporary for multi-operand folds
+  VertexSet ne_values_;           // runtime ≠-filter values, reused
+  std::vector<VertexSetView> operand_views_;  // reused multi-way sort buffer
   const SearchTask* task_ = nullptr;
   TaskStats stats_;
   std::vector<VertexId> report_f_;          // reused RES buffer

@@ -2,12 +2,31 @@
 
 #include <algorithm>
 
+#include "graph/simd_intersect.h"
+
 namespace benu {
 namespace {
 
 // When |larger| / |smaller| exceeds this ratio, galloping search beats the
-// linear merge.
+// linear merge and the block kernels.
 constexpr size_t kGallopRatio = 32;
+
+// Below this size the AVX2 block kernel's setup cost beats its win; a
+// block kernel needs at least one full 8-lane block per side anyway.
+constexpr size_t kSimdMinSize = 16;
+
+// Slack the AVX2 kernel needs in the output buffer: the compress-store
+// epilogue writes a full 8-lane block of which only the leading lanes are
+// valid (see simd_intersect.h).
+constexpr size_t kSimdPad = 8;
+
+inline bool IsExcluded(VertexId v, const VertexId* excludes,
+                       size_t n_excludes) {
+  for (size_t i = 0; i < n_excludes; ++i) {
+    if (excludes[i] == v) return true;
+  }
+  return false;
+}
 
 void IntersectMerge(VertexSetView a, VertexSetView b, VertexSet* out) {
   const VertexId* pa = a.begin();
@@ -41,6 +60,25 @@ void IntersectGallop(VertexSetView small, VertexSetView large,
   }
 }
 
+// `a` is the smaller side. True when the adaptive dispatcher should take
+// the AVX2 block kernel rather than the scalar merge.
+inline bool UseSimd(VertexSetView a) {
+  return a.size >= kSimdMinSize && simd::SimdEnabled();
+}
+
+// Runs the AVX2 kernel. The kernel needs kSimdPad slack past the result,
+// and std::vector would value-initialize that slack on every shrinking/
+// regrowing resize of `out`; staging into a grow-only thread-local buffer
+// pays the initialization once per thread and copies only the actual
+// result out.
+void IntersectSimd(VertexSetView a, VertexSetView b, VertexSet* out) {
+  static thread_local VertexSet stage;
+  if (stage.size() < a.size + kSimdPad) stage.resize(a.size + kSimdPad);
+  const size_t n = simd::IntersectAvx2(a.data, a.size, b.data, b.size,
+                                       stage.data());
+  out->assign(stage.begin(), stage.begin() + static_cast<ptrdiff_t>(n));
+}
+
 }  // namespace
 
 void Intersect(VertexSetView a, VertexSetView b, VertexSet* out) {
@@ -49,13 +87,15 @@ void Intersect(VertexSetView a, VertexSetView b, VertexSet* out) {
   if (a.size > b.size) std::swap(a, b);
   if (b.size / a.size >= kGallopRatio) {
     IntersectGallop(a, b, out);
+  } else if (UseSimd(a)) {
+    IntersectSimd(a, b, out);
   } else {
     IntersectMerge(a, b, out);
   }
 }
 
-size_t IntersectSize(VertexSetView a, VertexSetView b) {
-  if (a.empty() || b.empty()) return 0;
+size_t IntersectSize(VertexSetView a, VertexSetView b, size_t limit) {
+  if (a.empty() || b.empty() || limit == 0) return 0;
   if (a.size > b.size) std::swap(a, b);
   size_t count = 0;
   if (b.size / a.size >= kGallopRatio) {
@@ -66,19 +106,25 @@ size_t IntersectSize(VertexSetView a, VertexSetView b) {
       if (lo == end) break;
       if (*lo == v) {
         ++count;
+        if (count >= limit) return limit;
         ++lo;
       }
     }
+  } else if (UseSimd(a)) {
+    return simd::IntersectSizeAvx2(a.data, a.size, b.data, b.size, limit);
   } else {
     const VertexId* pa = a.begin();
     const VertexId* pb = b.begin();
-    while (pa != a.end() && pb != b.end()) {
+    const VertexId* ea = a.end();
+    const VertexId* eb = b.end();
+    while (pa != ea && pb != eb) {
       if (*pa < *pb) {
         ++pa;
       } else if (*pb < *pa) {
         ++pb;
       } else {
         ++count;
+        if (count >= limit) return limit;
         ++pa;
         ++pb;
       }
@@ -89,6 +135,73 @@ size_t IntersectSize(VertexSetView a, VertexSetView b) {
 
 bool Contains(VertexSetView s, VertexId v) {
   return std::binary_search(s.begin(), s.end(), v);
+}
+
+VertexSetView ClampView(VertexSetView v, VertexId lo, VertexId hi) {
+  if (lo >= hi) return VertexSetView();
+  const VertexId* first = v.begin();
+  const VertexId* last = v.end();
+  if (lo > 0) first = std::lower_bound(first, last, lo);
+  if (hi != kInvalidVertex) last = std::lower_bound(first, last, hi);
+  return VertexSetView(first, static_cast<size_t>(last - first));
+}
+
+void CopyExcluding(VertexSetView in, const VertexId* excludes,
+                   size_t n_excludes, VertexSet* out) {
+  if (n_excludes == 0) {
+    out->assign(in.begin(), in.end());
+    return;
+  }
+  out->clear();
+  out->reserve(in.size);
+  for (VertexId v : in) {
+    if (!IsExcluded(v, excludes, n_excludes)) out->push_back(v);
+  }
+}
+
+void IntersectExcluding(VertexSetView a, VertexSetView b,
+                        const VertexId* excludes, size_t n_excludes,
+                        VertexSet* out) {
+  if (n_excludes == 0) {
+    Intersect(a, b, out);
+    return;
+  }
+  out->clear();
+  if (a.empty() || b.empty()) return;
+  if (a.size > b.size) std::swap(a, b);
+  if (b.size / a.size >= kGallopRatio) {
+    const VertexId* lo = b.begin();
+    const VertexId* end = b.end();
+    for (VertexId v : a) {
+      lo = std::lower_bound(lo, end, v);
+      if (lo == end) return;
+      if (*lo == v) {
+        if (!IsExcluded(v, excludes, n_excludes)) out->push_back(v);
+        ++lo;
+      }
+    }
+  } else if (UseSimd(a)) {
+    // The vector kernel has no exclusion lanes; sweep the few excluded
+    // values afterwards. Bit-identical to the fused scalar emission.
+    IntersectSimd(a, b, out);
+    for (size_t i = 0; i < n_excludes; ++i) EraseValue(out, excludes[i]);
+  } else {
+    const VertexId* pa = a.begin();
+    const VertexId* pb = b.begin();
+    const VertexId* ea = a.end();
+    const VertexId* eb = b.end();
+    while (pa != ea && pb != eb) {
+      if (*pa < *pb) {
+        ++pa;
+      } else if (*pb < *pa) {
+        ++pb;
+      } else {
+        if (!IsExcluded(*pa, excludes, n_excludes)) out->push_back(*pa);
+        ++pa;
+        ++pb;
+      }
+    }
+  }
 }
 
 void FilterGreater(VertexSetView in, VertexId bound, VertexSet* out) {

@@ -2,6 +2,7 @@
 #define BENU_GRAPH_VERTEX_SET_H_
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "common/types.h"
@@ -30,17 +31,42 @@ struct VertexSetView {
   VertexId operator[](size_t i) const { return data[i]; }
 };
 
-/// Intersects two sorted sets into `out` (cleared first). Uses a linear
-/// merge when the sizes are comparable and galloping (binary probing of the
-/// larger set) when one side is much smaller, the standard kernel for
-/// worst-case-optimal joins and backtracking matchers.
+/// Intersects two sorted sets into `out` (cleared first). Dispatches
+/// adaptively on the size ratio: galloping (binary probing of the larger
+/// set) when one side is much smaller, otherwise an AVX2 block kernel when
+/// the CPU supports it (see graph/simd_intersect.h) with the linear merge
+/// as the portable fallback. All paths emit identical output.
 void Intersect(VertexSetView a, VertexSetView b, VertexSet* out);
 
-/// Returns |a ∩ b| without materializing the intersection.
-size_t IntersectSize(VertexSetView a, VertexSetView b);
+/// Returns min(|a ∩ b|, limit) without materializing the intersection,
+/// stopping as soon as `limit` common elements have been seen — callers
+/// that only need "at least k?" (e.g. cost estimation) pass k and skip the
+/// rest of the scan. The default limit never triggers.
+size_t IntersectSize(VertexSetView a, VertexSetView b,
+                     size_t limit = std::numeric_limits<size_t>::max());
 
 /// True iff sorted set `s` contains `v` (binary search).
 bool Contains(VertexSetView s, VertexId v);
+
+/// Narrows `v` to its subrange with values in [lo, hi) via two binary
+/// searches. The compiled form of the symmetry-breaking order filters
+/// `> f` (lo = f+1) and `< f` (hi = f): clamping an intersection operand
+/// replaces the intersect-then-erase post-pass. Returns an empty view when
+/// lo >= hi.
+VertexSetView ClampView(VertexSetView v, VertexId lo, VertexId hi);
+
+/// Copies `in` to `out` (cleared first) dropping the values in
+/// excludes[0..n_excludes). The injective filter `≠ f` fused into the copy
+/// loop; excludes need not be sorted but must be few (linear check).
+void CopyExcluding(VertexSetView in, const VertexId* excludes,
+                   size_t n_excludes, VertexSet* out);
+
+/// Intersect with the `≠ f` filters folded in: out = (a ∩ b) minus
+/// excludes[0..n_excludes). Identical to Intersect followed by removal,
+/// without the extra pass on the scalar paths.
+void IntersectExcluding(VertexSetView a, VertexSetView b,
+                        const VertexId* excludes, size_t n_excludes,
+                        VertexSet* out);
 
 /// Copies `in` to `out` keeping only elements strictly greater than
 /// `bound`. Implements the symmetry-breaking filter `> f_i`.

@@ -193,6 +193,33 @@ TEST(ExecutorTest, CachedProviderReportsHitsAndQueries) {
   EXPECT_EQ(store.stats().queries.load(), totals.db_queries);
 }
 
+TEST(ExecutorTest, DirectProviderIsZeroCopy) {
+  // The direct provider must not duplicate the graph: fetched views alias
+  // the graph's CSR storage, and no owning pointer is handed out.
+  Graph data = MakeClique(6);
+  DirectAdjacencyProvider provider(&data);
+  for (VertexId v = 0; v < data.NumVertices(); ++v) {
+    AdjacencyProvider::Fetch fetch = provider.GetAdjacency(v);
+    const VertexSetView direct = data.Adjacency(v);
+    EXPECT_EQ(fetch.view.data, direct.data) << "copied adjacency of " << v;
+    EXPECT_EQ(fetch.view.size, direct.size);
+    EXPECT_EQ(fetch.set, nullptr);
+    EXPECT_TRUE(fetch.cache_hit);
+    EXPECT_EQ(fetch.bytes, 0u);
+  }
+}
+
+TEST(ExecutorTest, CachedProviderViewAliasesOwnedPayload) {
+  Graph data = MakeClique(5);
+  DistributedKvStore store(data, 4);
+  DbCache cache(&store, 1u << 20);
+  CachedAdjacencyProvider provider(&cache, data.NumVertices());
+  AdjacencyProvider::Fetch fetch = provider.GetAdjacency(2);
+  ASSERT_NE(fetch.set, nullptr);
+  EXPECT_EQ(fetch.view.data, fetch.set->data());
+  EXPECT_EQ(fetch.view.size, fetch.set->size());
+}
+
 TEST(ExecutorTest, CreateRejectsTrcWithoutCache) {
   Graph p = MakeClique(4);
   auto cs = ComputeSymmetryBreakingConstraints(p);

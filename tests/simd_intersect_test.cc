@@ -1,0 +1,235 @@
+// Differential and property tests for the vectorized intersection kernel
+// layer: every kernel (plain, size-counting, fused-filter) must produce
+// bit-identical results under the AVX2 path and the portable scalar path,
+// across size ratios that cross both the SIMD minimum and the galloping
+// threshold. Run twice by ctest: once as-is and once with
+// BENU_DISABLE_SIMD=1 (simd_intersect_test_scalar), so the portable
+// fallback stays covered even on AVX2 CI machines.
+
+#include "graph/simd_intersect.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+
+#include "common/rng.h"
+#include "graph/vertex_set.h"
+
+namespace benu {
+namespace {
+
+VertexSet Make(std::initializer_list<VertexId> values) {
+  return VertexSet(values);
+}
+
+// Random strictly-ascending set of roughly `size` elements drawn from
+// [0, universe).
+VertexSet RandomSorted(Rng* rng, size_t size, uint64_t universe) {
+  VertexSet s;
+  s.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    s.push_back(static_cast<VertexId>(rng->NextBounded(universe)));
+  }
+  std::sort(s.begin(), s.end());
+  s.erase(std::unique(s.begin(), s.end()), s.end());
+  return s;
+}
+
+VertexSet ReferenceIntersection(const VertexSet& a, const VertexSet& b) {
+  VertexSet expected;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(expected));
+  return expected;
+}
+
+// Restores the startup kernel selection after a test flips it.
+class SimdStateGuard {
+ public:
+  SimdStateGuard() : was_enabled_(simd::SimdEnabled()) {}
+  ~SimdStateGuard() { simd::SetSimdEnabled(was_enabled_); }
+
+ private:
+  bool was_enabled_;
+};
+
+TEST(SimdDispatchTest, DisableForcesScalarKernel) {
+  SimdStateGuard guard;
+  simd::SetSimdEnabled(false);
+  EXPECT_FALSE(simd::SimdEnabled());
+  EXPECT_STREQ(simd::ActiveKernelName(), "scalar");
+  // Re-enabling only works where AVX2 exists; either way the reported
+  // kernel name must agree with the flag.
+  const bool enabled = simd::SetSimdEnabled(true);
+  EXPECT_EQ(simd::SimdEnabled(), enabled);
+  EXPECT_STREQ(simd::ActiveKernelName(), enabled ? "avx2" : "scalar");
+}
+
+TEST(SimdIntersectTest, RawKernelMatchesReferenceAcrossShapes) {
+  Rng rng(20260806);
+  // Sizes chosen to cover: below the 8-lane block, exact block multiples,
+  // ragged tails, and both sides of the galloping ratio (32).
+  const size_t sizes[] = {0, 1, 7, 8, 9, 16, 64, 100, 512, 1000, 4096};
+  for (size_t na : sizes) {
+    for (size_t nb : sizes) {
+      // Universe sized for a mix of dense and sparse overlaps.
+      const uint64_t universe = std::max<uint64_t>(4, (na + nb) * 2);
+      VertexSet a = RandomSorted(&rng, na, universe);
+      VertexSet b = RandomSorted(&rng, nb, universe);
+      VertexSet expected = ReferenceIntersection(a, b);
+      VertexSet out(std::min(a.size(), b.size()) + 8);
+      const size_t n = simd::IntersectAvx2(a.data(), a.size(), b.data(),
+                                           b.size(), out.data());
+      out.resize(n);
+      EXPECT_EQ(out, expected) << "na=" << na << " nb=" << nb;
+      EXPECT_EQ(simd::IntersectSizeAvx2(a.data(), a.size(), b.data(),
+                                        b.size(), SIZE_MAX),
+                expected.size());
+    }
+  }
+}
+
+TEST(SimdIntersectTest, DispatcherIdenticalUnderBothKernels) {
+  SimdStateGuard guard;
+  Rng rng(97);
+  for (int trial = 0; trial < 300; ++trial) {
+    // Size ratios from 1:1 to ~1:1000, crossing the gallop threshold.
+    const size_t small_size = 1 + rng.NextBounded(300);
+    const size_t ratio = 1 + rng.NextBounded(1000);
+    VertexSet a = RandomSorted(&rng, small_size, 8 * small_size * ratio);
+    VertexSet b = RandomSorted(&rng, small_size * ratio,
+                               8 * small_size * ratio);
+    VertexSet expected = ReferenceIntersection(a, b);
+
+    simd::SetSimdEnabled(false);
+    VertexSet scalar_out;
+    Intersect(a, b, &scalar_out);
+    const size_t scalar_size = IntersectSize(a, b);
+
+    simd::SetSimdEnabled(true);  // no-op without AVX2; still differential
+    VertexSet simd_out;
+    Intersect(a, b, &simd_out);
+
+    EXPECT_EQ(scalar_out, expected);
+    EXPECT_EQ(simd_out, expected);
+    EXPECT_EQ(scalar_size, expected.size());
+    EXPECT_EQ(IntersectSize(a, b), expected.size());
+  }
+}
+
+TEST(SimdIntersectTest, SizeLimitIdenticalUnderBothKernels) {
+  SimdStateGuard guard;
+  Rng rng(1311);
+  for (int trial = 0; trial < 200; ++trial) {
+    VertexSet a = RandomSorted(&rng, 64 + rng.NextBounded(512), 4096);
+    VertexSet b = RandomSorted(&rng, 64 + rng.NextBounded(512), 4096);
+    const size_t full = ReferenceIntersection(a, b).size();
+    const size_t limit = rng.NextBounded(full + 4);
+    const size_t expected = std::min(full, limit);
+    simd::SetSimdEnabled(false);
+    EXPECT_EQ(IntersectSize(a, b, limit), expected);
+    simd::SetSimdEnabled(true);
+    EXPECT_EQ(IntersectSize(a, b, limit), expected);
+  }
+}
+
+TEST(FusedFilterTest, ClampViewMatchesManualFiltering) {
+  VertexSet s = Make({2, 4, 6, 8, 10, 12});
+  VertexSetView v = ClampView(s, 5, 11);
+  EXPECT_EQ(VertexSet(v.begin(), v.end()), Make({6, 8, 10}));
+  // Empty when the range collapses.
+  EXPECT_TRUE(ClampView(s, 7, 7).empty());
+  EXPECT_TRUE(ClampView(s, 9, 3).empty());
+  // Unbounded clamp is the identity (and aliases the input).
+  VertexSetView all = ClampView(s, 0, kInvalidVertex);
+  EXPECT_EQ(all.data, s.data());
+  EXPECT_EQ(all.size, s.size());
+}
+
+TEST(FusedFilterTest, CopyExcludingDropsOnlyListedValues) {
+  VertexSet out;
+  const VertexId excludes[] = {4, 99, 8};
+  CopyExcluding(Make({2, 4, 6, 8, 10}), excludes, 3, &out);
+  EXPECT_EQ(out, Make({2, 6, 10}));
+  CopyExcluding(Make({}), excludes, 3, &out);
+  EXPECT_TRUE(out.empty());
+  CopyExcluding(Make({1, 2}), nullptr, 0, &out);
+  EXPECT_EQ(out, Make({1, 2}));
+}
+
+TEST(FusedFilterTest, IntersectExcludingIdenticalUnderBothKernels) {
+  SimdStateGuard guard;
+  Rng rng(555);
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t small_size = 1 + rng.NextBounded(200);
+    const size_t ratio = 1 + rng.NextBounded(100);
+    const uint64_t universe = 4 * small_size * ratio;
+    VertexSet a = RandomSorted(&rng, small_size, universe);
+    VertexSet b = RandomSorted(&rng, small_size * ratio, universe);
+    // Up to three ≠ values, biased so some actually hit the intersection.
+    VertexSet expected = ReferenceIntersection(a, b);
+    VertexSet excludes;
+    const size_t n_excludes = rng.NextBounded(4);
+    for (size_t i = 0; i < n_excludes; ++i) {
+      if (!expected.empty() && rng.NextBounded(2) == 0) {
+        excludes.push_back(expected[rng.NextBounded(expected.size())]);
+      } else {
+        excludes.push_back(static_cast<VertexId>(rng.NextBounded(universe)));
+      }
+    }
+    VertexSet reference;
+    for (VertexId v : expected) {
+      if (std::find(excludes.begin(), excludes.end(), v) == excludes.end()) {
+        reference.push_back(v);
+      }
+    }
+
+    simd::SetSimdEnabled(false);
+    VertexSet scalar_out;
+    IntersectExcluding(a, b, excludes.data(), excludes.size(), &scalar_out);
+    simd::SetSimdEnabled(true);
+    VertexSet simd_out;
+    IntersectExcluding(a, b, excludes.data(), excludes.size(), &simd_out);
+
+    EXPECT_EQ(scalar_out, reference) << "trial " << trial;
+    EXPECT_EQ(simd_out, reference) << "trial " << trial;
+  }
+}
+
+TEST(FusedFilterTest, FusedPipelineMatchesFilterThenIntersect) {
+  // End-to-end shape the executor uses: clamp one operand to [lo, hi),
+  // intersect, drop ≠ values — against the seed's order of operations
+  // (intersect first, then erase the filtered ranges).
+  SimdStateGuard guard;
+  Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    VertexSet a = RandomSorted(&rng, 50 + rng.NextBounded(400), 2048);
+    VertexSet b = RandomSorted(&rng, 50 + rng.NextBounded(400), 2048);
+    const VertexId lo = static_cast<VertexId>(rng.NextBounded(1024));
+    const VertexId hi =
+        static_cast<VertexId>(lo + rng.NextBounded(2048 - lo) + 1);
+    const VertexId ne = static_cast<VertexId>(rng.NextBounded(2048));
+
+    // Seed semantics: intersect, then erase < lo, >= hi, == ne.
+    VertexSet seed_way;
+    Intersect(a, b, &seed_way);
+    seed_way.erase(seed_way.begin(),
+                   std::lower_bound(seed_way.begin(), seed_way.end(), lo));
+    seed_way.erase(std::lower_bound(seed_way.begin(), seed_way.end(), hi),
+                   seed_way.end());
+    EraseValue(&seed_way, ne);
+
+    // Fused semantics: clamp + fold, both kernel paths.
+    for (bool use_simd : {false, true}) {
+      simd::SetSimdEnabled(use_simd);
+      VertexSet fused;
+      const VertexId excludes[] = {ne};
+      IntersectExcluding(ClampView(a, lo, hi), b, excludes, 1, &fused);
+      EXPECT_EQ(fused, seed_way)
+          << "trial " << trial << " simd=" << use_simd;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace benu

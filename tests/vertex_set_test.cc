@@ -93,6 +93,21 @@ TEST(IntersectSizeTest, CountsWithoutMaterializing) {
   EXPECT_EQ(IntersectSize(Make({}), Make({2, 3, 4})), 0u);
 }
 
+TEST(IntersectSizeTest, LimitCapsTheCount) {
+  // limit turns the scan into "are there at least k common elements?":
+  // the return value is min(|a ∩ b|, limit) on every kernel path.
+  const VertexSet a = Make({1, 2, 3, 4, 5, 6});
+  const VertexSet b = Make({2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(IntersectSize(a, b, 0), 0u);
+  EXPECT_EQ(IntersectSize(a, b, 3), 3u);
+  EXPECT_EQ(IntersectSize(a, b, 5), 5u);
+  EXPECT_EQ(IntersectSize(a, b, 100), 5u);
+  // Galloping path (large size ratio) honors the limit too.
+  VertexSet large;
+  for (VertexId v = 0; v < 4096; ++v) large.push_back(v);
+  EXPECT_EQ(IntersectSize(Make({10, 20, 30, 40}), large, 2), 2u);
+}
+
 TEST(ContainsTest, FindsPresentAndAbsent) {
   VertexSet s = Make({1, 5, 9});
   EXPECT_TRUE(Contains(s, 1));
