@@ -23,7 +23,7 @@ int main() {
   // clearly dominates the per-worker compulsory cache misses (every
   // worker touches most of the graph once); smaller graphs hit that
   // latency floor and understate the speedup.
-  std::vector<std::string> datasets = {"lj-sim"};
+  std::vector<std::string> datasets = {SmokeScale() ? "as-sim" : "lj-sim"};
   if (FullScale()) datasets.push_back("ok-sim");
   // q5 on lj-sim takes minutes per worker-count; keep the default run
   // snappy with q9 and add q5 under BENU_BENCH_FULL.
@@ -33,7 +33,8 @@ int main() {
   // cheap (its makespan is mostly the latency floor).
   std::vector<std::string> patterns = {"q5"};
   if (FullScale()) patterns.push_back("q9");
-  const int worker_counts[] = {4, 8, 12, 16};
+  const std::vector<int> worker_counts =
+      SmokeScale() ? std::vector<int>{4, 8} : std::vector<int>{4, 8, 12, 16};
 
   std::printf("Fig. 10 — scalability with varying worker machines\n");
   for (const std::string& dataset : datasets) {

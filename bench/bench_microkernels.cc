@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "core/executor.h"
@@ -144,10 +145,12 @@ VertexSet RandomSorted(Rng* rng, size_t size, uint64_t universe) {
 }
 
 // Best-of-3 nanoseconds per call of `fn` (called `iters` times per rep).
+constexpr int kTimeReps = 3;
+
 template <typename Fn>
 double TimeNs(size_t iters, Fn&& fn) {
   double best = 1e18;
-  for (int rep = 0; rep < 3; ++rep) {
+  for (int rep = 0; rep < kTimeReps; ++rep) {
     Stopwatch watch;
     for (size_t i = 0; i < iters; ++i) fn();
     best = std::min(best, watch.ElapsedSeconds() * 1e9 /
@@ -162,7 +165,7 @@ void RunKernelSuite(const char* json_path) {
   Rng rng(42);
   // Size ratios from balanced to beyond the galloping threshold (32); the
   // dispatcher picks merge/SIMD below it and galloping above it.
-  const size_t kSmall = 4096;
+  const size_t kSmall = bench::SmokeScale() ? 256 : 4096;
   const size_t ratios[] = {1, 4, 16, 64, 256};
   std::printf("Intersection kernels (CPU kernel family: %s)\n",
               simd::ActiveKernelName());
@@ -172,7 +175,8 @@ void RunKernelSuite(const char* json_path) {
     const uint64_t universe = 2 * kSmall * ratio;  // ~50% hit density
     const VertexSet a = RandomSorted(&rng, kSmall, universe);
     const VertexSet b = RandomSorted(&rng, kSmall * ratio, universe);
-    const size_t iters = ratio == 1 ? 16384 : 4096;
+    const size_t iters =
+        (ratio == 1 ? 16384u : 4096u) / (bench::SmokeScale() ? 64 : 1);
     VertexSet out;
     const VertexId excludes[] = {a.empty() ? 0 : a[a.size() / 2]};
     const VertexId lo = static_cast<VertexId>(universe / 16);
@@ -241,26 +245,23 @@ void RunKernelSuite(const char* json_path) {
   }
   simd::SetSimdEnabled(simd_at_start);
 
-  std::FILE* f = std::fopen(json_path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", json_path);
-    return;
+  std::vector<bench::BenchRecord> records;
+  records.reserve(results.size());
+  for (const KernelResult& r : results) {
+    bench::BenchRecord rec;
+    rec.name = r.test_case;
+    rec.params = {{"kernel", r.kernel},
+                  {"kernel_family", simd::ActiveKernelName()}};
+    rec.repetitions = kTimeReps;
+    rec.seconds = r.ns_per_call * 1e-9;
+    rec.counters = {{"small", static_cast<double>(r.small_size)},
+                    {"large", static_cast<double>(r.large_size)},
+                    {"ns_per_call", r.ns_per_call},
+                    {"speedup_vs_scalar", r.speedup_vs_scalar}};
+    records.push_back(std::move(rec));
   }
-  std::fprintf(f, "{\n  \"kernel_family\": \"%s\",\n  \"results\": [\n",
-               simd::ActiveKernelName());
-  for (size_t i = 0; i < results.size(); ++i) {
-    const KernelResult& r = results[i];
-    std::fprintf(f,
-                 "    {\"case\": \"%s\", \"kernel\": \"%s\", "
-                 "\"small\": %zu, \"large\": %zu, \"ns_per_call\": %.1f, "
-                 "\"speedup_vs_scalar\": %.3f}%s\n",
-                 r.test_case.c_str(), r.kernel.c_str(), r.small_size,
-                 r.large_size, r.ns_per_call, r.speedup_vs_scalar,
-                 i + 1 < results.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n\n", json_path);
+  bench::WriteBenchJson(json_path, "kernels", records);
+  std::printf("\n");
 }
 
 }  // namespace

@@ -46,7 +46,7 @@ int main() {
   using namespace benu::bench;
   SetLogLevel(LogLevel::kWarning);
 
-  auto raw = GenerateBarabasiAlbert(FullScale() ? 20000 : 4000, 8, 7);
+  auto raw = GenerateBarabasiAlbert(SizeFor(20000, 4000, 1000), 8, 7);
   BENU_CHECK(raw.ok());
   Graph data = raw->RelabelByDegree();
   Graph pattern = LoadPattern("q4");
@@ -65,7 +65,7 @@ int main() {
   sequential.execution_threads = 1;
   sequential.max_runtime_threads = 1;
 
-  const int iterations = FullScale() ? 5 : 3;
+  const int iterations = static_cast<int>(SizeFor(5, 3, 1));
   std::printf("Parallel runtime — 4 workers x 2 execution threads, q4 on "
               "BA(n=%zu, m=8); hardware_concurrency=%u\n",
               static_cast<size_t>(data.NumVertices()),
@@ -96,6 +96,26 @@ int main() {
   BENU_CHECK(par.result.total_matches == seq.result.total_matches)
       << "parallel runtime changed the match count: "
       << par.result.total_matches << " vs " << seq.result.total_matches;
+
+  std::vector<BenchRecord> records;
+  for (const auto* m : {&seq, &par}) {
+    BenchRecord rec;
+    rec.name = m == &seq ? "sequential" : "parallel";
+    rec.params = {{"workers", "4"},
+                  {"execution_threads",
+                   std::to_string(m == &seq ? 1 : config.execution_threads)}};
+    rec.repetitions = iterations;
+    rec.seconds = m->best_real_seconds;
+    rec.counters = {
+        {"runtime_threads", static_cast<double>(m->result.runtime_threads)},
+        {"steals", static_cast<double>(m->result.steals)},
+        {"coalesced", static_cast<double>(m->result.coalesced_fetches)},
+        {"matches", static_cast<double>(m->result.total_matches)},
+        {"speedup", seq.best_real_seconds /
+                        std::max(1e-12, m->best_real_seconds)}};
+    records.push_back(std::move(rec));
+  }
+  WriteBenchJson("BENCH_parallel_runtime.json", "parallel_runtime", records);
   std::printf(
       "\nCorrectness: total_matches = %s, bit-identical across runtimes.\n"
       "Shape check: with >= 4 cores the parallel runtime should be >= 2x\n"

@@ -42,6 +42,8 @@ int main() {
   std::vector<DatasetSpec> datasets = {{"as-sim", 9}, {"lj-sim", 5}};
   if (FullScale()) {
     datasets = {{"as-sim", 9}, {"lj-sim", 9}, {"ok-sim", 9}};
+  } else if (SmokeScale()) {
+    datasets = {{"as-sim", 4}};
   }
 
   const ClusterConfig cluster = PaperCluster();

@@ -8,6 +8,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "distributed/benu_driver.h"
@@ -22,6 +24,22 @@ namespace benu::bench {
 inline bool FullScale() {
   const char* env = std::getenv("BENU_BENCH_FULL");
   return env != nullptr && env[0] == '1';
+}
+
+/// True when the harness runs as a CI smoke check (BENU_BENCH_SMOKE=1):
+/// every workload shrinks to a few seconds so the harness plumbing —
+/// argument handling, sweeps, JSON emission, shape CHECKs — is exercised
+/// on every push without the measurements meaning anything. Takes
+/// precedence over FullScale().
+inline bool SmokeScale() {
+  const char* env = std::getenv("BENU_BENCH_SMOKE");
+  return env != nullptr && env[0] == '1';
+}
+
+/// Workload-size picker honouring the scale env toggles.
+inline size_t SizeFor(size_t full, size_t normal, size_t smoke) {
+  if (SmokeScale()) return smoke;
+  return FullScale() ? full : normal;
 }
 
 /// The paper's cluster: 16 workers × 24 threads, 1 Gbps, τ = 500,
@@ -77,6 +95,59 @@ inline double BaselineVirtualSeconds(double cpu_seconds, Count shuffled_bytes,
                (static_cast<double>(config.num_workers) * kDiskBytesPerSecond);
   }
   return seconds;
+}
+
+// ---------------------------------------------------------------------
+// Machine-readable bench output. Every bench_* binary that records
+// numbers emits one JSON file through WriteBenchJson, all with the same
+// schema, so downstream tooling parses a single shape:
+//
+//   {"bench": "<suite>",
+//    "results": [{"name": "...", "params": {"k": "v", ...},
+//                 "repetitions": N, "seconds": S,
+//                 "counters": {"k": number, ...}}, ...]}
+
+/// One result row: `name` identifies the case, `params` the swept
+/// configuration (string-valued for uniformity), `seconds` the measured
+/// time (best of `repetitions`), `counters` any further numeric outputs.
+struct BenchRecord {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> params;
+  int repetitions = 1;
+  double seconds = 0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+/// Writes `records` to `path` in the shared bench JSON schema. Keys and
+/// string values must not need JSON escaping (bench code uses plain
+/// identifiers).
+inline void WriteBenchJson(const char* path, const std::string& bench_name,
+                           const std::vector<BenchRecord>& records) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
+               bench_name.c_str());
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f, "    {\"name\": \"%s\", \"params\": {", r.name.c_str());
+    for (size_t j = 0; j < r.params.size(); ++j) {
+      std::fprintf(f, "%s\"%s\": \"%s\"", j == 0 ? "" : ", ",
+                   r.params[j].first.c_str(), r.params[j].second.c_str());
+    }
+    std::fprintf(f, "}, \"repetitions\": %d, \"seconds\": %.9g, "
+                 "\"counters\": {", r.repetitions, r.seconds);
+    for (size_t j = 0; j < r.counters.size(); ++j) {
+      std::fprintf(f, "%s\"%s\": %.9g", j == 0 ? "" : ", ",
+                   r.counters[j].first.c_str(), r.counters[j].second);
+    }
+    std::fprintf(f, "}}%s\n", i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
 }
 
 /// Formats a byte count like the paper's Table V cells ("26G", "512M").

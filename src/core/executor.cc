@@ -34,6 +34,11 @@ AdjacencyProvider::Fetch CachedAdjacencyProvider::GetAdjacency(VertexId v) {
   return fetch;
 }
 
+void CachedAdjacencyProvider::Prefetch(const VertexId* keys, size_t count) {
+  if (prefetch_budget_ == 0) return;
+  cache_->PrefetchAsync(keys, std::min(count, prefetch_budget_));
+}
+
 void TaskStats::Accumulate(const TaskStats& other) {
   res_executions += other.res_executions;
   matches += other.matches;
@@ -210,6 +215,21 @@ Status PlanExecutor::Compile() {
     }
     code_.push_back(std::move(c));
   }
+  // ENU→DBQ consumption analysis: an ENU whose enumerated vertex is the
+  // source of a downstream DBQ is worth prefetching — while level i
+  // enumerates (intersections, filters, deeper descent), the adjacency
+  // sets its candidates need at the DBQ are fetched in the background,
+  // overlapping level-(i+1) fetch latency with level-i compute.
+  for (size_t i = 0; i < code_.size(); ++i) {
+    if (code_[i].type != InstrType::kEnumerate) continue;
+    for (size_t j = i + 1; j < code_.size(); ++j) {
+      if (code_[j].type == InstrType::kDbQuery &&
+          code_[j].source_f == code_[i].target_f) {
+        code_[i].prefetch_hint = true;
+        break;
+      }
+    }
+  }
   report_sets_.reserve(n);
   return Status::OK();
 }
@@ -358,6 +378,12 @@ void PlanExecutor::Exec(size_t pc) {
           const size_t span = candidates.size - lo;
           begin = lo + span * task_->subtask_index / task_->num_subtasks;
           end = lo + span * (task_->subtask_index + 1) / task_->num_subtasks;
+        }
+        if (ins.prefetch_hint && begin < end) {
+          // Kick off the batched background fetch for the adjacency sets
+          // this enumeration is about to query (the provider clamps to
+          // its prefetch budget; a no-op for providers without one).
+          provider_->Prefetch(candidates.begin() + begin, end - begin);
         }
         const auto f_index = static_cast<size_t>(ins.target_f);
         for (size_t i = begin; i < end; ++i) {

@@ -40,6 +40,12 @@ class AdjacencyProvider {
 
   virtual ~AdjacencyProvider() = default;
   virtual Fetch GetAdjacency(VertexId v) = 0;
+  /// Hints that GetAdjacency will soon be called for (a prefix of) the
+  /// given keys. Non-blocking; providers without a prefetch path ignore
+  /// it. The executor issues this per ENU instruction whose enumerated
+  /// vertex feeds a downstream DBQ, so level-i enumeration overlaps the
+  /// level-(i+1) fetch latency.
+  virtual void Prefetch(const VertexId* /*keys*/, size_t /*count*/) {}
   /// Number of data vertices (for the V(G) pseudo-operand and task
   /// generation).
   virtual size_t NumVertices() const = 0;
@@ -62,18 +68,25 @@ class DirectAdjacencyProvider : public AdjacencyProvider {
 
 /// Adjacency provider through a worker's local DB cache (Fig. 2): a hit is
 /// free; a miss performs one remote query against the distributed store.
+/// `prefetch_budget` bounds the keys forwarded per Prefetch call to the
+/// cache's async pipeline; 0 disables prefetching entirely.
 class CachedAdjacencyProvider : public AdjacencyProvider {
  public:
   /// `cache` must outlive the provider.
-  explicit CachedAdjacencyProvider(DbCache* cache, size_t num_vertices)
-      : cache_(cache), num_vertices_(num_vertices) {}
+  explicit CachedAdjacencyProvider(DbCache* cache, size_t num_vertices,
+                                   size_t prefetch_budget = 0)
+      : cache_(cache),
+        num_vertices_(num_vertices),
+        prefetch_budget_(prefetch_budget) {}
 
   Fetch GetAdjacency(VertexId v) override;
+  void Prefetch(const VertexId* keys, size_t count) override;
   size_t NumVertices() const override { return num_vertices_; }
 
  private:
   DbCache* cache_;
   size_t num_vertices_;
+  size_t prefetch_budget_;
 };
 
 /// One local search task (Algorithm 2 line 4): a backtracking search
@@ -148,6 +161,10 @@ class PlanExecutor {
     std::vector<int> lt_filter_f;
     std::vector<int> ne_filter_f;
     bool first_enum = false;    // the ENU of the 2nd matching-order vertex
+    // ENU whose enumerated vertex is queried by a downstream DBQ: worth
+    // prefetching the candidate set before descending (computed by
+    // Compile's ENU→DBQ consumption analysis).
+    bool prefetch_hint = false;
     // Degree filter compiled to an id lower bound (ids realize ≺).
     VertexId min_candidate_id = 0;
     int required_label = -1;

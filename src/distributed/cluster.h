@@ -54,6 +54,20 @@ struct ClusterConfig {
   double db_query_latency_us = 100.0;
   /// Simulated network bandwidth, bytes per µs (125 ≈ 1 Gbps).
   double network_bytes_per_us = 125.0;
+  /// Max candidates per ENU instruction handed to the asynchronous
+  /// adjacency-prefetch pipeline before descending (§2d of DESIGN.md).
+  /// 0 disables prefetching: every cache miss is a synchronous store
+  /// round trip, the seed behaviour.
+  size_t prefetch_budget = 0;
+  /// Max keys per batched multi-get a background fetcher drains at once:
+  /// the store charges one round-trip latency per partition per batch,
+  /// so larger batches amortize latency (bytes are unchanged).
+  size_t prefetch_batch_size = 16;
+  /// Run the prefetch pipeline synchronously inline on the enumerating
+  /// thread (no background fetchers). Deterministic debug/validation
+  /// mode: identical fetch behaviour and match counts, but no overlap —
+  /// prefetch communication is charged unhidden.
+  bool force_sync_prefetch = false;
 };
 
 /// Per-worker outcome of a run.
@@ -65,8 +79,17 @@ struct WorkerSummary {
   Count steals = 0;
   /// Σ task virtual time (compute + simulated network), µs.
   double busy_virtual_us = 0;
-  /// Makespan of the worker's tasks list-scheduled on its threads, µs.
+  /// Makespan of the worker's tasks list-scheduled on its threads, µs,
+  /// plus any prefetch communication that compute could not hide (see
+  /// hidden_comm_us).
   double makespan_virtual_us = 0;
+  /// Virtual prefetch communication overlapped with (hidden behind) the
+  /// worker's compute makespan, µs. The worker's prefetch pipeline costs
+  /// `prefetch_round_trips × latency + prefetch_bytes / bandwidth`; the
+  /// portion up to the compute makespan runs concurrently with
+  /// enumeration and never appears on the critical path, the residual is
+  /// added to makespan_virtual_us.
+  double hidden_comm_us = 0;
   /// Real wall time from run start until the worker's last execution
   /// thread finished, seconds. Workers run concurrently, so these
   /// overlap; they do not sum to ClusterRunResult::real_seconds.
@@ -91,6 +114,19 @@ struct ClusterRunResult {
   Count coalesced_fetches = 0;
   /// Work-stealing claims across all workers' threads.
   Count steals = 0;
+  /// Asynchronous adjacency-pipeline counters, summed over the workers'
+  /// DB caches (0 when prefetch_budget == 0).
+  Count prefetches_issued = 0;
+  /// Prefetched entries that converted a would-be miss into a hit.
+  Count prefetch_hits = 0;
+  /// Prefetched entries evicted (or never retained) without a hit.
+  Count prefetch_wasted = 0;
+  /// Round trips of the batched background fetches (one per partition
+  /// per batch) and their payload bytes. Prefetch bytes are NOT included
+  /// in bytes_fetched (which counts synchronous task fetches); total
+  /// communication volume is bytes_fetched + prefetch_bytes.
+  Count prefetch_round_trips = 0;
+  Count prefetch_bytes = 0;
   size_t num_tasks = 0;
   /// OS threads in the shared runtime pool that executed this run.
   int runtime_threads = 0;
@@ -98,6 +134,10 @@ struct ClusterRunResult {
   int execution_threads = 0;
   /// Cluster virtual execution time: max worker makespan, seconds.
   double virtual_seconds = 0;
+  /// Σ over workers of prefetch communication hidden behind compute,
+  /// seconds: the latency the pipeline moved off the critical path. In
+  /// the synchronous baseline this time sits inside virtual_seconds.
+  double hidden_comm_seconds = 0;
   /// Real wall time of the in-process simulation, seconds.
   double real_seconds = 0;
   std::vector<WorkerSummary> workers;

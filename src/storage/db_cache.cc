@@ -1,15 +1,36 @@
 #include "storage/db_cache.h"
 
+#include "common/thread_pool.h"
+
 namespace benu {
 
 DbCache::DbCache(const DistributedKvStore* store, size_t capacity_bytes,
-                 size_t num_shards)
-    : store_(store), capacity_bytes_(capacity_bytes) {
+                 size_t num_shards, ThreadPool* fetch_pool,
+                 size_t prefetch_batch_size)
+    : store_(store),
+      capacity_bytes_(capacity_bytes),
+      fetch_pool_(fetch_pool),
+      prefetch_batch_size_(prefetch_batch_size == 0 ? 1
+                                                    : prefetch_batch_size) {
   if (num_shards == 0) num_shards = 1;
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+}
+
+DbCache::~DbCache() {
+  {
+    std::unique_lock<std::mutex> lock(prefetch_mu_);
+    shutting_down_ = true;
+    // Fetcher jobs referencing this cache must finish before the shards
+    // go away; the pool keeps running them by contract (it outlives the
+    // cache), so this wait terminates.
+    prefetch_idle_cv_.wait(lock, [this] { return active_jobs_ == 0; });
+  }
+  // Publish any flights no fetcher picked up, so a (misbehaving) waiter
+  // blocked in Get is released rather than deadlocked on teardown.
+  DrainQueue();
 }
 
 DbCache::Reply DbCache::Get(VertexId v) {
@@ -21,15 +42,32 @@ DbCache::Reply DbCache::Get(VertexId v) {
     auto it = shard.index.find(v);
     if (it != shard.index.end()) {
       ++shard.hits;
+      if (it->second->prefetched) {
+        // First touch of a prefetched entry: the pipeline converted a
+        // would-be stall into a hit.
+        it->second->prefetched = false;
+        ++shard.prefetch_hits;
+      }
       // Move to the front of the LRU list.
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       return Reply{it->second->value, Outcome::kHit};
     }
     auto fit = shard.inflight.find(v);
     if (fit != shard.inflight.end()) {
-      // Another thread is already fetching v: piggyback on its query.
-      ++shard.coalesced;
       flight = fit->second;
+      int expected = kFlightQueued;
+      if (flight->state.compare_exchange_strong(expected, kFlightFetching)) {
+        // The key sits in the prefetch queue but no fetcher has picked
+        // it up: claim the flight and fetch synchronously. The stale
+        // queue entry is skipped when a fetcher eventually pops it.
+        ++shard.misses;
+        ++shard.prefetch_claimed;
+        primary = true;
+      } else {
+        // Another thread (Get primary or fetcher) is already fetching v:
+        // piggyback on its query.
+        ++shard.coalesced;
+      }
     } else {
       ++shard.misses;
       flight = std::make_shared<Flight>();
@@ -48,6 +86,15 @@ DbCache::Reply DbCache::Get(VertexId v) {
   // a slow remote fetch blocks neither other keys of this shard nor the
   // waiters of other flights.
   std::shared_ptr<const VertexSet> value = store_->GetAdjacency(v);
+  InsertAndPublish(v, value, flight, /*prefetched=*/false);
+  return Reply{std::move(value), Outcome::kMiss};
+}
+
+void DbCache::InsertAndPublish(VertexId v,
+                               std::shared_ptr<const VertexSet> value,
+                               const std::shared_ptr<Flight>& flight,
+                               bool prefetched) {
+  Shard& shard = ShardFor(v);
   const size_t bytes = EntryBytes(*value);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -62,27 +109,128 @@ DbCache::Reply DbCache::Get(VertexId v) {
         // leaving it where a concurrent eviction pass would take it.
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       } else {
-        shard.lru.push_front(Entry{v, value, bytes});
+        shard.lru.push_front(Entry{v, value, bytes, prefetched});
         shard.index[v] = shard.lru.begin();
         shard.bytes += bytes;
         while (shard.bytes > shard_capacity && !shard.lru.empty()) {
           const Entry& victim = shard.lru.back();
+          if (victim.prefetched) ++shard.prefetch_wasted;
           shard.bytes -= victim.bytes;
           shard.index.erase(victim.key);
           shard.lru.pop_back();
         }
       }
+    } else if (prefetched) {
+      // Fetched but never retained: the prefetch cannot convert a future
+      // lookup, so the work is wasted by definition.
+      ++shard.prefetch_wasted;
     }
   }
   // Publish to waiters only after the flight is unlinked from the shard,
   // so a late Get either sees the cached entry or starts a fresh flight.
   {
     std::lock_guard<std::mutex> fl(flight->mu);
-    flight->value = value;
+    flight->value = std::move(value);
     flight->ready = true;
   }
   flight->ready_cv.notify_all();
-  return Reply{std::move(value), Outcome::kMiss};
+}
+
+void DbCache::PrefetchAsync(const VertexId* keys, size_t count) {
+  if (count == 0) return;
+  std::vector<VertexId> fresh;
+  fresh.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const VertexId v = keys[i];
+    Shard& shard = ShardFor(v);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.index.count(v) != 0) continue;     // already cached
+    if (shard.inflight.count(v) != 0) continue;  // already queued/fetching
+    auto flight = std::make_shared<Flight>();
+    flight->state.store(kFlightQueued, std::memory_order_relaxed);
+    shard.inflight.emplace(v, flight);
+    ++shard.prefetches_issued;
+    fresh.push_back(v);
+  }
+  if (fresh.empty()) return;
+  bool scheduled = false;
+  {
+    std::lock_guard<std::mutex> lock(prefetch_mu_);
+    prefetch_queue_.insert(prefetch_queue_.end(), fresh.begin(), fresh.end());
+    if (fetch_pool_ != nullptr && !shutting_down_) {
+      ++active_jobs_;
+      scheduled = true;
+    }
+  }
+  if (scheduled) {
+    fetch_pool_->Submit([this] {
+      DrainQueue();
+      std::lock_guard<std::mutex> lock(prefetch_mu_);
+      if (--active_jobs_ == 0) prefetch_idle_cv_.notify_all();
+    });
+  } else if (fetch_pool_ == nullptr) {
+    // Forced-sync mode: no background fetcher — drain inline, still
+    // through the batched multi-get (deterministic, no overlap).
+    DrainQueue();
+  }
+}
+
+void DbCache::DrainQueue() {
+  std::vector<VertexId> batch;
+  batch.reserve(prefetch_batch_size_);
+  for (;;) {
+    batch.clear();
+    {
+      std::lock_guard<std::mutex> lock(prefetch_mu_);
+      while (!prefetch_queue_.empty() &&
+             batch.size() < prefetch_batch_size_) {
+        batch.push_back(prefetch_queue_.front());
+        prefetch_queue_.pop_front();
+      }
+    }
+    if (batch.empty()) return;
+    FetchBatch(batch);
+  }
+}
+
+void DbCache::FetchBatch(const std::vector<VertexId>& batch) {
+  std::vector<VertexId> to_fetch;
+  std::vector<std::shared_ptr<Flight>> flights;
+  to_fetch.reserve(batch.size());
+  flights.reserve(batch.size());
+  for (VertexId v : batch) {
+    Shard& shard = ShardFor(v);
+    std::shared_ptr<Flight> flight;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.inflight.find(v);
+      if (it == shard.inflight.end()) continue;  // claimed and resolved
+      flight = it->second;
+    }
+    int expected = kFlightQueued;
+    if (!flight->state.compare_exchange_strong(expected, kFlightFetching)) {
+      continue;  // a Get claimed this key and fetches it itself
+    }
+    to_fetch.push_back(v);
+    flights.push_back(std::move(flight));
+  }
+  if (to_fetch.empty()) return;
+  const DistributedKvStore::BatchReply reply =
+      store_->GetAdjacencyBatch(to_fetch);
+  prefetch_round_trips_.fetch_add(reply.round_trips,
+                                  std::memory_order_relaxed);
+  prefetch_bytes_.fetch_add(reply.bytes, std::memory_order_relaxed);
+  for (size_t i = 0; i < to_fetch.size(); ++i) {
+    InsertAndPublish(to_fetch[i], reply.values[i], flights[i],
+                     /*prefetched=*/true);
+  }
+}
+
+void DbCache::WaitForPrefetches() {
+  std::unique_lock<std::mutex> lock(prefetch_mu_);
+  prefetch_idle_cv_.wait(lock, [this] {
+    return active_jobs_ == 0 && prefetch_queue_.empty();
+  });
 }
 
 std::shared_ptr<const VertexSet> DbCache::GetAdjacency(VertexId v,
@@ -99,7 +247,14 @@ DbCacheStats DbCache::stats() const {
     total.hits += shard->hits;
     total.misses += shard->misses;
     total.coalesced += shard->coalesced;
+    total.prefetches_issued += shard->prefetches_issued;
+    total.prefetch_hits += shard->prefetch_hits;
+    total.prefetch_claimed += shard->prefetch_claimed;
+    total.prefetch_wasted += shard->prefetch_wasted;
   }
+  total.prefetch_round_trips =
+      prefetch_round_trips_.load(std::memory_order_relaxed);
+  total.prefetch_bytes = prefetch_bytes_.load(std::memory_order_relaxed);
   return total;
 }
 

@@ -1,8 +1,10 @@
 #ifndef BENU_STORAGE_DB_CACHE_H_
 #define BENU_STORAGE_DB_CACHE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -15,18 +17,62 @@
 
 namespace benu {
 
+class ThreadPool;
+
 /// Hit/miss statistics of a database cache. Every lookup is counted in
 /// exactly one bucket: `hits` (served from cache), `misses` (this lookup
-/// issued the store query) or `coalesced` (this lookup waited on another
-/// thread's in-flight query for the same key — no store traffic).
+/// issued a store query of its own) or `coalesced` (this lookup waited on
+/// another thread's in-flight query for the same key — no store traffic).
+///
+/// Hit-rate convention (the one convention used everywhere — reports,
+/// benches and tests): a lookup counts as a *hit* iff it was served from
+/// the cache without waiting on any store round trip. Coalesced waits are
+/// therefore non-hits — the caller did wait out a remote round trip, just
+/// a shared one — and sit in the denominator:
+///
+///   HitRate()   = hits / Lookups()
+///   StallRate() = (misses + coalesced) / Lookups() = 1 - HitRate()
+///
+/// `misses` alone is the store-query rate: without prefetching it equals
+/// the number of store queries this cache issued. With the prefetch
+/// pipeline, background fetches add `prefetches_issued - prefetch_claimed`
+/// further store queries that belong to no lookup bucket (a converted
+/// prefetch surfaces later as a plain hit).
 struct DbCacheStats {
   Count hits = 0;
   Count misses = 0;
   Count coalesced = 0;
 
+  /// Keys enqueued by PrefetchAsync (not already cached or in flight).
+  Count prefetches_issued = 0;
+  /// Hits served by a prefetched entry on its first touch: the fetch
+  /// latency was fully hidden from the requesting thread.
+  Count prefetch_hits = 0;
+  /// Prefetched keys a Get claimed before any fetcher picked them up;
+  /// the Get fetched synchronously (counted in `misses`), so the
+  /// prefetch saved nothing.
+  Count prefetch_claimed = 0;
+  /// Prefetched entries evicted — or never retained (zero/overflowed
+  /// capacity) — without serving a single hit: wasted fetch work.
+  Count prefetch_wasted = 0;
+  /// Round trips of the batched background fetches (one per partition
+  /// per batch) and their payload bytes; the cluster's overlap model
+  /// charges these against compute instead of task stall time.
+  Count prefetch_round_trips = 0;
+  Count prefetch_bytes = 0;
+
+  /// Total lookups: every Get lands in exactly one of the three buckets.
+  Count Lookups() const { return hits + misses + coalesced; }
+
   double HitRate() const {
-    const Count total = hits + misses + coalesced;
+    const Count total = Lookups();
     return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+
+  double StallRate() const {
+    const Count total = Lookups();
+    return total == 0 ? 0.0
+                      : static_cast<double>(misses + coalesced) / total;
   }
 };
 
@@ -46,6 +92,15 @@ struct DbCacheStats {
 /// coalesced — exactly one thread (the primary) queries the distributed
 /// store while the others block on the in-flight entry and share its
 /// reply, so N racing threads cost one remote query instead of N.
+///
+/// Prefetch pipeline (§2d of DESIGN.md): PrefetchAsync enqueues absent
+/// keys as *queued* flights into a pending queue drained by fetcher jobs
+/// on `fetch_pool` through the store's batched multi-get — one round trip
+/// per partition per batch. A Get racing a queued flight claims it (CAS
+/// on the flight state) and fetches synchronously, so prefetching can
+/// never deadlock even if no fetcher ever runs; a Get racing an already
+/// fetching flight coalesces as usual. Prefetch-inserted entries are
+/// tagged so stats can tell converted hits from wasted fetches.
 class DbCache {
  public:
   /// How one Get was served.
@@ -62,9 +117,18 @@ class DbCache {
 
   /// `capacity_bytes` == 0 disables caching (every get is a miss that
   /// goes to the store and is not retained; concurrent misses still
-  /// coalesce).
+  /// coalesce). `fetch_pool`, when non-null, services PrefetchAsync in
+  /// the background and must outlive the cache; when null, PrefetchAsync
+  /// drains synchronously before returning (the forced-sync mode —
+  /// batched, deterministic, but no overlap). `prefetch_batch_size` caps
+  /// the keys per batched multi-get a fetcher drains at once.
   DbCache(const DistributedKvStore* store, size_t capacity_bytes,
-          size_t num_shards = 8);
+          size_t num_shards = 8, ThreadPool* fetch_pool = nullptr,
+          size_t prefetch_batch_size = 16);
+
+  /// Waits for in-flight fetcher jobs, then drains any still-pending
+  /// prefetch keys inline so every flight is published before teardown.
+  ~DbCache();
 
   DbCache(const DbCache&) = delete;
   DbCache& operator=(const DbCache&) = delete;
@@ -76,9 +140,23 @@ class DbCache {
 
   /// Convenience wrapper around Get. `was_hit`, if non-null, reports
   /// whether this call was served from cache (coalesced waits count as
-  /// not-hit: the caller did pay a remote round trip, just a shared one).
+  /// not-hit — the documented DbCacheStats convention: the caller did
+  /// wait out a remote round trip, just a shared one).
   std::shared_ptr<const VertexSet> GetAdjacency(VertexId v,
                                                 bool* was_hit = nullptr);
+
+  /// Non-blocking: enqueues every key that is neither cached nor already
+  /// in flight for background fetching and returns immediately (with a
+  /// null fetch pool, drains the queue inline before returning). Safe to
+  /// call concurrently with Get on the same keys — single-flight holds
+  /// across both paths, so the store sees at most one query per distinct
+  /// key while it stays cached.
+  void PrefetchAsync(const VertexId* keys, size_t count);
+
+  /// Blocks until no prefetch work is pending or running. Used before
+  /// reading stats for accounting and by tests; NOT needed for
+  /// correctness of Get (which claims or coalesces as appropriate).
+  void WaitForPrefetches();
 
   /// Aggregated statistics over all shards.
   DbCacheStats stats() const;
@@ -93,13 +171,22 @@ class DbCache {
     VertexId key;
     std::shared_ptr<const VertexSet> value;
     size_t bytes;
+    /// Inserted by the prefetch pipeline and not yet hit; cleared on the
+    /// first hit (counted as prefetch_hits), counted as prefetch_wasted
+    /// if evicted or dropped while still set.
+    bool prefetched = false;
   };
-  /// One in-flight store query; waiters block on `ready_cv`.
+  /// One in-flight store query; waiters block on `ready_cv`. `state`
+  /// arbitrates who performs the fetch: prefetch flights start kQueued
+  /// and are claimed (kQueued -> kFetching, exactly once) either by a
+  /// fetcher job or by a racing Get; primary-miss flights start
+  /// kFetching.
   struct Flight {
     std::mutex mu;
     std::condition_variable ready_cv;
     std::shared_ptr<const VertexSet> value;
     bool ready = false;
+    std::atomic<int> state{kFlightFetching};
   };
   struct Shard {
     mutable std::mutex mu;
@@ -110,18 +197,47 @@ class DbCache {
     Count hits = 0;
     Count misses = 0;
     Count coalesced = 0;
+    Count prefetches_issued = 0;
+    Count prefetch_hits = 0;
+    Count prefetch_claimed = 0;
+    Count prefetch_wasted = 0;
   };
+
+  static constexpr int kFlightQueued = 0;
+  static constexpr int kFlightFetching = 1;
 
   Shard& ShardFor(VertexId v) { return *shards_[v % shards_.size()]; }
   static size_t EntryBytes(const VertexSet& set) {
     return set.size() * sizeof(VertexId) + kEntryOverheadBytes;
   }
 
+  /// Inserts the reply into the LRU (respecting capacity), unlinks the
+  /// flight and publishes the value to waiters.
+  void InsertAndPublish(VertexId v, std::shared_ptr<const VertexSet> value,
+                        const std::shared_ptr<Flight>& flight,
+                        bool prefetched);
+  /// Drains the pending prefetch queue in batches until it is empty.
+  void DrainQueue();
+  /// Fetches one batch of queued keys via the store's multi-get and
+  /// publishes the replies; keys whose flight a Get already claimed are
+  /// skipped.
+  void FetchBatch(const std::vector<VertexId>& batch);
+
   static constexpr size_t kEntryOverheadBytes = 32;
 
   const DistributedKvStore* store_;
   size_t capacity_bytes_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  ThreadPool* fetch_pool_;
+  size_t prefetch_batch_size_;
+  std::mutex prefetch_mu_;
+  std::condition_variable prefetch_idle_cv_;
+  std::deque<VertexId> prefetch_queue_;
+  size_t active_jobs_ = 0;  ///< fetcher jobs submitted or running
+  bool shutting_down_ = false;
+  std::atomic<Count> prefetch_round_trips_{0};
+  std::atomic<Count> prefetch_bytes_{0};
 };
 
 }  // namespace benu

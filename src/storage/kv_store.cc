@@ -20,9 +20,34 @@ std::shared_ptr<const VertexSet> DistributedKvStore::GetAdjacency(
   BENU_CHECK(v < adjacency_.size()) << "vertex out of range: " << v;
   const auto& set = adjacency_[v];
   stats_.queries.fetch_add(1, std::memory_order_relaxed);
+  stats_.round_trips.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_fetched.fetch_add(ReplyBytes(set->size()),
                                  std::memory_order_relaxed);
   return set;
+}
+
+DistributedKvStore::BatchReply DistributedKvStore::GetAdjacencyBatch(
+    std::span<const VertexId> keys) const {
+  BatchReply reply;
+  if (keys.empty()) return reply;
+  reply.values.reserve(keys.size());
+  std::vector<uint8_t> partition_touched(num_partitions_, 0);
+  for (VertexId v : keys) {
+    BENU_CHECK(v < adjacency_.size()) << "vertex out of range: " << v;
+    const auto& set = adjacency_[v];
+    reply.bytes += ReplyBytes(set->size());
+    uint8_t& touched = partition_touched[PartitionOf(v)];
+    if (!touched) {
+      touched = 1;
+      ++reply.round_trips;
+    }
+    reply.values.push_back(set);
+  }
+  stats_.queries.fetch_add(keys.size(), std::memory_order_relaxed);
+  stats_.batch_gets.fetch_add(1, std::memory_order_relaxed);
+  stats_.round_trips.fetch_add(reply.round_trips, std::memory_order_relaxed);
+  stats_.bytes_fetched.fetch_add(reply.bytes, std::memory_order_relaxed);
+  return reply;
 }
 
 }  // namespace benu

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -15,13 +16,23 @@ namespace benu {
 
 /// Communication statistics of the distributed database. Counters are
 /// atomic because worker threads query concurrently.
+///
+/// `queries` counts key-level gets (the paper's #DBQ metric): a batched
+/// multi-get of k keys bumps it by k. `round_trips` counts network round
+/// trips: one per single-key get, one per *partition touched* per batched
+/// multi-get — so batching reduces round trips while the query and byte
+/// accounting stay identical.
 struct KvStoreStats {
   std::atomic<Count> queries{0};
   std::atomic<Count> bytes_fetched{0};
+  std::atomic<Count> round_trips{0};
+  std::atomic<Count> batch_gets{0};  ///< GetAdjacencyBatch calls
 
   void Reset() {
     queries.store(0);
     bytes_fetched.store(0);
+    round_trips.store(0);
+    batch_gets.store(0);
   }
 };
 
@@ -43,6 +54,25 @@ class DistributedKvStore {
   /// Fetches Γ(v). The returned set is shared with the store and
   /// immutable. Also returns, via the stats, the simulated communication.
   std::shared_ptr<const VertexSet> GetAdjacency(VertexId v) const;
+
+  /// Reply of one batched multi-get.
+  struct BatchReply {
+    /// Γ(keys[i]) in key order; entries are shared and immutable.
+    std::vector<std::shared_ptr<const VertexSet>> values;
+    /// Distinct partitions (virtual storage nodes) touched: the batch
+    /// costs one round-trip latency per partition, not per key.
+    size_t round_trips = 0;
+    /// Total payload bytes of the replies (identical to fetching each
+    /// key individually — batching amortizes latency, not bytes).
+    size_t bytes = 0;
+  };
+
+  /// Fetches Γ(v) for every key in one multi-get. Keys are grouped by
+  /// partition server-side, so the simulated latency cost is one round
+  /// trip per partition per batch while query/byte accounting matches
+  /// `keys.size()` individual gets. This is what makes batched prefetching
+  /// cheaper than issuing the same keys one by one.
+  BatchReply GetAdjacencyBatch(std::span<const VertexId> keys) const;
 
   /// Partition (virtual storage node) holding vertex v.
   size_t PartitionOf(VertexId v) const { return v % num_partitions_; }

@@ -106,6 +106,82 @@ TEST(ClusterTest, CacheReducesDbQueries) {
   EXPECT_EQ(ra->cache_hits, 0u);
 }
 
+TEST(ClusterTest, PrefetchPipelinePreservesCountsOnDbqHeavyPlans) {
+  // DBQ-heavy regression: q9 and the 5-clique with a capacity-0 cache —
+  // every adjacency request is a store fetch, so the prefetch pipeline is
+  // maximally exercised (nothing it inserts is ever retained). Match
+  // counts must be bit-identical across the synchronous baseline, the
+  // forced-sync pipeline and the async pipeline.
+  auto raw = GenerateBarabasiAlbert(120, 5, 41);
+  ASSERT_TRUE(raw.ok());
+  Graph data = raw->RelabelByDegree();
+  for (const std::string name : {"q9", "clique5"}) {
+    Graph p = std::move(GetPattern(name)).value();
+    auto plan = GenerateBestPlan(p, DataGraphStats::FromGraph(data));
+    ASSERT_TRUE(plan.ok()) << name;
+
+    ClusterConfig sync = SmallCluster();
+    sync.db_cache_bytes = 0;
+    ClusterConfig forced = sync;
+    forced.prefetch_budget = 32;
+    forced.force_sync_prefetch = true;
+    ClusterConfig async = sync;
+    async.prefetch_budget = 32;
+
+    Count reference = 0;
+    bool first = true;
+    for (const ClusterConfig* config : {&sync, &forced, &async}) {
+      ClusterSimulator cluster(data, *config);
+      auto result = cluster.Run(plan->plan);
+      ASSERT_TRUE(result.ok()) << name;
+      if (first) {
+        reference = result->total_matches;
+        first = false;
+        EXPECT_EQ(result->prefetches_issued, 0u) << name;
+        EXPECT_EQ(result->hidden_comm_seconds, 0.0) << name;
+      } else {
+        EXPECT_EQ(result->total_matches, reference) << name;
+        EXPECT_GT(result->prefetches_issued, 0u) << name;
+      }
+      if (config == &forced) {
+        EXPECT_EQ(result->hidden_comm_seconds, 0.0) << name;
+      }
+    }
+  }
+}
+
+TEST(ClusterTest, AsyncPrefetchHidesCommunicationAtHighLatency) {
+  // With retention (a warm cache) and real store latency, the async
+  // pipeline must report hidden communication and must not be slower
+  // than the synchronous baseline in virtual time.
+  auto raw = GenerateBarabasiAlbert(300, 5, 21);
+  ASSERT_TRUE(raw.ok());
+  Graph data = raw->RelabelByDegree();
+  Graph p = std::move(GetPattern("q5")).value();
+  auto plan = GenerateBestPlan(p, DataGraphStats::FromGraph(data));
+  ASSERT_TRUE(plan.ok());
+
+  ClusterConfig sync = SmallCluster();
+  sync.db_cache_bytes = 4 << 10;  // small: constant miss pressure
+  sync.db_query_latency_us = 1000.0;
+  ClusterConfig async = sync;
+  async.prefetch_budget = 64;
+  async.prefetch_batch_size = 16;
+
+  ClusterSimulator a(data, sync);
+  ClusterSimulator b(data, async);
+  auto ra = a.Run(plan->plan);
+  auto rb = b.Run(plan->plan);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->total_matches, rb->total_matches);
+  EXPECT_EQ(ra->hidden_comm_seconds, 0.0);
+  EXPECT_GT(rb->hidden_comm_seconds, 0.0);
+  EXPECT_GT(rb->prefetch_round_trips, 0u);
+  // Batched round trips are strictly fewer than the keys they carried.
+  EXPECT_LT(rb->prefetch_round_trips, rb->prefetches_issued);
+}
+
 TEST(ClusterTest, StatsAreInternallyConsistent) {
   auto raw = GenerateBarabasiAlbert(100, 4, 33);
   ASSERT_TRUE(raw.ok());

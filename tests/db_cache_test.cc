@@ -13,6 +13,27 @@
 namespace benu {
 namespace {
 
+TEST(DbCacheStatsTest, HitRateCountsCoalescedWaitsAsNonHits) {
+  // The one hit-rate convention (header doc): a hit is a lookup served
+  // without waiting on any store round trip. A coalesced lookup waited a
+  // full (shared) round trip, so it counts in the denominator only.
+  DbCacheStats stats;
+  stats.hits = 1;
+  stats.misses = 1;
+  stats.coalesced = 2;
+  EXPECT_EQ(stats.Lookups(), 4u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.25);
+  EXPECT_DOUBLE_EQ(stats.StallRate(), 0.75);
+  EXPECT_DOUBLE_EQ(stats.HitRate() + stats.StallRate(), 1.0);
+}
+
+TEST(DbCacheStatsTest, EmptyStatsHaveZeroRates) {
+  DbCacheStats stats;
+  EXPECT_EQ(stats.Lookups(), 0u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.StallRate(), 0.0);
+}
+
 TEST(DbCacheTest, SecondFetchHits) {
   Graph g = MakeCycle(5);
   DistributedKvStore store(g, 1);
@@ -193,6 +214,11 @@ TEST(DbCacheTest, ConcurrentPowerLawStressRespectsCapacity) {
             static_cast<Count>(kThreads) * kOpsPerThread);
   EXPECT_EQ(stats.misses, store.stats().queries.load());
   EXPECT_GT(stats.hits, 0u);
+  // The aggregated rates obey the documented convention under load:
+  // every coalesced wait degrades the hit rate.
+  EXPECT_DOUBLE_EQ(stats.HitRate(),
+                   static_cast<double>(stats.hits) / stats.Lookups());
+  EXPECT_DOUBLE_EQ(stats.HitRate() + stats.StallRate(), 1.0);
 }
 
 }  // namespace
