@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "distributed/benu_driver.h"
 #include "graph/generators.h"
 #include "graph/patterns.h"
@@ -105,7 +106,15 @@ inline double BaselineVirtualSeconds(double cpu_seconds, Count shuffled_bytes,
 //   {"bench": "<suite>",
 //    "results": [{"name": "...", "params": {"k": "v", ...},
 //                 "repetitions": N, "seconds": S,
-//                 "counters": {"k": number, ...}}, ...]}
+//                 "counters": {"k": number, ...}}, ...],
+//    "metrics": {"counters": {...}, "gauges": {...},
+//                "histograms": {...}}}
+//
+// The "metrics" object is a MetricsSnapshot of the process-wide registry
+// at write time (docs/metrics.md documents every instrument), so every
+// BENCH_*.json carries the cache/communication/compute breakdown of the
+// run that produced it — diffing two bench JSONs answers "did it help?"
+// without rerunning anything.
 
 /// One result row: `name` identifies the case, `params` the swept
 /// configuration (string-valued for uniformity), `seconds` the measured
@@ -145,7 +154,9 @@ inline void WriteBenchJson(const char* path, const std::string& bench_name,
     }
     std::fprintf(f, "}}%s\n", i + 1 < records.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n",
+               metrics::MetricsRegistry::Global().Snapshot().ToJson(2)
+                   .c_str());
   std::fclose(f);
   std::printf("wrote %s\n", path);
 }

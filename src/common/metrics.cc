@@ -1,0 +1,263 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace benu::metrics {
+namespace internal {
+
+size_t ThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace internal
+
+namespace {
+
+std::atomic<bool> g_tracing{[] {
+  const char* env = std::getenv("BENU_TRACE");
+  return env != nullptr && env[0] == '1';
+}()};
+
+void AppendIndent(std::string* out, int indent) {
+  out->append(static_cast<size_t>(indent), ' ');
+}
+
+void AppendUint(std::string* out, uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%llu",
+                static_cast<unsigned long long>(value));
+  out->append(buffer);
+}
+
+void AppendDouble(std::string* out, double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  out->append(buffer);
+}
+
+}  // namespace
+
+bool TracingEnabled() { return g_tracing.load(std::memory_order_relaxed); }
+
+void SetTracingEnabled(bool enabled) {
+  g_tracing.store(enabled, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Instrument* MetricsRegistry::FindOrCreate(
+    std::string_view name, InstrumentKind kind, std::string_view unit,
+    std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = instruments_.find(name);
+  if (it == instruments_.end()) {
+    Instrument instrument;
+    instrument.kind = kind;
+    instrument.unit = std::string(unit);
+    instrument.help = std::string(help);
+    switch (kind) {
+      case InstrumentKind::kCounter:
+        instrument.counter = std::make_unique<Counter>();
+        break;
+      case InstrumentKind::kGauge:
+        instrument.gauge = std::make_unique<Gauge>();
+        break;
+      case InstrumentKind::kHistogram:
+        instrument.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = instruments_.emplace(std::string(name), std::move(instrument))
+             .first;
+  }
+  return &it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view unit,
+                                     std::string_view help) {
+  Instrument* instrument =
+      FindOrCreate(name, InstrumentKind::kCounter, unit, help);
+  return instrument->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view unit,
+                                 std::string_view help) {
+  Instrument* instrument =
+      FindOrCreate(name, InstrumentKind::kGauge, unit, help);
+  return instrument->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view unit,
+                                         std::string_view help) {
+  Instrument* instrument =
+      FindOrCreate(name, InstrumentKind::kHistogram, unit, help);
+  return instrument->histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.entries.reserve(instruments_.size());
+  for (const auto& [name, instrument] : instruments_) {
+    SnapshotEntry entry;
+    entry.name = name;
+    entry.kind = instrument.kind;
+    entry.unit = instrument.unit;
+    entry.help = instrument.help;
+    switch (instrument.kind) {
+      case InstrumentKind::kCounter:
+        entry.counter_value = instrument.counter->Value();
+        break;
+      case InstrumentKind::kGauge:
+        entry.gauge_value = instrument.gauge->Value();
+        break;
+      case InstrumentKind::kHistogram: {
+        const Histogram& hist = *instrument.histogram;
+        entry.hist_count = hist.Count();
+        entry.hist_sum = hist.Sum();
+        for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+          const uint64_t count = hist.BucketCount(b);
+          if (count != 0) {
+            entry.hist_buckets.emplace_back(Histogram::BucketUpperBound(b),
+                                            count);
+          }
+        }
+        break;
+      }
+    }
+    snapshot.entries.push_back(std::move(entry));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, instrument] : instruments_) {
+    switch (instrument.kind) {
+      case InstrumentKind::kCounter:
+        instrument.counter->Reset();
+        break;
+      case InstrumentKind::kGauge:
+        instrument.gauge->Reset();
+        break;
+      case InstrumentKind::kHistogram:
+        instrument.histogram->Reset();
+        break;
+    }
+  }
+}
+
+std::string MetricsSnapshot::ToJson(int indent) const {
+  std::string out;
+  const auto emit_section = [&](InstrumentKind kind, const char* title,
+                                bool last) {
+    AppendIndent(&out, indent + 2);
+    out += '"';
+    out += title;
+    out += "\": {";
+    bool first = true;
+    for (const SnapshotEntry& entry : entries) {
+      if (entry.kind != kind) continue;
+      out += first ? "\n" : ",\n";
+      first = false;
+      AppendIndent(&out, indent + 4);
+      out += '"';
+      out += entry.name;
+      out += "\": ";
+      switch (kind) {
+        case InstrumentKind::kCounter:
+          AppendUint(&out, entry.counter_value);
+          break;
+        case InstrumentKind::kGauge:
+          AppendDouble(&out, entry.gauge_value);
+          break;
+        case InstrumentKind::kHistogram: {
+          out += "{\"count\": ";
+          AppendUint(&out, entry.hist_count);
+          out += ", \"sum\": ";
+          AppendUint(&out, entry.hist_sum);
+          out += ", \"buckets\": [";
+          for (size_t i = 0; i < entry.hist_buckets.size(); ++i) {
+            if (i != 0) out += ", ";
+            out += '[';
+            AppendUint(&out, entry.hist_buckets[i].first);
+            out += ", ";
+            AppendUint(&out, entry.hist_buckets[i].second);
+            out += ']';
+          }
+          out += "]}";
+          break;
+        }
+      }
+    }
+    if (!first) {
+      out += '\n';
+      AppendIndent(&out, indent + 2);
+    }
+    out += '}';
+    out += last ? "\n" : ",\n";
+  };
+  out += "{\n";
+  emit_section(InstrumentKind::kCounter, "counters", false);
+  emit_section(InstrumentKind::kGauge, "gauges", false);
+  emit_section(InstrumentKind::kHistogram, "histograms", true);
+  AppendIndent(&out, indent);
+  out += '}';
+  return out;
+}
+
+std::string MetricsSnapshot::ToTable() const {
+  std::string out;
+  size_t name_width = 4;
+  for (const SnapshotEntry& entry : entries) {
+    name_width = std::max(name_width, entry.name.size());
+  }
+  char line[512];
+  std::snprintf(line, sizeof(line), "%-*s  %-9s  %-8s  %s\n",
+                static_cast<int>(name_width), "name", "type", "unit",
+                "value");
+  out += line;
+  for (const SnapshotEntry& entry : entries) {
+    switch (entry.kind) {
+      case InstrumentKind::kCounter:
+        std::snprintf(line, sizeof(line), "%-*s  %-9s  %-8s  %llu\n",
+                      static_cast<int>(name_width), entry.name.c_str(),
+                      "counter", entry.unit.c_str(),
+                      static_cast<unsigned long long>(entry.counter_value));
+        break;
+      case InstrumentKind::kGauge:
+        std::snprintf(line, sizeof(line), "%-*s  %-9s  %-8s  %.6g\n",
+                      static_cast<int>(name_width), entry.name.c_str(),
+                      "gauge", entry.unit.c_str(), entry.gauge_value);
+        break;
+      case InstrumentKind::kHistogram: {
+        const double mean =
+            entry.hist_count == 0
+                ? 0.0
+                : static_cast<double>(entry.hist_sum) /
+                      static_cast<double>(entry.hist_count);
+        std::snprintf(line, sizeof(line),
+                      "%-*s  %-9s  %-8s  count=%llu sum=%llu mean=%.3g\n",
+                      static_cast<int>(name_width), entry.name.c_str(),
+                      "histogram", entry.unit.c_str(),
+                      static_cast<unsigned long long>(entry.hist_count),
+                      static_cast<unsigned long long>(entry.hist_sum),
+                      mean);
+        break;
+      }
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace benu::metrics

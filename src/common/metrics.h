@@ -1,0 +1,262 @@
+#ifndef BENU_COMMON_METRICS_H_
+#define BENU_COMMON_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace benu::metrics {
+
+// ---------------------------------------------------------------------
+// Unified metrics layer (DESIGN.md §2e). Every subsystem publishes into
+// one process-wide MetricsRegistry; MetricsRegistry::Global().Snapshot()
+// is the single export path — embedded in every BENCH_*.json by
+// bench_util.h, printed by examples/metrics_dump, and diffed by tests
+// against the legacy per-subsystem stats structs (which remain as thin
+// per-instance views; the registry holds the process-wide totals).
+//
+// Instrument names are dotted lowercase paths ("db_cache.hits"); the
+// reference table of every name, type, unit and emitter lives in
+// docs/metrics.md, and metrics_test.cc fails if an instrument shows up
+// in a snapshot without being documented there.
+
+/// Kinds of instruments a registry holds.
+enum class InstrumentKind { kCounter, kGauge, kHistogram };
+
+namespace internal {
+
+/// Stable small id of the calling thread, used to spread hot-path
+/// updates over cache-line-padded shards so concurrent workers do not
+/// bounce one counter line between cores.
+size_t ThreadShard();
+
+inline constexpr size_t kShards = 16;
+
+}  // namespace internal
+
+/// Monotonic counter. Add is lock-free and wait-free: a relaxed
+/// fetch_add on a per-thread-sharded, cache-line-padded cell, so hot
+/// paths (one bump per cache lookup / store query) do not serialize and
+/// bench numbers do not regress. Value() sums the shards; it is
+/// linearizable only against quiesced writers, which is how every
+/// reader in this repo uses it (snapshots are taken after runs join).
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    shards_[internal::ThreadShard()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (auto& shard : shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> value{0};
+  };
+  Cell shards_[internal::kShards];
+};
+
+/// Last-writer-wins double value (queue depths, configuration echoes,
+/// per-run seconds). Set/Add/Value are lock-free.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-bucketed histogram over non-negative integer samples (typically
+/// microseconds or bytes). Bucket b holds samples whose bit width is b,
+/// i.e. values in [2^(b-1), 2^b); bucket 0 holds the value 0. Record is
+/// lock-free (relaxed atomics; count/sum sharded like Counter), so it is
+/// safe on hot paths; the 65 fixed buckets keep snapshots allocation-free
+/// until export.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 65;
+
+  void Record(uint64_t value) {
+    buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.Add(1);
+    sum_.Add(value);
+  }
+
+  uint64_t Count() const { return count_.Value(); }
+  uint64_t Sum() const { return sum_.Value(); }
+  uint64_t BucketCount(size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Inclusive upper bound of bucket b (2^b - 1; bucket 0 holds only 0).
+  static uint64_t BucketUpperBound(size_t b) {
+    return b >= 64 ? ~uint64_t{0} : (uint64_t{1} << b) - 1;
+  }
+
+  static size_t BucketOf(uint64_t value) {
+    return static_cast<size_t>(std::bit_width(value));
+  }
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.Reset();
+    sum_.Reset();
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  Counter count_;
+  Counter sum_;
+};
+
+/// One instrument in a snapshot, fully decoupled from the live registry.
+struct SnapshotEntry {
+  std::string name;
+  InstrumentKind kind = InstrumentKind::kCounter;
+  std::string unit;
+  std::string help;
+  uint64_t counter_value = 0;                          // kCounter
+  double gauge_value = 0;                              // kGauge
+  uint64_t hist_count = 0;                             // kHistogram
+  uint64_t hist_sum = 0;                               // kHistogram
+  /// Non-empty buckets as (inclusive upper bound, count) pairs.
+  std::vector<std::pair<uint64_t, uint64_t>> hist_buckets;
+};
+
+/// Point-in-time copy of every registered instrument, sorted by name (so
+/// two snapshots of identical runs serialize identically — the
+/// determinism tests diff the JSON strings byte for byte).
+struct MetricsSnapshot {
+  std::vector<SnapshotEntry> entries;
+
+  /// JSON object {"counters": {...}, "gauges": {...}, "histograms":
+  /// {...}}; `indent` spaces prefix every emitted line (so the object
+  /// embeds cleanly in the bench JSON files). Deterministic: key order
+  /// is name order, no timestamps.
+  std::string ToJson(int indent = 0) const;
+
+  /// Human-readable fixed-width table, one instrument per line:
+  /// name, type, unit, value (count/sum/mean for histograms).
+  std::string ToTable() const;
+};
+
+/// Process-wide instrument registry. Get* registers on first use (the
+/// unit/help of the first call stick) and returns a pointer that stays
+/// valid for the process lifetime — resolve once, keep the pointer, and
+/// update through it on hot paths; the registry mutex guards only
+/// registration and snapshotting, never updates.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name, std::string_view unit = "1",
+                      std::string_view help = "");
+  Gauge* GetGauge(std::string_view name, std::string_view unit = "1",
+                  std::string_view help = "");
+  Histogram* GetHistogram(std::string_view name,
+                          std::string_view unit = "us",
+                          std::string_view help = "");
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every instrument (registrations stay). Benches and tests
+  /// call this between runs so snapshots cover exactly one run.
+  void ResetValues();
+
+ private:
+  struct Instrument {
+    InstrumentKind kind;
+    std::string unit;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Instrument* FindOrCreate(std::string_view name, InstrumentKind kind,
+                           std::string_view unit, std::string_view help);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Instrument, std::less<>> instruments_;
+};
+
+// ---------------------------------------------------------------------
+// Tracing. Span timing costs a clock read per boundary, which is too hot
+// for the executor's per-instruction dispatch, so it is opt-in: off by
+// default, enabled by BENU_TRACE=1 in the environment or
+// SetTracingEnabled(true). Counters stay on unconditionally.
+
+/// True when span tracing is enabled (env BENU_TRACE=1 or an explicit
+/// SetTracingEnabled). Cheap: one relaxed atomic load.
+bool TracingEnabled();
+
+/// Overrides the BENU_TRACE environment default for this process.
+void SetTracingEnabled(bool enabled);
+
+/// RAII span: records the enclosed wall time into a histogram (in the
+/// histogram's unit, microseconds by default) and optionally bumps a
+/// paired counter by the elapsed time in nanoseconds. No-op (no clock
+/// read) when tracing is disabled at construction.
+class ScopedSpan {
+ public:
+  /// `hist` gets one sample of elapsed µs on destruction; `total_ns`,
+  /// when non-null, accumulates elapsed ns (a cheap "phase total" that
+  /// nested spans can share).
+  explicit ScopedSpan(Histogram* hist, Counter* total_ns = nullptr)
+      : hist_(hist), total_ns_(total_ns), armed_(TracingEnabled()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ScopedSpan() {
+    if (!armed_) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    if (hist_ != nullptr) {
+      hist_->Record(static_cast<uint64_t>(ns / 1000));
+    }
+    if (total_ns_ != nullptr) total_ns_->Add(static_cast<uint64_t>(ns));
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Histogram* hist_;
+  Counter* total_ns_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace benu::metrics
+
+#endif  // BENU_COMMON_METRICS_H_

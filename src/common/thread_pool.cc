@@ -3,11 +3,19 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace benu {
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
+  auto& registry = metrics::MetricsRegistry::Global();
+  tasks_metric_ = registry.GetCounter("thread_pool.tasks_executed", "1",
+                                      "tasks run to completion by any pool");
+  registry
+      .GetCounter("thread_pool.threads_spawned", "1",
+                  "worker threads created across all pools")
+      ->Add(num_threads);
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
@@ -56,6 +64,7 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
     }
     task();
+    tasks_metric_->Add(1);
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (--in_flight_ == 0) all_done_.notify_all();

@@ -11,9 +11,15 @@
 
 namespace benu {
 
+namespace metrics {
+class Counter;
+}  // namespace metrics
+
 /// Fixed-size worker pool. Workers in the cluster simulator use it to run
 /// local search tasks concurrently; the shared DB cache is exercised by
-/// multiple threads through it in tests.
+/// multiple threads through it in tests. Publishes
+/// `thread_pool.tasks_executed` / `thread_pool.threads_spawned` into the
+/// process-wide metrics registry.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1).
@@ -49,6 +55,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  metrics::Counter* tasks_metric_ = nullptr;
   std::vector<std::thread> threads_;
 };
 

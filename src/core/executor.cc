@@ -5,9 +5,17 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 
 namespace benu {
+namespace {
+
+// Mnemonics of the paper's instruction set, indexed by InstrType.
+constexpr const char* kInstrNames[] = {"INI", "DBQ", "INT",
+                                       "ENU", "TRC", "RES"};
+
+}  // namespace
 
 AdjacencyProvider::Fetch DirectAdjacencyProvider::GetAdjacency(VertexId v) {
   BENU_CHECK(v < graph_->NumVertices());
@@ -63,7 +71,31 @@ PlanExecutor::PlanExecutor(const ExecutionPlan* plan,
       provider_(provider),
       tcache_(tcache),
       degree_floors_(degree_floors),
-      data_labels_(data_labels) {}
+      data_labels_(data_labels) {
+  task_span_us_ = metrics::MetricsRegistry::Global().GetHistogram(
+      "executor.task.us", "us", "wall time of one RunTask (traced)");
+}
+
+PlanExecutor::~PlanExecutor() {
+  auto& registry = metrics::MetricsRegistry::Global();
+  for (size_t k = 0; k < kNumInstrKinds; ++k) {
+    if (trace_.count[k] != 0) {
+      registry
+          .GetCounter(std::string("executor.instr.") + kInstrNames[k] +
+                          ".count",
+                      "1", "instruction dispatches")
+          ->Add(trace_.count[k]);
+    }
+    if (trace_.self_ns[k] != 0) {
+      registry
+          .GetCounter(std::string("executor.instr.") + kInstrNames[k] +
+                          ".self_ns",
+                      "ns", "exclusive time attributed to this "
+                            "instruction kind (traced)")
+          ->Add(trace_.self_ns[k]);
+    }
+  }
+}
 
 StatusOr<std::unique_ptr<PlanExecutor>> PlanExecutor::Create(
     const ExecutionPlan* plan, AdjacencyProvider* provider,
@@ -311,6 +343,9 @@ void PlanExecutor::Exec(size_t pc) {
   BENU_CHECK(pc < code_.size());
   for (;;) {
     const Compiled& ins = code_[pc];
+    const int kind = static_cast<int>(ins.type);
+    ++trace_.count[kind];
+    if (trace_.timed) TraceSwitch(kind);
     switch (ins.type) {
       case InstrType::kInit:
         if (task_->start < ins.min_candidate_id) return;  // degree filter
@@ -393,6 +428,9 @@ void PlanExecutor::Exec(size_t pc) {
           }
           f_[f_index] = candidates[i];
           Exec(pc + 1);
+          // Back from the subtree: re-attribute elapsing time to this
+          // ENU (the loop bookkeeping between descents is its own).
+          if (trace_.timed) TraceSwitch(kind);
         }
         f_[f_index] = kInvalidVertex;
         return;
@@ -422,12 +460,19 @@ TaskStats PlanExecutor::RunTask(const SearchTask& task,
   stats_ = TaskStats();
   task_ = &task;
   consumer_ = consumer;
+  trace_.timed = metrics::TracingEnabled();
+  trace_.current = -1;
   if (tcache_ != nullptr) tcache_->BeginTask(task.start);
   std::fill(f_.begin(), f_.end(), kInvalidVertex);
   Exec(0);
+  if (trace_.timed) TraceSwitch(-1);  // charge the tail interval
   task_ = nullptr;
   consumer_ = nullptr;
   stats_.wall_seconds = watch.ElapsedSeconds();
+  if (trace_.timed) {
+    task_span_us_->Record(
+        static_cast<uint64_t>(stats_.wall_seconds * 1e6));
+  }
   const double cpu_end = ThreadCpuSeconds();
   stats_.cpu_seconds =
       (cpu_start >= 0 && cpu_end >= 0) ? cpu_end - cpu_start : -1;

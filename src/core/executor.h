@@ -1,6 +1,8 @@
 #ifndef BENU_CORE_EXECUTOR_H_
 #define BENU_CORE_EXECUTOR_H_
 
+#include <chrono>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -14,6 +16,11 @@
 #include "storage/triangle_cache.h"
 
 namespace benu {
+
+namespace metrics {
+class Counter;
+class Histogram;
+}  // namespace metrics
 
 /// Source of adjacency sets for DBQ instructions. The production
 /// implementation routes through the worker's DB cache to the distributed
@@ -136,6 +143,11 @@ class PlanExecutor {
       const std::vector<VertexId>* degree_floors = nullptr,
       const std::vector<int>* data_labels = nullptr);
 
+  /// Flushes the accumulated per-instruction dispatch counts and (when
+  /// tracing was enabled) exclusive self-times into the process-wide
+  /// metrics registry (`executor.instr.*`, see docs/metrics.md).
+  ~PlanExecutor();
+
   /// Runs one local search task, streaming results into `consumer`.
   /// Returns the task's metrics (matches is left 0; consumers count).
   TaskStats RunTask(const SearchTask& task, MatchConsumer* consumer);
@@ -190,6 +202,39 @@ class PlanExecutor {
   void ExecIntersect(const Compiled& ins);
   VertexSetView SlotView(int slot) const;
 
+  // -------------------------------------------------------------------
+  // Per-instruction tracing (DESIGN.md §2e). Dispatch counts accumulate
+  // in plain per-executor arrays on every run (one array increment per
+  // dispatched instruction) and are flushed to the registry when the
+  // executor dies. Self-time attribution is opt-in (BENU_TRACE): each
+  // dispatch boundary charges the wall time since the previous boundary
+  // to the instruction that was executing, so the times are *exclusive*
+  // (an ENU's time excludes the subtree it descends into) and their sum
+  // equals the wall time spent inside Exec.
+  static constexpr size_t kNumInstrKinds = 6;
+
+  struct InstrTrace {
+    bool timed = false;  ///< sampled from TracingEnabled per task
+    int current = -1;    ///< instruction kind charged for elapsing time
+    std::chrono::steady_clock::time_point last;
+    uint64_t self_ns[kNumInstrKinds] = {};
+    uint64_t count[kNumInstrKinds] = {};
+  };
+
+  /// Charges time since the last boundary to the current instruction and
+  /// makes `kind` current (-1: stop attributing, used at task end).
+  void TraceSwitch(int kind) {
+    const auto now = std::chrono::steady_clock::now();
+    if (trace_.current >= 0) {
+      trace_.self_ns[trace_.current] += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              now - trace_.last)
+              .count());
+    }
+    trace_.last = now;
+    trace_.current = kind;
+  }
+
   const ExecutionPlan* plan_;
   AdjacencyProvider* provider_;
   TriangleCache* tcache_;
@@ -207,6 +252,9 @@ class PlanExecutor {
   TaskStats stats_;
   std::vector<VertexId> report_f_;          // reused RES buffer
   std::vector<VertexSetView> report_sets_;  // reused RES buffer
+
+  InstrTrace trace_;
+  metrics::Histogram* task_span_us_ = nullptr;  // per-task wall µs (traced)
 };
 
 }  // namespace benu

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <queue>
 #include <thread>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "distributed/task.h"
@@ -152,17 +154,59 @@ StatusOr<ClusterRunResult> ClusterSimulator::Run(
     workers.push_back(std::move(ws));
   }
 
+  // Per-worker runtime phase totals (§2e): time spent claiming/stealing
+  // tasks vs executing them, accumulated thread-locally and flushed once
+  // per thread. Only measured under tracing — two clock reads per task
+  // are not free on micro-task workloads.
+  auto& registry = metrics::MetricsRegistry::Global();
+  metrics::Counter* claim_ns_metric = registry.GetCounter(
+      "cluster.phase.claim_ns", "ns",
+      "execution-thread time spent claiming/stealing tasks (traced)");
+  metrics::Counter* compute_ns_metric = registry.GetCounter(
+      "cluster.phase.compute_ns", "ns",
+      "execution-thread time spent inside RunTask (traced)");
+
   // One execution thread of one worker: claim tasks (stealing from
   // sibling threads when the own deque runs dry) until the worker's task
   // list is exhausted.
-  auto run_thread = [&total_watch](WorkerState* ws, size_t t) {
+  auto run_thread = [&total_watch, claim_ns_metric, compute_ns_metric](
+                        WorkerState* ws, size_t t) {
     ThreadContext& ctx = ws->contexts[t];
+    const bool traced = metrics::TracingEnabled();
+    uint64_t claim_ns = 0;
+    uint64_t compute_ns = 0;
     size_t index = 0;
     bool stolen = false;
-    while (ws->scheduler->Claim(t, &index, &stolen)) {
+    for (;;) {
+      bool claimed;
+      if (traced) {
+        const auto t0 = std::chrono::steady_clock::now();
+        claimed = ws->scheduler->Claim(t, &index, &stolen);
+        claim_ns += static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+      } else {
+        claimed = ws->scheduler->Claim(t, &index, &stolen);
+      }
+      if (!claimed) break;
       if (stolen) ++ctx.steals;
-      ws->per_task[index] =
-          ctx.executor->RunTask((*ws->tasks)[index], ctx.consumer.get());
+      if (traced) {
+        const auto t0 = std::chrono::steady_clock::now();
+        ws->per_task[index] =
+            ctx.executor->RunTask((*ws->tasks)[index], ctx.consumer.get());
+        compute_ns += static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+      } else {
+        ws->per_task[index] =
+            ctx.executor->RunTask((*ws->tasks)[index], ctx.consumer.get());
+      }
+    }
+    if (traced) {
+      claim_ns_metric->Add(claim_ns);
+      compute_ns_metric->Add(compute_ns);
     }
     if (ws->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       ws->real_seconds = total_watch.ElapsedSeconds();
@@ -287,7 +331,103 @@ StatusOr<ClusterRunResult> ClusterSimulator::Run(
         std::max(result.virtual_seconds, summary.makespan_virtual_us * 1e-6);
   }
   result.real_seconds = total_watch.ElapsedSeconds();
+  PublishRunMetrics(result);
   return result;
+}
+
+// Publishes the aggregated run outcome into the process-wide registry
+// (`cluster.*`, docs/metrics.md). The legacy ClusterRunResult stays the
+// per-run view; the registry accumulates across runs, and
+// metrics_test.cc checks the two agree after a single run. Timing-derived
+// instruments (virtual/real seconds, per-worker distributions) are only
+// exported under tracing so that untraced snapshots are a pure function
+// of the work performed — the property the snapshot-determinism test
+// relies on.
+void ClusterSimulator::PublishRunMetrics(const ClusterRunResult& result) {
+  auto& registry = metrics::MetricsRegistry::Global();
+  const auto counter = [&registry](const char* name, const char* unit,
+                                   const char* help, Count value) {
+    registry.GetCounter(name, unit, help)->Add(value);
+  };
+  counter("cluster.runs", "1", "completed ClusterSimulator::Run calls", 1);
+  counter("cluster.tasks", "1", "local search tasks executed",
+          result.num_tasks);
+  counter("cluster.matches", "1", "expanded matches", result.total_matches);
+  counter("cluster.codes", "1", "RES executions (helves under VCBC)",
+          result.total_codes);
+  counter("cluster.code_units", "1",
+          "compressed-code payload units (vertex-id entries)",
+          result.code_units);
+  counter("cluster.db_queries", "1", "synchronous store queries by tasks",
+          result.db_queries);
+  counter("cluster.bytes_fetched", "bytes",
+          "payload bytes of synchronous task fetches", result.bytes_fetched);
+  counter("cluster.adjacency_requests", "1",
+          "DBQ executions (hits + misses + coalesced)",
+          result.adjacency_requests);
+  counter("cluster.cache_hits", "1", "DBQ lookups served from a DB cache",
+          result.cache_hits);
+  counter("cluster.coalesced_fetches", "1",
+          "DBQ lookups that piggybacked on a sibling's in-flight query",
+          result.coalesced_fetches);
+  counter("cluster.steals", "1", "work-stealing claims across all workers",
+          result.steals);
+  counter("cluster.prefetches_issued", "1",
+          "keys handed to the async adjacency pipeline",
+          result.prefetches_issued);
+  counter("cluster.prefetch_hits", "1",
+          "prefetched entries that converted a would-be miss into a hit",
+          result.prefetch_hits);
+  counter("cluster.prefetch_wasted", "1",
+          "prefetched entries evicted or dropped without a hit",
+          result.prefetch_wasted);
+  counter("cluster.prefetch_round_trips", "1",
+          "round trips of batched background fetches",
+          result.prefetch_round_trips);
+  counter("cluster.prefetch_bytes", "bytes",
+          "payload bytes fetched by the prefetch pipeline",
+          result.prefetch_bytes);
+  if (!metrics::TracingEnabled()) return;
+  registry
+      .GetGauge("cluster.virtual_seconds", "s",
+                "virtual makespan of the last run (traced)")
+      ->Set(result.virtual_seconds);
+  registry
+      .GetGauge("cluster.hidden_comm_seconds", "s",
+                "prefetch communication hidden behind compute, last run "
+                "(traced)")
+      ->Set(result.hidden_comm_seconds);
+  registry
+      .GetGauge("cluster.real_seconds", "s",
+                "wall time of the last run (traced)")
+      ->Set(result.real_seconds);
+  registry
+      .GetGauge("cluster.runtime_threads", "1",
+                "OS threads in the shared runtime pool, last run (traced)")
+      ->Set(result.runtime_threads);
+  registry
+      .GetGauge("cluster.execution_threads", "1",
+                "per-worker execution threads after clamping, last run "
+                "(traced)")
+      ->Set(result.execution_threads);
+  metrics::Histogram* worker_makespan = registry.GetHistogram(
+      "cluster.worker.makespan.us", "us",
+      "per-worker virtual makespans incl. unhidden prefetch residual "
+      "(traced)");
+  metrics::Histogram* worker_hidden = registry.GetHistogram(
+      "cluster.worker.hidden_comm.us", "us",
+      "per-worker prefetch communication hidden behind compute (traced)");
+  for (const WorkerSummary& summary : result.workers) {
+    worker_makespan->Record(
+        static_cast<uint64_t>(summary.makespan_virtual_us));
+    worker_hidden->Record(static_cast<uint64_t>(summary.hidden_comm_us));
+  }
+  metrics::Histogram* task_virtual = registry.GetHistogram(
+      "cluster.task.virtual.us", "us",
+      "virtual time (compute + simulated network) per task (traced)");
+  for (double us : result.task_virtual_us) {
+    task_virtual->Record(static_cast<uint64_t>(us));
+  }
 }
 
 }  // namespace benu

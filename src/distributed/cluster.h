@@ -70,10 +70,16 @@ struct ClusterConfig {
   bool force_sync_prefetch = false;
 };
 
-/// Per-worker outcome of a run.
+/// Per-worker outcome of a run. Filled after all execution threads have
+/// joined (and, with prefetching on, after the worker's cache pipeline
+/// has quiesced), so every field is a settled total — no live counters.
 struct WorkerSummary {
+  /// Local search tasks assigned to this worker (after splitting).
   size_t tasks = 0;
+  /// Sum of the per-task TaskStats of this worker's tasks.
   TaskStats totals;
+  /// Snapshot of the worker's DB-cache stats at end of run (see
+  /// DbCacheStats for the hit/miss/coalesced bucket convention).
   DbCacheStats cache;
   /// Tasks the worker's threads claimed from a sibling thread's deque.
   Count steals = 0;
@@ -96,16 +102,26 @@ struct WorkerSummary {
   double real_seconds = 0;
 };
 
-/// Aggregate outcome of one distributed enumeration.
+/// Aggregate outcome of one distributed enumeration. Every Count field
+/// is also mirrored (accumulating across runs) into the process-wide
+/// metrics registry as a `cluster.*` counter; docs/metrics.md holds the
+/// field-by-field mapping, and metrics_test.cc keeps the two in sync.
 struct ClusterRunResult {
+  /// Expanded (duplicate-free) matches; unit: subgraphs.
   Count total_matches = 0;
   /// RES executions (helves under VCBC).
   Count total_codes = 0;
   /// Compressed-code payload units (vertex-id entries emitted).
   Count code_units = 0;
+  /// Synchronous store queries issued by tasks (misses of all DB caches;
+  /// excludes prefetch traffic — see prefetch_round_trips/prefetch_bytes).
   Count db_queries = 0;
+  /// Payload bytes of those synchronous fetches.
   Count bytes_fetched = 0;
+  /// DBQ executions across all tasks: every one lands in exactly one of
+  /// cache_hits, db_queries or coalesced_fetches.
   Count adjacency_requests = 0;
+  /// DBQ lookups served from a worker's DB cache without any wait.
   Count cache_hits = 0;
   /// Cache misses served by piggybacking on another thread's in-flight
   /// store query (single-flight coalescing): no store traffic of their
@@ -127,6 +143,7 @@ struct ClusterRunResult {
   /// communication volume is bytes_fetched + prefetch_bytes.
   Count prefetch_round_trips = 0;
   Count prefetch_bytes = 0;
+  /// Local search tasks executed (after τ-splitting), across all workers.
   size_t num_tasks = 0;
   /// OS threads in the shared runtime pool that executed this run.
   int runtime_threads = 0;
@@ -175,6 +192,11 @@ class ClusterSimulator {
   const DistributedKvStore& store() const { return store_; }
 
  private:
+  /// Mirrors the aggregated run result into the process-wide metrics
+  /// registry (`cluster.*`); timing-derived instruments only when
+  /// tracing is enabled (see docs/metrics.md).
+  void PublishRunMetrics(const ClusterRunResult& result);
+
   Graph data_graph_;
   ClusterConfig config_;
   DistributedKvStore store_;

@@ -50,10 +50,20 @@ struct JobConfig {
   size_t max_shuffle_records = static_cast<size_t>(-1);
 };
 
+/// Accounting of one successful RunJob round (a job that fails its
+/// shuffle budget leaves `stats` untouched). Single-threaded — callers
+/// that chain rounds sum the fields themselves.
 struct JobStats {
+  /// Records handed to mappers; unit: records.
   Count map_input_records = 0;
+  /// Keyed records hash-partitioned to reducers; unit: records. Every
+  /// emitted record is shuffled exactly once (no combiner), matching
+  /// Table V's communication metric.
   Count shuffled_records = 0;
+  /// Payload of the shuffle: 4 bytes per u32 tuple element plus the
+  /// 8-byte key per record (what a Hadoop shuffle would serialize).
   Count shuffled_bytes = 0;
+  /// Records produced by all reducers; unit: records.
   Count reduce_output_records = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "distributed/task.h"
 
+#include "common/metrics.h"
+
 namespace benu {
 
 std::vector<SearchTask> GenerateSearchTasks(const Graph& data_graph,
@@ -30,6 +32,11 @@ std::vector<SearchTask> GenerateSearchTasks(const Graph& data_graph,
 WorkStealingScheduler::WorkStealingScheduler(size_t num_tasks,
                                              size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
+  auto& registry = metrics::MetricsRegistry::Global();
+  claims_metric_ = registry.GetCounter(
+      "scheduler.claims", "1", "successful task claims (own deque or steal)");
+  steals_metric_ = registry.GetCounter(
+      "scheduler.steals", "1", "claims taken from a sibling thread's deque");
   queues_.reserve(num_threads);
   for (size_t t = 0; t < num_threads; ++t) {
     queues_.push_back(std::make_unique<Queue>());
@@ -48,6 +55,7 @@ bool WorkStealingScheduler::Claim(size_t thread, size_t* task_index,
       *task_index = own.tasks.front();
       own.tasks.pop_front();
       if (stolen != nullptr) *stolen = false;
+      claims_metric_->Add(1);
       return true;
     }
   }
@@ -73,6 +81,8 @@ bool WorkStealingScheduler::Claim(size_t thread, size_t* task_index,
     *task_index = queues_[victim]->tasks.back();
     queues_[victim]->tasks.pop_back();
     if (stolen != nullptr) *stolen = true;
+    claims_metric_->Add(1);
+    steals_metric_->Add(1);
     return true;
   }
 }

@@ -13,6 +13,10 @@
 
 namespace benu {
 
+namespace metrics {
+class Counter;
+}  // namespace metrics
+
 /// Generates the local search tasks of Algorithm 2 (one per data vertex),
 /// applying the task splitting technique of §V-B with degree threshold
 /// `tau` (0 disables splitting):
@@ -59,6 +63,10 @@ class WorkStealingScheduler {
   };
 
   std::vector<std::unique_ptr<Queue>> queues_;
+  // Registry mirrors (`scheduler.claims` / `scheduler.steals`), resolved
+  // once at construction; bumped per successful claim.
+  metrics::Counter* claims_metric_ = nullptr;
+  metrics::Counter* steals_metric_ = nullptr;
 };
 
 }  // namespace benu

@@ -1,5 +1,6 @@
 #include "storage/db_cache.h"
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 
 namespace benu {
@@ -17,6 +18,41 @@ DbCache::DbCache(const DistributedKvStore* store, size_t capacity_bytes,
   for (size_t i = 0; i < num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  auto& registry = metrics::MetricsRegistry::Global();
+  metrics_.hits = registry.GetCounter(
+      "db_cache.hits", "1", "lookups served from cache without any wait");
+  metrics_.misses = registry.GetCounter(
+      "db_cache.misses", "1", "lookups that issued a store query");
+  metrics_.coalesced = registry.GetCounter(
+      "db_cache.coalesced", "1",
+      "lookups that waited on another thread's in-flight query (non-hits)");
+  metrics_.prefetches_issued = registry.GetCounter(
+      "db_cache.prefetches_issued", "1",
+      "keys enqueued by PrefetchAsync (not cached, not in flight)");
+  metrics_.prefetch_hits = registry.GetCounter(
+      "db_cache.prefetch_hits", "1",
+      "first-touch hits on prefetched entries (latency fully hidden)");
+  metrics_.prefetch_claimed = registry.GetCounter(
+      "db_cache.prefetch_claimed", "1",
+      "queued prefetches a Get claimed and fetched synchronously");
+  metrics_.prefetch_wasted = registry.GetCounter(
+      "db_cache.prefetch_wasted", "1",
+      "prefetched entries evicted or dropped without serving a hit");
+  metrics_.prefetch_round_trips = registry.GetCounter(
+      "db_cache.prefetch_round_trips", "1",
+      "round trips of batched background fetches (1/partition/batch)");
+  metrics_.prefetch_bytes = registry.GetCounter(
+      "db_cache.prefetch_bytes", "bytes",
+      "payload bytes fetched by the prefetch pipeline");
+  metrics_.sync_fetch_us = registry.GetHistogram(
+      "db_cache.sync_fetch.us", "us",
+      "latency of synchronous primary-miss store queries (traced)");
+  metrics_.coalesced_wait_us = registry.GetHistogram(
+      "db_cache.coalesced_wait.us", "us",
+      "time a coalesced lookup waited on a sibling's flight (traced)");
+  metrics_.batch_fetch_us = registry.GetHistogram(
+      "db_cache.batch_fetch.us", "us",
+      "latency of one batched background multi-get (traced)");
 }
 
 DbCache::~DbCache() {
@@ -42,11 +78,13 @@ DbCache::Reply DbCache::Get(VertexId v) {
     auto it = shard.index.find(v);
     if (it != shard.index.end()) {
       ++shard.hits;
+      metrics_.hits->Add(1);
       if (it->second->prefetched) {
         // First touch of a prefetched entry: the pipeline converted a
         // would-be stall into a hit.
         it->second->prefetched = false;
         ++shard.prefetch_hits;
+        metrics_.prefetch_hits->Add(1);
       }
       // Move to the front of the LRU list.
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -62,14 +100,18 @@ DbCache::Reply DbCache::Get(VertexId v) {
         // queue entry is skipped when a fetcher eventually pops it.
         ++shard.misses;
         ++shard.prefetch_claimed;
+        metrics_.misses->Add(1);
+        metrics_.prefetch_claimed->Add(1);
         primary = true;
       } else {
         // Another thread (Get primary or fetcher) is already fetching v:
         // piggyback on its query.
         ++shard.coalesced;
+        metrics_.coalesced->Add(1);
       }
     } else {
       ++shard.misses;
+      metrics_.misses->Add(1);
       flight = std::make_shared<Flight>();
       shard.inflight.emplace(v, flight);
       primary = true;
@@ -77,6 +119,7 @@ DbCache::Reply DbCache::Get(VertexId v) {
   }
 
   if (!primary) {
+    metrics::ScopedSpan span(metrics_.coalesced_wait_us);
     std::unique_lock<std::mutex> fl(flight->mu);
     flight->ready_cv.wait(fl, [&flight] { return flight->ready; });
     return Reply{flight->value, Outcome::kCoalesced};
@@ -85,7 +128,11 @@ DbCache::Reply DbCache::Get(VertexId v) {
   // Primary miss path: query the distributed database outside any lock so
   // a slow remote fetch blocks neither other keys of this shard nor the
   // waiters of other flights.
-  std::shared_ptr<const VertexSet> value = store_->GetAdjacency(v);
+  std::shared_ptr<const VertexSet> value;
+  {
+    metrics::ScopedSpan span(metrics_.sync_fetch_us);
+    value = store_->GetAdjacency(v);
+  }
   InsertAndPublish(v, value, flight, /*prefetched=*/false);
   return Reply{std::move(value), Outcome::kMiss};
 }
@@ -114,7 +161,10 @@ void DbCache::InsertAndPublish(VertexId v,
         shard.bytes += bytes;
         while (shard.bytes > shard_capacity && !shard.lru.empty()) {
           const Entry& victim = shard.lru.back();
-          if (victim.prefetched) ++shard.prefetch_wasted;
+          if (victim.prefetched) {
+            ++shard.prefetch_wasted;
+            metrics_.prefetch_wasted->Add(1);
+          }
           shard.bytes -= victim.bytes;
           shard.index.erase(victim.key);
           shard.lru.pop_back();
@@ -124,6 +174,7 @@ void DbCache::InsertAndPublish(VertexId v,
       // Fetched but never retained: the prefetch cannot convert a future
       // lookup, so the work is wasted by definition.
       ++shard.prefetch_wasted;
+      metrics_.prefetch_wasted->Add(1);
     }
   }
   // Publish to waiters only after the flight is unlinked from the shard,
@@ -150,6 +201,7 @@ void DbCache::PrefetchAsync(const VertexId* keys, size_t count) {
     flight->state.store(kFlightQueued, std::memory_order_relaxed);
     shard.inflight.emplace(v, flight);
     ++shard.prefetches_issued;
+    metrics_.prefetches_issued->Add(1);
     fresh.push_back(v);
   }
   if (fresh.empty()) return;
@@ -215,11 +267,16 @@ void DbCache::FetchBatch(const std::vector<VertexId>& batch) {
     flights.push_back(std::move(flight));
   }
   if (to_fetch.empty()) return;
-  const DistributedKvStore::BatchReply reply =
-      store_->GetAdjacencyBatch(to_fetch);
+  DistributedKvStore::BatchReply reply;
+  {
+    metrics::ScopedSpan span(metrics_.batch_fetch_us);
+    reply = store_->GetAdjacencyBatch(to_fetch);
+  }
   prefetch_round_trips_.fetch_add(reply.round_trips,
                                   std::memory_order_relaxed);
   prefetch_bytes_.fetch_add(reply.bytes, std::memory_order_relaxed);
+  metrics_.prefetch_round_trips->Add(reply.round_trips);
+  metrics_.prefetch_bytes->Add(reply.bytes);
   for (size_t i = 0; i < to_fetch.size(); ++i) {
     InsertAndPublish(to_fetch[i], reply.values[i], flights[i],
                      /*prefetched=*/true);

@@ -19,6 +19,11 @@ namespace benu {
 
 class ThreadPool;
 
+namespace metrics {
+class Counter;
+class Histogram;
+}  // namespace metrics
+
 /// Hit/miss statistics of a database cache. Every lookup is counted in
 /// exactly one bucket: `hits` (served from cache), `misses` (this lookup
 /// issued a store query of its own) or `coalesced` (this lookup waited on
@@ -228,6 +233,27 @@ class DbCache {
   const DistributedKvStore* store_;
   size_t capacity_bytes_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Registry mirrors of the per-shard stats (process-wide totals across
+  // all caches, `db_cache.*` in docs/metrics.md), resolved once at
+  // construction; bumped with relaxed sharded adds next to the legacy
+  // counters. The span histograms record fetch/wait latencies and are
+  // only written when tracing is enabled (metrics::TracingEnabled).
+  struct RegistryMirror {
+    metrics::Counter* hits = nullptr;
+    metrics::Counter* misses = nullptr;
+    metrics::Counter* coalesced = nullptr;
+    metrics::Counter* prefetches_issued = nullptr;
+    metrics::Counter* prefetch_hits = nullptr;
+    metrics::Counter* prefetch_claimed = nullptr;
+    metrics::Counter* prefetch_wasted = nullptr;
+    metrics::Counter* prefetch_round_trips = nullptr;
+    metrics::Counter* prefetch_bytes = nullptr;
+    metrics::Histogram* sync_fetch_us = nullptr;
+    metrics::Histogram* coalesced_wait_us = nullptr;
+    metrics::Histogram* batch_fetch_us = nullptr;
+  };
+  RegistryMirror metrics_;
 
   ThreadPool* fetch_pool_;
   size_t prefetch_batch_size_;

@@ -1,6 +1,7 @@
 #include "storage/kv_store.h"
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace benu {
 
@@ -13,6 +14,17 @@ DistributedKvStore::DistributedKvStore(const Graph& graph,
     adjacency_.push_back(
         std::make_shared<const VertexSet>(view.begin(), view.end()));
   }
+  auto& registry = metrics::MetricsRegistry::Global();
+  queries_metric_ = registry.GetCounter(
+      "kv_store.queries", "1",
+      "key-level gets (the paper's #DBQ); a k-key multi-get adds k");
+  round_trips_metric_ = registry.GetCounter(
+      "kv_store.round_trips", "1",
+      "network round trips: 1 per single get, 1 per partition per batch");
+  bytes_metric_ = registry.GetCounter("kv_store.bytes_fetched", "bytes",
+                                      "payload bytes of all replies");
+  batch_gets_metric_ = registry.GetCounter(
+      "kv_store.batch_gets", "1", "GetAdjacencyBatch calls");
 }
 
 std::shared_ptr<const VertexSet> DistributedKvStore::GetAdjacency(
@@ -23,6 +35,9 @@ std::shared_ptr<const VertexSet> DistributedKvStore::GetAdjacency(
   stats_.round_trips.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_fetched.fetch_add(ReplyBytes(set->size()),
                                  std::memory_order_relaxed);
+  queries_metric_->Add(1);
+  round_trips_metric_->Add(1);
+  bytes_metric_->Add(ReplyBytes(set->size()));
   return set;
 }
 
@@ -47,6 +62,10 @@ DistributedKvStore::BatchReply DistributedKvStore::GetAdjacencyBatch(
   stats_.batch_gets.fetch_add(1, std::memory_order_relaxed);
   stats_.round_trips.fetch_add(reply.round_trips, std::memory_order_relaxed);
   stats_.bytes_fetched.fetch_add(reply.bytes, std::memory_order_relaxed);
+  queries_metric_->Add(keys.size());
+  batch_gets_metric_->Add(1);
+  round_trips_metric_->Add(reply.round_trips);
+  bytes_metric_->Add(reply.bytes);
   return reply;
 }
 

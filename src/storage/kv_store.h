@@ -14,8 +14,14 @@
 
 namespace benu {
 
+namespace metrics {
+class Counter;
+}  // namespace metrics
+
 /// Communication statistics of the distributed database. Counters are
-/// atomic because worker threads query concurrently.
+/// atomic because worker threads query concurrently; every field is also
+/// mirrored into the process-wide MetricsRegistry as `kv_store.*` (see
+/// docs/metrics.md), where multiple stores accumulate into one total.
 ///
 /// `queries` counts key-level gets (the paper's #DBQ metric): a batched
 /// multi-get of k keys bumps it by k. `round_trips` counts network round
@@ -23,8 +29,13 @@ namespace benu {
 /// multi-get — so batching reduces round trips while the query and byte
 /// accounting stay identical.
 struct KvStoreStats {
+  /// Key-level gets; unit: lookups. A k-key multi-get adds k.
   std::atomic<Count> queries{0};
+  /// Payload bytes of all replies (ReplyBytes per key; batching does not
+  /// change byte accounting).
   std::atomic<Count> bytes_fetched{0};
+  /// Simulated network round trips: one per single-key get, one per
+  /// partition touched per batched multi-get.
   std::atomic<Count> round_trips{0};
   std::atomic<Count> batch_gets{0};  ///< GetAdjacencyBatch calls
 
@@ -95,6 +106,12 @@ class DistributedKvStore {
   std::vector<std::shared_ptr<const VertexSet>> adjacency_;
   size_t num_partitions_;
   mutable KvStoreStats stats_;
+  // Registry mirrors of stats_, resolved once at construction (shared by
+  // every store instance in the process).
+  metrics::Counter* queries_metric_ = nullptr;
+  metrics::Counter* round_trips_metric_ = nullptr;
+  metrics::Counter* bytes_metric_ = nullptr;
+  metrics::Counter* batch_gets_metric_ = nullptr;
 };
 
 }  // namespace benu

@@ -2,7 +2,25 @@
 
 #include <utility>
 
+#include "common/metrics.h"
+
 namespace benu {
+
+TriangleCache::TriangleCache(size_t max_entries)
+    : max_entries_(max_entries) {}
+
+TriangleCache::~TriangleCache() {
+  if (stats_.hits == 0 && stats_.misses == 0) return;
+  auto& registry = metrics::MetricsRegistry::Global();
+  registry
+      .GetCounter("triangle_cache.hits", "1",
+                  "TRC lookups served from the per-thread cache")
+      ->Add(stats_.hits);
+  registry
+      .GetCounter("triangle_cache.misses", "1",
+                  "TRC lookups that recomputed the triangle set")
+      ->Add(stats_.misses);
+}
 
 void TriangleCache::BeginTask(VertexId start) {
   if (start != current_start_) {

@@ -10,10 +10,18 @@
 
 namespace benu {
 
-/// Hit/miss statistics of a triangle cache.
+namespace metrics {
+class Counter;
+}  // namespace metrics
+
+/// Hit/miss statistics of a triangle cache. Unit: TRC lookups. Every
+/// Lookup lands in exactly one bucket; Insert is not counted (a miss
+/// already was). Not atomic: each cache (and its stats) is owned by one
+/// working thread; the process-wide totals are flushed into the registry
+/// (`triangle_cache.*`) when the cache is destroyed.
 struct TriangleCacheStats {
-  Count hits = 0;
-  Count misses = 0;
+  Count hits = 0;    ///< lookups served from the cache
+  Count misses = 0;  ///< lookups that will recompute A_i ∩ A_j
 
   double HitRate() const {
     const Count total = hits + misses;
@@ -35,8 +43,13 @@ struct TriangleCacheStats {
 class TriangleCache {
  public:
   /// `max_entries` bounds memory; 0 disables caching.
-  explicit TriangleCache(size_t max_entries = 1 << 16)
-      : max_entries_(max_entries) {}
+  explicit TriangleCache(size_t max_entries = 1 << 16);
+
+  /// Flushes the accumulated hit/miss totals into the process-wide
+  /// registry (`triangle_cache.hits` / `.misses`): per-lookup registry
+  /// traffic would put two shared-memory adds on the hottest executor
+  /// path, so the per-thread totals are published once, at teardown.
+  ~TriangleCache();
 
   /// Prepares for a task with the given start vertex; flushes stale
   /// entries when the start vertex changed.

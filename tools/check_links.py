@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Check intra-repo markdown links.
+
+Scans the given markdown files (and/or directories, recursively) for
+inline links and images `[text](target)`, resolves relative targets
+against the containing file, and fails if a target does not exist in the
+working tree. External links (http/https/mailto) and pure in-page
+anchors (#...) are skipped; a `path#fragment` target is checked for the
+path part only.
+
+Usage: tools/check_links.py FILE_OR_DIR [...]
+Exit status: 0 when every link resolves, 1 otherwise.
+"""
+
+import os
+import re
+import sys
+
+# Inline link/image: [text](target) — target ends at the first unescaped
+# ')'. Markdown in this repo does not use nested parens or reference
+# links, so this simple pattern covers everything.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Fenced code blocks must not contribute links (they hold example code).
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def collect_markdown(paths):
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, files in os.walk(path):
+                for name in sorted(files):
+                    if name.endswith(".md"):
+                        yield os.path.join(root, name)
+        else:
+            yield path
+
+
+def check_file(md_path):
+    errors = []
+    in_fence = False
+    with open(md_path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                    continue
+                path_part = target.split("#", 1)[0]
+                if not path_part:
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(md_path), path_part))
+                if not os.path.exists(resolved):
+                    errors.append(
+                        f"{md_path}:{lineno}: dead link `{target}` "
+                        f"(resolved to {resolved})")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    checked = 0
+    for md_path in collect_markdown(argv[1:]):
+        if not os.path.exists(md_path):
+            errors.append(f"{md_path}: no such file")
+            continue
+        checked += 1
+        errors.extend(check_file(md_path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {checked} markdown file(s): "
+          f"{'FAIL' if errors else 'OK'} ({len(errors)} dead link(s))")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
