@@ -103,12 +103,17 @@ inline double BaselineVirtualSeconds(double cpu_seconds, Count shuffled_bytes,
 // numbers emits one JSON file through WriteBenchJson, all with the same
 // schema, so downstream tooling parses a single shape:
 //
-//   {"bench": "<suite>",
+//   {"bench": "<suite>", "schema_version": 2,
 //    "results": [{"name": "...", "params": {"k": "v", ...},
 //                 "repetitions": N, "seconds": S,
 //                 "counters": {"k": number, ...}}, ...],
 //    "metrics": {"counters": {...}, "gauges": {...},
 //                "histograms": {...}}}
+//
+// schema_version history (docs/benchmarks.md):
+//   1 — implicit (field absent): bench/results/metrics shape above.
+//   2 — field added; metrics snapshots may now contain per-backend
+//       transport.* counters alongside the kv_store.* aggregates.
 //
 // The "metrics" object is a MetricsSnapshot of the process-wide registry
 // at write time (docs/metrics.md documents every instrument), so every
@@ -127,6 +132,11 @@ struct BenchRecord {
   std::vector<std::pair<std::string, double>> counters;
 };
 
+/// Version of the bench JSON schema written by WriteBenchJson. Bump it
+/// (and the history note above + docs/benchmarks.md) whenever the
+/// top-level shape or the meaning of existing fields changes.
+inline constexpr int kBenchSchemaVersion = 2;
+
 /// Writes `records` to `path` in the shared bench JSON schema. Keys and
 /// string values must not need JSON escaping (bench code uses plain
 /// identifiers).
@@ -137,8 +147,10 @@ inline void WriteBenchJson(const char* path, const std::string& bench_name,
     std::fprintf(stderr, "cannot write %s\n", path);
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
-               bench_name.c_str());
+  std::fprintf(f,
+               "{\n  \"bench\": \"%s\",\n  \"schema_version\": %d,\n"
+               "  \"results\": [\n",
+               bench_name.c_str(), kBenchSchemaVersion);
   for (size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
     std::fprintf(f, "    {\"name\": \"%s\", \"params\": {", r.name.c_str());

@@ -1,0 +1,213 @@
+#include "common/wire.h"
+
+namespace benu::wire {
+namespace {
+
+void AppendU16(uint16_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void AppendU32(uint32_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void AppendU64(uint64_t v, std::vector<uint8_t>* out) {
+  AppendU32(static_cast<uint32_t>(v), out);
+  AppendU32(static_cast<uint32_t>(v >> 32), out);
+}
+
+uint16_t ReadU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0]) | static_cast<uint16_t>(p[1]) << 8;
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 |
+         static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  return static_cast<uint64_t>(ReadU32(p)) |
+         static_cast<uint64_t>(ReadU32(p + 4)) << 32;
+}
+
+Status WrongType(const char* expected, const Frame& frame) {
+  if (frame.header.type == MessageType::kError) return DecodeError(frame);
+  return Status::InvalidArgument(
+      std::string("expected ") + expected + " frame, got type " +
+      std::to_string(static_cast<int>(frame.header.type)));
+}
+
+}  // namespace
+
+void AppendHeader(MessageType type, uint32_t aux, uint32_t payload_bytes,
+                  std::vector<uint8_t>* out) {
+  out->reserve(out->size() + kHeaderBytes + payload_bytes);
+  AppendU32(kMagic, out);
+  out->push_back(kVersion);
+  out->push_back(static_cast<uint8_t>(type));
+  AppendU16(0, out);  // flags
+  AppendU32(aux, out);
+  AppendU32(payload_bytes, out);
+}
+
+void AppendHelloRequest(std::vector<uint8_t>* out) {
+  AppendHeader(MessageType::kHelloRequest, 0, 0, out);
+}
+
+void AppendHelloReply(const HelloInfo& info, std::vector<uint8_t>* out) {
+  AppendHeader(MessageType::kHelloReply, 0, 16, out);
+  AppendU32(info.num_vertices, out);
+  AppendU32(info.num_partitions, out);
+  AppendU32(info.num_servers, out);
+  AppendU32(info.server_index, out);
+}
+
+void AppendGetRequest(VertexId key, std::vector<uint8_t>* out) {
+  AppendHeader(MessageType::kGetRequest, key, 0, out);
+}
+
+void AppendAdjacencyReply(VertexId key, VertexSetView adjacency,
+                          std::vector<uint8_t>* out) {
+  const uint32_t payload =
+      static_cast<uint32_t>(adjacency.size * sizeof(VertexId));
+  AppendHeader(MessageType::kGetReply, key, payload, out);
+  for (VertexId v : adjacency) AppendU32(v, out);
+}
+
+void AppendBatchGetRequest(std::span<const VertexId> keys,
+                           std::vector<uint8_t>* out) {
+  const uint32_t payload =
+      static_cast<uint32_t>(keys.size() * sizeof(VertexId));
+  AppendHeader(MessageType::kBatchGetRequest,
+               static_cast<uint32_t>(keys.size()), payload, out);
+  for (VertexId v : keys) AppendU32(v, out);
+}
+
+void AppendStatsRequest(std::vector<uint8_t>* out) {
+  AppendHeader(MessageType::kStatsRequest, 0, 0, out);
+}
+
+void AppendStatsReply(const ServerStats& stats, std::vector<uint8_t>* out) {
+  AppendHeader(MessageType::kStatsReply, 0, 24, out);
+  AppendU64(stats.requests, out);
+  AppendU64(stats.keys_served, out);
+  AppendU64(stats.bytes_sent, out);
+}
+
+void AppendError(StatusCode code, const std::string& message,
+                 std::vector<uint8_t>* out) {
+  AppendHeader(MessageType::kError, static_cast<uint32_t>(code),
+               static_cast<uint32_t>(message.size()), out);
+  out->insert(out->end(), message.begin(), message.end());
+}
+
+StatusOr<Frame> DecodeFrame(std::span<const uint8_t> buffer) {
+  if (buffer.size() < kHeaderBytes) {
+    return Status::InvalidArgument("frame shorter than header");
+  }
+  if (ReadU32(buffer.data()) != kMagic) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  Frame frame;
+  frame.header.version = buffer[4];
+  if (frame.header.version != kVersion) {
+    return Status::InvalidArgument(
+        "unsupported wire version " + std::to_string(frame.header.version) +
+        " (speaking version " + std::to_string(kVersion) + ")");
+  }
+  frame.header.type = static_cast<MessageType>(buffer[5]);
+  frame.header.flags = ReadU16(buffer.data() + 6);
+  frame.header.aux = ReadU32(buffer.data() + 8);
+  frame.header.payload_bytes = ReadU32(buffer.data() + 12);
+  if (buffer.size() < kHeaderBytes + frame.header.payload_bytes) {
+    return Status::InvalidArgument("frame payload truncated");
+  }
+  frame.payload = buffer.subspan(kHeaderBytes, frame.header.payload_bytes);
+  frame.frame_bytes = kHeaderBytes + frame.header.payload_bytes;
+  return frame;
+}
+
+StatusOr<VertexId> DecodeGetRequest(const Frame& frame) {
+  if (frame.header.type != MessageType::kGetRequest) {
+    return WrongType("kGetRequest", frame);
+  }
+  return static_cast<VertexId>(frame.header.aux);
+}
+
+Status DecodeAdjacencyReply(const Frame& frame, VertexId* key,
+                            VertexSet* out) {
+  if (frame.header.type != MessageType::kGetReply) {
+    return WrongType("kGetReply", frame);
+  }
+  if (frame.payload.size() % sizeof(VertexId) != 0) {
+    return Status::InvalidArgument("adjacency payload not a multiple of 4");
+  }
+  *key = static_cast<VertexId>(frame.header.aux);
+  const size_t count = frame.payload.size() / sizeof(VertexId);
+  out->clear();
+  out->reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out->push_back(ReadU32(frame.payload.data() + i * sizeof(VertexId)));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<VertexId>> DecodeBatchGetRequest(const Frame& frame) {
+  if (frame.header.type != MessageType::kBatchGetRequest) {
+    return WrongType("kBatchGetRequest", frame);
+  }
+  if (frame.payload.size() % sizeof(VertexId) != 0 ||
+      frame.payload.size() / sizeof(VertexId) != frame.header.aux) {
+    return Status::InvalidArgument("batch payload does not match key count");
+  }
+  std::vector<VertexId> keys;
+  keys.reserve(frame.header.aux);
+  for (size_t i = 0; i < frame.header.aux; ++i) {
+    keys.push_back(ReadU32(frame.payload.data() + i * sizeof(VertexId)));
+  }
+  return keys;
+}
+
+StatusOr<HelloInfo> DecodeHelloReply(const Frame& frame) {
+  if (frame.header.type != MessageType::kHelloReply) {
+    return WrongType("kHelloReply", frame);
+  }
+  if (frame.payload.size() != 16) {
+    return Status::InvalidArgument("hello payload must be 16 bytes");
+  }
+  HelloInfo info;
+  info.num_vertices = ReadU32(frame.payload.data());
+  info.num_partitions = ReadU32(frame.payload.data() + 4);
+  info.num_servers = ReadU32(frame.payload.data() + 8);
+  info.server_index = ReadU32(frame.payload.data() + 12);
+  return info;
+}
+
+StatusOr<ServerStats> DecodeStatsReply(const Frame& frame) {
+  if (frame.header.type != MessageType::kStatsReply) {
+    return WrongType("kStatsReply", frame);
+  }
+  if (frame.payload.size() != 24) {
+    return Status::InvalidArgument("stats payload must be 24 bytes");
+  }
+  ServerStats stats;
+  stats.requests = ReadU64(frame.payload.data());
+  stats.keys_served = ReadU64(frame.payload.data() + 8);
+  stats.bytes_sent = ReadU64(frame.payload.data() + 16);
+  return stats;
+}
+
+Status DecodeError(const Frame& frame) {
+  if (frame.header.type != MessageType::kError) {
+    return Status::InvalidArgument("not an error frame");
+  }
+  return Status(static_cast<StatusCode>(frame.header.aux),
+                std::string(frame.payload.begin(), frame.payload.end()));
+}
+
+}  // namespace benu::wire

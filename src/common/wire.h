@@ -1,0 +1,138 @@
+#ifndef BENU_COMMON_WIRE_H_
+#define BENU_COMMON_WIRE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/vertex_set.h"
+
+namespace benu::wire {
+
+// ---------------------------------------------------------------------
+// Versioned wire protocol of the distributed KV store (DESIGN.md §2f).
+// Every message is one length-prefixed frame; a transport moves frames,
+// a KvPartitionServer interprets them. The loopback transport runs this
+// protocol in-process, the TCP transport over real sockets — both speak
+// exactly these bytes, so a client cannot tell the backends apart except
+// by latency.
+//
+// Frame layout (little-endian):
+//
+//   offset  0  u32  magic          0x42454E55 ("BENU")
+//   offset  4  u8   version        kVersion
+//   offset  5  u8   type           MessageType
+//   offset  6  u16  flags          0 (reserved)
+//   offset  8  u32  aux            type-specific immediate (see below)
+//   offset 12  u32  payload_bytes  bytes following the header
+//   offset 16  ...  payload
+//
+// The 16-byte header is deliberately the simulator's modeled per-reply
+// overhead (DistributedKvStore::kReplyOverheadBytes): an adjacency reply
+// frame for a set of n entries occupies exactly 16 + 4n bytes, so byte
+// accounting is identical whether replies are modeled (simulated
+// transport) or actually framed (loopback/TCP).
+
+inline constexpr uint32_t kMagic = 0x42454E55;  // "BENU"
+inline constexpr uint8_t kVersion = 1;
+inline constexpr size_t kHeaderBytes = 16;
+
+enum class MessageType : uint8_t {
+  /// Handshake. Request: empty. Reply payload: u32 num_vertices,
+  /// u32 num_partitions, u32 num_servers, u32 server_index.
+  kHelloRequest = 1,
+  kHelloReply = 2,
+  /// Single get. Request: aux = key, empty payload. Reply (kGetReply):
+  /// aux = key, payload = adjacency entries (u32 each, sorted).
+  kGetRequest = 3,
+  kGetReply = 4,
+  /// Batched multi-get. Request: aux = key count, payload = keys (u32
+  /// each). Reply: `aux` consecutive kGetReply frames, in request key
+  /// order — there is no outer envelope, so the accounted reply bytes
+  /// are exactly the per-key frame sizes.
+  kBatchGetRequest = 5,
+  /// Server-side serving statistics. Request: empty. Reply payload:
+  /// u64 requests, u64 keys_served, u64 bytes_sent.
+  kStatsRequest = 6,
+  kStatsReply = 7,
+  /// Error reply: aux = StatusCode, payload = UTF-8 message.
+  kError = 8,
+};
+
+struct FrameHeader {
+  uint8_t version = kVersion;
+  MessageType type = MessageType::kError;
+  uint16_t flags = 0;
+  uint32_t aux = 0;
+  uint32_t payload_bytes = 0;
+};
+
+/// One decoded frame: a validated header plus a non-owning view of the
+/// payload. `frame_bytes` is the total wire footprint (header + payload).
+struct Frame {
+  FrameHeader header;
+  std::span<const uint8_t> payload;
+  size_t frame_bytes = 0;
+};
+
+/// Handshake contents served by kHelloReply.
+struct HelloInfo {
+  uint32_t num_vertices = 0;
+  uint32_t num_partitions = 0;
+  uint32_t num_servers = 0;
+  uint32_t server_index = 0;
+};
+
+/// Server-side serving statistics carried by kStatsReply.
+struct ServerStats {
+  uint64_t requests = 0;     ///< request frames handled
+  uint64_t keys_served = 0;  ///< adjacency keys returned
+  uint64_t bytes_sent = 0;   ///< reply bytes emitted
+};
+
+/// Wire footprint of an adjacency reply carrying `set_size` entries:
+/// kHeaderBytes + 4·set_size. Matches DistributedKvStore::ReplyBytes.
+constexpr size_t AdjacencyReplyBytes(size_t set_size) {
+  return kHeaderBytes + set_size * sizeof(VertexId);
+}
+
+// --- encoding (append one full frame to `out`) ------------------------
+
+void AppendHeader(MessageType type, uint32_t aux, uint32_t payload_bytes,
+                  std::vector<uint8_t>* out);
+void AppendHelloRequest(std::vector<uint8_t>* out);
+void AppendHelloReply(const HelloInfo& info, std::vector<uint8_t>* out);
+void AppendGetRequest(VertexId key, std::vector<uint8_t>* out);
+void AppendAdjacencyReply(VertexId key, VertexSetView adjacency,
+                          std::vector<uint8_t>* out);
+void AppendBatchGetRequest(std::span<const VertexId> keys,
+                           std::vector<uint8_t>* out);
+void AppendStatsRequest(std::vector<uint8_t>* out);
+void AppendStatsReply(const ServerStats& stats, std::vector<uint8_t>* out);
+void AppendError(StatusCode code, const std::string& message,
+                 std::vector<uint8_t>* out);
+
+// --- decoding ---------------------------------------------------------
+
+/// Decodes the frame at the front of `buffer` (which may hold a sequence
+/// of frames). Fails on short buffers, wrong magic or unknown version.
+StatusOr<Frame> DecodeFrame(std::span<const uint8_t> buffer);
+
+/// Typed payload decoders. Each validates the frame's type and payload
+/// shape. DecodeAdjacencyReply appends the entries to `*out` (cleared
+/// first) and returns the key via `*key`.
+StatusOr<VertexId> DecodeGetRequest(const Frame& frame);
+Status DecodeAdjacencyReply(const Frame& frame, VertexId* key,
+                            VertexSet* out);
+StatusOr<std::vector<VertexId>> DecodeBatchGetRequest(const Frame& frame);
+StatusOr<HelloInfo> DecodeHelloReply(const Frame& frame);
+StatusOr<ServerStats> DecodeStatsReply(const Frame& frame);
+/// Converts a kError frame back into the Status it carries.
+Status DecodeError(const Frame& frame);
+
+}  // namespace benu::wire
+
+#endif  // BENU_COMMON_WIRE_H_

@@ -9,6 +9,26 @@ StatusOr<BenuResult> RunBenu(const Graph& data_graph, const Graph& pattern,
     return Status::InvalidArgument(
         "labeled pattern requires one label per data vertex");
   }
+  if (options.cluster.transport != nullptr) {
+    // An external transport already holds the data graph under fixed
+    // vertex ids; relabeling only the enumeration side would silently
+    // fetch the wrong adjacency sets. Callers must relabel before
+    // building the transport and pass relabel_by_degree = false.
+    if (options.relabel_by_degree) {
+      return Status::InvalidArgument(
+          "relabel_by_degree is incompatible with an external transport: "
+          "relabel the graph first, build the transport from the "
+          "relabeled graph, and set relabel_by_degree = false");
+    }
+    if (options.cluster.transport->num_vertices() !=
+        data_graph.NumVertices()) {
+      return Status::InvalidArgument(
+          "transport stores " +
+          std::to_string(options.cluster.transport->num_vertices()) +
+          " vertices but the data graph has " +
+          std::to_string(data_graph.NumVertices()));
+    }
+  }
 
   // Preprocessing independent of P (Algorithm 2 line 1): realize the total
   // order ≺ in the vertex ids, then store adjacency sets in the DB.

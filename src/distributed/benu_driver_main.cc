@@ -1,0 +1,240 @@
+// benu_driver: run one BENU enumeration end to end from the command
+// line, over any transport backend:
+//
+//   --transport=sim       in-process simulated store (default)
+//   --transport=loopback  in-process wire protocol (one server object
+//                         per partition, every get framed and decoded)
+//   --transport=tcp       real sockets; servers given via --endpoints=
+//                         host:port,... or spawned as child processes
+//                         with --spawn-servers=K
+//
+// The multi-process smoke test in CI is exactly:
+//
+//   benu_driver --graph=ba:200,5,21 --pattern=q5 --partitions=8 \
+//       --spawn-servers=2 --compare-with-sim
+//
+// which forks two benu_kv_server processes, enumerates q5 over TCP
+// against them, re-runs on the simulated backend and CHECKs that the
+// match counts agree. --expect-matches=N CHECKs an absolute count.
+// Prints "MATCHES <count>" on success.
+
+#include <libgen.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "distributed/benu_driver.h"
+#include "graph/generators.h"
+#include "graph/patterns.h"
+#include "storage/tcp_transport.h"
+#include "storage/transport.h"
+
+namespace {
+
+using namespace benu;
+
+const char* FlagValue(int argc, char** argv, const char* name,
+                      const char* fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+/// One spawned benu_kv_server child.
+struct ServerProcess {
+  pid_t pid = -1;
+  uint16_t port = 0;
+};
+
+/// Directory holding this binary (and benu_kv_server next to it).
+std::string SelfDir() {
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  BENU_CHECK(n > 0) << "readlink /proc/self/exe failed";
+  buf[n] = '\0';
+  return dirname(buf);
+}
+
+/// Forks and execs one benu_kv_server, parsing "LISTENING port=N" from
+/// its stdout so ephemeral ports work.
+ServerProcess SpawnServer(const std::string& binary,
+                          const std::string& graph_spec, size_t partitions,
+                          size_t servers, size_t index) {
+  int pipefd[2];
+  BENU_CHECK(pipe(pipefd) == 0) << "pipe failed";
+  const pid_t pid = fork();
+  BENU_CHECK(pid >= 0) << "fork failed";
+  if (pid == 0) {
+    close(pipefd[0]);
+    dup2(pipefd[1], STDOUT_FILENO);
+    close(pipefd[1]);
+    const std::string graph_arg = "--graph=" + graph_spec;
+    const std::string part_arg = "--partitions=" + std::to_string(partitions);
+    const std::string servers_arg = "--servers=" + std::to_string(servers);
+    const std::string index_arg = "--index=" + std::to_string(index);
+    execl(binary.c_str(), binary.c_str(), graph_arg.c_str(),
+          part_arg.c_str(), servers_arg.c_str(), index_arg.c_str(),
+          "--port=0", "--relabel=1", static_cast<char*>(nullptr));
+    std::perror("execl benu_kv_server");
+    _exit(127);
+  }
+  close(pipefd[1]);
+  FILE* out = fdopen(pipefd[0], "r");
+  BENU_CHECK(out != nullptr) << "fdopen failed";
+  ServerProcess proc;
+  proc.pid = pid;
+  char line[256];
+  while (std::fgets(line, sizeof(line), out) != nullptr) {
+    unsigned port = 0;
+    if (std::sscanf(line, "LISTENING port=%u", &port) == 1) {
+      proc.port = static_cast<uint16_t>(port);
+      break;
+    }
+  }
+  BENU_CHECK(proc.port != 0)
+      << "server " << index << " did not report a listening port";
+  // Leave the pipe open: the child's stdout stays valid for its
+  // lifetime, and we only needed the first line.
+  return proc;
+}
+
+void KillServers(const std::vector<ServerProcess>& servers) {
+  for (const auto& s : servers) {
+    if (s.pid > 0) kill(s.pid, SIGTERM);
+  }
+  for (const auto& s : servers) {
+    if (s.pid > 0) waitpid(s.pid, nullptr, 0);
+  }
+}
+
+Count RunOnce(const Graph& graph, const Graph& pattern,
+              std::shared_ptr<Transport> transport, size_t partitions,
+              size_t workers, size_t threads_per_worker) {
+  BenuOptions options;
+  options.cluster.num_workers = workers;
+  options.cluster.threads_per_worker = threads_per_worker;
+  options.cluster.db_partitions = partitions;
+  options.cluster.transport = std::move(transport);
+  // The driver relabels the data graph before building any transport,
+  // so both sides of the wire already agree on vertex ids.
+  options.relabel_by_degree = false;
+  auto result = RunBenu(graph, pattern, options);
+  BENU_CHECK(result.ok()) << result.status().ToString();
+  return result->run.total_matches;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string graph_spec =
+      FlagValue(argc, argv, "--graph", "ba:200,5,21");
+  const std::string pattern_name = FlagValue(argc, argv, "--pattern", "q5");
+  const size_t partitions =
+      std::strtoul(FlagValue(argc, argv, "--partitions", "8"), nullptr, 10);
+  const size_t workers =
+      std::strtoul(FlagValue(argc, argv, "--workers", "2"), nullptr, 10);
+  const size_t threads_per_worker = std::strtoul(
+      FlagValue(argc, argv, "--threads-per-worker", "2"), nullptr, 10);
+  const size_t spawn_servers = std::strtoul(
+      FlagValue(argc, argv, "--spawn-servers", "0"), nullptr, 10);
+  std::string transport_name =
+      FlagValue(argc, argv, "--transport", spawn_servers > 0 ? "tcp" : "sim");
+  const std::string endpoints_spec = FlagValue(argc, argv, "--endpoints", "");
+  const long long expect_matches =
+      std::atoll(FlagValue(argc, argv, "--expect-matches", "-1"));
+  const bool compare_with_sim = HasFlag(argc, argv, "--compare-with-sim");
+
+  auto graph_or = GenerateFromSpec(graph_spec);
+  BENU_CHECK(graph_or.ok()) << "--graph=" << graph_spec << ": "
+                            << graph_or.status().ToString();
+  const Graph graph = graph_or->RelabelByDegree();
+  auto pattern_or = GetPattern(pattern_name);
+  BENU_CHECK(pattern_or.ok()) << "--pattern=" << pattern_name << ": "
+                              << pattern_or.status().ToString();
+  const Graph& pattern = *pattern_or;
+
+  std::vector<ServerProcess> spawned;
+  std::shared_ptr<Transport> transport;
+  if (transport_name == "sim") {
+    transport = nullptr;  // RunBenu builds the simulated store itself.
+  } else if (transport_name == "loopback") {
+    transport = MakeLoopbackTransport(graph, partitions);
+  } else if (transport_name == "tcp") {
+    std::vector<Endpoint> endpoints;
+    if (spawn_servers > 0) {
+      const std::string server_binary = SelfDir() + "/benu_kv_server";
+      for (size_t i = 0; i < spawn_servers; ++i) {
+        spawned.push_back(SpawnServer(server_binary, graph_spec, partitions,
+                                      spawn_servers, i));
+        endpoints.push_back({"127.0.0.1", spawned.back().port});
+      }
+    } else {
+      auto parsed = ParseEndpoints(endpoints_spec);
+      BENU_CHECK(parsed.ok()) << "--endpoints: "
+                              << parsed.status().ToString();
+      endpoints = *parsed;
+    }
+    auto connected = ConnectTcpTransport(endpoints);
+    if (!connected.ok()) KillServers(spawned);
+    BENU_CHECK(connected.ok()) << "connect: "
+                               << connected.status().ToString();
+    transport = *connected;
+  } else {
+    BENU_CHECK(false) << "unknown --transport=" << transport_name
+                      << " (sim|loopback|tcp)";
+  }
+
+  const Count matches = RunOnce(graph, pattern, transport, partitions,
+                                workers, threads_per_worker);
+
+  if (transport != nullptr) {
+    const TransportStats& ts = transport->stats();
+    std::fprintf(stderr,
+                 "transport.%s: fetches=%llu batch_gets=%llu "
+                 "round_trips=%llu bytes=%llu\n",
+                 transport->name(),
+                 static_cast<unsigned long long>(ts.fetches.load()),
+                 static_cast<unsigned long long>(ts.batch_gets.load()),
+                 static_cast<unsigned long long>(ts.round_trips.load()),
+                 static_cast<unsigned long long>(ts.bytes.load()));
+  }
+
+  // Drop the TCP connections before killing the servers.
+  transport.reset();
+  KillServers(spawned);
+
+  if (compare_with_sim && transport_name != "sim") {
+    const Count sim_matches = RunOnce(graph, pattern, nullptr, partitions,
+                                      workers, threads_per_worker);
+    BENU_CHECK(matches == sim_matches)
+        << transport_name << " found " << matches << " matches but sim found "
+        << sim_matches;
+    std::fprintf(stderr, "compare-with-sim: ok (%llu matches)\n",
+                 static_cast<unsigned long long>(sim_matches));
+  }
+  if (expect_matches >= 0) {
+    BENU_CHECK(matches == static_cast<Count>(expect_matches))
+        << "expected " << expect_matches << " matches, found " << matches;
+  }
+
+  std::printf("MATCHES %llu\n", static_cast<unsigned long long>(matches));
+  return 0;
+}

@@ -1,54 +1,36 @@
 #include "distributed/cluster.h"
 
 #include <algorithm>
-#include <atomic>
-#include <chrono>
 #include <memory>
-#include <queue>
 #include <thread>
+#include <vector>
 
 #include "common/logging.h"
-#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "distributed/cluster_accounting.h"
+#include "distributed/cluster_runtime.h"
 #include "distributed/task.h"
 #include "plan/filters.h"
-#include "storage/triangle_cache.h"
 
 namespace benu {
-namespace {
-
-// List-schedules task times (in submission order) onto `threads` identical
-// virtual threads; returns the makespan. Reproduces the straggler
-// behaviour of Fig. 9: one huge task bounds the makespan from below no
-// matter how many threads exist.
-double ListScheduleMakespan(const std::vector<double>& task_times,
-                            int threads) {
-  if (threads <= 1) {
-    double total = 0;
-    for (double t : task_times) total += t;
-    return total;
-  }
-  std::priority_queue<double, std::vector<double>, std::greater<>> loads;
-  for (int i = 0; i < threads; ++i) loads.push(0.0);
-  double makespan = 0;
-  for (double t : task_times) {
-    double load = loads.top();
-    loads.pop();
-    load += t;
-    makespan = std::max(makespan, load);
-    loads.push(load);
-  }
-  return makespan;
-}
-
-}  // namespace
 
 ClusterSimulator::ClusterSimulator(const Graph& data_graph,
                                    const ClusterConfig& config)
-    : data_graph_(data_graph),
-      config_(config),
-      store_(data_graph_, config.db_partitions) {}
+    : data_graph_(data_graph), config_(config) {
+  if (config_.transport != nullptr) {
+    BENU_CHECK(config_.transport->num_vertices() ==
+               data_graph_.NumVertices())
+        << "transport stores " << config_.transport->num_vertices()
+        << " vertices but the data graph has " << data_graph_.NumVertices()
+        << " — both sides must hold the same (identically labeled) graph";
+    config_.db_partitions = config_.transport->num_partitions();
+    store_ = std::make_unique<DistributedKvStore>(config_.transport);
+  } else {
+    store_ = std::make_unique<DistributedKvStore>(data_graph_,
+                                                  config_.db_partitions);
+  }
+}
 
 StatusOr<ClusterRunResult> ClusterSimulator::Run(
     const ExecutionPlan& plan, const std::vector<int>* data_labels) {
@@ -75,18 +57,8 @@ StatusOr<ClusterRunResult> ClusterSimulator::Run(
     per_worker[i % static_cast<size_t>(p)].push_back(tasks[i]);
   }
 
-  const unsigned hw = std::thread::hardware_concurrency();
-  int exec_threads = std::max(1, config_.execution_threads);
-  if (!config_.allow_thread_oversubscription && hw > 0 &&
-      exec_threads > static_cast<int>(hw)) {
-    BENU_LOG(Warning)
-        << "execution_threads=" << exec_threads
-        << " exceeds hardware concurrency (" << hw
-        << "); clamping so oversubscribed wall times do not pollute the "
-           "virtual-time model (set allow_thread_oversubscription to "
-           "override)";
-    exec_threads = static_cast<int>(hw);
-  }
+  const int exec_threads = ClampExecutionThreads(
+      config_.execution_threads, config_.allow_thread_oversubscription);
   result.execution_threads = exec_threads;
 
   // Background fetchers for the asynchronous adjacency pipeline live on
@@ -99,335 +71,30 @@ StatusOr<ClusterRunResult> ClusterSimulator::Run(
       prefetch_enabled && !config_.force_sync_prefetch;
   std::unique_ptr<ThreadPool> fetch_pool;
   if (async_prefetch) {
+    const unsigned hw = std::thread::hardware_concurrency();
     const size_t fetch_threads = std::max<size_t>(
         1, std::min<size_t>(static_cast<size_t>(p),
                             hw > 0 ? static_cast<size_t>(hw) : 1));
     fetch_pool = std::make_unique<ThreadPool>(fetch_threads);
   }
 
-  // One execution context per OS thread of a worker; the worker's DB
-  // cache is the shared structure (as in Fig. 2), everything else is
-  // thread-private.
-  struct ThreadContext {
-    std::unique_ptr<TriangleCache> tcache;
-    std::unique_ptr<PlanExecutor> executor;
-    std::unique_ptr<CountingConsumer> consumer;
-    Count steals = 0;
-  };
-  struct WorkerState {
-    const std::vector<SearchTask>* tasks = nullptr;
-    std::unique_ptr<DbCache> cache;
-    std::unique_ptr<CachedAdjacencyProvider> provider;
-    std::vector<ThreadContext> contexts;
-    std::unique_ptr<WorkStealingScheduler> scheduler;
-    std::vector<TaskStats> per_task;
-    std::atomic<int> remaining{0};
-    double real_seconds = 0;
-  };
+  auto workers = SetUpWorkers(per_worker, plan, config_, store_.get(),
+                              data_graph_.NumVertices(), exec_threads,
+                              &degree_floors, data_labels, fetch_pool.get());
+  BENU_RETURN_IF_ERROR(workers.status());
 
-  // Set up every worker before any of them runs, so executor-compile
-  // errors surface before a single task executes.
-  std::vector<std::unique_ptr<WorkerState>> workers;
-  workers.reserve(static_cast<size_t>(p));
-  for (int w = 0; w < p; ++w) {
-    auto ws = std::make_unique<WorkerState>();
-    ws->tasks = &per_worker[static_cast<size_t>(w)];
-    ws->cache = std::make_unique<DbCache>(
-        &store_, config_.db_cache_bytes, /*num_shards=*/8, fetch_pool.get(),
-        config_.prefetch_batch_size);
-    ws->provider = std::make_unique<CachedAdjacencyProvider>(
-        ws->cache.get(), data_graph_.NumVertices(), config_.prefetch_budget);
-    ws->contexts.resize(static_cast<size_t>(exec_threads));
-    for (ThreadContext& ctx : ws->contexts) {
-      ctx.tcache = std::make_unique<TriangleCache>();
-      auto executor = PlanExecutor::Create(
-          &plan, ws->provider.get(), ctx.tcache.get(),
-          degree_floors.empty() ? nullptr : &degree_floors, data_labels);
-      BENU_RETURN_IF_ERROR(executor.status());
-      ctx.executor = std::move(executor).value();
-      ctx.consumer = std::make_unique<CountingConsumer>(plan);
-    }
-    ws->scheduler = std::make_unique<WorkStealingScheduler>(
-        ws->tasks->size(), static_cast<size_t>(exec_threads));
-    ws->per_task.resize(ws->tasks->size());
-    ws->remaining.store(exec_threads, std::memory_order_relaxed);
-    workers.push_back(std::move(ws));
-  }
-
-  // Per-worker runtime phase totals (§2e): time spent claiming/stealing
-  // tasks vs executing them, accumulated thread-locally and flushed once
-  // per thread. Only measured under tracing — two clock reads per task
-  // are not free on micro-task workloads.
-  auto& registry = metrics::MetricsRegistry::Global();
-  metrics::Counter* claim_ns_metric = registry.GetCounter(
-      "cluster.phase.claim_ns", "ns",
-      "execution-thread time spent claiming/stealing tasks (traced)");
-  metrics::Counter* compute_ns_metric = registry.GetCounter(
-      "cluster.phase.compute_ns", "ns",
-      "execution-thread time spent inside RunTask (traced)");
-
-  // One execution thread of one worker: claim tasks (stealing from
-  // sibling threads when the own deque runs dry) until the worker's task
-  // list is exhausted.
-  auto run_thread = [&total_watch, claim_ns_metric, compute_ns_metric](
-                        WorkerState* ws, size_t t) {
-    ThreadContext& ctx = ws->contexts[t];
-    const bool traced = metrics::TracingEnabled();
-    uint64_t claim_ns = 0;
-    uint64_t compute_ns = 0;
-    size_t index = 0;
-    bool stolen = false;
-    for (;;) {
-      bool claimed;
-      if (traced) {
-        const auto t0 = std::chrono::steady_clock::now();
-        claimed = ws->scheduler->Claim(t, &index, &stolen);
-        claim_ns += static_cast<uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                std::chrono::steady_clock::now() - t0)
-                .count());
-      } else {
-        claimed = ws->scheduler->Claim(t, &index, &stolen);
-      }
-      if (!claimed) break;
-      if (stolen) ++ctx.steals;
-      if (traced) {
-        const auto t0 = std::chrono::steady_clock::now();
-        ws->per_task[index] =
-            ctx.executor->RunTask((*ws->tasks)[index], ctx.consumer.get());
-        compute_ns += static_cast<uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                std::chrono::steady_clock::now() - t0)
-                .count());
-      } else {
-        ws->per_task[index] =
-            ctx.executor->RunTask((*ws->tasks)[index], ctx.consumer.get());
-      }
-    }
-    if (traced) {
-      claim_ns_metric->Add(claim_ns);
-      compute_ns_metric->Add(compute_ns);
-    }
-    if (ws->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      ws->real_seconds = total_watch.ElapsedSeconds();
-    }
-  };
-
-  // All p workers run concurrently on one shared pool sized by the
-  // hardware (Fig. 2's p workers × w threads, collapsed onto one
-  // machine). max_runtime_threads = 1 reproduces the sequential seed.
-  const size_t total_contexts =
-      static_cast<size_t>(p) * static_cast<size_t>(exec_threads);
-  size_t pool_threads;
-  if (config_.max_runtime_threads > 0) {
-    pool_threads = static_cast<size_t>(config_.max_runtime_threads);
-  } else if (config_.allow_thread_oversubscription) {
-    pool_threads = total_contexts;
-  } else {
-    pool_threads = hw > 0 ? static_cast<size_t>(hw) : 1;
-  }
-  pool_threads = std::max<size_t>(1, std::min(pool_threads, total_contexts));
-  result.runtime_threads = static_cast<int>(pool_threads);
-
-  if (pool_threads == 1) {
-    // Degenerate pool: run inline and spare the thread churn (this is
-    // the sequential seed's execution order).
-    for (auto& ws : workers) {
-      for (size_t t = 0; t < ws->contexts.size(); ++t) {
-        run_thread(ws.get(), t);
-      }
-    }
-  } else {
-    ThreadPool pool(pool_threads);
-    for (auto& ws : workers) {
-      for (size_t t = 0; t < ws->contexts.size(); ++t) {
-        WorkerState* state = ws.get();
-        pool.Submit([&run_thread, state, t] { run_thread(state, t); });
-      }
-    }
-    pool.Wait();
-  }
-
-  // Quiesce the prefetch pipeline before reading cache stats: in-flight
-  // fetcher jobs still mutate prefetch counters after the execution
-  // threads have finished.
-  if (prefetch_enabled) {
-    for (auto& ws : workers) ws->cache->WaitForPrefetches();
-  }
+  result.runtime_threads = static_cast<int>(ExecuteWorkers(
+      *workers, config_, exec_threads, prefetch_enabled, total_watch));
 
   // Aggregate in worker order so totals are independent of the actual
   // thread interleaving (integer totals per task are interleaving-
   // invariant; summation order here is fixed).
-  for (int w = 0; w < p; ++w) {
-    WorkerState& ws = *workers[static_cast<size_t>(w)];
-    result.workers.emplace_back();
-    WorkerSummary& summary = result.workers.back();
-
-    std::vector<double> virtual_times;
-    virtual_times.reserve(ws.per_task.size());
-    for (const TaskStats& stats : ws.per_task) {
-      summary.totals.Accumulate(stats);
-      // Coalesced fetches issue no query of their own but do wait out
-      // the primary's round trip, so they are charged the latency (not
-      // the bytes) in the task's virtual time.
-      const double network_us =
-          static_cast<double>(stats.db_queries + stats.coalesced_fetches) *
-              config_.db_query_latency_us +
-          static_cast<double>(stats.bytes_fetched) /
-              std::max(1e-9, config_.network_bytes_per_us);
-      const double compute_us =
-          (stats.cpu_seconds >= 0 ? stats.cpu_seconds : stats.wall_seconds) *
-          1e6;
-      const double virtual_us = compute_us + network_us;
-      virtual_times.push_back(virtual_us);
-      summary.busy_virtual_us += virtual_us;
-      result.task_virtual_us.push_back(virtual_us);
-    }
-    Count worker_matches = 0;
-    for (ThreadContext& ctx : ws.contexts) {
-      worker_matches += ctx.consumer->matches();
-      result.total_matches += ctx.consumer->matches();
-      result.total_codes += ctx.consumer->codes();
-      result.code_units += ctx.consumer->code_units();
-      summary.steals += ctx.steals;
-    }
-    summary.tasks = ws.tasks->size();
-    summary.totals.matches = worker_matches;
-    summary.cache = ws.cache->stats();
-    summary.real_seconds = ws.real_seconds;
-    const double compute_makespan_us =
-        ListScheduleMakespan(virtual_times, config_.threads_per_worker);
-    // Overlap accounting (§2d): the worker's prefetch pipeline costs one
-    // round-trip latency per partition per batch plus the prefetched
-    // bytes over the bandwidth. Running asynchronously, it overlaps the
-    // compute makespan — the hidden portion never reaches the critical
-    // path; only the residual (a comm-bound worker) extends it. The
-    // forced-sync mode drains the queue on the enumerating threads, so
-    // nothing is hidden and the full pipeline cost is serialized.
-    const double prefetch_comm_us =
-        static_cast<double>(summary.cache.prefetch_round_trips) *
-            config_.db_query_latency_us +
-        static_cast<double>(summary.cache.prefetch_bytes) /
-            std::max(1e-9, config_.network_bytes_per_us);
-    const double hidden_us =
-        async_prefetch ? std::min(prefetch_comm_us, compute_makespan_us)
-                       : 0.0;
-    summary.hidden_comm_us = hidden_us;
-    summary.makespan_virtual_us =
-        compute_makespan_us + (prefetch_comm_us - hidden_us);
-    result.hidden_comm_seconds += hidden_us * 1e-6;
-    result.prefetches_issued += summary.cache.prefetches_issued;
-    result.prefetch_hits += summary.cache.prefetch_hits;
-    result.prefetch_wasted += summary.cache.prefetch_wasted;
-    result.prefetch_round_trips += summary.cache.prefetch_round_trips;
-    result.prefetch_bytes += summary.cache.prefetch_bytes;
-    result.steals += summary.steals;
-    result.db_queries += summary.totals.db_queries;
-    result.coalesced_fetches += summary.totals.coalesced_fetches;
-    result.bytes_fetched += summary.totals.bytes_fetched;
-    result.adjacency_requests += summary.totals.adjacency_requests;
-    result.cache_hits += summary.totals.cache_hits;
-    result.virtual_seconds =
-        std::max(result.virtual_seconds, summary.makespan_virtual_us * 1e-6);
+  for (const auto& worker : *workers) {
+    AccumulateWorker(*worker, config_, async_prefetch, &result);
   }
   result.real_seconds = total_watch.ElapsedSeconds();
   PublishRunMetrics(result);
   return result;
-}
-
-// Publishes the aggregated run outcome into the process-wide registry
-// (`cluster.*`, docs/metrics.md). The legacy ClusterRunResult stays the
-// per-run view; the registry accumulates across runs, and
-// metrics_test.cc checks the two agree after a single run. Timing-derived
-// instruments (virtual/real seconds, per-worker distributions) are only
-// exported under tracing so that untraced snapshots are a pure function
-// of the work performed — the property the snapshot-determinism test
-// relies on.
-void ClusterSimulator::PublishRunMetrics(const ClusterRunResult& result) {
-  auto& registry = metrics::MetricsRegistry::Global();
-  const auto counter = [&registry](const char* name, const char* unit,
-                                   const char* help, Count value) {
-    registry.GetCounter(name, unit, help)->Add(value);
-  };
-  counter("cluster.runs", "1", "completed ClusterSimulator::Run calls", 1);
-  counter("cluster.tasks", "1", "local search tasks executed",
-          result.num_tasks);
-  counter("cluster.matches", "1", "expanded matches", result.total_matches);
-  counter("cluster.codes", "1", "RES executions (helves under VCBC)",
-          result.total_codes);
-  counter("cluster.code_units", "1",
-          "compressed-code payload units (vertex-id entries)",
-          result.code_units);
-  counter("cluster.db_queries", "1", "synchronous store queries by tasks",
-          result.db_queries);
-  counter("cluster.bytes_fetched", "bytes",
-          "payload bytes of synchronous task fetches", result.bytes_fetched);
-  counter("cluster.adjacency_requests", "1",
-          "DBQ executions (hits + misses + coalesced)",
-          result.adjacency_requests);
-  counter("cluster.cache_hits", "1", "DBQ lookups served from a DB cache",
-          result.cache_hits);
-  counter("cluster.coalesced_fetches", "1",
-          "DBQ lookups that piggybacked on a sibling's in-flight query",
-          result.coalesced_fetches);
-  counter("cluster.steals", "1", "work-stealing claims across all workers",
-          result.steals);
-  counter("cluster.prefetches_issued", "1",
-          "keys handed to the async adjacency pipeline",
-          result.prefetches_issued);
-  counter("cluster.prefetch_hits", "1",
-          "prefetched entries that converted a would-be miss into a hit",
-          result.prefetch_hits);
-  counter("cluster.prefetch_wasted", "1",
-          "prefetched entries evicted or dropped without a hit",
-          result.prefetch_wasted);
-  counter("cluster.prefetch_round_trips", "1",
-          "round trips of batched background fetches",
-          result.prefetch_round_trips);
-  counter("cluster.prefetch_bytes", "bytes",
-          "payload bytes fetched by the prefetch pipeline",
-          result.prefetch_bytes);
-  if (!metrics::TracingEnabled()) return;
-  registry
-      .GetGauge("cluster.virtual_seconds", "s",
-                "virtual makespan of the last run (traced)")
-      ->Set(result.virtual_seconds);
-  registry
-      .GetGauge("cluster.hidden_comm_seconds", "s",
-                "prefetch communication hidden behind compute, last run "
-                "(traced)")
-      ->Set(result.hidden_comm_seconds);
-  registry
-      .GetGauge("cluster.real_seconds", "s",
-                "wall time of the last run (traced)")
-      ->Set(result.real_seconds);
-  registry
-      .GetGauge("cluster.runtime_threads", "1",
-                "OS threads in the shared runtime pool, last run (traced)")
-      ->Set(result.runtime_threads);
-  registry
-      .GetGauge("cluster.execution_threads", "1",
-                "per-worker execution threads after clamping, last run "
-                "(traced)")
-      ->Set(result.execution_threads);
-  metrics::Histogram* worker_makespan = registry.GetHistogram(
-      "cluster.worker.makespan.us", "us",
-      "per-worker virtual makespans incl. unhidden prefetch residual "
-      "(traced)");
-  metrics::Histogram* worker_hidden = registry.GetHistogram(
-      "cluster.worker.hidden_comm.us", "us",
-      "per-worker prefetch communication hidden behind compute (traced)");
-  for (const WorkerSummary& summary : result.workers) {
-    worker_makespan->Record(
-        static_cast<uint64_t>(summary.makespan_virtual_us));
-    worker_hidden->Record(static_cast<uint64_t>(summary.hidden_comm_us));
-  }
-  metrics::Histogram* task_virtual = registry.GetHistogram(
-      "cluster.task.virtual.us", "us",
-      "virtual time (compute + simulated network) per task (traced)");
-  for (double us : result.task_virtual_us) {
-    task_virtual->Record(static_cast<uint64_t>(us));
-  }
 }
 
 }  // namespace benu

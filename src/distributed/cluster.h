@@ -12,6 +12,7 @@
 #include "plan/instruction.h"
 #include "storage/db_cache.h"
 #include "storage/kv_store.h"
+#include "storage/transport.h"
 
 namespace benu {
 
@@ -68,6 +69,15 @@ struct ClusterConfig {
   /// mode: identical fetch behaviour and match counts, but no overlap —
   /// prefetch communication is charged unhidden.
   bool force_sync_prefetch = false;
+  /// Communication backend of the KV store (storage/transport.h). Null —
+  /// the default — builds the in-process simulated transport from the
+  /// data graph and `db_partitions`, which is the seed behavior. A
+  /// non-null transport (loopback, TCP, custom) must already hold the
+  /// *same* graph the simulator is given: ClusterSimulator CHECKs the
+  /// vertex counts match, and `db_partitions` is taken from the
+  /// transport. The transport side never relabels — see
+  /// BenuOptions::relabel_by_degree.
+  std::shared_ptr<Transport> transport;
 };
 
 /// Per-worker outcome of a run. Filled after all execution threads have
@@ -189,17 +199,16 @@ class ClusterSimulator {
 
   const ClusterConfig& config() const { return config_; }
   const Graph& data_graph() const { return data_graph_; }
-  const DistributedKvStore& store() const { return store_; }
+  const DistributedKvStore& store() const { return *store_; }
 
  private:
-  /// Mirrors the aggregated run result into the process-wide metrics
-  /// registry (`cluster.*`); timing-derived instruments only when
-  /// tracing is enabled (see docs/metrics.md).
-  void PublishRunMetrics(const ClusterRunResult& result);
-
   Graph data_graph_;
   ClusterConfig config_;
-  DistributedKvStore store_;
+  /// Client of the distributed database; the backend is
+  /// config_.transport (simulated when null). unique_ptr because the
+  /// store's stats hold atomics (non-movable) and the backend choice
+  /// happens in the constructor body.
+  std::unique_ptr<DistributedKvStore> store_;
 };
 
 }  // namespace benu

@@ -1,0 +1,76 @@
+// benu_kv_server: standalone KV-server process serving its share of a
+// data graph's adjacency sets over the wire protocol (common/wire.h).
+// One process per server; a cluster of S servers for P partitions serves
+// partition p from server p % S. The client (benu_driver --transport=tcp,
+// or ConnectTcpTransport) validates the layout via the hello handshake.
+//
+// Both sides construct the data graph from the same --graph spec
+// (graph/generators.h GenerateFromSpec), so no graph bytes travel out of
+// band; --relabel must match the driver's relabeling choice.
+//
+//   benu_kv_server --graph=ba:200,5,21 --partitions=8 --servers=2 \
+//       --index=0 [--port=0] [--relabel=1]
+//
+// Prints "LISTENING port=<port>" on stdout once accepting (the driver's
+// --spawn-servers parses this), then serves until killed.
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "storage/kv_tcp_server.h"
+
+namespace {
+
+const char* FlagValue(int argc, char** argv, const char* name,
+                      const char* fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace benu;
+
+  const std::string graph_spec =
+      FlagValue(argc, argv, "--graph", "ba:200,5,21");
+  const int port = std::atoi(FlagValue(argc, argv, "--port", "0"));
+  const size_t partitions =
+      std::strtoul(FlagValue(argc, argv, "--partitions", "8"), nullptr, 10);
+  const size_t servers =
+      std::strtoul(FlagValue(argc, argv, "--servers", "1"), nullptr, 10);
+  const size_t index =
+      std::strtoul(FlagValue(argc, argv, "--index", "0"), nullptr, 10);
+  const bool relabel = std::atoi(FlagValue(argc, argv, "--relabel", "1")) != 0;
+
+  auto graph_or = GenerateFromSpec(graph_spec);
+  BENU_CHECK(graph_or.ok()) << "--graph=" << graph_spec << ": "
+                            << graph_or.status().ToString();
+  Graph graph = relabel ? graph_or->RelabelByDegree()
+                        : std::move(graph_or).value();
+
+  KvTcpServer server(&graph, partitions, servers, index);
+  auto listen = server.Listen(static_cast<uint16_t>(port));
+  BENU_CHECK(listen.ok()) << listen.ToString();
+  auto start = server.Start();
+  BENU_CHECK(start.ok()) << start.ToString();
+
+  std::printf("LISTENING port=%u\n", server.port());
+  std::fflush(stdout);
+
+  // Serve until the driver (or the user) kills the process.
+  for (;;) pause();
+}

@@ -1,6 +1,7 @@
 #include "graph/generators.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -195,6 +196,44 @@ StatusOr<Graph> GenerateStandInDataset(const std::string& name) {
     }
   }
   return Status::NotFound("unknown stand-in dataset: " + name);
+}
+
+StatusOr<Graph> GenerateFromSpec(const std::string& spec) {
+  const size_t colon = spec.find(':');
+  if (colon == std::string::npos) return GenerateStandInDataset(spec);
+  const std::string kind = spec.substr(0, colon);
+  // Numeric parameters after the colon, comma-separated.
+  std::vector<uint64_t> params;
+  size_t start = colon + 1;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(start, comma - start);
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(item.c_str(), &end, 10);
+    if (item.empty() || *end != '\0') {
+      return Status::InvalidArgument("bad parameter '" + item +
+                                     "' in graph spec '" + spec + "'");
+    }
+    params.push_back(value);
+    start = comma + 1;
+  }
+  if (kind == "er" && params.size() == 3) {
+    return GenerateErdosRenyi(params[0], params[1], params[2]);
+  }
+  if (kind == "ba" && params.size() == 3) {
+    return GenerateBarabasiAlbert(params[0], params[1], params[2]);
+  }
+  if (kind == "plc" && params.size() == 4) {
+    // Triangle probability in percent, to keep the spec integer-only.
+    return GeneratePowerLawCluster(params[0], params[1],
+                                   static_cast<double>(params[2]) / 100.0,
+                                   params[3]);
+  }
+  return Status::InvalidArgument(
+      "bad graph spec '" + spec +
+      "' (expected er:n,m,seed | ba:n,k,seed | plc:n,k,p%,seed | a "
+      "stand-in dataset name)");
 }
 
 }  // namespace benu

@@ -51,6 +51,15 @@ StatusOr<Graph> GenerateRandomConnected(size_t num_vertices,
 /// mirror the ratios of Table I at roughly 1/300 scale.
 StatusOr<Graph> GenerateStandInDataset(const std::string& name);
 
+/// Builds a graph from a compact command-line spec, used by the
+/// benu_driver / benu_kv_server binaries (both sides of a multi-process
+/// run must construct the identical graph from the same spec):
+///   "er:n,m,seed"     Erdős–Rényi G(n, m)
+///   "ba:n,k,seed"     Barabási–Albert, k edges per vertex
+///   "plc:n,k,p,seed"  Holme–Kim power-law cluster, p = triangle prob in %
+///   anything else     a stand-in dataset name ("as-sim", "lj-sim", ...)
+StatusOr<Graph> GenerateFromSpec(const std::string& spec);
+
 }  // namespace benu
 
 #endif  // BENU_GRAPH_GENERATORS_H_

@@ -1,0 +1,95 @@
+#include "storage/kv_server.h"
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace benu {
+
+KvPartitionServer::KvPartitionServer(const Graph* graph,
+                                     size_t num_partitions,
+                                     size_t num_servers, size_t server_index)
+    : graph_(graph),
+      num_partitions_(num_partitions == 0 ? 1 : num_partitions),
+      num_servers_(num_servers == 0 ? 1 : num_servers),
+      server_index_(server_index) {
+  BENU_CHECK(server_index_ < num_servers_)
+      << "server index " << server_index_ << " out of range (servers: "
+      << num_servers_ << ")";
+}
+
+bool KvPartitionServer::AppendOneReply(VertexId v,
+                                       std::vector<uint8_t>* out) {
+  if (!Serves(v)) {
+    wire::AppendError(StatusCode::kOutOfRange,
+                      "key " + std::to_string(v) +
+                          " not served by server " +
+                          std::to_string(server_index_),
+                      out);
+    return false;
+  }
+  wire::AppendAdjacencyReply(v, graph_->Adjacency(v), out);
+  keys_served_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void KvPartitionServer::HandleFrame(std::span<const uint8_t> frame,
+                                    std::vector<uint8_t>* out) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const size_t out_start = out->size();
+  auto decoded = wire::DecodeFrame(frame);
+  if (!decoded.ok()) {
+    wire::AppendError(decoded.status().code(), decoded.status().message(),
+                      out);
+    bytes_sent_.fetch_add(out->size() - out_start,
+                          std::memory_order_relaxed);
+    return;
+  }
+  switch (decoded->header.type) {
+    case wire::MessageType::kHelloRequest: {
+      wire::HelloInfo info;
+      info.num_vertices = static_cast<uint32_t>(graph_->NumVertices());
+      info.num_partitions = static_cast<uint32_t>(num_partitions_);
+      info.num_servers = static_cast<uint32_t>(num_servers_);
+      info.server_index = static_cast<uint32_t>(server_index_);
+      wire::AppendHelloReply(info, out);
+      break;
+    }
+    case wire::MessageType::kGetRequest: {
+      auto key = wire::DecodeGetRequest(*decoded);
+      if (!key.ok()) {
+        wire::AppendError(key.status().code(), key.status().message(), out);
+        break;
+      }
+      AppendOneReply(*key, out);
+      break;
+    }
+    case wire::MessageType::kBatchGetRequest: {
+      auto keys = wire::DecodeBatchGetRequest(*decoded);
+      if (!keys.ok()) {
+        wire::AppendError(keys.status().code(), keys.status().message(),
+                          out);
+        break;
+      }
+      // Reply: one kGetReply frame per key, in request order. On the
+      // first bad key the error frame replaces the remaining replies —
+      // the client treats any kError in a batch as a failed batch.
+      for (VertexId v : *keys) {
+        if (!AppendOneReply(v, out)) break;
+      }
+      break;
+    }
+    case wire::MessageType::kStatsRequest:
+      wire::AppendStatsReply(stats(), out);
+      break;
+    default:
+      wire::AppendError(
+          StatusCode::kInvalidArgument,
+          "unsupported request type " +
+              std::to_string(static_cast<int>(decoded->header.type)),
+          out);
+  }
+  bytes_sent_.fetch_add(out->size() - out_start, std::memory_order_relaxed);
+}
+
+}  // namespace benu

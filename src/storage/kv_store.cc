@@ -1,19 +1,31 @@
 #include "storage/kv_store.h"
 
+#include <utility>
+
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/wire.h"
 
 namespace benu {
 
+// The modeled per-reply overhead and the real wire header must agree, or
+// the simulated backend's byte accounting would diverge from loopback/TCP.
+static_assert(DistributedKvStore::kReplyOverheadBytes == wire::kHeaderBytes,
+              "simulated reply overhead must equal the wire frame header");
+
 DistributedKvStore::DistributedKvStore(const Graph& graph,
-                                       size_t num_partitions)
-    : num_partitions_(num_partitions == 0 ? 1 : num_partitions) {
-  adjacency_.reserve(graph.NumVertices());
-  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
-    VertexSetView view = graph.Adjacency(v);
-    adjacency_.push_back(
-        std::make_shared<const VertexSet>(view.begin(), view.end()));
-  }
+                                      size_t num_partitions)
+    : DistributedKvStore(MakeSimulatedTransport(graph, num_partitions)) {}
+
+DistributedKvStore::DistributedKvStore(std::shared_ptr<Transport> transport)
+    : transport_(std::move(transport)) {
+  BENU_CHECK(transport_ != nullptr) << "null transport";
+  num_partitions_ = transport_->num_partitions();
+  num_vertices_ = transport_->num_vertices();
+  InitMetrics();
+}
+
+void DistributedKvStore::InitMetrics() {
   auto& registry = metrics::MetricsRegistry::Global();
   queries_metric_ = registry.GetCounter(
       "kv_store.queries", "1",
@@ -29,35 +41,33 @@ DistributedKvStore::DistributedKvStore(const Graph& graph,
 
 std::shared_ptr<const VertexSet> DistributedKvStore::GetAdjacency(
     VertexId v) const {
-  BENU_CHECK(v < adjacency_.size()) << "vertex out of range: " << v;
-  const auto& set = adjacency_[v];
+  BENU_CHECK(v < num_vertices_) << "vertex out of range: " << v;
+  auto fetched = transport_->Fetch(v);
+  BENU_CHECK(fetched.ok()) << "transport fetch of vertex " << v
+                           << " failed: " << fetched.status().message();
+  const size_t bytes = ReplyBytes((*fetched)->size());
   stats_.queries.fetch_add(1, std::memory_order_relaxed);
   stats_.round_trips.fetch_add(1, std::memory_order_relaxed);
-  stats_.bytes_fetched.fetch_add(ReplyBytes(set->size()),
-                                 std::memory_order_relaxed);
+  stats_.bytes_fetched.fetch_add(bytes, std::memory_order_relaxed);
   queries_metric_->Add(1);
   round_trips_metric_->Add(1);
-  bytes_metric_->Add(ReplyBytes(set->size()));
-  return set;
+  bytes_metric_->Add(bytes);
+  return *std::move(fetched);
 }
 
 DistributedKvStore::BatchReply DistributedKvStore::GetAdjacencyBatch(
     std::span<const VertexId> keys) const {
   BatchReply reply;
   if (keys.empty()) return reply;
-  reply.values.reserve(keys.size());
-  std::vector<uint8_t> partition_touched(num_partitions_, 0);
   for (VertexId v : keys) {
-    BENU_CHECK(v < adjacency_.size()) << "vertex out of range: " << v;
-    const auto& set = adjacency_[v];
-    reply.bytes += ReplyBytes(set->size());
-    uint8_t& touched = partition_touched[PartitionOf(v)];
-    if (!touched) {
-      touched = 1;
-      ++reply.round_trips;
-    }
-    reply.values.push_back(set);
+    BENU_CHECK(v < num_vertices_) << "vertex out of range: " << v;
   }
+  auto fetched = transport_->FetchBatch(keys);
+  BENU_CHECK(fetched.ok()) << "transport batch fetch of " << keys.size()
+                           << " keys failed: " << fetched.status().message();
+  reply.values = std::move(fetched->values);
+  reply.round_trips = fetched->round_trips;
+  reply.bytes = fetched->bytes;
   stats_.queries.fetch_add(keys.size(), std::memory_order_relaxed);
   stats_.batch_gets.fetch_add(1, std::memory_order_relaxed);
   stats_.round_trips.fetch_add(reply.round_trips, std::memory_order_relaxed);

@@ -11,6 +11,7 @@
 #include "common/types.h"
 #include "graph/graph.h"
 #include "graph/vertex_set.h"
+#include "storage/transport.h"
 
 namespace benu {
 
@@ -34,8 +35,8 @@ struct KvStoreStats {
   /// Payload bytes of all replies (ReplyBytes per key; batching does not
   /// change byte accounting).
   std::atomic<Count> bytes_fetched{0};
-  /// Simulated network round trips: one per single-key get, one per
-  /// partition touched per batched multi-get.
+  /// Network round trips: one per single-key get, one per partition
+  /// touched per batched multi-get.
   std::atomic<Count> round_trips{0};
   std::atomic<Count> batch_gets{0};  ///< GetAdjacencyBatch calls
 
@@ -47,23 +48,30 @@ struct KvStoreStats {
   }
 };
 
-/// Simulation of the distributed key-value database of the BENU
+/// Client side of the distributed key-value database of the BENU
 /// architecture (Fig. 2; HBase in the paper). Stores the adjacency set of
 /// every data vertex, hash-partitioned over `num_partitions` virtual
-/// storage nodes. Every `GetAdjacency` models one remote query: it bumps
-/// the query counter and accounts the payload bytes. The cluster simulator
-/// converts these counters into virtual network time.
+/// storage nodes. How a get actually reaches a partition is delegated to
+/// a Transport (storage/transport.h): the in-process simulated backend
+/// reproduces the seed simulator, the loopback backend exercises the wire
+/// protocol, and the TCP backend talks to real KV-server processes.
+/// Either way the client-side accounting — queries, round trips, payload
+/// bytes — is identical, so the cluster's virtual-time model is
+/// backend-independent.
 ///
-/// Thread-safe: the store is immutable after construction; stats are
-/// atomic.
+/// Thread-safe: transports are thread-safe; stats are atomic.
 class DistributedKvStore {
  public:
-  /// Loads the data graph into the store (Algorithm 2 line 1, the
-  /// pattern-independent preprocessing step).
+  /// Loads the data graph into an in-process simulated transport
+  /// (Algorithm 2 line 1, the pattern-independent preprocessing step).
   DistributedKvStore(const Graph& graph, size_t num_partitions);
 
-  /// Fetches Γ(v). The returned set is shared with the store and
-  /// immutable. Also returns, via the stats, the simulated communication.
+  /// Wraps an existing transport (loopback, TCP, or a custom backend).
+  explicit DistributedKvStore(std::shared_ptr<Transport> transport);
+
+  /// Fetches Γ(v). The returned set is immutable and, for in-process
+  /// backends, shared with the store. Also returns, via the stats, the
+  /// communication cost.
   std::shared_ptr<const VertexSet> GetAdjacency(VertexId v) const;
 
   /// Reply of one batched multi-get.
@@ -79,8 +87,8 @@ class DistributedKvStore {
   };
 
   /// Fetches Γ(v) for every key in one multi-get. Keys are grouped by
-  /// partition server-side, so the simulated latency cost is one round
-  /// trip per partition per batch while query/byte accounting matches
+  /// partition server-side, so the latency cost is one round trip per
+  /// partition per batch while query/byte accounting matches
   /// `keys.size()` individual gets. This is what makes batched prefetching
   /// cheaper than issuing the same keys one by one.
   BatchReply GetAdjacencyBatch(std::span<const VertexId> keys) const;
@@ -89,10 +97,11 @@ class DistributedKvStore {
   size_t PartitionOf(VertexId v) const { return v % num_partitions_; }
 
   size_t num_partitions() const { return num_partitions_; }
-  size_t num_vertices() const { return adjacency_.size(); }
+  size_t num_vertices() const { return num_vertices_; }
 
-  /// Payload bytes of one adjacency-set reply (entries × 4 plus a fixed
-  /// per-reply framing overhead, mirroring a KV get of a serialized set).
+  /// Payload bytes of one adjacency-set reply: entries × 4 plus the wire
+  /// protocol's fixed frame header (common/wire.h) — the formula every
+  /// backend, simulated or real, charges per reply.
   static size_t ReplyBytes(size_t set_size) {
     return set_size * sizeof(VertexId) + kReplyOverheadBytes;
   }
@@ -100,11 +109,17 @@ class DistributedKvStore {
   const KvStoreStats& stats() const { return stats_; }
   KvStoreStats& mutable_stats() { return stats_; }
 
+  /// The backend beneath this client.
+  const Transport& transport() const { return *transport_; }
+
   static constexpr size_t kReplyOverheadBytes = 16;
 
  private:
-  std::vector<std::shared_ptr<const VertexSet>> adjacency_;
+  void InitMetrics();
+
+  std::shared_ptr<Transport> transport_;
   size_t num_partitions_;
+  size_t num_vertices_;
   mutable KvStoreStats stats_;
   // Registry mirrors of stats_, resolved once at construction (shared by
   // every store instance in the process).

@@ -1,0 +1,114 @@
+#include "storage/kv_tcp_server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "storage/socket_io.h"
+
+namespace benu {
+
+KvTcpServer::KvTcpServer(const Graph* graph, size_t num_partitions,
+                         size_t num_servers, size_t server_index)
+    : server_(graph, num_partitions, num_servers, server_index) {}
+
+KvTcpServer::~KvTcpServer() { Stop(); }
+
+Status KvTcpServer::Listen(uint16_t port) {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::IoError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (listen(listen_fd_, 64) < 0) {
+    return Status::IoError(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return Status::IoError(std::string("getsockname: ") +
+                           std::strerror(errno));
+  }
+  port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+Status KvTcpServer::Start() {
+  if (listen_fd_ < 0) {
+    return Status::FailedPrecondition("Start() before Listen()");
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void KvTcpServer::AcceptLoop() {
+  for (;;) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Stop() shuts the listening socket down; any accept failure
+      // during shutdown just ends the loop.
+      return;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      net::CloseFd(fd);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void KvTcpServer::ServeConnection(int fd) {
+  std::vector<uint8_t> request;
+  std::vector<uint8_t> reply;
+  for (;;) {
+    if (!net::ReadWireFrame(fd, &request).ok()) return;  // EOF or teardown
+    reply.clear();
+    server_.HandleFrame(request, &reply);
+    if (!net::WriteAll(fd, reply).ok()) return;
+  }
+}
+
+void KvTcpServer::Stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  // Wake the accept loop first, join it, and only then close the fd:
+  // the loop reads listen_fd_ on every iteration, so the fd must stay
+  // valid (and unmodified) until the thread is gone.
+  if (listen_fd_ >= 0) shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    net::CloseFd(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : conn_fds_) shutdown(fd, SHUT_RDWR);
+    threads = std::move(conn_threads_);
+  }
+  for (auto& t : threads) t.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int fd : conn_fds_) net::CloseFd(fd);
+  conn_fds_.clear();
+}
+
+}  // namespace benu

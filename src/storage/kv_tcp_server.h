@@ -1,0 +1,64 @@
+#ifndef BENU_STORAGE_KV_TCP_SERVER_H_
+#define BENU_STORAGE_KV_TCP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "storage/kv_server.h"
+
+namespace benu {
+
+/// TCP front end of one KvPartitionServer: accepts connections and moves
+/// wire frames (common/wire.h) between sockets and HandleFrame. Each
+/// connection gets its own thread; the partition server underneath is
+/// thread-safe, so one KvTcpServer serves many concurrent clients.
+///
+/// Used in-process by transport_test (real sockets, one process) and as
+/// the body of the standalone `benu_kv_server` binary (real multi-process
+/// runs; see benu_driver --spawn-servers).
+class KvTcpServer {
+ public:
+  /// `graph` must outlive the server.
+  KvTcpServer(const Graph* graph, size_t num_partitions, size_t num_servers,
+              size_t server_index);
+  ~KvTcpServer();
+
+  KvTcpServer(const KvTcpServer&) = delete;
+  KvTcpServer& operator=(const KvTcpServer&) = delete;
+
+  /// Binds and listens on `port` (0 picks an ephemeral port, readable
+  /// via port() afterwards). Call before Start().
+  Status Listen(uint16_t port);
+
+  /// Spawns the accept loop. Listen() must have succeeded.
+  Status Start();
+
+  /// Stops accepting, closes every connection and joins all threads.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  const KvPartitionServer& partition_server() const { return server_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  KvPartitionServer server_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex mu_;                        // guards conn_threads_/conn_fds_
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+};
+
+}  // namespace benu
+
+#endif  // BENU_STORAGE_KV_TCP_SERVER_H_

@@ -1,0 +1,132 @@
+#include "storage/socket_io.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/wire.h"
+
+namespace benu::net {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+/// One connect attempt; returns the fd or an error.
+StatusOr<int> TryConnectOnce(const std::string& host, uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  const int rc = getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res);
+  if (rc != 0) {
+    return Status::IoError("getaddrinfo(" + host + "): " + gai_strerror(rc));
+  }
+  Status last = Status::IoError("no addresses for " + host);
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    int fd = socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Errno("socket");
+      continue;
+    }
+    if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      freeaddrinfo(res);
+      int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    last = Errno("connect to " + host + ":" + port_str);
+    CloseFd(fd);
+  }
+  freeaddrinfo(res);
+  return last;
+}
+
+}  // namespace
+
+StatusOr<int> TcpConnect(const std::string& host, uint16_t port,
+                         int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    auto fd = TryConnectOnce(host, port);
+    if (fd.ok()) return fd;
+    if (std::chrono::steady_clock::now() >= deadline) return fd;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+Status WriteAll(int fd, std::span<const uint8_t> data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status ReadExact(int fd, uint8_t* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = recv(fd, buf + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (r == 0) {
+      return Status::IoError("connection closed mid-frame");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status ReadWireFrame(int fd, std::vector<uint8_t>* buf) {
+  buf->resize(wire::kHeaderBytes);
+  BENU_RETURN_IF_ERROR(ReadExact(fd, buf->data(), wire::kHeaderBytes));
+  const uint8_t* p = buf->data();
+  const uint32_t magic = static_cast<uint32_t>(p[0]) |
+                         static_cast<uint32_t>(p[1]) << 8 |
+                         static_cast<uint32_t>(p[2]) << 16 |
+                         static_cast<uint32_t>(p[3]) << 24;
+  if (magic != wire::kMagic) {
+    return Status::InvalidArgument("bad frame magic on socket");
+  }
+  const uint32_t payload = static_cast<uint32_t>(p[12]) |
+                           static_cast<uint32_t>(p[13]) << 8 |
+                           static_cast<uint32_t>(p[14]) << 16 |
+                           static_cast<uint32_t>(p[15]) << 24;
+  // Bound what one frame may make us allocate; a 4-byte-per-entry
+  // adjacency set never legitimately approaches this.
+  constexpr uint32_t kMaxPayload = 1u << 30;
+  if (payload > kMaxPayload) {
+    return Status::InvalidArgument("frame payload too large");
+  }
+  buf->resize(wire::kHeaderBytes + payload);
+  return ReadExact(fd, buf->data() + wire::kHeaderBytes, payload);
+}
+
+void CloseFd(int fd) {
+  if (fd < 0) return;
+  int rc;
+  do {
+    rc = close(fd);
+  } while (rc < 0 && errno == EINTR);
+}
+
+}  // namespace benu::net

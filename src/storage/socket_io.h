@@ -1,0 +1,40 @@
+#ifndef BENU_STORAGE_SOCKET_IO_H_
+#define BENU_STORAGE_SOCKET_IO_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace benu::net {
+
+/// Blocking POSIX socket helpers shared by the TCP transport (client
+/// side) and KvTcpServer (server side). All calls retry on EINTR and
+/// translate errno failures into kIoError statuses.
+
+/// Connects to host:port (numeric IP or resolvable name), retrying until
+/// `timeout_ms` elapses — servers may still be binding when the client
+/// starts. Returns the connected fd with TCP_NODELAY set (the protocol is
+/// request/reply; Nagle would serialize round trips).
+StatusOr<int> TcpConnect(const std::string& host, uint16_t port,
+                         int timeout_ms);
+
+/// Writes the whole span.
+Status WriteAll(int fd, std::span<const uint8_t> data);
+
+/// Reads exactly n bytes; EOF before n bytes is an error.
+Status ReadExact(int fd, uint8_t* buf, size_t n);
+
+/// Reads one complete wire frame (common/wire.h) into `*buf` (replaced):
+/// header first, then the payload the header announces. Validates the
+/// magic and bounds the payload size before allocating.
+Status ReadWireFrame(int fd, std::vector<uint8_t>* buf);
+
+/// close() that retries on EINTR; ignores errors (used in teardown).
+void CloseFd(int fd);
+
+}  // namespace benu::net
+
+#endif  // BENU_STORAGE_SOCKET_IO_H_

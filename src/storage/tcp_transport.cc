@@ -1,0 +1,226 @@
+#include "storage/tcp_transport.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+#include "storage/socket_io.h"
+
+namespace benu {
+
+StatusOr<std::vector<Endpoint>> ParseEndpoints(const std::string& spec) {
+  std::vector<Endpoint> endpoints;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(start, comma - start);
+    const size_t colon = item.rfind(':');
+    if (item.empty() || colon == std::string::npos || colon == 0 ||
+        colon + 1 == item.size()) {
+      return Status::InvalidArgument("bad endpoint '" + item +
+                                     "' (expected host:port)");
+    }
+    const std::string port_str = item.substr(colon + 1);
+    char* end = nullptr;
+    const long port = std::strtol(port_str.c_str(), &end, 10);
+    if (*end != '\0' || port <= 0 || port > 65535) {
+      return Status::InvalidArgument("bad port in endpoint '" + item + "'");
+    }
+    endpoints.push_back(
+        {item.substr(0, colon), static_cast<uint16_t>(port)});
+    start = comma + 1;
+  }
+  if (endpoints.empty()) {
+    return Status::InvalidArgument("empty endpoint list");
+  }
+  return endpoints;
+}
+
+namespace {
+
+/// Sends one request frame and reads one reply frame over a connection,
+/// serialized by the connection's mutex (the protocol is strict
+/// request/reply per connection).
+class TcpTransport final : public Transport {
+ public:
+  TcpTransport(std::vector<int> fds, const wire::HelloInfo& layout)
+      : fds_(std::move(fds)), layout_(layout) {
+    for (size_t i = 0; i < fds_.size(); ++i) {
+      locks_.push_back(std::make_unique<std::mutex>());
+    }
+    InitMetrics(name());
+  }
+
+  ~TcpTransport() override {
+    for (int fd : fds_) net::CloseFd(fd);
+  }
+
+  const char* name() const override { return "tcp"; }
+  size_t num_partitions() const override { return layout_.num_partitions; }
+  size_t num_vertices() const override { return layout_.num_vertices; }
+
+  StatusOr<std::shared_ptr<const VertexSet>> Fetch(VertexId v) override {
+    if (v >= layout_.num_vertices) {
+      return Status::OutOfRange("vertex out of range: " + std::to_string(v));
+    }
+    const size_t endpoint = (v % layout_.num_partitions) % fds_.size();
+    std::vector<uint8_t> request;
+    wire::AppendGetRequest(v, &request);
+    std::vector<uint8_t> reply;
+    {
+      std::lock_guard<std::mutex> lock(*locks_[endpoint]);
+      BENU_RETURN_IF_ERROR(net::WriteAll(fds_[endpoint], request));
+      BENU_RETURN_IF_ERROR(net::ReadWireFrame(fds_[endpoint], &reply));
+    }
+    auto frame = wire::DecodeFrame(reply);
+    BENU_RETURN_IF_ERROR(frame.status());
+    VertexId key = kInvalidVertex;
+    auto set = std::make_shared<VertexSet>();
+    BENU_RETURN_IF_ERROR(wire::DecodeAdjacencyReply(*frame, &key, set.get()));
+    if (key != v) return Status::Internal("reply key mismatch");
+    Account(1, frame->frame_bytes, /*batch=*/false);
+    return std::shared_ptr<const VertexSet>(std::move(set));
+  }
+
+  StatusOr<BatchResult> FetchBatch(
+      std::span<const VertexId> keys) override {
+    BatchResult result;
+    result.values.resize(keys.size());
+    const size_t num_partitions = layout_.num_partitions;
+    std::vector<std::vector<VertexId>> partition_keys(num_partitions);
+    std::vector<std::vector<size_t>> partition_slots(num_partitions);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const VertexId v = keys[i];
+      if (v >= layout_.num_vertices) {
+        return Status::OutOfRange("vertex out of range: " +
+                                  std::to_string(v));
+      }
+      partition_keys[v % num_partitions].push_back(v);
+      partition_slots[v % num_partitions].push_back(i);
+    }
+    // One wire request per touched partition — the round-trip accounting
+    // is per partition even when one server owns several partitions, so
+    // the charge matches the simulated and loopback backends exactly.
+    std::vector<uint8_t> request;
+    std::vector<uint8_t> reply;
+    for (size_t p = 0; p < num_partitions; ++p) {
+      if (partition_keys[p].empty()) continue;
+      const size_t endpoint = p % fds_.size();
+      request.clear();
+      wire::AppendBatchGetRequest(partition_keys[p], &request);
+      std::lock_guard<std::mutex> lock(*locks_[endpoint]);
+      BENU_RETURN_IF_ERROR(net::WriteAll(fds_[endpoint], request));
+      ++result.round_trips;
+      for (size_t slot : partition_slots[p]) {
+        BENU_RETURN_IF_ERROR(net::ReadWireFrame(fds_[endpoint], &reply));
+        auto frame = wire::DecodeFrame(reply);
+        BENU_RETURN_IF_ERROR(frame.status());
+        VertexId key = kInvalidVertex;
+        auto set = std::make_shared<VertexSet>();
+        BENU_RETURN_IF_ERROR(
+            wire::DecodeAdjacencyReply(*frame, &key, set.get()));
+        result.values[slot] = std::move(set);
+        result.bytes += frame->frame_bytes;
+      }
+    }
+    Account(result.round_trips, result.bytes, /*batch=*/true);
+    return result;
+  }
+
+  StatusOr<wire::ServerStats> QueryStats(size_t endpoint_index) {
+    if (endpoint_index >= fds_.size()) {
+      return Status::OutOfRange("no such endpoint");
+    }
+    std::vector<uint8_t> request;
+    wire::AppendStatsRequest(&request);
+    std::vector<uint8_t> reply;
+    {
+      std::lock_guard<std::mutex> lock(*locks_[endpoint_index]);
+      BENU_RETURN_IF_ERROR(net::WriteAll(fds_[endpoint_index], request));
+      BENU_RETURN_IF_ERROR(net::ReadWireFrame(fds_[endpoint_index], &reply));
+    }
+    auto frame = wire::DecodeFrame(reply);
+    BENU_RETURN_IF_ERROR(frame.status());
+    return wire::DecodeStatsReply(*frame);
+  }
+
+ private:
+  std::vector<int> fds_;
+  std::vector<std::unique_ptr<std::mutex>> locks_;
+  wire::HelloInfo layout_;
+};
+
+/// Hello handshake on a fresh connection.
+StatusOr<wire::HelloInfo> Hello(int fd) {
+  std::vector<uint8_t> request;
+  wire::AppendHelloRequest(&request);
+  BENU_RETURN_IF_ERROR(net::WriteAll(fd, request));
+  std::vector<uint8_t> reply;
+  BENU_RETURN_IF_ERROR(net::ReadWireFrame(fd, &reply));
+  auto frame = wire::DecodeFrame(reply);
+  BENU_RETURN_IF_ERROR(frame.status());
+  return wire::DecodeHelloReply(*frame);
+}
+
+}  // namespace
+
+StatusOr<std::shared_ptr<Transport>> ConnectTcpTransport(
+    const std::vector<Endpoint>& endpoints, int timeout_ms) {
+  if (endpoints.empty()) {
+    return Status::InvalidArgument("no endpoints");
+  }
+  std::vector<int> fds;
+  auto close_all = [&fds] {
+    for (int fd : fds) net::CloseFd(fd);
+  };
+  wire::HelloInfo layout;
+  for (size_t i = 0; i < endpoints.size(); ++i) {
+    auto fd = net::TcpConnect(endpoints[i].host, endpoints[i].port,
+                              timeout_ms);
+    if (!fd.ok()) {
+      close_all();
+      return fd.status();
+    }
+    fds.push_back(*fd);
+    auto hello = Hello(*fd);
+    if (!hello.ok()) {
+      close_all();
+      return hello.status();
+    }
+    if (hello->num_servers != endpoints.size() || hello->server_index != i) {
+      close_all();
+      return Status::InvalidArgument(
+          "endpoint " + std::to_string(i) + " reports server " +
+          std::to_string(hello->server_index) + "/" +
+          std::to_string(hello->num_servers) + ", expected " +
+          std::to_string(i) + "/" + std::to_string(endpoints.size()));
+    }
+    if (i == 0) {
+      layout = *hello;
+    } else if (hello->num_vertices != layout.num_vertices ||
+               hello->num_partitions != layout.num_partitions) {
+      close_all();
+      return Status::InvalidArgument(
+          "endpoint " + std::to_string(i) +
+          " disagrees on the graph layout (vertices/partitions)");
+    }
+  }
+  if (layout.num_partitions == 0 || layout.num_vertices == 0) {
+    close_all();
+    return Status::InvalidArgument("servers report an empty layout");
+  }
+  return std::shared_ptr<Transport>(
+      std::make_shared<TcpTransport>(std::move(fds), layout));
+}
+
+StatusOr<wire::ServerStats> QueryServerStats(Transport& transport,
+                                             size_t endpoint_index) {
+  auto* tcp = dynamic_cast<TcpTransport*>(&transport);
+  if (tcp == nullptr) {
+    return Status::InvalidArgument("not a TCP transport");
+  }
+  return tcp->QueryStats(endpoint_index);
+}
+
+}  // namespace benu

@@ -1,0 +1,45 @@
+#ifndef BENU_STORAGE_TCP_TRANSPORT_H_
+#define BENU_STORAGE_TCP_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/wire.h"
+#include "storage/transport.h"
+
+namespace benu {
+
+/// One KV-server address.
+struct Endpoint {
+  std::string host;
+  uint16_t port = 0;
+};
+
+/// Parses "host:port[,host:port...]" (e.g. "127.0.0.1:9001,127.0.0.1:9002").
+StatusOr<std::vector<Endpoint>> ParseEndpoints(const std::string& spec);
+
+/// Connects to every endpoint, performs the hello handshake and validates
+/// the cluster layout: all servers must agree on num_vertices and
+/// num_partitions, report num_servers == endpoints.size(), and endpoint i
+/// must be server i (partition p is owned by endpoint p % num_servers).
+/// Retries each connection until `timeout_ms` elapses, so servers may
+/// still be starting when the client comes up.
+///
+/// The returned transport charges the same round-trip/byte accounting as
+/// the simulated and loopback backends — one round trip per partition per
+/// batch, wire-frame bytes per reply — so enumeration results and metrics
+/// are comparable across backends.
+StatusOr<std::shared_ptr<Transport>> ConnectTcpTransport(
+    const std::vector<Endpoint>& endpoints, int timeout_ms = 5000);
+
+/// Fetches the serving statistics of one server over its connection.
+/// The transport must have been created by ConnectTcpTransport.
+StatusOr<wire::ServerStats> QueryServerStats(Transport& transport,
+                                             size_t endpoint_index);
+
+}  // namespace benu
+
+#endif  // BENU_STORAGE_TCP_TRANSPORT_H_

@@ -1,0 +1,202 @@
+#include "storage/transport.h"
+
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/wire.h"
+#include "storage/kv_server.h"
+
+namespace benu {
+
+void Transport::InitMetrics(const char* name) {
+  auto& registry = metrics::MetricsRegistry::Global();
+  const std::string prefix = std::string("transport.") + name;
+  fetches_metric_ = registry.GetCounter(prefix + ".fetches", "1",
+                                        "single-key fetches");
+  batch_gets_metric_ = registry.GetCounter(prefix + ".batch_gets", "1",
+                                           "batched multi-get calls");
+  round_trips_metric_ = registry.GetCounter(
+      prefix + ".round_trips", "1",
+      "round trips: 1 per single fetch, 1 per partition per batch");
+  bytes_metric_ =
+      registry.GetCounter(prefix + ".bytes", "bytes", "reply payload bytes");
+}
+
+void Transport::Account(size_t round_trips, size_t bytes, bool batch) {
+  if (batch) {
+    stats_.batch_gets.fetch_add(1, std::memory_order_relaxed);
+    batch_gets_metric_->Add(1);
+  } else {
+    stats_.fetches.fetch_add(1, std::memory_order_relaxed);
+    fetches_metric_->Add(1);
+  }
+  stats_.round_trips.fetch_add(round_trips, std::memory_order_relaxed);
+  stats_.bytes.fetch_add(bytes, std::memory_order_relaxed);
+  round_trips_metric_->Add(round_trips);
+  bytes_metric_->Add(bytes);
+}
+
+namespace {
+
+/// The seed simulator as a Transport: adjacency sets materialized once
+/// and shared zero-copy; round trips and bytes are modeled with the wire
+/// format's frame sizes (which the loopback/TCP backends realize).
+class SimulatedTransport final : public Transport {
+ public:
+  SimulatedTransport(const Graph& graph, size_t num_partitions)
+      : num_partitions_(num_partitions == 0 ? 1 : num_partitions) {
+    adjacency_.reserve(graph.NumVertices());
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      VertexSetView view = graph.Adjacency(v);
+      adjacency_.push_back(
+          std::make_shared<const VertexSet>(view.begin(), view.end()));
+    }
+    InitMetrics(name());
+  }
+
+  const char* name() const override { return "sim"; }
+  size_t num_partitions() const override { return num_partitions_; }
+  size_t num_vertices() const override { return adjacency_.size(); }
+
+  StatusOr<std::shared_ptr<const VertexSet>> Fetch(VertexId v) override {
+    if (v >= adjacency_.size()) {
+      return Status::OutOfRange("vertex out of range: " + std::to_string(v));
+    }
+    const auto& set = adjacency_[v];
+    Account(1, wire::AdjacencyReplyBytes(set->size()), /*batch=*/false);
+    return set;
+  }
+
+  StatusOr<BatchResult> FetchBatch(
+      std::span<const VertexId> keys) override {
+    BatchResult result;
+    result.values.reserve(keys.size());
+    std::vector<uint8_t> partition_touched(num_partitions_, 0);
+    for (VertexId v : keys) {
+      if (v >= adjacency_.size()) {
+        return Status::OutOfRange("vertex out of range: " +
+                                  std::to_string(v));
+      }
+      const auto& set = adjacency_[v];
+      result.bytes += wire::AdjacencyReplyBytes(set->size());
+      uint8_t& touched = partition_touched[v % num_partitions_];
+      if (!touched) {
+        touched = 1;
+        ++result.round_trips;
+      }
+      result.values.push_back(set);
+    }
+    Account(result.round_trips, result.bytes, /*batch=*/true);
+    return result;
+  }
+
+ private:
+  std::vector<std::shared_ptr<const VertexSet>> adjacency_;
+  size_t num_partitions_;
+};
+
+/// In-process wire-format backend: every fetch is encoded into a request
+/// frame, handled by the owning partition's KvPartitionServer, and the
+/// reply frame decoded back — the full protocol minus the socket.
+class LoopbackTransport final : public Transport {
+ public:
+  LoopbackTransport(const Graph& graph, size_t num_partitions)
+      : graph_(graph),
+        num_partitions_(num_partitions == 0 ? 1 : num_partitions) {
+    servers_.reserve(num_partitions_);
+    for (size_t p = 0; p < num_partitions_; ++p) {
+      servers_.push_back(std::make_unique<KvPartitionServer>(
+          &graph_, num_partitions_, /*num_servers=*/num_partitions_,
+          /*server_index=*/p));
+    }
+    InitMetrics(name());
+  }
+
+  const char* name() const override { return "loopback"; }
+  size_t num_partitions() const override { return num_partitions_; }
+  size_t num_vertices() const override { return graph_.NumVertices(); }
+
+  StatusOr<std::shared_ptr<const VertexSet>> Fetch(VertexId v) override {
+    if (v >= graph_.NumVertices()) {
+      return Status::OutOfRange("vertex out of range: " + std::to_string(v));
+    }
+    std::vector<uint8_t> request;
+    wire::AppendGetRequest(v, &request);
+    std::vector<uint8_t> reply;
+    servers_[v % num_partitions_]->HandleFrame(request, &reply);
+    auto frame = wire::DecodeFrame(reply);
+    BENU_RETURN_IF_ERROR(frame.status());
+    VertexId key = kInvalidVertex;
+    auto set = std::make_shared<VertexSet>();
+    BENU_RETURN_IF_ERROR(
+        wire::DecodeAdjacencyReply(*frame, &key, set.get()));
+    if (key != v) {
+      return Status::Internal("reply key mismatch");
+    }
+    Account(1, frame->frame_bytes, /*batch=*/false);
+    return std::shared_ptr<const VertexSet>(std::move(set));
+  }
+
+  StatusOr<BatchResult> FetchBatch(
+      std::span<const VertexId> keys) override {
+    BatchResult result;
+    result.values.resize(keys.size());
+    // Group the batch by owning partition, preserving request order
+    // within each group (slot = index into the result vector).
+    std::vector<std::vector<VertexId>> partition_keys(num_partitions_);
+    std::vector<std::vector<size_t>> partition_slots(num_partitions_);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const VertexId v = keys[i];
+      if (v >= graph_.NumVertices()) {
+        return Status::OutOfRange("vertex out of range: " +
+                                  std::to_string(v));
+      }
+      partition_keys[v % num_partitions_].push_back(v);
+      partition_slots[v % num_partitions_].push_back(i);
+    }
+    for (size_t p = 0; p < num_partitions_; ++p) {
+      if (partition_keys[p].empty()) continue;
+      std::vector<uint8_t> request;
+      wire::AppendBatchGetRequest(partition_keys[p], &request);
+      std::vector<uint8_t> reply;
+      servers_[p]->HandleFrame(request, &reply);
+      ++result.round_trips;
+      // The reply is one kGetReply frame per key, in request order.
+      std::span<const uint8_t> cursor(reply);
+      for (size_t slot : partition_slots[p]) {
+        auto frame = wire::DecodeFrame(cursor);
+        BENU_RETURN_IF_ERROR(frame.status());
+        VertexId key = kInvalidVertex;
+        auto set = std::make_shared<VertexSet>();
+        BENU_RETURN_IF_ERROR(
+            wire::DecodeAdjacencyReply(*frame, &key, set.get()));
+        result.values[slot] = std::move(set);
+        result.bytes += frame->frame_bytes;
+        cursor = cursor.subspan(frame->frame_bytes);
+      }
+    }
+    Account(result.round_trips, result.bytes, /*batch=*/true);
+    return result;
+  }
+
+ private:
+  Graph graph_;
+  size_t num_partitions_;
+  std::vector<std::unique_ptr<KvPartitionServer>> servers_;
+};
+
+}  // namespace
+
+std::shared_ptr<Transport> MakeSimulatedTransport(const Graph& graph,
+                                                  size_t num_partitions) {
+  return std::make_shared<SimulatedTransport>(graph, num_partitions);
+}
+
+std::shared_ptr<Transport> MakeLoopbackTransport(const Graph& graph,
+                                                 size_t num_partitions) {
+  return std::make_shared<LoopbackTransport>(graph, num_partitions);
+}
+
+}  // namespace benu

@@ -1,0 +1,126 @@
+#ifndef BENU_STORAGE_TRANSPORT_H_
+#define BENU_STORAGE_TRANSPORT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/graph.h"
+#include "graph/vertex_set.h"
+
+namespace benu {
+
+namespace metrics {
+class Counter;
+}  // namespace metrics
+
+/// Per-backend communication counters. Every Transport instance keeps its
+/// own atomic totals and additionally mirrors them into the process-wide
+/// metrics registry as `transport.<name>.{fetches,batch_gets,round_trips,
+/// bytes}` (docs/metrics.md), so runs over different backends can be
+/// compared counter by counter — the loopback/TCP wire paths must agree
+/// with the simulated path exactly (metrics_test.cc asserts it).
+struct TransportStats {
+  /// Single-key Fetch calls.
+  std::atomic<Count> fetches{0};
+  /// Batched FetchBatch calls.
+  std::atomic<Count> batch_gets{0};
+  /// Network round trips: one per single fetch, one per partition
+  /// touched per batch.
+  std::atomic<Count> round_trips{0};
+  /// Reply payload bytes (wire frame bytes for loopback/TCP; the
+  /// modeled equivalent — identical by construction — for the
+  /// simulated backend).
+  std::atomic<Count> bytes{0};
+
+  void Reset() {
+    fetches.store(0);
+    batch_gets.store(0);
+    round_trips.store(0);
+    bytes.store(0);
+  }
+};
+
+/// The communication layer beneath DistributedKvStore (DESIGN.md §2f):
+/// how a worker's adjacency requests reach the partitioned store. The
+/// enumeration engine above (DbCache → DistributedKvStore) is backend-
+/// agnostic; the backends are:
+///
+///   - "sim"      in-process, zero-copy, modeled byte accounting — the
+///                original cluster simulator expressed as a Transport;
+///   - "loopback" in-process but through the full wire protocol
+///                (common/wire.h): every fetch is framed, served by a
+///                per-partition KvPartitionServer and decoded back;
+///   - "tcp"      real sockets against separate KV-server processes
+///                (tcp_transport.h / benu_kv_server).
+///
+/// All three charge identical round-trip and byte accounting for the
+/// same request sequence, so the virtual-time model applies uniformly.
+/// Implementations are thread-safe: worker threads fetch concurrently.
+class Transport {
+ public:
+  /// Reply of one batched multi-get: values in request key order.
+  struct BatchResult {
+    std::vector<std::shared_ptr<const VertexSet>> values;
+    /// Distinct partitions touched — one round trip each.
+    size_t round_trips = 0;
+    /// Total reply payload bytes.
+    size_t bytes = 0;
+  };
+
+  virtual ~Transport() = default;
+
+  /// Backend name, used as the metrics label ("sim", "loopback", "tcp").
+  virtual const char* name() const = 0;
+  virtual size_t num_partitions() const = 0;
+  /// Vertices of the stored graph (keys are 0..num_vertices-1).
+  virtual size_t num_vertices() const = 0;
+
+  /// Fetches Γ(v). The returned set is immutable; for in-process
+  /// backends it may be shared with the store.
+  virtual StatusOr<std::shared_ptr<const VertexSet>> Fetch(VertexId v) = 0;
+
+  /// Fetches Γ(v) for every key in one multi-get: keys are grouped by
+  /// partition and each touched partition costs one round trip.
+  virtual StatusOr<BatchResult> FetchBatch(
+      std::span<const VertexId> keys) = 0;
+
+  const TransportStats& stats() const { return stats_; }
+
+ protected:
+  /// Resolves the `transport.<name>.*` registry mirrors; implementations
+  /// call this once from their constructor.
+  void InitMetrics(const char* name);
+  /// Accounts one fetch or batch into the stats and registry mirrors.
+  void Account(size_t round_trips, size_t bytes, bool batch);
+
+  TransportStats stats_;
+
+ private:
+  metrics::Counter* fetches_metric_ = nullptr;
+  metrics::Counter* batch_gets_metric_ = nullptr;
+  metrics::Counter* round_trips_metric_ = nullptr;
+  metrics::Counter* bytes_metric_ = nullptr;
+};
+
+/// The in-process simulated backend: adjacency sets are shared zero-copy
+/// with the caller and communication is modeled, not performed — the
+/// seed ClusterSimulator behavior, now just one Transport among several.
+std::shared_ptr<Transport> MakeSimulatedTransport(const Graph& graph,
+                                                  size_t num_partitions);
+
+/// The in-process wire-format backend: one KvPartitionServer per
+/// partition, every fetch framed/served/decoded through common/wire.h.
+/// Bit-for-bit equivalent to the simulated backend in counts and byte
+/// accounting; used to validate the protocol without sockets. Copies the
+/// graph, so the argument need not outlive the transport.
+std::shared_ptr<Transport> MakeLoopbackTransport(const Graph& graph,
+                                                 size_t num_partitions);
+
+}  // namespace benu
+
+#endif  // BENU_STORAGE_TRANSPORT_H_

@@ -1,0 +1,127 @@
+#include "distributed/benu_driver.h"
+
+#include <memory>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "baselines/bruteforce.h"
+#include "graph/generators.h"
+#include "graph/patterns.h"
+#include "storage/transport.h"
+
+namespace benu {
+namespace {
+
+TEST(BenuDriverTest, CountSubgraphsMatchesOracle) {
+  Graph data = std::move(GenerateBarabasiAlbert(80, 4, /*seed=*/3)).value();
+  for (const char* name : {"triangle", "square", "q5", "clique4"}) {
+    Graph pattern = std::move(GetPattern(name)).value();
+    auto oracle = BruteForceCountSubgraphs(data, pattern);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+    auto count = CountSubgraphs(data, pattern);
+    ASSERT_TRUE(count.ok()) << count.status().ToString();
+    EXPECT_EQ(*count, *oracle) << name;
+  }
+}
+
+TEST(BenuDriverTest, RelabelingDoesNotChangeCounts) {
+  // Relabeling realizes the ≺ order in the ids for efficiency; any id
+  // assignment is a valid total order, so counts must be identical.
+  Graph data = std::move(GenerateErdosRenyi(100, 600, /*seed=*/9)).value();
+  Graph pattern = std::move(GetPattern("q5")).value();
+  BenuOptions with;
+  with.relabel_by_degree = true;
+  BenuOptions without;
+  without.relabel_by_degree = false;
+  auto a = RunBenu(data, pattern, with);
+  auto b = RunBenu(data, pattern, without);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->run.total_matches, b->run.total_matches);
+}
+
+TEST(BenuDriverTest, LabeledPatternRequiresDataLabels) {
+  Graph data = MakeClique(5);
+  Graph pattern = MakeClique(3);
+  BenuOptions options;
+  options.plan.pattern_labels = {1, 1, 1};
+  // No (or wrongly sized) data labels: invalid.
+  auto result = RunBenu(data, pattern, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  options.data_labels = {1, 1};
+  result = RunBenu(data, pattern, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BenuDriverTest, ResultCarriesPlanAndRunStats) {
+  Graph data = std::move(GenerateBarabasiAlbert(60, 3, /*seed=*/2)).value();
+  Graph pattern = std::move(GetPattern("triangle")).value();
+  BenuOptions options;
+  auto result = RunBenu(data, pattern, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->plan.plan.instructions.empty());
+  EXPECT_GT(result->run.num_tasks, 0u);
+  EXPECT_GT(result->run.adjacency_requests, 0u);
+}
+
+TEST(BenuDriverTest, RunsOverExternalTransport) {
+  // End to end over the loopback backend: the driver must produce the
+  // same count the default simulated path produces.
+  Graph data = std::move(GenerateBarabasiAlbert(70, 3, /*seed=*/5)).value()
+                   .RelabelByDegree();
+  Graph pattern = std::move(GetPattern("q5")).value();
+  BenuOptions plain;
+  plain.relabel_by_degree = false;
+  auto expected = RunBenu(data, pattern, plain);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  BenuOptions over_loopback;
+  over_loopback.relabel_by_degree = false;
+  over_loopback.cluster.transport = MakeLoopbackTransport(data, 4);
+  auto result = RunBenu(data, pattern, over_loopback);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->run.total_matches, expected->run.total_matches);
+}
+
+TEST(GenerateFromSpecTest, ParsesEverySpecKind) {
+  auto er = GenerateFromSpec("er:100,300,7");
+  ASSERT_TRUE(er.ok()) << er.status().ToString();
+  EXPECT_EQ(er->NumVertices(), 100u);
+  EXPECT_EQ(er->NumEdges(), 300u);
+
+  auto ba = GenerateFromSpec("ba:200,5,21");
+  ASSERT_TRUE(ba.ok()) << ba.status().ToString();
+  EXPECT_EQ(ba->NumVertices(), 200u);
+
+  auto plc = GenerateFromSpec("plc:150,4,50,3");
+  ASSERT_TRUE(plc.ok()) << plc.status().ToString();
+  EXPECT_EQ(plc->NumVertices(), 150u);
+
+  auto standin = GenerateFromSpec("as-sim");
+  ASSERT_TRUE(standin.ok()) << standin.status().ToString();
+
+  // Determinism: the same spec builds the same graph — the property the
+  // multi-process runs rely on (driver and servers parse independently).
+  auto again = GenerateFromSpec("ba:200,5,21");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(ba->NumEdges(), again->NumEdges());
+  for (VertexId v = 0; v < ba->NumVertices(); ++v) {
+    VertexSetView a = ba->Adjacency(v);
+    VertexSetView b = again->Adjacency(v);
+    ASSERT_EQ(a.size, b.size);
+    for (size_t i = 0; i < a.size; ++i) ASSERT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(GenerateFromSpecTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(GenerateFromSpec("er:100").ok());
+  EXPECT_FALSE(GenerateFromSpec("er:100,abc,7").ok());
+  EXPECT_FALSE(GenerateFromSpec("zz:1,2,3").ok());
+  EXPECT_FALSE(GenerateFromSpec("no-such-dataset").ok());
+}
+
+}  // namespace
+}  // namespace benu

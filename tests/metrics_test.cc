@@ -12,6 +12,7 @@
 #include "distributed/benu_driver.h"
 #include "graph/generators.h"
 #include "graph/patterns.h"
+#include "storage/transport.h"
 
 namespace benu {
 namespace {
@@ -242,6 +243,55 @@ TEST(MetricsIntegrationTest, ConcurrentSubsystemPublishing) {
   EXPECT_EQ(CounterValue(snapshot, "test.concurrent.bumps"), kTasks);
   EXPECT_EQ(CounterValue(snapshot, "thread_pool.tasks_executed"), kTasks);
   EXPECT_EQ(CounterValue(snapshot, "thread_pool.threads_spawned"), 4u);
+}
+
+// The same workload over the simulated and the loopback backend must
+// produce identical per-backend transport counters: the loopback path
+// round-trips every request through the wire protocol, and its frame
+// header is by construction the simulated model's per-reply overhead,
+// so fetches / batch_gets / round_trips / bytes all line up exactly.
+TEST(MetricsIntegrationTest, TransportBackendCountersAgree) {
+  ScopedTracing tracing(false);
+  Graph data = std::move(GenerateErdosRenyi(300, 2400, /*seed=*/17))
+                   .value()
+                   .RelabelByDegree();
+  Graph pattern = std::move(GetPattern("q5")).value();
+  BenuOptions options = SingleThreadedOptions();
+  options.relabel_by_degree = false;  // ids fixed: share one graph
+  options.cluster.db_partitions = 4;
+
+  auto run_with = [&](std::shared_ptr<Transport> transport) {
+    MetricsRegistry::Global().ResetValues();
+    options.cluster.transport = std::move(transport);
+    auto result = RunBenu(data, pattern, options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return MetricsRegistry::Global().Snapshot();
+  };
+  const MetricsSnapshot sim = run_with(nullptr);
+  const MetricsSnapshot loopback = run_with(MakeLoopbackTransport(data, 4));
+
+  for (const char* leaf : {"fetches", "batch_gets", "round_trips", "bytes"}) {
+    const std::string sim_name = std::string("transport.sim.") + leaf;
+    const std::string loop_name = std::string("transport.loopback.") + leaf;
+    EXPECT_GT(CounterValue(sim, sim_name), 0u) << sim_name;
+    EXPECT_EQ(CounterValue(sim, sim_name), CounterValue(loopback, loop_name))
+        << leaf;
+    // Each run exercised exactly one backend.
+    EXPECT_EQ(CounterValue(sim, loop_name), 0u) << loop_name;
+    EXPECT_EQ(CounterValue(loopback, sim_name), 0u) << sim_name;
+  }
+  // The KV-client aggregates sit above the transport and must agree
+  // with the backend's own accounting in both runs.
+  for (const MetricsSnapshot* snapshot : {&sim, &loopback}) {
+    const char* backend = snapshot == &sim ? "sim" : "loopback";
+    EXPECT_EQ(CounterValue(*snapshot, "kv_store.round_trips"),
+              CounterValue(*snapshot,
+                           std::string("transport.") + backend +
+                               ".round_trips"));
+    EXPECT_EQ(CounterValue(*snapshot, "kv_store.bytes_fetched"),
+              CounterValue(*snapshot,
+                           std::string("transport.") + backend + ".bytes"));
+  }
 }
 
 // Every instrument that can appear in a traced end-to-end run (the

@@ -1,0 +1,421 @@
+#include "storage/transport.h"
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/wire.h"
+#include "distributed/benu_driver.h"
+#include "graph/generators.h"
+#include "graph/patterns.h"
+#include "storage/kv_server.h"
+#include "storage/kv_store.h"
+#include "storage/kv_tcp_server.h"
+#include "storage/tcp_transport.h"
+
+namespace benu {
+namespace {
+
+// --- wire protocol ----------------------------------------------------
+
+TEST(WireTest, HeaderMatchesModeledReplyOverhead) {
+  // The whole byte-equivalence story of the transport layer hangs on
+  // this: a real adjacency reply frame weighs exactly what the simulator
+  // has always charged per reply.
+  EXPECT_EQ(wire::kHeaderBytes, DistributedKvStore::kReplyOverheadBytes);
+  EXPECT_EQ(wire::AdjacencyReplyBytes(7),
+            DistributedKvStore::ReplyBytes(7));
+}
+
+TEST(WireTest, AdjacencyReplyRoundTrips) {
+  VertexSet adjacency{3, 5, 8, 1000000};
+  std::vector<uint8_t> buffer;
+  wire::AppendAdjacencyReply(42, VertexSetView(adjacency), &buffer);
+  EXPECT_EQ(buffer.size(), wire::AdjacencyReplyBytes(adjacency.size()));
+
+  auto frame = wire::DecodeFrame(buffer);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->frame_bytes, buffer.size());
+  VertexId key = kInvalidVertex;
+  VertexSet decoded;
+  auto st = wire::DecodeAdjacencyReply(*frame, &key, &decoded);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(key, 42u);
+  EXPECT_EQ(decoded, adjacency);
+}
+
+TEST(WireTest, RequestsRoundTrip) {
+  std::vector<uint8_t> buffer;
+  wire::AppendGetRequest(17, &buffer);
+  auto frame = wire::DecodeFrame(buffer);
+  ASSERT_TRUE(frame.ok());
+  auto key = wire::DecodeGetRequest(*frame);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(*key, 17u);
+
+  buffer.clear();
+  const VertexId keys[] = {4, 9, 2};
+  wire::AppendBatchGetRequest(keys, &buffer);
+  frame = wire::DecodeFrame(buffer);
+  ASSERT_TRUE(frame.ok());
+  auto decoded = wire::DecodeBatchGetRequest(*frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, (std::vector<VertexId>{4, 9, 2}));
+}
+
+TEST(WireTest, HelloAndStatsRoundTrip) {
+  std::vector<uint8_t> buffer;
+  wire::HelloInfo info{100, 8, 2, 1};
+  wire::AppendHelloReply(info, &buffer);
+  auto frame = wire::DecodeFrame(buffer);
+  ASSERT_TRUE(frame.ok());
+  auto hello = wire::DecodeHelloReply(*frame);
+  ASSERT_TRUE(hello.ok());
+  EXPECT_EQ(hello->num_vertices, 100u);
+  EXPECT_EQ(hello->num_partitions, 8u);
+  EXPECT_EQ(hello->num_servers, 2u);
+  EXPECT_EQ(hello->server_index, 1u);
+
+  buffer.clear();
+  wire::AppendStatsReply({7, 11, 13}, &buffer);
+  frame = wire::DecodeFrame(buffer);
+  ASSERT_TRUE(frame.ok());
+  auto stats = wire::DecodeStatsReply(*frame);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->requests, 7u);
+  EXPECT_EQ(stats->keys_served, 11u);
+  EXPECT_EQ(stats->bytes_sent, 13u);
+}
+
+TEST(WireTest, ErrorFrameCarriesStatus) {
+  std::vector<uint8_t> buffer;
+  wire::AppendError(StatusCode::kOutOfRange, "key 99 not here", &buffer);
+  auto frame = wire::DecodeFrame(buffer);
+  ASSERT_TRUE(frame.ok());
+  const Status st = wire::DecodeError(*frame);
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(st.message(), "key 99 not here");
+  // Typed decoders convert an unexpected kError frame into its Status.
+  VertexId key;
+  VertexSet out;
+  EXPECT_EQ(wire::DecodeAdjacencyReply(*frame, &key, &out).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(WireTest, RejectsMalformedFrames) {
+  std::vector<uint8_t> buffer;
+  wire::AppendGetRequest(1, &buffer);
+
+  std::vector<uint8_t> bad_magic = buffer;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(wire::DecodeFrame(bad_magic).ok());
+
+  std::vector<uint8_t> bad_version = buffer;
+  bad_version[4] = wire::kVersion + 1;
+  EXPECT_FALSE(wire::DecodeFrame(bad_version).ok());
+
+  std::vector<uint8_t> short_buffer(buffer.begin(), buffer.begin() + 8);
+  EXPECT_FALSE(wire::DecodeFrame(short_buffer).ok());
+
+  VertexSet adjacency{1, 2, 3};
+  std::vector<uint8_t> truncated;
+  wire::AppendAdjacencyReply(0, VertexSetView(adjacency), &truncated);
+  truncated.resize(truncated.size() - 2);  // payload shorter than header says
+  EXPECT_FALSE(wire::DecodeFrame(truncated).ok());
+}
+
+// --- partition server -------------------------------------------------
+
+TEST(KvPartitionServerTest, ServesOwnedKeysOnly) {
+  Graph g = MakeCycle(8);
+  // 4 partitions over 2 servers: server 0 owns partitions {0, 2}, i.e.
+  // vertices {0, 2, 4, 6}.
+  KvPartitionServer server(&g, /*num_partitions=*/4, /*num_servers=*/2,
+                           /*server_index=*/0);
+  EXPECT_TRUE(server.Serves(0));
+  EXPECT_FALSE(server.Serves(1));
+  EXPECT_TRUE(server.Serves(2));
+  EXPECT_FALSE(server.Serves(99));  // out of the graph entirely
+
+  std::vector<uint8_t> request, reply;
+  wire::AppendGetRequest(4, &request);
+  server.HandleFrame(request, &reply);
+  auto frame = wire::DecodeFrame(reply);
+  ASSERT_TRUE(frame.ok());
+  VertexId key;
+  VertexSet adjacency;
+  ASSERT_TRUE(wire::DecodeAdjacencyReply(*frame, &key, &adjacency).ok());
+  EXPECT_EQ(key, 4u);
+  EXPECT_EQ(adjacency, (VertexSet{3, 5}));
+
+  request.clear();
+  reply.clear();
+  wire::AppendGetRequest(1, &request);  // partition 1 — not this server
+  server.HandleFrame(request, &reply);
+  frame = wire::DecodeFrame(reply);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(wire::DecodeError(*frame).code(), StatusCode::kOutOfRange);
+}
+
+TEST(KvPartitionServerTest, BatchStopsAtFirstBadKey) {
+  Graph g = MakeCycle(6);
+  KvPartitionServer server(&g, /*num_partitions=*/2, /*num_servers=*/1,
+                           /*server_index=*/0);
+  const VertexId keys[] = {0, 99, 2};  // 99 is out of the graph
+  std::vector<uint8_t> request, reply;
+  wire::AppendBatchGetRequest(keys, &request);
+  server.HandleFrame(request, &reply);
+
+  auto first = wire::DecodeFrame(reply);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->header.type, wire::MessageType::kGetReply);
+  std::span<const uint8_t> rest =
+      std::span<const uint8_t>(reply).subspan(first->frame_bytes);
+  auto second = wire::DecodeFrame(rest);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->header.type, wire::MessageType::kError);
+  // The error replaces the remaining replies.
+  EXPECT_EQ(first->frame_bytes + second->frame_bytes, reply.size());
+}
+
+TEST(KvPartitionServerTest, SurvivesGarbageInput) {
+  Graph g = MakeCycle(4);
+  KvPartitionServer server(&g, 1, 1, 0);
+  std::vector<uint8_t> garbage{1, 2, 3, 4, 5};
+  std::vector<uint8_t> reply;
+  server.HandleFrame(garbage, &reply);
+  auto frame = wire::DecodeFrame(reply);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->header.type, wire::MessageType::kError);
+  EXPECT_EQ(server.stats().requests, 1u);
+  EXPECT_EQ(server.stats().keys_served, 0u);
+}
+
+// --- backend equivalence ----------------------------------------------
+
+void ExpectSameBehavior(Transport& a, Transport& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_partitions(), b.num_partitions());
+  // Single fetches.
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    auto fa = a.Fetch(v);
+    auto fb = b.Fetch(v);
+    ASSERT_TRUE(fa.ok()) << fa.status().ToString();
+    ASSERT_TRUE(fb.ok()) << fb.status().ToString();
+    EXPECT_EQ(**fa, **fb) << "adjacency of vertex " << v;
+  }
+  // A batch spanning several partitions, unsorted.
+  std::vector<VertexId> keys;
+  for (VertexId v = 0; v < a.num_vertices(); v += 2) keys.push_back(v);
+  std::reverse(keys.begin(), keys.end());
+  auto ba = a.FetchBatch(keys);
+  auto bb = b.FetchBatch(keys);
+  ASSERT_TRUE(ba.ok()) << ba.status().ToString();
+  ASSERT_TRUE(bb.ok()) << bb.status().ToString();
+  EXPECT_EQ(ba->round_trips, bb->round_trips);
+  EXPECT_EQ(ba->bytes, bb->bytes);
+  ASSERT_EQ(ba->values.size(), bb->values.size());
+  for (size_t i = 0; i < ba->values.size(); ++i) {
+    EXPECT_EQ(*ba->values[i], *bb->values[i]) << "batch slot " << i;
+  }
+  // Out-of-range keys fail identically.
+  const VertexId bogus = static_cast<VertexId>(a.num_vertices());
+  EXPECT_EQ(a.Fetch(bogus).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(b.Fetch(bogus).status().code(), StatusCode::kOutOfRange);
+  // After identical request sequences, the accounting is identical —
+  // the invariant that makes metrics comparable across backends.
+  EXPECT_EQ(a.stats().fetches.load(), b.stats().fetches.load());
+  EXPECT_EQ(a.stats().batch_gets.load(), b.stats().batch_gets.load());
+  EXPECT_EQ(a.stats().round_trips.load(), b.stats().round_trips.load());
+  EXPECT_EQ(a.stats().bytes.load(), b.stats().bytes.load());
+}
+
+TEST(TransportEquivalenceTest, LoopbackMatchesSimulated) {
+  Graph g = std::move(GenerateBarabasiAlbert(60, 3, /*seed=*/7)).value();
+  auto sim = MakeSimulatedTransport(g, 4);
+  auto loopback = MakeLoopbackTransport(g, 4);
+  EXPECT_STREQ(sim->name(), "sim");
+  EXPECT_STREQ(loopback->name(), "loopback");
+  ExpectSameBehavior(*sim, *loopback);
+}
+
+TEST(TransportEquivalenceTest, LoopbackStoreMatchesKvStoreContract) {
+  // The loopback-backed store honors the same accounting contract
+  // kv_store_test pins for the simulated one.
+  Graph g = MakeCycle(8);
+  DistributedKvStore store(MakeLoopbackTransport(g, 4));
+  EXPECT_EQ(store.num_partitions(), 4u);
+  EXPECT_EQ(store.num_vertices(), 8u);
+  const VertexId keys[] = {0, 4, 1};  // partitions {0, 0, 1}
+  auto reply = store.GetAdjacencyBatch(keys);
+  EXPECT_EQ(reply.round_trips, 2u);
+  EXPECT_EQ(reply.bytes, 3 * DistributedKvStore::ReplyBytes(2));
+  EXPECT_EQ(store.stats().queries.load(), 3u);
+  auto empty = store.GetAdjacencyBatch({});
+  EXPECT_EQ(empty.round_trips, 0u);
+  EXPECT_EQ(store.stats().batch_gets.load(), 1u);
+}
+
+BenuOptions TransportRunOptions(std::shared_ptr<Transport> transport) {
+  BenuOptions options;
+  options.cluster.num_workers = 2;
+  options.cluster.threads_per_worker = 2;
+  options.cluster.db_partitions = 4;
+  options.cluster.db_cache_bytes = 1u << 20;
+  options.cluster.task_split_threshold = 100;
+  options.cluster.prefetch_budget = 16;
+  options.cluster.force_sync_prefetch = true;
+  options.cluster.transport = std::move(transport);
+  options.relabel_by_degree = false;
+  return options;
+}
+
+TEST(TransportEquivalenceTest, ClusterRunsIdenticallyOverLoopback) {
+  Graph g = std::move(GenerateBarabasiAlbert(150, 4, /*seed=*/21)).value()
+                .RelabelByDegree();
+  // q5, q9 and clique5 cover the regression set: plain backtracking, a
+  // DBQ-heavy plan and the triangle-cache path.
+  for (const char* name : {"q5", "q9", "clique5"}) {
+    Graph pattern = std::move(GetPattern(name)).value();
+    auto sim_run = RunBenu(g, pattern, TransportRunOptions(nullptr));
+    ASSERT_TRUE(sim_run.ok()) << sim_run.status().ToString();
+    auto loop_run = RunBenu(
+        g, pattern, TransportRunOptions(MakeLoopbackTransport(g, 4)));
+    ASSERT_TRUE(loop_run.ok()) << loop_run.status().ToString();
+    EXPECT_EQ(sim_run->run.total_matches, loop_run->run.total_matches)
+        << name;
+    EXPECT_EQ(sim_run->run.total_codes, loop_run->run.total_codes) << name;
+    EXPECT_EQ(sim_run->run.db_queries, loop_run->run.db_queries) << name;
+    EXPECT_EQ(sim_run->run.bytes_fetched, loop_run->run.bytes_fetched)
+        << name;
+    EXPECT_EQ(sim_run->run.adjacency_requests,
+              loop_run->run.adjacency_requests)
+        << name;
+    EXPECT_EQ(sim_run->run.prefetch_round_trips,
+              loop_run->run.prefetch_round_trips)
+        << name;
+    EXPECT_EQ(sim_run->run.prefetch_bytes, loop_run->run.prefetch_bytes)
+        << name;
+  }
+}
+
+TEST(TransportValidationTest, RunBenuRejectsRelabelWithTransport) {
+  Graph g = MakeCycle(6);
+  BenuOptions options = TransportRunOptions(MakeLoopbackTransport(g, 2));
+  options.relabel_by_degree = true;
+  Graph pattern = std::move(GetPattern("triangle")).value();
+  auto result = RunBenu(g, pattern, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TransportValidationTest, RunBenuRejectsVertexCountMismatch) {
+  Graph g = MakeCycle(6);
+  Graph other = MakeCycle(9);
+  BenuOptions options = TransportRunOptions(MakeLoopbackTransport(other, 2));
+  Graph pattern = std::move(GetPattern("triangle")).value();
+  auto result = RunBenu(g, pattern, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- TCP --------------------------------------------------------------
+
+TEST(ParseEndpointsTest, GoodAndBad) {
+  auto two = ParseEndpoints("127.0.0.1:9001,localhost:80");
+  ASSERT_TRUE(two.ok());
+  ASSERT_EQ(two->size(), 2u);
+  EXPECT_EQ((*two)[0].host, "127.0.0.1");
+  EXPECT_EQ((*two)[0].port, 9001);
+  EXPECT_EQ((*two)[1].host, "localhost");
+  EXPECT_EQ((*two)[1].port, 80);
+  EXPECT_FALSE(ParseEndpoints("").ok());
+  EXPECT_FALSE(ParseEndpoints("hostonly").ok());
+  EXPECT_FALSE(ParseEndpoints("host:notaport").ok());
+  EXPECT_FALSE(ParseEndpoints("host:99999").ok());
+}
+
+class TcpTransportTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kPartitions = 4;
+  static constexpr size_t kServers = 2;
+
+  void SetUp() override {
+    graph_ = std::move(GenerateBarabasiAlbert(80, 3, /*seed=*/13)).value();
+    for (size_t i = 0; i < kServers; ++i) {
+      servers_.push_back(std::make_unique<KvTcpServer>(
+          &graph_, kPartitions, kServers, i));
+      ASSERT_TRUE(servers_.back()->Listen(0).ok());
+      ASSERT_TRUE(servers_.back()->Start().ok());
+      endpoints_.push_back({"127.0.0.1", servers_.back()->port()});
+    }
+  }
+
+  Graph graph_;
+  std::vector<std::unique_ptr<KvTcpServer>> servers_;
+  std::vector<Endpoint> endpoints_;
+};
+
+TEST_F(TcpTransportTest, MatchesSimulatedBackend) {
+  auto tcp = ConnectTcpTransport(endpoints_);
+  ASSERT_TRUE(tcp.ok()) << tcp.status().ToString();
+  EXPECT_STREQ((*tcp)->name(), "tcp");
+  auto sim = MakeSimulatedTransport(graph_, kPartitions);
+  ExpectSameBehavior(*sim, **tcp);
+  // The servers actually did the work: every key served exactly once
+  // per request, split across the two processes' scopes.
+  auto stats0 = QueryServerStats(**tcp, 0);
+  auto stats1 = QueryServerStats(**tcp, 1);
+  ASSERT_TRUE(stats0.ok());
+  ASSERT_TRUE(stats1.ok());
+  EXPECT_GT(stats0->keys_served, 0u);
+  EXPECT_GT(stats1->keys_served, 0u);
+  EXPECT_GT(stats0->bytes_sent, 0u);
+}
+
+TEST_F(TcpTransportTest, ClusterRunOverTcpMatchesSim) {
+  Graph relabeled = graph_.RelabelByDegree();
+  // The TCP servers must serve the same labeling the enumeration uses.
+  std::vector<std::unique_ptr<KvTcpServer>> servers;
+  std::vector<Endpoint> endpoints;
+  for (size_t i = 0; i < kServers; ++i) {
+    servers.push_back(std::make_unique<KvTcpServer>(
+        &relabeled, kPartitions, kServers, i));
+    ASSERT_TRUE(servers.back()->Listen(0).ok());
+    ASSERT_TRUE(servers.back()->Start().ok());
+    endpoints.push_back({"127.0.0.1", servers.back()->port()});
+  }
+  auto tcp = ConnectTcpTransport(endpoints);
+  ASSERT_TRUE(tcp.ok()) << tcp.status().ToString();
+
+  Graph pattern = std::move(GetPattern("q5")).value();
+  auto sim_run = RunBenu(relabeled, pattern, TransportRunOptions(nullptr));
+  ASSERT_TRUE(sim_run.ok()) << sim_run.status().ToString();
+  auto tcp_run = RunBenu(relabeled, pattern, TransportRunOptions(*tcp));
+  ASSERT_TRUE(tcp_run.ok()) << tcp_run.status().ToString();
+  EXPECT_EQ(sim_run->run.total_matches, tcp_run->run.total_matches);
+  EXPECT_EQ(sim_run->run.db_queries, tcp_run->run.db_queries);
+  EXPECT_EQ(sim_run->run.bytes_fetched, tcp_run->run.bytes_fetched);
+}
+
+TEST_F(TcpTransportTest, RejectsMisorderedEndpoints) {
+  // Endpoint 0 must be server 0; swapping the list breaks the handshake.
+  std::vector<Endpoint> swapped{endpoints_[1], endpoints_[0]};
+  auto tcp = ConnectTcpTransport(swapped);
+  EXPECT_FALSE(tcp.ok());
+  EXPECT_EQ(tcp.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TcpTransportTest, RejectsWrongServerCount) {
+  // A single endpoint claims a 2-server layout: num_servers mismatch.
+  std::vector<Endpoint> one{endpoints_[0]};
+  auto tcp = ConnectTcpTransport(one);
+  EXPECT_FALSE(tcp.ok());
+  EXPECT_EQ(tcp.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace benu
