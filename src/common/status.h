@@ -19,6 +19,13 @@ enum class StatusCode {
   kResourceExhausted,
   kInternal,
   kIoError,
+  /// The peer is gone (connection closed/refused); retrying against a
+  /// replica may succeed. Distinct from kIoError so retry logic can tell
+  /// a closed connection from a corrupt one.
+  kUnavailable,
+  /// An operation ran out of its time budget (socket timeouts, request
+  /// deadlines).
+  kDeadlineExceeded,
 };
 
 /// A lightweight success-or-error result. Cheap to copy in the OK case.
@@ -50,6 +57,12 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

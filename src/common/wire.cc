@@ -1,5 +1,7 @@
 #include "common/wire.h"
 
+#include "common/logging.h"
+
 namespace benu::wire {
 namespace {
 
@@ -60,11 +62,13 @@ void AppendHelloRequest(std::vector<uint8_t>* out) {
 }
 
 void AppendHelloReply(const HelloInfo& info, std::vector<uint8_t>* out) {
-  AppendHeader(MessageType::kHelloReply, 0, 16, out);
+  AppendHeader(MessageType::kHelloReply, 0, 24, out);
   AppendU32(info.num_vertices, out);
   AppendU32(info.num_partitions, out);
   AppendU32(info.num_servers, out);
   AppendU32(info.server_index, out);
+  AppendU32(info.replica_index, out);
+  AppendU32(info.num_replicas, out);
 }
 
 void AppendGetRequest(VertexId key, std::vector<uint8_t>* out) {
@@ -104,6 +108,30 @@ void AppendError(StatusCode code, const std::string& message,
   AppendHeader(MessageType::kError, static_cast<uint32_t>(code),
                static_cast<uint32_t>(message.size()), out);
   out->insert(out->end(), message.begin(), message.end());
+}
+
+void SetFrameTag(std::span<uint8_t> frame, uint16_t tag) {
+  BENU_CHECK(frame.size() >= kHeaderBytes) << "frame shorter than header";
+  frame[6] = static_cast<uint8_t>(tag);
+  frame[7] = static_cast<uint8_t>(tag >> 8);
+}
+
+uint16_t FrameTag(std::span<const uint8_t> frame) {
+  BENU_CHECK(frame.size() >= kHeaderBytes) << "frame shorter than header";
+  return ReadU16(frame.data() + 6);
+}
+
+void TagFrames(std::span<uint8_t> frames, uint16_t tag) {
+  while (!frames.empty()) {
+    BENU_CHECK(frames.size() >= kHeaderBytes)
+        << "truncated frame in reply sequence";
+    const uint32_t payload = ReadU32(frames.data() + 12);
+    const size_t frame_bytes = kHeaderBytes + payload;
+    BENU_CHECK(frames.size() >= frame_bytes)
+        << "truncated frame payload in reply sequence";
+    SetFrameTag(frames, tag);
+    frames = frames.subspan(frame_bytes);
+  }
 }
 
 StatusOr<Frame> DecodeFrame(std::span<const uint8_t> buffer) {
@@ -177,14 +205,18 @@ StatusOr<HelloInfo> DecodeHelloReply(const Frame& frame) {
   if (frame.header.type != MessageType::kHelloReply) {
     return WrongType("kHelloReply", frame);
   }
-  if (frame.payload.size() != 16) {
-    return Status::InvalidArgument("hello payload must be 16 bytes");
+  if (frame.payload.size() != 16 && frame.payload.size() != 24) {
+    return Status::InvalidArgument("hello payload must be 16 or 24 bytes");
   }
   HelloInfo info;
   info.num_vertices = ReadU32(frame.payload.data());
   info.num_partitions = ReadU32(frame.payload.data() + 4);
   info.num_servers = ReadU32(frame.payload.data() + 8);
   info.server_index = ReadU32(frame.payload.data() + 12);
+  if (frame.payload.size() == 24) {
+    info.replica_index = ReadU32(frame.payload.data() + 16);
+    info.num_replicas = ReadU32(frame.payload.data() + 20);
+  }
   return info;
 }
 

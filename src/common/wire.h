@@ -25,10 +25,20 @@ namespace benu::wire {
 //   offset  0  u32  magic          0x42454E55 ("BENU")
 //   offset  4  u8   version        kVersion
 //   offset  5  u8   type           MessageType
-//   offset  6  u16  flags          0 (reserved)
+//   offset  6  u16  flags          request tag (see below; 0 = untagged)
 //   offset  8  u32  aux            type-specific immediate (see below)
 //   offset 12  u32  payload_bytes  bytes following the header
 //   offset 16  ...  payload
+//
+// Request tags: the formerly reserved `flags` field carries an opaque
+// per-request tag chosen by the client (`aux` already carries key/count
+// semantics). A server echoes the request's tag into every reply frame
+// it emits for that request, so a pipelined client with several requests
+// in flight on one connection can demux replies and detect connection
+// desync (a reply whose tag does not match the oldest in-flight request
+// means the stream is corrupt and the connection must be torn down).
+// Strict request/reply clients send tag 0 and ignore reply tags — the
+// protocol version is unchanged.
 //
 // The 16-byte header is deliberately the simulator's modeled per-reply
 // overhead (DistributedKvStore::kReplyOverheadBytes): an adjacency reply
@@ -42,7 +52,9 @@ inline constexpr size_t kHeaderBytes = 16;
 
 enum class MessageType : uint8_t {
   /// Handshake. Request: empty. Reply payload: u32 num_vertices,
-  /// u32 num_partitions, u32 num_servers, u32 server_index.
+  /// u32 num_partitions, u32 num_servers, u32 server_index, and (since
+  /// the replica extension) u32 replica_index, u32 num_replicas. Decoders
+  /// accept the legacy 16-byte payload and default to replica 0 of 1.
   kHelloRequest = 1,
   kHelloReply = 2,
   /// Single get. Request: aux = key, empty payload. Reply (kGetReply):
@@ -78,12 +90,16 @@ struct Frame {
   size_t frame_bytes = 0;
 };
 
-/// Handshake contents served by kHelloReply.
+/// Handshake contents served by kHelloReply. A "replica" is one of
+/// several interchangeable server processes serving the same partition
+/// share (server_index); clients fail over between replicas of a group.
 struct HelloInfo {
   uint32_t num_vertices = 0;
   uint32_t num_partitions = 0;
   uint32_t num_servers = 0;
   uint32_t server_index = 0;
+  uint32_t replica_index = 0;
+  uint32_t num_replicas = 1;
 };
 
 /// Server-side serving statistics carried by kStatsReply.
@@ -114,6 +130,21 @@ void AppendStatsRequest(std::vector<uint8_t>* out);
 void AppendStatsReply(const ServerStats& stats, std::vector<uint8_t>* out);
 void AppendError(StatusCode code, const std::string& message,
                  std::vector<uint8_t>* out);
+
+// --- request tags -----------------------------------------------------
+
+/// Stamps the tag (flags field) of the single frame at the front of
+/// `frame`. The frame must at least hold a full header.
+void SetFrameTag(std::span<uint8_t> frame, uint16_t tag);
+
+/// Reads the tag of the frame at the front of `frame`.
+uint16_t FrameTag(std::span<const uint8_t> frame);
+
+/// Stamps `tag` into every frame of a well-formed frame sequence (used
+/// by servers to echo a request's tag onto all of its reply frames).
+/// The sequence must consist of complete frames — it is the server's own
+/// freshly encoded output, so a malformed sequence is a bug (CHECK).
+void TagFrames(std::span<uint8_t> frames, uint16_t tag);
 
 // --- decoding ---------------------------------------------------------
 

@@ -17,16 +17,35 @@
 // against them, re-runs on the simulated backend and CHECKs that the
 // match counts agree. --expect-matches=N CHECKs an absolute count.
 // Prints "MATCHES <count>" on success.
+//
+// Fault-tolerance knobs:
+//   --replicas=R          spawn R replicas per server index (R*K child
+//                         processes); the client fails over between the
+//                         replicas of a group when one dies
+//   --kill-one-after-ms=N SIGKILL the first spawned server N ms into the
+//                         enumeration (the fault-injection smoke test:
+//                         with --replicas>=2 the run must still finish
+//                         with the correct match count via failover)
+//   --endpoints accepts the replica syntax "h:p|h:p,h:p" (',' separates
+//   server indexes, '|' separates replicas of one index).
+//
+// Spawned servers can never outlive the driver: children ask the kernel
+// for SIGKILL on parent death (PR_SET_PDEATHSIG) and an atexit handler
+// kills and reaps them on every normal exit path.
 
 #include <libgen.h>
+#include <sys/prctl.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.h"
@@ -64,6 +83,29 @@ struct ServerProcess {
   uint16_t port = 0;
 };
 
+/// Every child spawned so far, visible to the atexit cleanup handler so
+/// an early exit (failed connect, CHECK failure before the explicit
+/// KillServers, --expect-matches mismatch) cannot leave orphan or zombie
+/// benu_kv_server processes behind.
+std::vector<ServerProcess>& SpawnedRegistry() {
+  static std::vector<ServerProcess> registry;
+  return registry;
+}
+
+void KillServers(std::vector<ServerProcess>& servers) {
+  for (auto& s : servers) {
+    if (s.pid > 0) kill(s.pid, SIGTERM);
+  }
+  for (auto& s : servers) {
+    if (s.pid > 0) {
+      waitpid(s.pid, nullptr, 0);
+      s.pid = -1;  // reaped: the atexit handler must not touch it again
+    }
+  }
+}
+
+void CleanupSpawnedAtExit() { KillServers(SpawnedRegistry()); }
+
 /// Directory holding this binary (and benu_kv_server next to it).
 std::string SelfDir() {
   char buf[4096];
@@ -77,12 +119,18 @@ std::string SelfDir() {
 /// its stdout so ephemeral ports work.
 ServerProcess SpawnServer(const std::string& binary,
                           const std::string& graph_spec, size_t partitions,
-                          size_t servers, size_t index) {
+                          size_t servers, size_t index, size_t replica,
+                          size_t replicas) {
   int pipefd[2];
   BENU_CHECK(pipe(pipefd) == 0) << "pipe failed";
+  const pid_t parent = getpid();
   const pid_t pid = fork();
   BENU_CHECK(pid >= 0) << "fork failed";
   if (pid == 0) {
+    // Die with the driver: atexit does not run when a BENU_CHECK aborts
+    // the parent, but the kernel delivers this signal unconditionally.
+    prctl(PR_SET_PDEATHSIG, SIGKILL);
+    if (getppid() != parent) _exit(127);  // parent died before the prctl
     close(pipefd[0]);
     dup2(pipefd[1], STDOUT_FILENO);
     close(pipefd[1]);
@@ -90,9 +138,12 @@ ServerProcess SpawnServer(const std::string& binary,
     const std::string part_arg = "--partitions=" + std::to_string(partitions);
     const std::string servers_arg = "--servers=" + std::to_string(servers);
     const std::string index_arg = "--index=" + std::to_string(index);
+    const std::string replica_arg = "--replica=" + std::to_string(replica);
+    const std::string replicas_arg = "--replicas=" + std::to_string(replicas);
     execl(binary.c_str(), binary.c_str(), graph_arg.c_str(),
           part_arg.c_str(), servers_arg.c_str(), index_arg.c_str(),
-          "--port=0", "--relabel=1", static_cast<char*>(nullptr));
+          replica_arg.c_str(), replicas_arg.c_str(), "--port=0",
+          "--relabel=1", static_cast<char*>(nullptr));
     std::perror("execl benu_kv_server");
     _exit(127);
   }
@@ -114,15 +165,6 @@ ServerProcess SpawnServer(const std::string& binary,
   // Leave the pipe open: the child's stdout stays valid for its
   // lifetime, and we only needed the first line.
   return proc;
-}
-
-void KillServers(const std::vector<ServerProcess>& servers) {
-  for (const auto& s : servers) {
-    if (s.pid > 0) kill(s.pid, SIGTERM);
-  }
-  for (const auto& s : servers) {
-    if (s.pid > 0) waitpid(s.pid, nullptr, 0);
-  }
 }
 
 Count RunOnce(const Graph& graph, const Graph& pattern,
@@ -155,6 +197,10 @@ int main(int argc, char** argv) {
       FlagValue(argc, argv, "--threads-per-worker", "2"), nullptr, 10);
   const size_t spawn_servers = std::strtoul(
       FlagValue(argc, argv, "--spawn-servers", "0"), nullptr, 10);
+  const size_t replicas = std::max<size_t>(
+      1, std::strtoul(FlagValue(argc, argv, "--replicas", "1"), nullptr, 10));
+  const long kill_one_after_ms = std::atol(
+      FlagValue(argc, argv, "--kill-one-after-ms", "-1"));
   std::string transport_name =
       FlagValue(argc, argv, "--transport", spawn_servers > 0 ? "tcp" : "sim");
   const std::string endpoints_spec = FlagValue(argc, argv, "--endpoints", "");
@@ -171,29 +217,34 @@ int main(int argc, char** argv) {
                               << pattern_or.status().ToString();
   const Graph& pattern = *pattern_or;
 
-  std::vector<ServerProcess> spawned;
+  std::vector<ServerProcess>& spawned = SpawnedRegistry();
+  std::atexit(CleanupSpawnedAtExit);
   std::shared_ptr<Transport> transport;
   if (transport_name == "sim") {
     transport = nullptr;  // RunBenu builds the simulated store itself.
   } else if (transport_name == "loopback") {
     transport = MakeLoopbackTransport(graph, partitions);
   } else if (transport_name == "tcp") {
-    std::vector<Endpoint> endpoints;
+    std::vector<ReplicaGroup> groups;
     if (spawn_servers > 0) {
       const std::string server_binary = SelfDir() + "/benu_kv_server";
       for (size_t i = 0; i < spawn_servers; ++i) {
-        spawned.push_back(SpawnServer(server_binary, graph_spec, partitions,
-                                      spawn_servers, i));
-        endpoints.push_back({"127.0.0.1", spawned.back().port});
+        ReplicaGroup group;
+        for (size_t r = 0; r < replicas; ++r) {
+          spawned.push_back(SpawnServer(server_binary, graph_spec,
+                                        partitions, spawn_servers, i, r,
+                                        replicas));
+          group.replicas.push_back({"127.0.0.1", spawned.back().port});
+        }
+        groups.push_back(std::move(group));
       }
     } else {
-      auto parsed = ParseEndpoints(endpoints_spec);
+      auto parsed = ParseReplicaGroups(endpoints_spec);
       BENU_CHECK(parsed.ok()) << "--endpoints: "
                               << parsed.status().ToString();
-      endpoints = *parsed;
+      groups = *parsed;
     }
-    auto connected = ConnectTcpTransport(endpoints);
-    if (!connected.ok()) KillServers(spawned);
+    auto connected = ConnectTcpTransport(groups);
     BENU_CHECK(connected.ok()) << "connect: "
                                << connected.status().ToString();
     transport = *connected;
@@ -202,8 +253,28 @@ int main(int argc, char** argv) {
                       << " (sim|loopback|tcp)";
   }
 
+  // Fault injection: SIGKILL the first spawned server (group 0's first
+  // replica — the one the client connected to) mid-enumeration. With
+  // --replicas>=2 the transport must fail over and finish correctly.
+  std::thread killer;
+  if (kill_one_after_ms >= 0) {
+    BENU_CHECK(!spawned.empty())
+        << "--kill-one-after-ms requires --spawn-servers";
+    killer = std::thread([kill_one_after_ms] {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(kill_one_after_ms));
+      ServerProcess& victim = SpawnedRegistry().front();
+      if (victim.pid > 0) {
+        std::fprintf(stderr, "fault-injection: SIGKILL server pid %d\n",
+                     static_cast<int>(victim.pid));
+        kill(victim.pid, SIGKILL);
+      }
+    });
+  }
+
   const Count matches = RunOnce(graph, pattern, transport, partitions,
                                 workers, threads_per_worker);
+  if (killer.joinable()) killer.join();
 
   if (transport != nullptr) {
     const TransportStats& ts = transport->stats();
@@ -215,6 +286,16 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(ts.batch_gets.load()),
                  static_cast<unsigned long long>(ts.round_trips.load()),
                  static_cast<unsigned long long>(ts.bytes.load()));
+    auto faults = QueryTcpFaultStats(*transport);
+    if (faults.ok()) {
+      std::fprintf(stderr,
+                   "transport.tcp.faults: retries=%llu failovers=%llu "
+                   "timeouts=%llu reconnects=%llu\n",
+                   static_cast<unsigned long long>(faults->retries),
+                   static_cast<unsigned long long>(faults->failovers),
+                   static_cast<unsigned long long>(faults->timeouts),
+                   static_cast<unsigned long long>(faults->reconnects));
+    }
   }
 
   // Drop the TCP connections before killing the servers.

@@ -9,7 +9,11 @@
 // band; --relabel must match the driver's relabeling choice.
 //
 //   benu_kv_server --graph=ba:200,5,21 --partitions=8 --servers=2 \
-//       --index=0 [--port=0] [--relabel=1]
+//       --index=0 [--port=0] [--relabel=1] [--replica=0 --replicas=1]
+//
+// --replica/--replicas identify this process among interchangeable
+// replicas of the same server index (clients fail over between them);
+// replicas serve identical data, so they take the same --graph/--index.
 //
 // Prints "LISTENING port=<port>" on stdout once accepting (the driver's
 // --spawn-servers parses this), then serves until killed.
@@ -54,6 +58,10 @@ int main(int argc, char** argv) {
       std::strtoul(FlagValue(argc, argv, "--servers", "1"), nullptr, 10);
   const size_t index =
       std::strtoul(FlagValue(argc, argv, "--index", "0"), nullptr, 10);
+  const size_t replica =
+      std::strtoul(FlagValue(argc, argv, "--replica", "0"), nullptr, 10);
+  const size_t replicas =
+      std::strtoul(FlagValue(argc, argv, "--replicas", "1"), nullptr, 10);
   const bool relabel = std::atoi(FlagValue(argc, argv, "--relabel", "1")) != 0;
 
   auto graph_or = GenerateFromSpec(graph_spec);
@@ -62,7 +70,7 @@ int main(int argc, char** argv) {
   Graph graph = relabel ? graph_or->RelabelByDegree()
                         : std::move(graph_or).value();
 
-  KvTcpServer server(&graph, partitions, servers, index);
+  KvTcpServer server(&graph, partitions, servers, index, replica, replicas);
   auto listen = server.Listen(static_cast<uint16_t>(port));
   BENU_CHECK(listen.ok()) << listen.ToString();
   auto start = server.Start();

@@ -8,14 +8,21 @@ namespace benu {
 
 KvPartitionServer::KvPartitionServer(const Graph* graph,
                                      size_t num_partitions,
-                                     size_t num_servers, size_t server_index)
+                                     size_t num_servers, size_t server_index,
+                                     size_t replica_index,
+                                     size_t num_replicas)
     : graph_(graph),
       num_partitions_(num_partitions == 0 ? 1 : num_partitions),
       num_servers_(num_servers == 0 ? 1 : num_servers),
-      server_index_(server_index) {
+      server_index_(server_index),
+      replica_index_(replica_index),
+      num_replicas_(num_replicas == 0 ? 1 : num_replicas) {
   BENU_CHECK(server_index_ < num_servers_)
       << "server index " << server_index_ << " out of range (servers: "
       << num_servers_ << ")";
+  BENU_CHECK(replica_index_ < num_replicas_)
+      << "replica index " << replica_index_ << " out of range (replicas: "
+      << num_replicas_ << ")";
 }
 
 bool KvPartitionServer::AppendOneReply(VertexId v,
@@ -41,6 +48,11 @@ void KvPartitionServer::HandleFrame(std::span<const uint8_t> frame,
   if (!decoded.ok()) {
     wire::AppendError(decoded.status().code(), decoded.status().message(),
                       out);
+    // A frame that failed to decode may still carry a readable tag; echo
+    // it so a pipelined client can attribute the error.
+    const uint16_t garbage_tag =
+        frame.size() >= wire::kHeaderBytes ? wire::FrameTag(frame) : 0;
+    wire::TagFrames(std::span<uint8_t>(*out).subspan(out_start), garbage_tag);
     bytes_sent_.fetch_add(out->size() - out_start,
                           std::memory_order_relaxed);
     return;
@@ -52,6 +64,8 @@ void KvPartitionServer::HandleFrame(std::span<const uint8_t> frame,
       info.num_partitions = static_cast<uint32_t>(num_partitions_);
       info.num_servers = static_cast<uint32_t>(num_servers_);
       info.server_index = static_cast<uint32_t>(server_index_);
+      info.replica_index = static_cast<uint32_t>(replica_index_);
+      info.num_replicas = static_cast<uint32_t>(num_replicas_);
       wire::AppendHelloReply(info, out);
       break;
     }
@@ -89,6 +103,10 @@ void KvPartitionServer::HandleFrame(std::span<const uint8_t> frame,
               std::to_string(static_cast<int>(decoded->header.type)),
           out);
   }
+  // Echo the request's tag onto every reply frame so pipelined clients
+  // can demux replies of interleaved in-flight requests.
+  wire::TagFrames(std::span<uint8_t>(*out).subspan(out_start),
+                  decoded->header.flags);
   bytes_sent_.fetch_add(out->size() - out_start, std::memory_order_relaxed);
 }
 

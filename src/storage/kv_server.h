@@ -31,12 +31,18 @@ class KvPartitionServer {
  public:
   /// `graph` must outlive the server (already degree-relabeled when the
   /// enumeration side relabels — both sides must agree on the labeling).
+  /// `replica_index`/`num_replicas` identify this process among the
+  /// interchangeable replicas serving the same partition share; they are
+  /// reported in the hello reply so clients can log failover targets.
   KvPartitionServer(const Graph* graph, size_t num_partitions,
-                    size_t num_servers, size_t server_index);
+                    size_t num_servers, size_t server_index,
+                    size_t replica_index = 0, size_t num_replicas = 1);
 
   /// Handles one request frame, appending the reply frame(s) to `out`.
   /// Malformed frames, unknown types and out-of-scope keys produce a
   /// kError reply — the server never crashes on bad input from the wire.
+  /// Every appended reply frame echoes the request frame's tag (wire
+  /// `flags` field), so pipelined clients can demux replies.
   void HandleFrame(std::span<const uint8_t> frame, std::vector<uint8_t>* out);
 
   /// True iff vertex v's partition is assigned to this server.
@@ -54,6 +60,8 @@ class KvPartitionServer {
   size_t num_partitions() const { return num_partitions_; }
   size_t num_servers() const { return num_servers_; }
   size_t server_index() const { return server_index_; }
+  size_t replica_index() const { return replica_index_; }
+  size_t num_replicas() const { return num_replicas_; }
 
  private:
   /// Appends the kGetReply frame for one served key (or kError when the
@@ -64,6 +72,8 @@ class KvPartitionServer {
   size_t num_partitions_;
   size_t num_servers_;
   size_t server_index_;
+  size_t replica_index_;
+  size_t num_replicas_;
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> keys_served_{0};
   std::atomic<uint64_t> bytes_sent_{0};

@@ -1,12 +1,15 @@
 #include "storage/socket_io.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -19,6 +22,25 @@ namespace {
 
 Status Errno(const std::string& what) {
   return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+/// Waits for `events` (POLLIN/POLLOUT) on the fd for up to timeout_ms
+/// (-1 = forever). POLLHUP/POLLERR also count as ready — the following
+/// recv/send surfaces the actual condition.
+Status WaitFor(int fd, short events, int timeout_ms) {
+  pollfd pfd{fd, events, 0};
+  for (;;) {
+    const int rc = poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (rc == 0) {
+      return Status::DeadlineExceeded("socket made no progress for " +
+                                      std::to_string(timeout_ms) + "ms");
+    }
+    return Status::OK();
+  }
 }
 
 /// One connect attempt; returns the fd or an error.
@@ -45,7 +67,10 @@ StatusOr<int> TryConnectOnce(const std::string& host, uint16_t port) {
       setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       return fd;
     }
-    last = Errno("connect to " + host + ":" + port_str);
+    last = errno == ECONNREFUSED
+               ? Status::Unavailable("connect to " + host + ":" + port_str +
+                                     ": connection refused")
+               : Errno("connect to " + host + ":" + port_str);
     CloseFd(fd);
   }
   freeaddrinfo(res);
@@ -58,21 +83,42 @@ StatusOr<int> TcpConnect(const std::string& host, uint16_t port,
                          int timeout_ms) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
+  auto backoff = std::chrono::milliseconds(10);
   for (;;) {
     auto fd = TryConnectOnce(host, port);
     if (fd.ok()) return fd;
-    if (std::chrono::steady_clock::now() >= deadline) return fd;
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return fd;
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    std::this_thread::sleep_for(std::min(backoff, remaining));
+    backoff = std::min(backoff * 2, std::chrono::milliseconds(320));
   }
 }
 
-Status WriteAll(int fd, std::span<const uint8_t> data) {
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(F_SETFL, O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+Status WriteAll(int fd, std::span<const uint8_t> data, int timeout_ms) {
   size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n =
         send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        BENU_RETURN_IF_ERROR(WaitFor(fd, POLLOUT, timeout_ms));
+        continue;
+      }
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::Unavailable("connection closed by peer");
+      }
       return Errno("send");
     }
     sent += static_cast<size_t>(n);
@@ -80,25 +126,35 @@ Status WriteAll(int fd, std::span<const uint8_t> data) {
   return Status::OK();
 }
 
-Status ReadExact(int fd, uint8_t* buf, size_t n) {
+Status ReadExact(int fd, uint8_t* buf, size_t n, int timeout_ms) {
   size_t got = 0;
   while (got < n) {
     const ssize_t r = recv(fd, buf + got, n - got, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        BENU_RETURN_IF_ERROR(WaitFor(fd, POLLIN, timeout_ms));
+        continue;
+      }
+      if (errno == ECONNRESET) {
+        return Status::Unavailable("connection closed by peer");
+      }
       return Errno("recv");
     }
     if (r == 0) {
-      return Status::IoError("connection closed mid-frame");
+      // Peer EOF: not an IO error — the socket is simply gone. Retry
+      // logic treats this as grounds for reconnect/failover.
+      return Status::Unavailable("connection closed by peer");
     }
     got += static_cast<size_t>(r);
   }
   return Status::OK();
 }
 
-Status ReadWireFrame(int fd, std::vector<uint8_t>* buf) {
+Status ReadWireFrame(int fd, std::vector<uint8_t>* buf, int timeout_ms) {
   buf->resize(wire::kHeaderBytes);
-  BENU_RETURN_IF_ERROR(ReadExact(fd, buf->data(), wire::kHeaderBytes));
+  BENU_RETURN_IF_ERROR(ReadExact(fd, buf->data(), wire::kHeaderBytes,
+                                 timeout_ms));
   const uint8_t* p = buf->data();
   const uint32_t magic = static_cast<uint32_t>(p[0]) |
                          static_cast<uint32_t>(p[1]) << 8 |
@@ -118,7 +174,7 @@ Status ReadWireFrame(int fd, std::vector<uint8_t>* buf) {
     return Status::InvalidArgument("frame payload too large");
   }
   buf->resize(wire::kHeaderBytes + payload);
-  return ReadExact(fd, buf->data() + wire::kHeaderBytes, payload);
+  return ReadExact(fd, buf->data() + wire::kHeaderBytes, payload, timeout_ms);
 }
 
 void CloseFd(int fd) {

@@ -10,27 +10,42 @@
 
 namespace benu::net {
 
-/// Blocking POSIX socket helpers shared by the TCP transport (client
-/// side) and KvTcpServer (server side). All calls retry on EINTR and
-/// translate errno failures into kIoError statuses.
+/// POSIX socket helpers shared by the TCP transport (client side) and
+/// KvTcpServer (server side). All calls retry on EINTR and translate
+/// errno failures into kIoError statuses; a peer that closed the
+/// connection is reported as kUnavailable ("connection closed by peer")
+/// so retry logic can tell closed from corrupt, and an expired time
+/// budget as kDeadlineExceeded.
+///
+/// Every read/write takes a `timeout_ms` *no-progress* budget: the call
+/// fails with kDeadlineExceeded if the fd makes no forward progress for
+/// that long (each completed recv/send resets the clock). Pass -1 to
+/// wait forever. Timeouts are poll-based and work on blocking and
+/// non-blocking fds alike; only non-blocking fds can actually be
+/// interrupted mid-syscall by a concurrent shutdown(), so connections
+/// managed by the pipelined transport are switched to non-blocking.
 
-/// Connects to host:port (numeric IP or resolvable name), retrying until
-/// `timeout_ms` elapses — servers may still be binding when the client
-/// starts. Returns the connected fd with TCP_NODELAY set (the protocol is
-/// request/reply; Nagle would serialize round trips).
+/// Connects to host:port (numeric IP or resolvable name), retrying with
+/// exponential backoff until `timeout_ms` elapses — servers may still be
+/// binding when the client starts. Returns the connected fd with
+/// TCP_NODELAY set (the protocol is request/reply; Nagle would serialize
+/// round trips).
 StatusOr<int> TcpConnect(const std::string& host, uint16_t port,
                          int timeout_ms);
 
-/// Writes the whole span.
-Status WriteAll(int fd, std::span<const uint8_t> data);
+/// Sets O_NONBLOCK on the fd.
+Status SetNonBlocking(int fd);
 
-/// Reads exactly n bytes; EOF before n bytes is an error.
-Status ReadExact(int fd, uint8_t* buf, size_t n);
+/// Writes the whole span.
+Status WriteAll(int fd, std::span<const uint8_t> data, int timeout_ms = -1);
+
+/// Reads exactly n bytes. EOF before n bytes yields kUnavailable.
+Status ReadExact(int fd, uint8_t* buf, size_t n, int timeout_ms = -1);
 
 /// Reads one complete wire frame (common/wire.h) into `*buf` (replaced):
 /// header first, then the payload the header announces. Validates the
 /// magic and bounds the payload size before allocating.
-Status ReadWireFrame(int fd, std::vector<uint8_t>* buf);
+Status ReadWireFrame(int fd, std::vector<uint8_t>* buf, int timeout_ms = -1);
 
 /// close() that retries on EINTR; ignores errors (used in teardown).
 void CloseFd(int fd);

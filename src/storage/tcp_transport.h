@@ -18,27 +18,89 @@ struct Endpoint {
   uint16_t port = 0;
 };
 
+/// Interchangeable replicas of one server index: every replica serves the
+/// same partition share, so the client may use any of them and fail over
+/// between them when one dies.
+struct ReplicaGroup {
+  std::vector<Endpoint> replicas;
+};
+
 /// Parses "host:port[,host:port...]" (e.g. "127.0.0.1:9001,127.0.0.1:9002").
 StatusOr<std::vector<Endpoint>> ParseEndpoints(const std::string& spec);
 
-/// Connects to every endpoint, performs the hello handshake and validates
-/// the cluster layout: all servers must agree on num_vertices and
-/// num_partitions, report num_servers == endpoints.size(), and endpoint i
-/// must be server i (partition p is owned by endpoint p % num_servers).
-/// Retries each connection until `timeout_ms` elapses, so servers may
-/// still be starting when the client comes up.
+/// Parses a replica-aware endpoint spec: ',' separates server indexes,
+/// '|' separates the replicas of one index. "a:1|b:1,c:2" is two server
+/// groups — servers a:1 and b:1 are replicas of index 0, c:2 alone serves
+/// index 1. A plain "host:port,host:port" spec parses as single-replica
+/// groups, so every legacy endpoint list is a valid replica spec.
+StatusOr<std::vector<ReplicaGroup>> ParseReplicaGroups(
+    const std::string& spec);
+
+/// Fault-tolerance and pipelining knobs of the TCP transport.
+struct TcpTransportOptions {
+  /// Budget for establishing (or re-establishing) one connection,
+  /// including the hello handshake. Connect attempts against a starting
+  /// server are retried with exponential backoff within this budget.
+  int connect_timeout_ms = 5000;
+  /// No-progress budget per request: if a connection moves no bytes of a
+  /// pending reply for this long, the request fails with
+  /// kDeadlineExceeded and the connection is torn down.
+  int request_timeout_ms = 5000;
+  /// Attempts per logical request (1 initial + max_attempts-1 retries).
+  /// Each retry reconnects, rotating through the group's replicas.
+  int max_attempts = 3;
+  /// Backoff before the first retry; doubles per retry up to backoff_max.
+  int backoff_initial_ms = 10;
+  int backoff_max_ms = 500;
+  /// Per-connection in-flight request window. Submitters block once this
+  /// many requests are pending on one connection.
+  size_t max_inflight = 64;
+  /// When false, FetchBatch issues one partition request at a time and
+  /// awaits its reply before the next — the pre-pipelining behavior, kept
+  /// for A/B measurement (bench_pipeline). Fault tolerance is unaffected.
+  bool pipeline = true;
+};
+
+/// Snapshot of the transport's fault counters (process-lifetime values
+/// are also mirrored as transport.tcp.* in the metrics registry; this
+/// struct is the per-instance view, used by tests).
+struct TcpFaultStats {
+  uint64_t retries = 0;     ///< re-issued requests after transport errors
+  uint64_t failovers = 0;   ///< reconnects that landed on another replica
+  uint64_t timeouts = 0;    ///< request/connect deadline expiries
+  uint64_t reconnects = 0;  ///< successful connection re-establishments
+};
+
+/// Connects to one replica of every group, performs the hello handshake
+/// and validates the cluster layout: all servers must agree on
+/// num_vertices and num_partitions, report num_servers == groups.size(),
+/// and every replica of group i must be server i (partition p is owned by
+/// group p % num_servers). Layout violations fail immediately
+/// (InvalidArgument); unreachable replicas are retried within
+/// connect_timeout_ms, rotating through the group.
 ///
-/// The returned transport charges the same round-trip/byte accounting as
+/// The returned transport pipelines requests (tagged frames, one demuxing
+/// reader per connection), retries transient failures up to max_attempts
+/// with exponential backoff, and fails over to another replica of the
+/// group on connection errors. Round-trip/byte accounting is identical to
 /// the simulated and loopback backends — one round trip per partition per
 /// batch, wire-frame bytes per reply — so enumeration results and metrics
 /// are comparable across backends.
 StatusOr<std::shared_ptr<Transport>> ConnectTcpTransport(
+    const std::vector<ReplicaGroup>& groups,
+    const TcpTransportOptions& options = {});
+
+/// Single-replica convenience overload: endpoint i becomes group i.
+StatusOr<std::shared_ptr<Transport>> ConnectTcpTransport(
     const std::vector<Endpoint>& endpoints, int timeout_ms = 5000);
 
-/// Fetches the serving statistics of one server over its connection.
-/// The transport must have been created by ConnectTcpTransport.
+/// Fetches the serving statistics of the currently connected replica of
+/// one group. The transport must have been created by ConnectTcpTransport.
 StatusOr<wire::ServerStats> QueryServerStats(Transport& transport,
                                              size_t endpoint_index);
+
+/// Reads the fault counters of a TCP transport instance.
+StatusOr<TcpFaultStats> QueryTcpFaultStats(Transport& transport);
 
 }  // namespace benu
 

@@ -1,12 +1,23 @@
 #include "storage/transport.h"
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
 #include <memory>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/logging.h"
 #include "common/wire.h"
 #include "distributed/benu_driver.h"
 #include "graph/generators.h"
@@ -14,6 +25,7 @@
 #include "storage/kv_server.h"
 #include "storage/kv_store.h"
 #include "storage/kv_tcp_server.h"
+#include "storage/socket_io.h"
 #include "storage/tcp_transport.h"
 
 namespace benu {
@@ -416,6 +428,474 @@ TEST_F(TcpTransportTest, RejectsWrongServerCount) {
   EXPECT_FALSE(tcp.ok());
   EXPECT_EQ(tcp.status().code(), StatusCode::kInvalidArgument);
 }
+
+TEST_F(TcpTransportTest, ConcurrentFetchesPipelineCorrectly) {
+  // Several worker threads hammer one shared transport: replies must
+  // demux back to the right callers (tags), never interleave wrongly.
+  auto tcp = ConnectTcpTransport(endpoints_);
+  ASSERT_TRUE(tcp.ok()) << tcp.status().ToString();
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int iter = 0; iter < 40; ++iter) {
+        std::vector<VertexId> keys;
+        for (VertexId v = static_cast<VertexId>((t + iter) % 5);
+             v < graph_.NumVertices(); v += 5) {
+          keys.push_back(v);
+        }
+        auto batch = (*tcp)->FetchBatch(keys);
+        if (!batch.ok()) {
+          ++failures;
+          return;
+        }
+        for (size_t i = 0; i < keys.size(); ++i) {
+          VertexSetView expected = graph_.Adjacency(keys[i]);
+          const VertexSet got = *batch->values[i];
+          if (got != VertexSet(expected.begin(), expected.end())) {
+            ++failures;
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(TcpTransportTest, SerialModeMatchesSimulatedBackend) {
+  // pipeline=false is the A/B baseline bench_pipeline measures against;
+  // it must stay byte-for-byte equivalent too.
+  std::vector<ReplicaGroup> groups;
+  for (const Endpoint& ep : endpoints_) groups.push_back({{ep}});
+  TcpTransportOptions options;
+  options.pipeline = false;
+  auto tcp = ConnectTcpTransport(groups, options);
+  ASSERT_TRUE(tcp.ok()) << tcp.status().ToString();
+  auto sim = MakeSimulatedTransport(graph_, kPartitions);
+  ExpectSameBehavior(*sim, **tcp);
+}
+
+// --- request tags and replica hello -----------------------------------
+
+TEST(WireTest, FrameTagsRoundTripAcrossSequences) {
+  // A reply sequence (two adjacency frames + one error) all get the
+  // request's tag stamped; clients read it back per frame.
+  VertexSet adjacency{1, 2, 3};
+  std::vector<uint8_t> frames;
+  wire::AppendAdjacencyReply(4, VertexSetView(adjacency), &frames);
+  wire::AppendAdjacencyReply(6, VertexSetView(adjacency), &frames);
+  wire::AppendError(StatusCode::kOutOfRange, "nope", &frames);
+  wire::TagFrames(frames, 0x1234);
+
+  std::span<const uint8_t> rest = frames;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(wire::FrameTag(rest), 0x1234) << "frame " << i;
+    auto frame = wire::DecodeFrame(rest);
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(frame->header.flags, 0x1234);
+    rest = rest.subspan(frame->frame_bytes);
+  }
+  EXPECT_TRUE(rest.empty());
+
+  // SetFrameTag touches only the first frame of a buffer.
+  wire::SetFrameTag(frames, 7);
+  EXPECT_EQ(wire::FrameTag(frames), 7);
+  auto first = wire::DecodeFrame(frames);
+  ASSERT_TRUE(first.ok());
+  std::span<const uint8_t> second =
+      std::span<const uint8_t>(frames).subspan(first->frame_bytes);
+  EXPECT_EQ(wire::FrameTag(second), 0x1234);
+}
+
+TEST(WireTest, ServerEchoesRequestTagOnEveryReplyFrame) {
+  Graph g = MakeCycle(6);
+  KvPartitionServer server(&g, 2, 1, 0);
+  const VertexId keys[] = {0, 2, 4};
+  std::vector<uint8_t> request, reply;
+  wire::AppendBatchGetRequest(keys, &request);
+  wire::SetFrameTag(request, 99);
+  server.HandleFrame(request, &reply);
+  std::span<const uint8_t> rest = reply;
+  int frames = 0;
+  while (!rest.empty()) {
+    auto frame = wire::DecodeFrame(rest);
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(frame->header.flags, 99) << "reply frame " << frames;
+    rest = rest.subspan(frame->frame_bytes);
+    ++frames;
+  }
+  EXPECT_EQ(frames, 3);
+}
+
+TEST(WireTest, HelloCarriesReplicaFieldsAndAcceptsLegacyPayload) {
+  std::vector<uint8_t> buffer;
+  wire::HelloInfo info{100, 8, 2, 1, /*replica_index=*/2,
+                       /*num_replicas=*/3};
+  wire::AppendHelloReply(info, &buffer);
+  auto frame = wire::DecodeFrame(buffer);
+  ASSERT_TRUE(frame.ok());
+  auto hello = wire::DecodeHelloReply(*frame);
+  ASSERT_TRUE(hello.ok());
+  EXPECT_EQ(hello->replica_index, 2u);
+  EXPECT_EQ(hello->num_replicas, 3u);
+
+  // A legacy 16-byte hello payload (pre-replica protocol) still decodes,
+  // defaulting to replica 0 of 1.
+  std::vector<uint8_t> legacy;
+  wire::AppendHeader(wire::MessageType::kHelloReply, 0, 16, &legacy);
+  for (uint32_t word : {100u, 8u, 2u, 1u}) {
+    for (int b = 0; b < 4; ++b) {
+      legacy.push_back(static_cast<uint8_t>(word >> (8 * b)));
+    }
+  }
+  frame = wire::DecodeFrame(legacy);
+  ASSERT_TRUE(frame.ok());
+  hello = wire::DecodeHelloReply(*frame);
+  ASSERT_TRUE(hello.ok()) << hello.status().ToString();
+  EXPECT_EQ(hello->num_vertices, 100u);
+  EXPECT_EQ(hello->server_index, 1u);
+  EXPECT_EQ(hello->replica_index, 0u);
+  EXPECT_EQ(hello->num_replicas, 1u);
+}
+
+TEST(ParseReplicaGroupsTest, GoodAndBad) {
+  auto groups = ParseReplicaGroups("a:1|b:2,c:3");
+  ASSERT_TRUE(groups.ok()) << groups.status().ToString();
+  ASSERT_EQ(groups->size(), 2u);
+  ASSERT_EQ((*groups)[0].replicas.size(), 2u);
+  EXPECT_EQ((*groups)[0].replicas[0].host, "a");
+  EXPECT_EQ((*groups)[0].replicas[1].port, 2);
+  ASSERT_EQ((*groups)[1].replicas.size(), 1u);
+  EXPECT_EQ((*groups)[1].replicas[0].host, "c");
+  // Plain endpoint lists are valid single-replica specs.
+  auto plain = ParseReplicaGroups("x:1,y:2");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ((*plain)[0].replicas.size(), 1u);
+  EXPECT_FALSE(ParseReplicaGroups("").ok());
+  EXPECT_FALSE(ParseReplicaGroups("a:1|").ok());
+  EXPECT_FALSE(ParseReplicaGroups("a:1|noport,b:2").ok());
+}
+
+// --- socket error discrimination --------------------------------------
+
+TEST(SocketIoTest, PeerEofIsUnavailableNotIoError) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  net::CloseFd(fds[1]);  // peer goes away
+  uint8_t byte = 0;
+  const Status st = net::ReadExact(fds[0], &byte, 1);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable) << st.ToString();
+  net::CloseFd(fds[0]);
+}
+
+TEST(SocketIoTest, NoProgressReadTimesOutAsDeadlineExceeded) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(net::SetNonBlocking(fds[0]).ok());
+  uint8_t byte = 0;
+  const Status st = net::ReadExact(fds[0], &byte, 1, /*timeout_ms=*/50);
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded) << st.ToString();
+  net::CloseFd(fds[0]);
+  net::CloseFd(fds[1]);
+}
+
+// --- fault injection: misbehaving and dying servers -------------------
+
+/// A minimal hand-rolled TCP server speaking the wire protocol, with a
+/// scriptable fault: either it corrupts the key of the first batch reply
+/// it sends (then behaves), or it goes mute after the hello handshake.
+/// Serves connections sequentially — the client under test reconnects
+/// after tearing a connection down, so one at a time is all it needs.
+class ScriptedTcpServer {
+ public:
+  enum class Fault { kCorruptFirstBatchReply, kMuteAfterHello };
+
+  ScriptedTcpServer(const Graph* graph, size_t partitions, Fault fault)
+      : server_(graph, partitions, 1, 0), fault_(fault) {
+    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    BENU_CHECK(listen_fd_ >= 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    BENU_CHECK(bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    sizeof(addr)) == 0);
+    BENU_CHECK(listen(listen_fd_, 8) == 0);
+    socklen_t len = sizeof(addr);
+    BENU_CHECK(getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                           &len) == 0);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] { AcceptLoop(); });
+  }
+
+  ~ScriptedTcpServer() {
+    shutdown(listen_fd_, SHUT_RDWR);  // wakes the blocked accept
+    thread_.join();
+    net::CloseFd(listen_fd_);
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop() {
+    for (;;) {
+      const int fd = accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;
+      ServeConn(fd);
+      net::CloseFd(fd);
+    }
+  }
+
+  void ServeConn(int fd) {
+    std::vector<uint8_t> request, out;
+    for (;;) {
+      if (!net::ReadWireFrame(fd, &request).ok()) return;
+      auto frame = wire::DecodeFrame(request);
+      if (!frame.ok()) return;
+      const bool is_hello =
+          frame->header.type == wire::MessageType::kHelloRequest;
+      if (!is_hello && fault_ == Fault::kMuteAfterHello) continue;
+      out.clear();
+      server_.HandleFrame(request, &out);
+      if (!is_hello && !corrupted_ &&
+          fault_ == Fault::kCorruptFirstBatchReply &&
+          frame->header.type == wire::MessageType::kBatchGetRequest) {
+        out[8] ^= 0x01;  // flip the key (aux) of the first reply frame
+        corrupted_ = true;
+      }
+      if (!net::WriteAll(fd, out).ok()) return;
+    }
+  }
+
+  KvPartitionServer server_;
+  const Fault fault_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  bool corrupted_ = false;
+  std::thread thread_;
+};
+
+TcpTransportOptions FastRetryOptions() {
+  TcpTransportOptions options;
+  options.connect_timeout_ms = 2000;
+  options.request_timeout_ms = 2000;
+  options.backoff_initial_ms = 1;
+  options.backoff_max_ms = 10;
+  return options;
+}
+
+TEST(TcpFaultTest, RecoversFromMidBatchCorruptReply) {
+  // Regression for the stale-frame bug: a mid-batch decode error used to
+  // leave the remaining reply frames unread on the socket, so the *next*
+  // request read stale frames. The transport must instead drop the
+  // connection and retry — transparently, with identical accounting.
+  Graph g = MakeCycle(12);
+  ScriptedTcpServer bad(&g, /*partitions=*/2,
+                        ScriptedTcpServer::Fault::kCorruptFirstBatchReply);
+  std::vector<ReplicaGroup> groups{{{{"127.0.0.1", bad.port()}}}};
+  auto tcp = ConnectTcpTransport(groups, FastRetryOptions());
+  ASSERT_TRUE(tcp.ok()) << tcp.status().ToString();
+
+  auto sim = MakeSimulatedTransport(g, 2);
+  // The first FetchBatch inside hits the corrupt frame and recovers;
+  // every fetch afterwards (including follow-up singles) must see clean
+  // replies, and the accounting must match the sim backend exactly.
+  ExpectSameBehavior(*sim, **tcp);
+
+  auto faults = QueryTcpFaultStats(**tcp);
+  ASSERT_TRUE(faults.ok());
+  EXPECT_GE(faults->retries, 1u);
+  EXPECT_GE(faults->reconnects, 1u);
+}
+
+TEST(TcpFaultTest, MuteServerSurfacesBoundedTimeout) {
+  Graph g = MakeCycle(8);
+  ScriptedTcpServer mute(&g, /*partitions=*/2,
+                         ScriptedTcpServer::Fault::kMuteAfterHello);
+  std::vector<ReplicaGroup> groups{{{{"127.0.0.1", mute.port()}}}};
+  TcpTransportOptions options = FastRetryOptions();
+  options.request_timeout_ms = 100;  // fail fast: the server never replies
+  options.max_attempts = 2;
+  auto tcp = ConnectTcpTransport(groups, options);
+  ASSERT_TRUE(tcp.ok()) << tcp.status().ToString();
+
+  const auto start = std::chrono::steady_clock::now();
+  auto fetched = (*tcp)->Fetch(0);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(fetched.ok());
+  EXPECT_EQ(fetched.status().code(), StatusCode::kDeadlineExceeded)
+      << fetched.status().ToString();
+  // Two attempts at 100ms each plus reconnect/backoff slack — but no
+  // eternal stall.
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  auto faults = QueryTcpFaultStats(**tcp);
+  ASSERT_TRUE(faults.ok());
+  EXPECT_GE(faults->timeouts, 1u);
+  EXPECT_GE(faults->retries, 1u);
+}
+
+TEST(TcpFaultTest, FailsOverToReplicaWhenServerStops) {
+  Graph g = std::move(GenerateBarabasiAlbert(60, 3, /*seed=*/5)).value();
+  constexpr size_t kPartitions = 2;
+  // One server group, two in-process replicas serving identical data.
+  KvTcpServer replica0(&g, kPartitions, 1, 0, /*replica_index=*/0,
+                       /*num_replicas=*/2);
+  KvTcpServer replica1(&g, kPartitions, 1, 0, /*replica_index=*/1,
+                       /*num_replicas=*/2);
+  for (KvTcpServer* server : {&replica0, &replica1}) {
+    ASSERT_TRUE(server->Listen(0).ok());
+    ASSERT_TRUE(server->Start().ok());
+  }
+  std::vector<ReplicaGroup> groups{{{{"127.0.0.1", replica0.port()},
+                                     {"127.0.0.1", replica1.port()}}}};
+  auto tcp = ConnectTcpTransport(groups, FastRetryOptions());
+  ASSERT_TRUE(tcp.ok()) << tcp.status().ToString();
+
+  auto before = (*tcp)->Fetch(3);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+
+  replica0.Stop();  // the replica the client connected to dies
+
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    auto after = (*tcp)->Fetch(v);
+    ASSERT_TRUE(after.ok()) << after.status().ToString();
+    VertexSetView expected = g.Adjacency(v);
+    EXPECT_EQ(**after, VertexSet(expected.begin(), expected.end()));
+  }
+  auto faults = QueryTcpFaultStats(**tcp);
+  ASSERT_TRUE(faults.ok());
+  EXPECT_GE(faults->failovers, 1u);
+  EXPECT_GE(faults->reconnects, 1u);
+}
+
+// --- SIGKILL a real server process mid-enumeration --------------------
+
+#ifdef BENU_KV_SERVER_BIN
+
+/// Forks and execs one benu_kv_server, returning its pid and port.
+std::pair<pid_t, uint16_t> SpawnKvServer(const std::string& graph_spec,
+                                         size_t partitions, size_t servers,
+                                         size_t index, size_t replica,
+                                         size_t replicas) {
+  int pipefd[2];
+  EXPECT_EQ(pipe(pipefd), 0);
+  const pid_t pid = fork();
+  EXPECT_GE(pid, 0);
+  if (pid == 0) {
+    close(pipefd[0]);
+    dup2(pipefd[1], STDOUT_FILENO);
+    close(pipefd[1]);
+    const std::string graph_arg = "--graph=" + graph_spec;
+    const std::string part_arg = "--partitions=" + std::to_string(partitions);
+    const std::string servers_arg = "--servers=" + std::to_string(servers);
+    const std::string index_arg = "--index=" + std::to_string(index);
+    const std::string replica_arg = "--replica=" + std::to_string(replica);
+    const std::string replicas_arg = "--replicas=" + std::to_string(replicas);
+    execl(BENU_KV_SERVER_BIN, BENU_KV_SERVER_BIN, graph_arg.c_str(),
+          part_arg.c_str(), servers_arg.c_str(), index_arg.c_str(),
+          replica_arg.c_str(), replicas_arg.c_str(), "--port=0",
+          "--relabel=1", static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  close(pipefd[1]);
+  FILE* out = fdopen(pipefd[0], "r");
+  uint16_t port = 0;
+  char line[256];
+  while (out != nullptr && std::fgets(line, sizeof(line), out) != nullptr) {
+    unsigned parsed = 0;
+    if (std::sscanf(line, "LISTENING port=%u", &parsed) == 1) {
+      port = static_cast<uint16_t>(parsed);
+      break;
+    }
+  }
+  if (out != nullptr) std::fclose(out);
+  return {pid, port};
+}
+
+TEST(TcpFaultTest, SigkillMidEnumerationFailsOverWithIdenticalCounts) {
+  if (access(BENU_KV_SERVER_BIN, X_OK) != 0) {
+    GTEST_SKIP() << "benu_kv_server binary not found at "
+                 << BENU_KV_SERVER_BIN;
+  }
+  const std::string graph_spec = "ba:300,5,21";
+  constexpr size_t kPartitions = 4;  // matches TransportRunOptions
+  constexpr size_t kServers = 2;
+  constexpr size_t kReplicas = 2;
+
+  std::vector<std::pair<pid_t, uint16_t>> procs;
+  std::vector<ReplicaGroup> groups;
+  for (size_t i = 0; i < kServers; ++i) {
+    ReplicaGroup group;
+    for (size_t r = 0; r < kReplicas; ++r) {
+      procs.push_back(
+          SpawnKvServer(graph_spec, kPartitions, kServers, i, r, kReplicas));
+      ASSERT_NE(procs.back().second, 0)
+          << "server " << i << "/" << r << " did not come up";
+      group.replicas.push_back({"127.0.0.1", procs.back().second});
+    }
+    groups.push_back(std::move(group));
+  }
+  auto reap_all = [&procs] {
+    for (auto& [pid, port] : procs) {
+      if (pid > 0) kill(pid, SIGKILL);
+    }
+    for (auto& [pid, port] : procs) {
+      if (pid > 0) waitpid(pid, nullptr, 0);
+      pid = -1;
+    }
+  };
+
+  auto graph_or = GenerateFromSpec(graph_spec);
+  ASSERT_TRUE(graph_or.ok());
+  const Graph graph = graph_or->RelabelByDegree();
+  Graph pattern = std::move(GetPattern("q5")).value();
+
+  auto tcp = ConnectTcpTransport(groups, FastRetryOptions());
+  if (!tcp.ok()) reap_all();
+  ASSERT_TRUE(tcp.ok()) << tcp.status().ToString();
+
+  // Watcher: once the enumeration has demonstrably started issuing wire
+  // traffic, SIGKILL the replica the client is connected to (group 0's
+  // first). A tiny DB cache below keeps traffic flowing for the whole
+  // run, so the kill reliably lands mid-enumeration.
+  std::atomic<bool> done{false};
+  std::thread killer([&] {
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (!done.load(std::memory_order_relaxed) &&
+           std::chrono::steady_clock::now() < give_up) {
+      if ((*tcp)->stats().round_trips.load(std::memory_order_relaxed) >=
+          20) {
+        kill(procs.front().first, SIGKILL);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  BenuOptions options = TransportRunOptions(*tcp);
+  options.cluster.db_cache_bytes = 4096;
+  auto tcp_run = RunBenu(graph, pattern, options);
+  done.store(true, std::memory_order_relaxed);
+  killer.join();
+
+  BenuOptions sim_options = TransportRunOptions(nullptr);
+  sim_options.cluster.db_cache_bytes = 4096;
+  auto sim_run = RunBenu(graph, pattern, sim_options);
+
+  auto faults = QueryTcpFaultStats(**tcp);
+  tcp.value().reset();
+  reap_all();
+
+  ASSERT_TRUE(tcp_run.ok()) << tcp_run.status().ToString();
+  ASSERT_TRUE(sim_run.ok()) << sim_run.status().ToString();
+  EXPECT_EQ(tcp_run->run.total_matches, sim_run->run.total_matches);
+  ASSERT_TRUE(faults.ok());
+  EXPECT_GE(faults->failovers, 1u);
+}
+
+#endif  // BENU_KV_SERVER_BIN
 
 }  // namespace
 }  // namespace benu
