@@ -19,6 +19,7 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "core/executor.h"
+#include "graph/adj_codec.h"
 #include "graph/generators.h"
 #include "graph/patterns.h"
 #include "graph/simd_intersect.h"
@@ -159,7 +160,125 @@ double TimeNs(size_t iters, Fn&& fn) {
   return best;
 }
 
+// Delta+varint codec suite: encode / decode throughput over realistic
+// (degree-relabeled BA) adjacency sets, and the fused encoded-operand
+// intersect against the decode-then-intersect fallback it replaces.
+void RunCodecSuite(std::vector<bench::BenchRecord>* records) {
+  const bool simd_at_start = simd::SimdEnabled();
+  Graph g = std::move(GenerateBarabasiAlbert(
+                          bench::SmokeScale() ? 2000 : 20000, 8, 11))
+                .value()
+                .RelabelByDegree();
+  const size_t n = g.NumVertices();
+
+  // Pre-encode every adjacency set once (also the decode-bench input).
+  std::vector<codec::EncodedSet> encoded(n);
+  size_t raw_bytes = 0, encoded_bytes = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    codec::Encode(g.Adjacency(v), &encoded[v]);
+    raw_bytes += encoded[v].raw_bytes();
+    encoded_bytes += encoded[v].bytes.size();
+  }
+  const double ratio = encoded_bytes > 0
+                           ? static_cast<double>(raw_bytes) / encoded_bytes
+                           : 1.0;
+  std::printf("Adjacency codec (%zu sets, %.2fx compression)\n", n, ratio);
+  std::printf("%-28s %12s %10s %10s\n", "case", "ns/sweep", "GB/s",
+              "speedup");
+
+  const size_t iters = bench::SmokeScale() ? 8 : 64;
+  auto emit = [&](const std::string& name, double ns, double gbps,
+                  double speedup) {
+    std::printf("%-28s %12.0f %10.2f %9.2fx\n", name.c_str(), ns, gbps,
+                speedup);
+    bench::BenchRecord rec;
+    rec.name = "codec/" + name;
+    rec.params = {{"kernel_family", simd::ActiveKernelName()}};
+    rec.repetitions = kTimeReps;
+    rec.seconds = ns * 1e-9;
+    rec.counters = {{"gb_per_s", gbps},
+                    {"speedup", speedup},
+                    {"compression_ratio", ratio}};
+    records->push_back(std::move(rec));
+  };
+
+  // Encode: one full-graph sweep per call, GB/s over the raw payload.
+  {
+    codec::EncodedSet scratch;
+    const double ns = TimeNs(iters, [&] {
+      for (VertexId v = 0; v < n; ++v) codec::Encode(g.Adjacency(v), &scratch);
+    });
+    emit("encode", ns, static_cast<double>(raw_bytes) / ns, 1.0);
+  }
+
+  // Decode, scalar vs dispatched-SIMD, GB/s over the decoded payload.
+  double decode_scalar_ns = 0;
+  for (bool use_simd : {false, true}) {
+    const bool effective = simd::SetSimdEnabled(use_simd);
+    if (use_simd && !effective) continue;
+    VertexSet out;
+    const double ns = TimeNs(iters, [&] {
+      for (VertexId v = 0; v < n; ++v) codec::DecodeAll(encoded[v], &out);
+    });
+    if (!use_simd) decode_scalar_ns = ns;
+    emit(std::string("decode/") + (use_simd ? "simd" : "scalar"), ns,
+         static_cast<double>(raw_bytes) / ns,
+         decode_scalar_ns > 0 ? decode_scalar_ns / ns : 1.0);
+  }
+
+  // Large-set regime (a hub adjacency on a real data graph): dense
+  // clustered ids whose deltas are 1-2 varint bytes — where the block
+  // decoder and the fused kernels operate. The probe is a typical
+  // already-decoded operand two orders of magnitude smaller.
+  Rng rng(7);
+  const size_t big_n = bench::SmokeScale() ? 16384 : 262144;
+  const VertexSet big = RandomSorted(&rng, big_n, 4 * big_n);
+  const VertexSet probe = RandomSorted(&rng, big_n / 64, 4 * big_n);
+  codec::EncodedSet big_enc;
+  codec::Encode(big, &big_enc);
+  const double big_bytes = static_cast<double>(big.size()) * sizeof(VertexId);
+  const size_t big_iters = bench::SmokeScale() ? 64 : 256;
+  double big_decode_scalar_ns = 0;
+  for (bool use_simd : {false, true}) {
+    const bool effective = simd::SetSimdEnabled(use_simd);
+    if (use_simd && !effective) continue;
+    const char* k = use_simd ? "simd" : "scalar";
+    VertexSet out;
+    const double ns =
+        TimeNs(big_iters, [&] { codec::DecodeAll(big_enc, &out); });
+    if (!use_simd) big_decode_scalar_ns = ns;
+    emit(std::string("decode_hub/") + k, ns, big_bytes / ns,
+         big_decode_scalar_ns > 0 ? big_decode_scalar_ns / ns : 1.0);
+  }
+  // Fused encoded-intersect (streams the encoded hub set, probes the
+  // decoded operand) vs the fallback it replaces: materialize the hub
+  // set, then run the plain intersect kernel.
+  for (bool use_simd : {false, true}) {
+    const bool effective = simd::SetSimdEnabled(use_simd);
+    if (use_simd && !effective) continue;
+    const char* k = use_simd ? "simd" : "scalar";
+    VertexSet out, decoded;
+    const double decode_then_ns = TimeNs(big_iters, [&] {
+      codec::DecodeAll(big_enc, &decoded);
+      Intersect(decoded, probe, &out);
+    });
+    const double fused_ns = TimeNs(big_iters, [&] {
+      codec::IntersectEncoded(big_enc, probe, 0, kInvalidVertex, nullptr, 0,
+                              &out);
+    });
+    emit(std::string("decode_then_intersect/") + k, decode_then_ns,
+         big_bytes / decode_then_ns, 1.0);
+    emit(std::string("fused_intersect/") + k, fused_ns, big_bytes / fused_ns,
+         fused_ns > 0 ? decode_then_ns / fused_ns : 1.0);
+  }
+  simd::SetSimdEnabled(simd_at_start);
+  std::printf("\n");
+}
+
 void RunKernelSuite(const char* json_path) {
+  std::vector<bench::BenchRecord> codec_records;
+  RunCodecSuite(&codec_records);
+
   const bool simd_at_start = simd::SimdEnabled();
   std::vector<KernelResult> results;
   Rng rng(42);
@@ -260,6 +379,9 @@ void RunKernelSuite(const char* json_path) {
                     {"speedup_vs_scalar", r.speedup_vs_scalar}};
     records.push_back(std::move(rec));
   }
+  records.insert(records.end(),
+                 std::make_move_iterator(codec_records.begin()),
+                 std::make_move_iterator(codec_records.end()));
   bench::WriteBenchJson(json_path, "kernels", records);
   std::printf("\n");
 }

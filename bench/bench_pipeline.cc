@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "graph/adj_codec.h"
 #include "graph/simd_intersect.h"
 #include "plan/plan_search.h"
 #include "storage/kv_tcp_server.h"
@@ -185,6 +186,191 @@ int main() {
                 async_run.virtual_seconds, sync_run.virtual_seconds, latency,
                 sync_run.virtual_seconds /
                     std::max(1e-12, async_run.virtual_seconds));
+  }
+
+  // ------------------------------------------------------------------
+  // Compression sweep: the delta+varint adjacency codec on vs off over
+  // the same q5 workload. Compression must never change the match count
+  // (including forced-scalar and forced-sync-prefetch runs) and must win
+  // end to end at 1ms simulated store latency: encoded frames shrink the
+  // modeled bandwidth term AND the same cache budget holds ~3x more
+  // vertices, so fewer misses pay the 1ms round trip.
+  {
+    auto run_codec = [&](double latency_us, bool compress, bool force_sync) {
+      ClusterConfig config;
+      config.num_workers = 4;
+      config.threads_per_worker = 4;
+      config.db_cache_bytes = cache_bytes;
+      config.task_split_threshold = 32;
+      config.db_query_latency_us = latency_us;
+      config.prefetch_budget = 64;
+      config.prefetch_batch_size = 16;
+      config.force_sync_prefetch = force_sync;
+      config.compress_adjacency = compress;
+      ClusterSimulator cluster(data, config);
+      auto result = cluster.Run(plan->plan);
+      BENU_CHECK(result.ok()) << result.status().ToString();
+      BENU_CHECK(result->total_matches == reference_matches)
+          << (compress ? "compressed" : "raw") << " lat=" << latency_us
+          << (force_sync ? " forced-sync" : "")
+          << " changed the match count: " << result->total_matches << " vs "
+          << reference_matches;
+      return *std::move(result);
+    };
+    const auto total_bytes = [](const ClusterRunResult& r) {
+      return r.bytes_fetched + r.prefetch_bytes;
+    };
+
+    const std::vector<double> codec_latencies =
+        SmokeScale() ? std::vector<double>{1000.0}
+                     : std::vector<double>{0.0, 1000.0};
+    std::printf("\nCompression sweep (async, batch 16, budget 64):\n");
+    std::printf("  %-26s %12s %10s %12s %10s %12s\n", "config", "virt-time",
+                "vs-raw", "bytes", "ratio", "db-queries");
+    for (double latency_us : codec_latencies) {
+      const ClusterRunResult raw_run = run_codec(latency_us, false, false);
+      const ClusterRunResult comp_run = run_codec(latency_us, true, false);
+      const double ratio =
+          static_cast<double>(total_bytes(raw_run)) /
+          std::max(1.0, static_cast<double>(total_bytes(comp_run)));
+      const double vs_raw = raw_run.virtual_seconds /
+                            std::max(1e-12, comp_run.virtual_seconds);
+      const struct {
+        const char* name;
+        const ClusterRunResult* r;
+        double vs;
+        double bytes_ratio;
+      } rows[] = {{"raw", &raw_run, 1.0, 1.0},
+                  {"compressed", &comp_run, vs_raw, ratio}};
+      for (const auto& row : rows) {
+        const std::string name =
+            "codec/lat" + std::to_string(static_cast<int>(latency_us)) +
+            "us/" + row.name;
+        std::printf("  %-26s %11.3fs %9.2fx %12s %9.2fx %12s\n", name.c_str(),
+                    row.r->virtual_seconds, row.vs,
+                    HumanBytes(total_bytes(*row.r)).c_str(), row.bytes_ratio,
+                    HumanCount(row.r->db_queries).c_str());
+        BenchRecord rec;
+        rec.name = name;
+        rec.params = {{"mode", row.name},
+                      {"latency_us", std::to_string(latency_us)}};
+        rec.seconds = row.r->virtual_seconds;
+        rec.counters = {
+            {"matches", static_cast<double>(row.r->total_matches)},
+            {"bytes_total", static_cast<double>(total_bytes(*row.r))},
+            {"bytes_ratio_vs_raw", row.bytes_ratio},
+            {"speedup_vs_raw", row.vs},
+            {"db_queries", static_cast<double>(row.r->db_queries)}};
+        records.push_back(std::move(rec));
+      }
+      if (latency_us >= 1000.0 && codec::CompressionEnabled(true)) {
+        BENU_CHECK(comp_run.virtual_seconds < raw_run.virtual_seconds)
+            << "compression did not improve end-to-end virtual time at "
+            << latency_us << "us: compressed " << comp_run.virtual_seconds
+            << "s vs raw " << raw_run.virtual_seconds << "s";
+        std::printf(
+            "acceptance: compressed %.3fs < raw %.3fs at %.0fus latency "
+            "(%.2fx, %.2fx fewer bytes)\n",
+            comp_run.virtual_seconds, raw_run.virtual_seconds, latency_us,
+            vs_raw, ratio);
+      }
+    }
+
+    // Match-count invariance under the degraded modes: the scalar decode
+    // path and the inline-drained prefetch queue must enumerate exactly
+    // the same subgraphs from compressed payloads (checked in run_codec).
+    const bool simd_at_start = simd::SimdEnabled();
+    simd::SetSimdEnabled(false);
+    run_codec(codec_latencies.back(), true, false);
+    simd::SetSimdEnabled(simd_at_start);
+    run_codec(codec_latencies.back(), true, true);
+    std::printf(
+        "forced-scalar and forced-sync compressed runs: %s matches — "
+        "identical\n",
+        HumanCount(reference_matches).c_str());
+  }
+
+  // ------------------------------------------------------------------
+  // Wire-bytes acceptance: full q5 enumerations over the real backends
+  // with the codec on vs off. transport.loopback.bytes and
+  // transport.tcp.bytes (measured per transport instance) must drop
+  // >= 2x with identical match counts.
+  {
+    constexpr size_t kWirePartitions = 8;
+    constexpr size_t kWireServers = 2;
+    BenuOptions wire_options;
+    wire_options.cluster.num_workers = 2;
+    wire_options.cluster.threads_per_worker = 2;
+    wire_options.cluster.db_partitions = kWirePartitions;
+    wire_options.cluster.db_cache_bytes = cache_bytes;
+    wire_options.cluster.task_split_threshold = 100;
+    wire_options.cluster.prefetch_budget = 16;
+    wire_options.relabel_by_degree = false;  // data is already relabeled
+
+    auto bytes_over = [&](std::shared_ptr<Transport> transport) {
+      wire_options.cluster.transport = std::move(transport);
+      auto result = RunBenu(data, pattern, wire_options);
+      BENU_CHECK(result.ok()) << result.status().ToString();
+      BENU_CHECK(result->run.total_matches == reference_matches)
+          << "wire run changed the match count: "
+          << result->run.total_matches << " vs " << reference_matches;
+      const Count bytes = wire_options.cluster.transport->stats().bytes.load(
+          std::memory_order_relaxed);
+      wire_options.cluster.transport.reset();
+      return bytes;
+    };
+
+    const Count loop_raw = bytes_over(
+        MakeLoopbackTransport(data, kWirePartitions, /*compress=*/false));
+    const Count loop_comp = bytes_over(
+        MakeLoopbackTransport(data, kWirePartitions));
+
+    std::vector<std::unique_ptr<KvTcpServer>> servers;
+    std::vector<ReplicaGroup> groups;
+    for (size_t i = 0; i < kWireServers; ++i) {
+      servers.push_back(std::make_unique<KvTcpServer>(
+          &data, kWirePartitions, kWireServers, i));
+      BENU_CHECK(servers.back()->Listen(0).ok());
+      BENU_CHECK(servers.back()->Start().ok());
+      groups.push_back({{{"127.0.0.1", servers.back()->port()}}});
+    }
+    TcpTransportOptions raw_tcp_options;
+    raw_tcp_options.compress = false;
+    auto tcp_raw = ConnectTcpTransport(groups, raw_tcp_options);
+    BENU_CHECK(tcp_raw.ok()) << tcp_raw.status().ToString();
+    const Count tcp_raw_bytes = bytes_over(*std::move(tcp_raw));
+    auto tcp_comp = ConnectTcpTransport(groups);
+    BENU_CHECK(tcp_comp.ok()) << tcp_comp.status().ToString();
+    const Count tcp_comp_bytes = bytes_over(*std::move(tcp_comp));
+
+    const struct {
+      const char* backend;
+      Count raw_bytes;
+      Count comp_bytes;
+    } wire_rows[] = {{"loopback", loop_raw, loop_comp},
+                     {"tcp", tcp_raw_bytes, tcp_comp_bytes}};
+    std::printf("\nWire bytes, q5 end to end (codec off vs on):\n");
+    for (const auto& row : wire_rows) {
+      const double ratio =
+          static_cast<double>(row.raw_bytes) /
+          std::max(1.0, static_cast<double>(row.comp_bytes));
+      std::printf("  %-10s raw %10s   compressed %10s   %.2fx smaller\n",
+                  row.backend, HumanBytes(row.raw_bytes).c_str(),
+                  HumanBytes(row.comp_bytes).c_str(), ratio);
+      BENU_CHECK(ratio >= 2.0 || !codec::CompressionEnabled(true))
+          << "transport." << row.backend << ".bytes dropped only " << ratio
+          << "x with compression on (need >= 2x): raw=" << row.raw_bytes
+          << " compressed=" << row.comp_bytes;
+      BenchRecord rec;
+      rec.name = std::string("codec/wire/") + row.backend;
+      rec.params = {{"backend", row.backend}};
+      rec.seconds = 0;
+      rec.counters = {
+          {"bytes_raw", static_cast<double>(row.raw_bytes)},
+          {"bytes_compressed", static_cast<double>(row.comp_bytes)},
+          {"bytes_ratio", ratio}};
+      records.push_back(std::move(rec));
+    }
   }
 
   // ------------------------------------------------------------------

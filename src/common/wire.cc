@@ -62,17 +62,33 @@ void AppendHelloRequest(std::vector<uint8_t>* out) {
 }
 
 void AppendHelloReply(const HelloInfo& info, std::vector<uint8_t>* out) {
-  AppendHeader(MessageType::kHelloReply, 0, 24, out);
+  AppendHeader(MessageType::kHelloReply, 0, 32, out);
   AppendU32(info.num_vertices, out);
   AppendU32(info.num_partitions, out);
   AppendU32(info.num_servers, out);
   AppendU32(info.server_index, out);
   AppendU32(info.replica_index, out);
   AppendU32(info.num_replicas, out);
+  AppendU32(info.flags, out);
+  AppendU32(info.graph_hash, out);
 }
 
-void AppendGetRequest(VertexId key, std::vector<uint8_t>* out) {
+namespace {
+
+// Sets kFlagEncodedPayload on the frame whose header starts at
+// `header_start` in `out` (frames are appended, so the header bytes are
+// already in place).
+void MarkEncoded(std::vector<uint8_t>* out, size_t header_start) {
+  (*out)[header_start + 7] |= 0x80;
+}
+
+}  // namespace
+
+void AppendGetRequest(VertexId key, std::vector<uint8_t>* out,
+                      bool want_encoded) {
+  const size_t start = out->size();
   AppendHeader(MessageType::kGetRequest, key, 0, out);
+  if (want_encoded) MarkEncoded(out, start);
 }
 
 void AppendAdjacencyReply(VertexId key, VertexSetView adjacency,
@@ -83,12 +99,25 @@ void AppendAdjacencyReply(VertexId key, VertexSetView adjacency,
   for (VertexId v : adjacency) AppendU32(v, out);
 }
 
+void AppendEncodedAdjacencyReply(VertexId key, const codec::EncodedSet& set,
+                                 std::vector<uint8_t>* out) {
+  const size_t start = out->size();
+  const uint32_t payload =
+      static_cast<uint32_t>(sizeof(uint32_t) + set.bytes.size());
+  AppendHeader(MessageType::kGetReply, key, payload, out);
+  MarkEncoded(out, start);
+  AppendU32(set.count, out);
+  out->insert(out->end(), set.bytes.begin(), set.bytes.end());
+}
+
 void AppendBatchGetRequest(std::span<const VertexId> keys,
-                           std::vector<uint8_t>* out) {
+                           std::vector<uint8_t>* out, bool want_encoded) {
+  const size_t start = out->size();
   const uint32_t payload =
       static_cast<uint32_t>(keys.size() * sizeof(VertexId));
   AppendHeader(MessageType::kBatchGetRequest,
                static_cast<uint32_t>(keys.size()), payload, out);
+  if (want_encoded) MarkEncoded(out, start);
   for (VertexId v : keys) AppendU32(v, out);
 }
 
@@ -113,12 +142,13 @@ void AppendError(StatusCode code, const std::string& message,
 void SetFrameTag(std::span<uint8_t> frame, uint16_t tag) {
   BENU_CHECK(frame.size() >= kHeaderBytes) << "frame shorter than header";
   frame[6] = static_cast<uint8_t>(tag);
-  frame[7] = static_cast<uint8_t>(tag >> 8);
+  // Bit 15 is the encoding flag, not part of the tag: preserve it.
+  frame[7] = static_cast<uint8_t>((frame[7] & 0x80) | ((tag >> 8) & 0x7F));
 }
 
 uint16_t FrameTag(std::span<const uint8_t> frame) {
   BENU_CHECK(frame.size() >= kHeaderBytes) << "frame shorter than header";
-  return ReadU16(frame.data() + 6);
+  return ReadU16(frame.data() + 6) & kTagMask;
 }
 
 void TagFrames(std::span<uint8_t> frames, uint16_t tag) {
@@ -143,13 +173,19 @@ StatusOr<Frame> DecodeFrame(std::span<const uint8_t> buffer) {
   }
   Frame frame;
   frame.header.version = buffer[4];
-  if (frame.header.version != kVersion) {
+  if (frame.header.version < kMinVersion || frame.header.version > kVersion) {
     return Status::InvalidArgument(
         "unsupported wire version " + std::to_string(frame.header.version) +
-        " (speaking version " + std::to_string(kVersion) + ")");
+        " (speaking versions " + std::to_string(kMinVersion) + ".." +
+        std::to_string(kVersion) + ")");
   }
   frame.header.type = static_cast<MessageType>(buffer[5]);
   frame.header.flags = ReadU16(buffer.data() + 6);
+  if (frame.header.version < 2 &&
+      (frame.header.flags & kFlagEncodedPayload) != 0) {
+    return Status::InvalidArgument(
+        "version-1 frame carries the version-2 encoding flag");
+  }
   frame.header.aux = ReadU32(buffer.data() + 8);
   frame.header.payload_bytes = ReadU32(buffer.data() + 12);
   if (buffer.size() < kHeaderBytes + frame.header.payload_bytes) {
@@ -172,6 +208,14 @@ Status DecodeAdjacencyReply(const Frame& frame, VertexId* key,
   if (frame.header.type != MessageType::kGetReply) {
     return WrongType("kGetReply", frame);
   }
+  if (FrameIsEncoded(frame)) {
+    // Transparent fallback so a raw-only caller still reads an encoded
+    // server's replies (full materialization, mixed-version path).
+    codec::EncodedSet encoded;
+    BENU_RETURN_IF_ERROR(DecodeEncodedAdjacencyReply(frame, key, &encoded));
+    codec::DecodeAll(encoded, out);
+    return Status::OK();
+  }
   if (frame.payload.size() % sizeof(VertexId) != 0) {
     return Status::InvalidArgument("adjacency payload not a multiple of 4");
   }
@@ -182,6 +226,28 @@ Status DecodeAdjacencyReply(const Frame& frame, VertexId* key,
   for (size_t i = 0; i < count; ++i) {
     out->push_back(ReadU32(frame.payload.data() + i * sizeof(VertexId)));
   }
+  return Status::OK();
+}
+
+Status DecodeEncodedAdjacencyReply(const Frame& frame, VertexId* key,
+                                   codec::EncodedSet* out) {
+  if (frame.header.type != MessageType::kGetReply) {
+    return WrongType("kGetReply", frame);
+  }
+  if (!FrameIsEncoded(frame)) {
+    return Status::InvalidArgument(
+        "adjacency reply is raw, not delta+varint encoded");
+  }
+  if (frame.payload.size() < sizeof(uint32_t)) {
+    return Status::InvalidArgument("encoded adjacency payload too short");
+  }
+  const uint32_t count = ReadU32(frame.payload.data());
+  const uint8_t* stream = frame.payload.data() + sizeof(uint32_t);
+  const size_t stream_bytes = frame.payload.size() - sizeof(uint32_t);
+  BENU_RETURN_IF_ERROR(codec::Validate(stream, stream_bytes, count));
+  *key = static_cast<VertexId>(frame.header.aux);
+  out->count = count;
+  out->bytes.assign(stream, stream + stream_bytes);
   return Status::OK();
 }
 
@@ -205,17 +271,23 @@ StatusOr<HelloInfo> DecodeHelloReply(const Frame& frame) {
   if (frame.header.type != MessageType::kHelloReply) {
     return WrongType("kHelloReply", frame);
   }
-  if (frame.payload.size() != 16 && frame.payload.size() != 24) {
-    return Status::InvalidArgument("hello payload must be 16 or 24 bytes");
+  if (frame.payload.size() != 16 && frame.payload.size() != 24 &&
+      frame.payload.size() != 32) {
+    return Status::InvalidArgument(
+        "hello payload must be 16, 24 or 32 bytes");
   }
   HelloInfo info;
   info.num_vertices = ReadU32(frame.payload.data());
   info.num_partitions = ReadU32(frame.payload.data() + 4);
   info.num_servers = ReadU32(frame.payload.data() + 8);
   info.server_index = ReadU32(frame.payload.data() + 12);
-  if (frame.payload.size() == 24) {
+  if (frame.payload.size() >= 24) {
     info.replica_index = ReadU32(frame.payload.data() + 16);
     info.num_replicas = ReadU32(frame.payload.data() + 20);
+  }
+  if (frame.payload.size() >= 32) {
+    info.flags = ReadU32(frame.payload.data() + 24);
+    info.graph_hash = ReadU32(frame.payload.data() + 28);
   }
   return info;
 }

@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "graph/adj_codec.h"
 #include "graph/vertex_set.h"
 
 namespace benu::wire {
@@ -30,35 +31,56 @@ namespace benu::wire {
 //   offset 12  u32  payload_bytes  bytes following the header
 //   offset 16  ...  payload
 //
-// Request tags: the formerly reserved `flags` field carries an opaque
+// Request tags: the low 15 bits of the `flags` field carry an opaque
 // per-request tag chosen by the client (`aux` already carries key/count
 // semantics). A server echoes the request's tag into every reply frame
 // it emits for that request, so a pipelined client with several requests
 // in flight on one connection can demux replies and detect connection
 // desync (a reply whose tag does not match the oldest in-flight request
 // means the stream is corrupt and the connection must be torn down).
-// Strict request/reply clients send tag 0 and ignore reply tags — the
-// protocol version is unchanged.
+// Strict request/reply clients send tag 0 and ignore reply tags.
+//
+// Encoding flag (version 2): bit 15 of `flags` (kFlagEncodedPayload).
+// On a get/batch-get request it asks the server for delta+varint encoded
+// payloads (graph/adj_codec.h); on a kGetReply it marks the payload as
+// `u32 count` followed by the varint stream instead of raw u32 entries.
+// A server that does not encode simply answers with raw replies (flag
+// clear), and clients dispatch on the reply's flag — so a version-2
+// client interoperates with a raw-only server and vice versa. Version-1
+// frames (still decoded) predate the flag and must leave bit 15 clear.
 //
 // The 16-byte header is deliberately the simulator's modeled per-reply
-// overhead (DistributedKvStore::kReplyOverheadBytes): an adjacency reply
-// frame for a set of n entries occupies exactly 16 + 4n bytes, so byte
-// accounting is identical whether replies are modeled (simulated
-// transport) or actually framed (loopback/TCP).
+// overhead (DistributedKvStore::kReplyOverheadBytes): a raw adjacency
+// reply frame for a set of n entries occupies exactly 16 + 4n bytes, and
+// an encoded one 16 + 4 + |varint stream| bytes, so byte accounting is
+// identical whether replies are modeled (simulated transport) or
+// actually framed (loopback/TCP).
 
 inline constexpr uint32_t kMagic = 0x42454E55;  // "BENU"
-inline constexpr uint8_t kVersion = 1;
+inline constexpr uint8_t kVersion = 2;
+/// Oldest version this build still decodes (raw-only frames).
+inline constexpr uint8_t kMinVersion = 1;
 inline constexpr size_t kHeaderBytes = 16;
+
+/// Bit 15 of `flags`: the frame's adjacency payload is delta+varint
+/// encoded (replies) / encoded replies are requested (requests).
+inline constexpr uint16_t kFlagEncodedPayload = 0x8000;
+/// Low 15 bits of `flags`: the request tag.
+inline constexpr uint16_t kTagMask = 0x7FFF;
 
 enum class MessageType : uint8_t {
   /// Handshake. Request: empty. Reply payload: u32 num_vertices,
-  /// u32 num_partitions, u32 num_servers, u32 server_index, and (since
-  /// the replica extension) u32 replica_index, u32 num_replicas. Decoders
-  /// accept the legacy 16-byte payload and default to replica 0 of 1.
+  /// u32 num_partitions, u32 num_servers, u32 server_index, then (since
+  /// the replica extension) u32 replica_index, u32 num_replicas, then
+  /// (since version 2) u32 capability flags (kHelloSupportsEncoded) and
+  /// u32 graph content hash. Decoders accept the legacy 16- and 24-byte
+  /// payloads and default to replica 0 of 1, no capabilities, hash 0.
   kHelloRequest = 1,
   kHelloReply = 2,
-  /// Single get. Request: aux = key, empty payload. Reply (kGetReply):
-  /// aux = key, payload = adjacency entries (u32 each, sorted).
+  /// Single get. Request: aux = key, empty payload (set
+  /// kFlagEncodedPayload to ask for an encoded reply). Reply (kGetReply):
+  /// aux = key, payload = adjacency entries (u32 each, sorted), or with
+  /// kFlagEncodedPayload set: u32 count + delta+varint stream.
   kGetRequest = 3,
   kGetReply = 4,
   /// Batched multi-get. Request: aux = key count, payload = keys (u32
@@ -93,6 +115,10 @@ struct Frame {
 /// Handshake contents served by kHelloReply. A "replica" is one of
 /// several interchangeable server processes serving the same partition
 /// share (server_index); clients fail over between replicas of a group.
+/// HelloInfo capability bit: the server pre-encodes its partition share
+/// and answers kFlagEncodedPayload requests with encoded replies.
+inline constexpr uint32_t kHelloSupportsEncoded = 1u << 0;
+
 struct HelloInfo {
   uint32_t num_vertices = 0;
   uint32_t num_partitions = 0;
@@ -100,6 +126,12 @@ struct HelloInfo {
   uint32_t server_index = 0;
   uint32_t replica_index = 0;
   uint32_t num_replicas = 1;
+  /// Capability bits (kHelloSupportsEncoded). 0 on legacy payloads.
+  uint32_t flags = 0;
+  /// Folded Graph::ContentHash() of the graph the server serves, so a
+  /// client that relabels locally can verify both sides agree on vertex
+  /// ids. 0 = unknown (legacy payloads).
+  uint32_t graph_hash = 0;
 };
 
 /// Server-side serving statistics carried by kStatsReply.
@@ -109,10 +141,16 @@ struct ServerStats {
   uint64_t bytes_sent = 0;   ///< reply bytes emitted
 };
 
-/// Wire footprint of an adjacency reply carrying `set_size` entries:
+/// Wire footprint of a raw adjacency reply carrying `set_size` entries:
 /// kHeaderBytes + 4·set_size. Matches DistributedKvStore::ReplyBytes.
 constexpr size_t AdjacencyReplyBytes(size_t set_size) {
   return kHeaderBytes + set_size * sizeof(VertexId);
+}
+
+/// Wire footprint of an encoded adjacency reply whose varint stream is
+/// `encoded_bytes` long: header + u32 count + stream.
+constexpr size_t EncodedAdjacencyReplyBytes(size_t encoded_bytes) {
+  return kHeaderBytes + sizeof(uint32_t) + encoded_bytes;
 }
 
 // --- encoding (append one full frame to `out`) ------------------------
@@ -121,11 +159,18 @@ void AppendHeader(MessageType type, uint32_t aux, uint32_t payload_bytes,
                   std::vector<uint8_t>* out);
 void AppendHelloRequest(std::vector<uint8_t>* out);
 void AppendHelloReply(const HelloInfo& info, std::vector<uint8_t>* out);
-void AppendGetRequest(VertexId key, std::vector<uint8_t>* out);
+/// `want_encoded` sets kFlagEncodedPayload on the request.
+void AppendGetRequest(VertexId key, std::vector<uint8_t>* out,
+                      bool want_encoded = false);
 void AppendAdjacencyReply(VertexId key, VertexSetView adjacency,
                           std::vector<uint8_t>* out);
+/// Encoded adjacency reply: kGetReply with kFlagEncodedPayload set,
+/// payload = u32 count + the varint stream.
+void AppendEncodedAdjacencyReply(VertexId key, const codec::EncodedSet& set,
+                                 std::vector<uint8_t>* out);
 void AppendBatchGetRequest(std::span<const VertexId> keys,
-                           std::vector<uint8_t>* out);
+                           std::vector<uint8_t>* out,
+                           bool want_encoded = false);
 void AppendStatsRequest(std::vector<uint8_t>* out);
 void AppendStatsReply(const ServerStats& stats, std::vector<uint8_t>* out);
 void AppendError(StatusCode code, const std::string& message,
@@ -133,11 +178,13 @@ void AppendError(StatusCode code, const std::string& message,
 
 // --- request tags -----------------------------------------------------
 
-/// Stamps the tag (flags field) of the single frame at the front of
-/// `frame`. The frame must at least hold a full header.
+/// Stamps the tag (low 15 bits of the flags field) of the single frame
+/// at the front of `frame`, preserving the encoding flag. The frame must
+/// at least hold a full header; tags wider than kTagMask are truncated.
 void SetFrameTag(std::span<uint8_t> frame, uint16_t tag);
 
-/// Reads the tag of the frame at the front of `frame`.
+/// Reads the tag of the frame at the front of `frame` (encoding flag
+/// masked out).
 uint16_t FrameTag(std::span<const uint8_t> frame);
 
 /// Stamps `tag` into every frame of a well-formed frame sequence (used
@@ -149,8 +196,17 @@ void TagFrames(std::span<uint8_t> frames, uint16_t tag);
 // --- decoding ---------------------------------------------------------
 
 /// Decodes the frame at the front of `buffer` (which may hold a sequence
-/// of frames). Fails on short buffers, wrong magic or unknown version.
+/// of frames). Fails on short buffers, wrong magic, versions outside
+/// [kMinVersion, kVersion], or a version-1 frame carrying the (version-2)
+/// encoding flag.
 StatusOr<Frame> DecodeFrame(std::span<const uint8_t> buffer);
+
+/// True iff the frame's payload is delta+varint encoded (version-2
+/// encoding flag). Callers dispatch between DecodeAdjacencyReply and
+/// DecodeEncodedAdjacencyReply on this.
+inline bool FrameIsEncoded(const Frame& frame) {
+  return (frame.header.flags & kFlagEncodedPayload) != 0;
+}
 
 /// Typed payload decoders. Each validates the frame's type and payload
 /// shape. DecodeAdjacencyReply appends the entries to `*out` (cleared
@@ -158,6 +214,11 @@ StatusOr<Frame> DecodeFrame(std::span<const uint8_t> buffer);
 StatusOr<VertexId> DecodeGetRequest(const Frame& frame);
 Status DecodeAdjacencyReply(const Frame& frame, VertexId* key,
                             VertexSet* out);
+/// Decodes an encoded adjacency reply without materializing the values:
+/// the varint stream is structurally validated (codec::Validate) and
+/// copied into `out`. Rejects raw (unflagged) replies.
+Status DecodeEncodedAdjacencyReply(const Frame& frame, VertexId* key,
+                                   codec::EncodedSet* out);
 StatusOr<std::vector<VertexId>> DecodeBatchGetRequest(const Frame& frame);
 StatusOr<HelloInfo> DecodeHelloReply(const Frame& frame);
 StatusOr<ServerStats> DecodeStatsReply(const Frame& frame);

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "core/match_consumer.h"
+#include "graph/adj_codec.h"
 #include "graph/graph.h"
 #include "graph/vertex_set.h"
 #include "plan/instruction.h"
@@ -33,9 +34,14 @@ class AdjacencyProvider {
     /// it. Null on zero-copy paths (DirectAdjacencyProvider), where
     /// `view` aliases storage owned by the provider's graph.
     std::shared_ptr<const VertexSet> set;
-    /// The adjacency set itself; always valid. Points into `set` when
-    /// `set` is non-null, otherwise into provider-owned storage that
-    /// outlives the executor.
+    /// Delta+varint-encoded payload, delivered when the provider sits on
+    /// a compressed transport. When non-null, `set` is null and `view`
+    /// is empty: the executor either fuses the encoded form into its
+    /// intersect kernels or decodes it on first plain-view use.
+    std::shared_ptr<const codec::EncodedSet> encoded;
+    /// The adjacency set itself; valid iff `encoded` is null. Points
+    /// into `set` when `set` is non-null, otherwise into provider-owned
+    /// storage that outlives the executor.
     VertexSetView view;
     bool cache_hit = false;
     /// Miss served by piggybacking on another thread's in-flight store
@@ -184,11 +190,15 @@ class PlanExecutor {
     std::vector<int> res_refs;
   };
 
-  // A set register: either an owned scratch vector (INT results) or a
-  // shared immutable set (DBQ / TRC results).
+  // A set register: an owned scratch vector (INT results), a shared
+  // immutable set (DBQ / TRC results), or a still-encoded DBQ payload
+  // (compressed transports). An encoded slot has an empty `view` until
+  // SlotView materializes it; the fused intersect kernels consume
+  // `encoded` directly without ever materializing.
   struct SetSlot {
     VertexSet owned;
     std::shared_ptr<const VertexSet> shared;
+    std::shared_ptr<const codec::EncodedSet> encoded;
     VertexSetView view;
   };
 
@@ -200,7 +210,17 @@ class PlanExecutor {
   Status Compile();
   void Exec(size_t pc);
   void ExecIntersect(const Compiled& ins);
-  VertexSetView SlotView(int slot) const;
+  /// The slot as a plain view. A still-encoded slot is decoded here,
+  /// memoized into `shared` (counted as a codec fallback decode) — the
+  /// fused kernels avoid this path by consuming `encoded` directly.
+  VertexSetView SlotView(int slot);
+  /// The slot's encoded payload iff it has not been materialized yet
+  /// (null for raw slots and for -1/V(G)); fused-kernel dispatch test.
+  const codec::EncodedSet* EncodedOnly(int slot) const {
+    if (slot < 0) return nullptr;
+    const SetSlot& s = slots_[static_cast<size_t>(slot)];
+    return s.shared == nullptr ? s.encoded.get() : nullptr;
+  }
 
   // -------------------------------------------------------------------
   // Per-instruction tracing (DESIGN.md §2e). Dispatch counts accumulate
@@ -255,6 +275,11 @@ class PlanExecutor {
 
   InstrTrace trace_;
   metrics::Histogram* task_span_us_ = nullptr;  // per-task wall µs (traced)
+
+  // codec.intersect.* accumulators, flushed once in the destructor so
+  // the hot loop bumps plain integers instead of registry counters.
+  uint64_t fused_intersects_ = 0;
+  uint64_t fallback_decodes_ = 0;
 };
 
 }  // namespace benu

@@ -9,25 +9,14 @@ StatusOr<BenuResult> RunBenu(const Graph& data_graph, const Graph& pattern,
     return Status::InvalidArgument(
         "labeled pattern requires one label per data vertex");
   }
-  if (options.cluster.transport != nullptr) {
-    // An external transport already holds the data graph under fixed
-    // vertex ids; relabeling only the enumeration side would silently
-    // fetch the wrong adjacency sets. Callers must relabel before
-    // building the transport and pass relabel_by_degree = false.
-    if (options.relabel_by_degree) {
-      return Status::InvalidArgument(
-          "relabel_by_degree is incompatible with an external transport: "
-          "relabel the graph first, build the transport from the "
-          "relabeled graph, and set relabel_by_degree = false");
-    }
-    if (options.cluster.transport->num_vertices() !=
-        data_graph.NumVertices()) {
-      return Status::InvalidArgument(
-          "transport stores " +
-          std::to_string(options.cluster.transport->num_vertices()) +
-          " vertices but the data graph has " +
-          std::to_string(data_graph.NumVertices()));
-    }
+  if (options.cluster.transport != nullptr &&
+      options.cluster.transport->num_vertices() !=
+          data_graph.NumVertices()) {
+    return Status::InvalidArgument(
+        "transport stores " +
+        std::to_string(options.cluster.transport->num_vertices()) +
+        " vertices but the data graph has " +
+        std::to_string(data_graph.NumVertices()));
   }
 
   // Preprocessing independent of P (Algorithm 2 line 1): realize the total
@@ -36,6 +25,36 @@ StatusOr<BenuResult> RunBenu(const Graph& data_graph, const Graph& pattern,
   const Graph relabeled = options.relabel_by_degree
                               ? data_graph.RelabelByDegree(&old_to_new)
                               : data_graph;
+
+  if (options.cluster.transport != nullptr) {
+    // An external transport serves the data graph under fixed vertex
+    // ids; if the enumeration side uses a different labeling (e.g. the
+    // caller relabeled only one side) every fetch would silently return
+    // the wrong adjacency set. The transport's hello handshake carries a
+    // folded content hash of the graph it stores — validate the labeling
+    // the enumeration actually uses (post-relabel) against it. A hash of
+    // 0 means the transport cannot attest its labeling (legacy server);
+    // relabeling is then refused rather than trusted blindly.
+    const uint32_t remote_hash = options.cluster.transport->graph_hash();
+    const uint32_t local_hash = relabeled.FoldedContentHash();
+    if (remote_hash == 0) {
+      if (options.relabel_by_degree) {
+        return Status::InvalidArgument(
+            "relabel_by_degree needs a transport that attests its graph "
+            "labeling (hello graph hash), but this one reports none: "
+            "relabel the graph first, build the transport from the "
+            "relabeled graph, and set relabel_by_degree = false");
+      }
+    } else if (remote_hash != local_hash) {
+      return Status::InvalidArgument(
+          options.relabel_by_degree
+              ? "relabel_by_degree produced a labeling the transport does "
+                "not store (graph hash mismatch): build the transport "
+                "from the degree-relabeled graph"
+              : "transport stores a differently-labeled graph (graph "
+                "hash mismatch): both sides must hold the same labeling");
+    }
+  }
   std::vector<int> data_labels = options.data_labels;
   if (labeled && options.relabel_by_degree) {
     for (VertexId v = 0; v < data_graph.NumVertices(); ++v) {

@@ -29,6 +29,13 @@
 //   --endpoints accepts the replica syntax "h:p|h:p,h:p" (',' separates
 //   server indexes, '|' separates replicas of one index).
 //
+// Compression knobs:
+//   --compress=0          disable delta+varint adjacency compression on
+//                         every hop (servers, client transports, sim)
+//   --driver-relabel=1    hand RunBenu the unrelabeled graph and let it
+//                         relabel internally, validating against the
+//                         transport's attested graph hash
+//
 // Spawned servers can never outlive the driver: children ask the kernel
 // for SIGKILL on parent death (PR_SET_PDEATHSIG) and an atexit handler
 // kills and reaps them on every normal exit path.
@@ -120,7 +127,7 @@ std::string SelfDir() {
 ServerProcess SpawnServer(const std::string& binary,
                           const std::string& graph_spec, size_t partitions,
                           size_t servers, size_t index, size_t replica,
-                          size_t replicas) {
+                          size_t replicas, bool compress) {
   int pipefd[2];
   BENU_CHECK(pipe(pipefd) == 0) << "pipe failed";
   const pid_t parent = getpid();
@@ -140,10 +147,12 @@ ServerProcess SpawnServer(const std::string& binary,
     const std::string index_arg = "--index=" + std::to_string(index);
     const std::string replica_arg = "--replica=" + std::to_string(replica);
     const std::string replicas_arg = "--replicas=" + std::to_string(replicas);
+    const std::string compress_arg =
+        std::string("--compress=") + (compress ? "1" : "0");
     execl(binary.c_str(), binary.c_str(), graph_arg.c_str(),
           part_arg.c_str(), servers_arg.c_str(), index_arg.c_str(),
-          replica_arg.c_str(), replicas_arg.c_str(), "--port=0",
-          "--relabel=1", static_cast<char*>(nullptr));
+          replica_arg.c_str(), replicas_arg.c_str(), compress_arg.c_str(),
+          "--port=0", "--relabel=1", static_cast<char*>(nullptr));
     std::perror("execl benu_kv_server");
     _exit(127);
   }
@@ -169,15 +178,19 @@ ServerProcess SpawnServer(const std::string& binary,
 
 Count RunOnce(const Graph& graph, const Graph& pattern,
               std::shared_ptr<Transport> transport, size_t partitions,
-              size_t workers, size_t threads_per_worker) {
+              size_t workers, size_t threads_per_worker, bool compress,
+              bool relabel_in_driver) {
   BenuOptions options;
   options.cluster.num_workers = workers;
   options.cluster.threads_per_worker = threads_per_worker;
   options.cluster.db_partitions = partitions;
+  options.cluster.compress_adjacency = compress;
   options.cluster.transport = std::move(transport);
-  // The driver relabels the data graph before building any transport,
-  // so both sides of the wire already agree on vertex ids.
-  options.relabel_by_degree = false;
+  // Default path: the driver relabels the data graph before building any
+  // transport, so both sides of the wire already agree on vertex ids.
+  // With --driver-relabel RunBenu relabels internally instead and
+  // validates the labeling against the transport's attested graph hash.
+  options.relabel_by_degree = relabel_in_driver;
   auto result = RunBenu(graph, pattern, options);
   BENU_CHECK(result.ok()) << result.status().ToString();
   return result->run.total_matches;
@@ -207,11 +220,25 @@ int main(int argc, char** argv) {
   const long long expect_matches =
       std::atoll(FlagValue(argc, argv, "--expect-matches", "-1"));
   const bool compare_with_sim = HasFlag(argc, argv, "--compare-with-sim");
+  // --compress=0 disables delta+varint adjacency compression everywhere:
+  // spawned servers serve raw-only, client transports request raw frames
+  // and the sim backend skips pre-encoding.
+  const bool compress =
+      std::atoi(FlagValue(argc, argv, "--compress", "1")) != 0;
+  // --driver-relabel=1 hands RunBenu the *un*relabeled graph with
+  // relabel_by_degree on, exercising the graph-hash handshake against a
+  // transport that serves the relabeled graph.
+  const bool driver_relabel =
+      std::atoi(FlagValue(argc, argv, "--driver-relabel", "0")) != 0;
 
   auto graph_or = GenerateFromSpec(graph_spec);
   BENU_CHECK(graph_or.ok()) << "--graph=" << graph_spec << ": "
                             << graph_or.status().ToString();
+  const Graph unrelabeled = *graph_or;
   const Graph graph = graph_or->RelabelByDegree();
+  // The graph RunOnce enumerates over; transports always serve the
+  // relabeled labeling (spawned servers pass --relabel=1).
+  const Graph& enum_graph = driver_relabel ? unrelabeled : graph;
   auto pattern_or = GetPattern(pattern_name);
   BENU_CHECK(pattern_or.ok()) << "--pattern=" << pattern_name << ": "
                               << pattern_or.status().ToString();
@@ -223,7 +250,7 @@ int main(int argc, char** argv) {
   if (transport_name == "sim") {
     transport = nullptr;  // RunBenu builds the simulated store itself.
   } else if (transport_name == "loopback") {
-    transport = MakeLoopbackTransport(graph, partitions);
+    transport = MakeLoopbackTransport(graph, partitions, compress);
   } else if (transport_name == "tcp") {
     std::vector<ReplicaGroup> groups;
     if (spawn_servers > 0) {
@@ -233,7 +260,7 @@ int main(int argc, char** argv) {
         for (size_t r = 0; r < replicas; ++r) {
           spawned.push_back(SpawnServer(server_binary, graph_spec,
                                         partitions, spawn_servers, i, r,
-                                        replicas));
+                                        replicas, compress));
           group.replicas.push_back({"127.0.0.1", spawned.back().port});
         }
         groups.push_back(std::move(group));
@@ -244,7 +271,9 @@ int main(int argc, char** argv) {
                               << parsed.status().ToString();
       groups = *parsed;
     }
-    auto connected = ConnectTcpTransport(groups);
+    TcpTransportOptions tcp_options;
+    tcp_options.compress = compress;
+    auto connected = ConnectTcpTransport(groups, tcp_options);
     BENU_CHECK(connected.ok()) << "connect: "
                                << connected.status().ToString();
     transport = *connected;
@@ -272,20 +301,22 @@ int main(int argc, char** argv) {
     });
   }
 
-  const Count matches = RunOnce(graph, pattern, transport, partitions,
-                                workers, threads_per_worker);
+  const Count matches =
+      RunOnce(enum_graph, pattern, transport, partitions, workers,
+              threads_per_worker, compress, driver_relabel);
   if (killer.joinable()) killer.join();
 
   if (transport != nullptr) {
     const TransportStats& ts = transport->stats();
     std::fprintf(stderr,
                  "transport.%s: fetches=%llu batch_gets=%llu "
-                 "round_trips=%llu bytes=%llu\n",
+                 "round_trips=%llu bytes=%llu bytes_encoded=%llu\n",
                  transport->name(),
                  static_cast<unsigned long long>(ts.fetches.load()),
                  static_cast<unsigned long long>(ts.batch_gets.load()),
                  static_cast<unsigned long long>(ts.round_trips.load()),
-                 static_cast<unsigned long long>(ts.bytes.load()));
+                 static_cast<unsigned long long>(ts.bytes.load()),
+                 static_cast<unsigned long long>(ts.bytes_encoded.load()));
     auto faults = QueryTcpFaultStats(*transport);
     if (faults.ok()) {
       std::fprintf(stderr,
@@ -303,8 +334,9 @@ int main(int argc, char** argv) {
   KillServers(spawned);
 
   if (compare_with_sim && transport_name != "sim") {
-    const Count sim_matches = RunOnce(graph, pattern, nullptr, partitions,
-                                      workers, threads_per_worker);
+    const Count sim_matches =
+        RunOnce(enum_graph, pattern, nullptr, partitions, workers,
+                threads_per_worker, compress, driver_relabel);
     BENU_CHECK(matches == sim_matches)
         << transport_name << " found " << matches << " matches but sim found "
         << sim_matches;

@@ -27,8 +27,8 @@ ClusterSimulator::ClusterSimulator(const Graph& data_graph,
     config_.db_partitions = config_.transport->num_partitions();
     store_ = std::make_unique<DistributedKvStore>(config_.transport);
   } else {
-    store_ = std::make_unique<DistributedKvStore>(data_graph_,
-                                                  config_.db_partitions);
+    store_ = std::make_unique<DistributedKvStore>(MakeSimulatedTransport(
+        data_graph_, config_.db_partitions, config_.compress_adjacency));
   }
 }
 

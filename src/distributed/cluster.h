@@ -69,14 +69,21 @@ struct ClusterConfig {
   /// mode: identical fetch behaviour and match counts, but no overlap —
   /// prefetch communication is charged unhidden.
   bool force_sync_prefetch = false;
+  /// Serve adjacency sets delta+varint-compressed from the internal
+  /// simulated transport (graph/adj_codec.h). Match counts and query
+  /// counts are unchanged; bytes_fetched / prefetch_bytes shrink to the
+  /// encoded frame sizes. Subject to the BENU_DISABLE_COMPRESSION
+  /// kill-switch; ignored when `transport` is non-null (an external
+  /// transport negotiates compression itself).
+  bool compress_adjacency = true;
   /// Communication backend of the KV store (storage/transport.h). Null —
   /// the default — builds the in-process simulated transport from the
   /// data graph and `db_partitions`, which is the seed behavior. A
   /// non-null transport (loopback, TCP, custom) must already hold the
   /// *same* graph the simulator is given: ClusterSimulator CHECKs the
   /// vertex counts match, and `db_partitions` is taken from the
-  /// transport. The transport side never relabels — see
-  /// BenuOptions::relabel_by_degree.
+  /// transport. The transport side serves a fixed labeling —
+  /// BenuOptions::relabel_by_degree validates against its graph hash.
   std::shared_ptr<Transport> transport;
 };
 

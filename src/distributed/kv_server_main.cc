@@ -9,7 +9,8 @@
 // band; --relabel must match the driver's relabeling choice.
 //
 //   benu_kv_server --graph=ba:200,5,21 --partitions=8 --servers=2 \
-//       --index=0 [--port=0] [--relabel=1] [--replica=0 --replicas=1]
+//       --index=0 [--port=0] [--relabel=1] [--replica=0 --replicas=1] \
+//       [--compress=1]
 //
 // --replica/--replicas identify this process among interchangeable
 // replicas of the same server index (clients fail over between them);
@@ -63,6 +64,10 @@ int main(int argc, char** argv) {
   const size_t replicas =
       std::strtoul(FlagValue(argc, argv, "--replicas", "1"), nullptr, 10);
   const bool relabel = std::atoi(FlagValue(argc, argv, "--relabel", "1")) != 0;
+  // --compress=0 serves raw frames only (no encoded-reply capability in
+  // the hello); also subject to the BENU_DISABLE_COMPRESSION env switch.
+  const bool compress =
+      std::atoi(FlagValue(argc, argv, "--compress", "1")) != 0;
 
   auto graph_or = GenerateFromSpec(graph_spec);
   BENU_CHECK(graph_or.ok()) << "--graph=" << graph_spec << ": "
@@ -70,7 +75,8 @@ int main(int argc, char** argv) {
   Graph graph = relabel ? graph_or->RelabelByDegree()
                         : std::move(graph_or).value();
 
-  KvTcpServer server(&graph, partitions, servers, index, replica, replicas);
+  KvTcpServer server(&graph, partitions, servers, index, replica, replicas,
+                     compress);
   auto listen = server.Listen(static_cast<uint16_t>(port));
   BENU_CHECK(listen.ok()) << listen.ToString();
   auto start = server.Start();

@@ -55,6 +55,20 @@ size_t Graph::MaxDegree() const {
   return best;
 }
 
+uint64_t Graph::ContentHash() const {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64
+  const auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(NumVertices());
+  for (uint64_t off : offsets_) mix(off);
+  for (VertexId v : neighbors_) mix(v);
+  return h;
+}
+
 Graph Graph::RelabelByDegree(std::vector<VertexId>* old_to_new) const {
   const size_t n = NumVertices();
   std::vector<VertexId> order(n);

@@ -84,6 +84,19 @@ class Graph {
     return offsets_ == other.offsets_ && neighbors_ == other.neighbors_;
   }
 
+  /// FNV-1a 64-bit hash of the CSR arrays: equal graphs (same ids, same
+  /// edges) hash equal, and any relabeling changes it with overwhelming
+  /// probability. The driver handshake folds this to 32 bits so a client
+  /// that relabels locally can verify the servers serve the same labeling
+  /// (wire::HelloInfo::graph_hash).
+  uint64_t ContentHash() const;
+
+  /// XOR-fold of ContentHash() to the 32 bits the hello payload carries.
+  uint32_t FoldedContentHash() const {
+    const uint64_t h = ContentHash();
+    return static_cast<uint32_t>(h ^ (h >> 32));
+  }
+
  private:
   // offsets_ has NumVertices()+1 entries; neighbors_ holds each undirected
   // edge twice.

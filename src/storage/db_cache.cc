@@ -44,6 +44,10 @@ DbCache::DbCache(const DistributedKvStore* store, size_t capacity_bytes,
   metrics_.prefetch_bytes = registry.GetCounter(
       "db_cache.prefetch_bytes", "bytes",
       "payload bytes fetched by the prefetch pipeline");
+  metrics_.resident_bytes = registry.GetGauge(
+      "db_cache.resident_bytes", "bytes",
+      "currently cached resident bytes (encoded size for compressed "
+      "entries, plus per-entry overhead) across all caches");
   metrics_.sync_fetch_us = registry.GetHistogram(
       "db_cache.sync_fetch.us", "us",
       "latency of synchronous primary-miss store queries (traced)");
@@ -67,6 +71,14 @@ DbCache::~DbCache() {
   // Publish any flights no fetcher picked up, so a (misbehaving) waiter
   // blocked in Get is released rather than deadlocked on teardown.
   DrainQueue();
+  // The resident-bytes gauge is a process-wide total across caches;
+  // un-count this cache's surviving entries.
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (shard->bytes != 0) {
+      metrics_.resident_bytes->Add(-static_cast<double>(shard->bytes));
+    }
+  }
 }
 
 DbCache::Reply DbCache::Get(VertexId v) {
@@ -128,21 +140,21 @@ DbCache::Reply DbCache::Get(VertexId v) {
   // Primary miss path: query the distributed database outside any lock so
   // a slow remote fetch blocks neither other keys of this shard nor the
   // waiters of other flights.
-  std::shared_ptr<const VertexSet> value;
+  AdjacencyPayload value;
   {
     metrics::ScopedSpan span(metrics_.sync_fetch_us);
     value = store_->GetAdjacency(v);
   }
-  InsertAndPublish(v, value, flight, /*prefetched=*/false);
-  return Reply{std::move(value), Outcome::kMiss};
+  Reply reply{value, Outcome::kMiss};
+  InsertAndPublish(v, std::move(value), flight, /*prefetched=*/false);
+  return reply;
 }
 
-void DbCache::InsertAndPublish(VertexId v,
-                               std::shared_ptr<const VertexSet> value,
+void DbCache::InsertAndPublish(VertexId v, AdjacencyPayload value,
                                const std::shared_ptr<Flight>& flight,
                                bool prefetched) {
   Shard& shard = ShardFor(v);
-  const size_t bytes = EntryBytes(*value);
+  const size_t bytes = EntryBytes(value);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.inflight.erase(v);
@@ -153,12 +165,19 @@ void DbCache::InsertAndPublish(VertexId v,
       if (it != shard.index.end()) {
         // Raced insert (unreachable while single-flight holds, kept as
         // defense): the entry is hot — promote it to MRU instead of
-        // leaving it where a concurrent eviction pass would take it.
+        // leaving it where a concurrent eviction pass would take it. The
+        // incoming value is dropped; if it was prefetched, that fetch
+        // converted nothing and counts as wasted.
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        if (prefetched) {
+          ++shard.prefetch_wasted;
+          metrics_.prefetch_wasted->Add(1);
+        }
       } else {
         shard.lru.push_front(Entry{v, value, bytes, prefetched});
         shard.index[v] = shard.lru.begin();
         shard.bytes += bytes;
+        metrics_.resident_bytes->Add(static_cast<double>(bytes));
         while (shard.bytes > shard_capacity && !shard.lru.empty()) {
           const Entry& victim = shard.lru.back();
           if (victim.prefetched) {
@@ -166,6 +185,7 @@ void DbCache::InsertAndPublish(VertexId v,
             metrics_.prefetch_wasted->Add(1);
           }
           shard.bytes -= victim.bytes;
+          metrics_.resident_bytes->Add(-static_cast<double>(victim.bytes));
           shard.index.erase(victim.key);
           shard.lru.pop_back();
         }
@@ -278,7 +298,7 @@ void DbCache::FetchBatch(const std::vector<VertexId>& batch) {
   metrics_.prefetch_round_trips->Add(reply.round_trips);
   metrics_.prefetch_bytes->Add(reply.bytes);
   for (size_t i = 0; i < to_fetch.size(); ++i) {
-    InsertAndPublish(to_fetch[i], reply.values[i], flights[i],
+    InsertAndPublish(to_fetch[i], std::move(reply.values[i]), flights[i],
                      /*prefetched=*/true);
   }
 }
@@ -294,7 +314,7 @@ std::shared_ptr<const VertexSet> DbCache::GetAdjacency(VertexId v,
                                                        bool* was_hit) {
   Reply reply = Get(v);
   if (was_hit != nullptr) *was_hit = reply.outcome == Outcome::kHit;
-  return std::move(reply.value);
+  return reply.value.Materialize();
 }
 
 DbCacheStats DbCache::stats() const {

@@ -21,6 +21,7 @@ class ThreadPool;
 
 namespace metrics {
 class Counter;
+class Gauge;
 class Histogram;
 }  // namespace metrics
 
@@ -89,6 +90,14 @@ struct DbCacheStats {
 /// bytes of cached adjacency payload, so experiments can size it relative
 /// to the data graph (Exp-3).
 ///
+/// Charge basis: entries are stored exactly as the transport delivered
+/// them — still delta+varint encoded on compressed backends — and each
+/// entry is charged its *resident* bytes (AdjacencyPayload::
+/// resident_bytes, i.e. encoded size when encoded) plus a fixed
+/// per-entry overhead. A compressed transport therefore fits ~the
+/// compression ratio more adjacency sets into the same capacity. The
+/// current total is exported as the `db_cache.resident_bytes` gauge.
+///
 /// Sharded LRU: the key space is split over independent shards, each with
 /// its own mutex, list and map, so concurrent worker threads do not
 /// serialize on one lock.
@@ -116,7 +125,11 @@ class DbCache {
   };
 
   struct Reply {
-    std::shared_ptr<const VertexSet> value;
+    /// As delivered by the transport: decoded (raw backends) or still
+    /// delta+varint encoded (compressed backends). The executor's fused
+    /// kernels consume the encoded form directly; call
+    /// value.Materialize() for a decoded set.
+    AdjacencyPayload value;
     Outcome outcome = Outcome::kMiss;
   };
 
@@ -143,10 +156,11 @@ class DbCache {
   /// concurrent in-flight query) and inserting the reply.
   Reply Get(VertexId v);
 
-  /// Convenience wrapper around Get. `was_hit`, if non-null, reports
-  /// whether this call was served from cache (coalesced waits count as
-  /// not-hit — the documented DbCacheStats convention: the caller did
-  /// wait out a remote round trip, just a shared one).
+  /// Convenience wrapper around Get that materializes the payload.
+  /// `was_hit`, if non-null, reports whether this call was served from
+  /// cache (coalesced waits count as not-hit — the documented
+  /// DbCacheStats convention: the caller did wait out a remote round
+  /// trip, just a shared one).
   std::shared_ptr<const VertexSet> GetAdjacency(VertexId v,
                                                 bool* was_hit = nullptr);
 
@@ -166,7 +180,9 @@ class DbCache {
   /// Aggregated statistics over all shards.
   DbCacheStats stats() const;
 
-  /// Current cached payload bytes over all shards.
+  /// Current cached resident bytes over all shards (incl. the per-entry
+  /// overhead) — what capacity is charged against, also exported as the
+  /// `db_cache.resident_bytes` gauge.
   size_t SizeBytes() const;
 
   size_t capacity_bytes() const { return capacity_bytes_; }
@@ -174,7 +190,8 @@ class DbCache {
  private:
   struct Entry {
     VertexId key;
-    std::shared_ptr<const VertexSet> value;
+    AdjacencyPayload value;
+    /// resident_bytes() + kEntryOverheadBytes, the capacity charge.
     size_t bytes;
     /// Inserted by the prefetch pipeline and not yet hit; cleared on the
     /// first hit (counted as prefetch_hits), counted as prefetch_wasted
@@ -189,7 +206,7 @@ class DbCache {
   struct Flight {
     std::mutex mu;
     std::condition_variable ready_cv;
-    std::shared_ptr<const VertexSet> value;
+    AdjacencyPayload value;
     bool ready = false;
     std::atomic<int> state{kFlightFetching};
   };
@@ -212,13 +229,13 @@ class DbCache {
   static constexpr int kFlightFetching = 1;
 
   Shard& ShardFor(VertexId v) { return *shards_[v % shards_.size()]; }
-  static size_t EntryBytes(const VertexSet& set) {
-    return set.size() * sizeof(VertexId) + kEntryOverheadBytes;
+  static size_t EntryBytes(const AdjacencyPayload& value) {
+    return value.resident_bytes() + kEntryOverheadBytes;
   }
 
   /// Inserts the reply into the LRU (respecting capacity), unlinks the
   /// flight and publishes the value to waiters.
-  void InsertAndPublish(VertexId v, std::shared_ptr<const VertexSet> value,
+  void InsertAndPublish(VertexId v, AdjacencyPayload value,
                         const std::shared_ptr<Flight>& flight,
                         bool prefetched);
   /// Drains the pending prefetch queue in batches until it is empty.
@@ -249,6 +266,7 @@ class DbCache {
     metrics::Counter* prefetch_wasted = nullptr;
     metrics::Counter* prefetch_round_trips = nullptr;
     metrics::Counter* prefetch_bytes = nullptr;
+    metrics::Gauge* resident_bytes = nullptr;
     metrics::Histogram* sync_fetch_us = nullptr;
     metrics::Histogram* coalesced_wait_us = nullptr;
     metrics::Histogram* batch_fetch_us = nullptr;

@@ -10,22 +10,41 @@ KvPartitionServer::KvPartitionServer(const Graph* graph,
                                      size_t num_partitions,
                                      size_t num_servers, size_t server_index,
                                      size_t replica_index,
-                                     size_t num_replicas)
+                                     size_t num_replicas,
+                                     bool support_encoding)
     : graph_(graph),
       num_partitions_(num_partitions == 0 ? 1 : num_partitions),
       num_servers_(num_servers == 0 ? 1 : num_servers),
       server_index_(server_index),
       replica_index_(replica_index),
-      num_replicas_(num_replicas == 0 ? 1 : num_replicas) {
+      num_replicas_(num_replicas == 0 ? 1 : num_replicas),
+      support_encoding_(codec::CompressionEnabled(support_encoding)),
+      graph_hash_(graph->FoldedContentHash()) {
   BENU_CHECK(server_index_ < num_servers_)
       << "server index " << server_index_ << " out of range (servers: "
       << num_servers_ << ")";
   BENU_CHECK(replica_index_ < num_replicas_)
       << "replica index " << replica_index_ << " out of range (replicas: "
       << num_replicas_ << ")";
+  if (support_encoding_) {
+    // Pre-encode this server's partition share once; request handling
+    // then serves the stored streams without touching the codec.
+    encoded_.resize(graph_->NumVertices());
+    size_t sets = 0;
+    size_t raw_bytes = 0;
+    size_t encoded_bytes = 0;
+    for (VertexId v = 0; v < graph_->NumVertices(); ++v) {
+      if (!Serves(v)) continue;
+      codec::Encode(graph_->Adjacency(v), &encoded_[v]);
+      ++sets;
+      raw_bytes += encoded_[v].raw_bytes();
+      encoded_bytes += encoded_[v].bytes.size();
+    }
+    codec::NoteEncoded(sets, raw_bytes, encoded_bytes);
+  }
 }
 
-bool KvPartitionServer::AppendOneReply(VertexId v,
+bool KvPartitionServer::AppendOneReply(VertexId v, bool encoded,
                                        std::vector<uint8_t>* out) {
   if (!Serves(v)) {
     wire::AppendError(StatusCode::kOutOfRange,
@@ -35,7 +54,11 @@ bool KvPartitionServer::AppendOneReply(VertexId v,
                       out);
     return false;
   }
-  wire::AppendAdjacencyReply(v, graph_->Adjacency(v), out);
+  if (encoded) {
+    wire::AppendEncodedAdjacencyReply(v, encoded_[v], out);
+  } else {
+    wire::AppendAdjacencyReply(v, graph_->Adjacency(v), out);
+  }
   keys_served_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
@@ -66,6 +89,8 @@ void KvPartitionServer::HandleFrame(std::span<const uint8_t> frame,
       info.server_index = static_cast<uint32_t>(server_index_);
       info.replica_index = static_cast<uint32_t>(replica_index_);
       info.num_replicas = static_cast<uint32_t>(num_replicas_);
+      info.flags = support_encoding_ ? wire::kHelloSupportsEncoded : 0;
+      info.graph_hash = graph_hash_;
       wire::AppendHelloReply(info, out);
       break;
     }
@@ -75,7 +100,10 @@ void KvPartitionServer::HandleFrame(std::span<const uint8_t> frame,
         wire::AppendError(key.status().code(), key.status().message(), out);
         break;
       }
-      AppendOneReply(*key, out);
+      // Encoded replies only when requested AND supported — a raw-only
+      // server transparently answers an encoding-capable client raw.
+      AppendOneReply(
+          *key, support_encoding_ && wire::FrameIsEncoded(*decoded), out);
       break;
     }
     case wire::MessageType::kBatchGetRequest: {
@@ -85,11 +113,13 @@ void KvPartitionServer::HandleFrame(std::span<const uint8_t> frame,
                           out);
         break;
       }
+      const bool encoded =
+          support_encoding_ && wire::FrameIsEncoded(*decoded);
       // Reply: one kGetReply frame per key, in request order. On the
       // first bad key the error frame replaces the remaining replies —
       // the client treats any kError in a batch as a failed batch.
       for (VertexId v : *keys) {
-        if (!AppendOneReply(v, out)) break;
+        if (!AppendOneReply(v, encoded, out)) break;
       }
       break;
     }
@@ -104,9 +134,10 @@ void KvPartitionServer::HandleFrame(std::span<const uint8_t> frame,
           out);
   }
   // Echo the request's tag onto every reply frame so pipelined clients
-  // can demux replies of interleaved in-flight requests.
+  // can demux replies of interleaved in-flight requests. Mask off the
+  // request's encoding flag — replies carry their own.
   wire::TagFrames(std::span<uint8_t>(*out).subspan(out_start),
-                  decoded->header.flags);
+                  decoded->header.flags & wire::kTagMask);
   bytes_sent_.fetch_add(out->size() - out_start, std::memory_order_relaxed);
 }
 

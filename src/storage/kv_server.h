@@ -8,6 +8,7 @@
 
 #include "common/types.h"
 #include "common/wire.h"
+#include "graph/adj_codec.h"
 #include "graph/graph.h"
 
 namespace benu {
@@ -30,13 +31,19 @@ namespace benu {
 class KvPartitionServer {
  public:
   /// `graph` must outlive the server (already degree-relabeled when the
-  /// enumeration side relabels — both sides must agree on the labeling).
-  /// `replica_index`/`num_replicas` identify this process among the
-  /// interchangeable replicas serving the same partition share; they are
-  /// reported in the hello reply so clients can log failover targets.
+  /// enumeration side relabels — both sides must agree on the labeling;
+  /// the hello reply carries the graph's folded content hash so clients
+  /// can verify). `replica_index`/`num_replicas` identify this process
+  /// among the interchangeable replicas serving the same partition
+  /// share; they are reported in the hello reply so clients can log
+  /// failover targets. With `support_encoding` (subject to
+  /// codec::CompressionEnabled) the server pre-encodes its partition
+  /// share once here and answers encoding-flagged requests with
+  /// delta+varint replies, advertising the capability in its hello.
   KvPartitionServer(const Graph* graph, size_t num_partitions,
                     size_t num_servers, size_t server_index,
-                    size_t replica_index = 0, size_t num_replicas = 1);
+                    size_t replica_index = 0, size_t num_replicas = 1,
+                    bool support_encoding = true);
 
   /// Handles one request frame, appending the reply frame(s) to `out`.
   /// Malformed frames, unknown types and out-of-scope keys produce a
@@ -62,11 +69,13 @@ class KvPartitionServer {
   size_t server_index() const { return server_index_; }
   size_t replica_index() const { return replica_index_; }
   size_t num_replicas() const { return num_replicas_; }
+  bool supports_encoding() const { return support_encoding_; }
 
  private:
   /// Appends the kGetReply frame for one served key (or kError when the
-  /// key is out of scope); returns false on error.
-  bool AppendOneReply(VertexId v, std::vector<uint8_t>* out);
+  /// key is out of scope); returns false on error. `encoded` selects the
+  /// pre-encoded delta+varint reply form.
+  bool AppendOneReply(VertexId v, bool encoded, std::vector<uint8_t>* out);
 
   const Graph* graph_;
   size_t num_partitions_;
@@ -74,6 +83,12 @@ class KvPartitionServer {
   size_t server_index_;
   size_t replica_index_;
   size_t num_replicas_;
+  bool support_encoding_;
+  uint32_t graph_hash_;
+  /// Pre-encoded partition share, indexed by vertex id (only served
+  /// vertices are populated). Encoded once at construction; HandleFrame
+  /// serves these bytes without re-encoding.
+  std::vector<codec::EncodedSet> encoded_;
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> keys_served_{0};
   std::atomic<uint64_t> bytes_sent_{0};

@@ -15,7 +15,8 @@ static_assert(DistributedKvStore::kReplyOverheadBytes == wire::kHeaderBytes,
 
 DistributedKvStore::DistributedKvStore(const Graph& graph,
                                       size_t num_partitions)
-    : DistributedKvStore(MakeSimulatedTransport(graph, num_partitions)) {}
+    : DistributedKvStore(MakeSimulatedTransport(graph, num_partitions,
+                                                /*compress=*/false)) {}
 
 DistributedKvStore::DistributedKvStore(std::shared_ptr<Transport> transport)
     : transport_(std::move(transport)) {
@@ -39,13 +40,12 @@ void DistributedKvStore::InitMetrics() {
       "kv_store.batch_gets", "1", "GetAdjacencyBatch calls");
 }
 
-std::shared_ptr<const VertexSet> DistributedKvStore::GetAdjacency(
-    VertexId v) const {
+AdjacencyPayload DistributedKvStore::GetAdjacency(VertexId v) const {
   BENU_CHECK(v < num_vertices_) << "vertex out of range: " << v;
   auto fetched = transport_->Fetch(v);
   BENU_CHECK(fetched.ok()) << "transport fetch of vertex " << v
                            << " failed: " << fetched.status().message();
-  const size_t bytes = ReplyBytes((*fetched)->size());
+  const size_t bytes = fetched->wire_bytes;
   stats_.queries.fetch_add(1, std::memory_order_relaxed);
   stats_.round_trips.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_fetched.fetch_add(bytes, std::memory_order_relaxed);

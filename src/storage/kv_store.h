@@ -64,20 +64,24 @@ class DistributedKvStore {
  public:
   /// Loads the data graph into an in-process simulated transport
   /// (Algorithm 2 line 1, the pattern-independent preprocessing step).
+  /// This convenience path serves *raw* payloads, so its byte accounting
+  /// is exactly ReplyBytes per key; compressed stores are built by
+  /// wrapping an explicit MakeSimulatedTransport(graph, n, compress).
   DistributedKvStore(const Graph& graph, size_t num_partitions);
 
   /// Wraps an existing transport (loopback, TCP, or a custom backend).
   explicit DistributedKvStore(std::shared_ptr<Transport> transport);
 
-  /// Fetches Γ(v). The returned set is immutable and, for in-process
-  /// backends, shared with the store. Also returns, via the stats, the
-  /// communication cost.
-  std::shared_ptr<const VertexSet> GetAdjacency(VertexId v) const;
+  /// Fetches Γ(v) as the transport delivered it: decoded (raw backends,
+  /// shared with the store in-process) or still delta+varint encoded
+  /// (compressed backends). Also returns, via the stats, the
+  /// communication cost. Call .Materialize() for the decoded set.
+  AdjacencyPayload GetAdjacency(VertexId v) const;
 
   /// Reply of one batched multi-get.
   struct BatchReply {
-    /// Γ(keys[i]) in key order; entries are shared and immutable.
-    std::vector<std::shared_ptr<const VertexSet>> values;
+    /// Γ(keys[i]) in key order; payload values are shared and immutable.
+    std::vector<AdjacencyPayload> values;
     /// Distinct partitions (virtual storage nodes) touched: the batch
     /// costs one round-trip latency per partition, not per key.
     size_t round_trips = 0;

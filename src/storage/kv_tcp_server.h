@@ -29,9 +29,12 @@ class KvTcpServer {
   /// `graph` must outlive the server. `replica_index`/`num_replicas`
   /// identify this instance among interchangeable replicas of the same
   /// partition share (reported in the hello handshake).
+  /// `support_encoding` forwards to KvPartitionServer: pre-encode the
+  /// share and answer encoding-flagged requests with delta+varint
+  /// replies (subject to codec::CompressionEnabled).
   KvTcpServer(const Graph* graph, size_t num_partitions, size_t num_servers,
               size_t server_index, size_t replica_index = 0,
-              size_t num_replicas = 1);
+              size_t num_replicas = 1, bool support_encoding = true);
   ~KvTcpServer();
 
   KvTcpServer(const KvTcpServer&) = delete;

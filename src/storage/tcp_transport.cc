@@ -258,7 +258,7 @@ class ServerChannel {
       return;
     }
     call->tag = next_tag_;
-    next_tag_ = next_tag_ == 0xFFFF ? 1 : next_tag_ + 1;
+    next_tag_ = next_tag_ == wire::kTagMask ? 1 : next_tag_ + 1;
     wire::SetFrameTag(call->request, call->tag);
     pending_.push_back(call);
     const int fd = fd_;
@@ -307,7 +307,7 @@ class ServerChannel {
         continue;
       }
       call->tag = next_tag_;
-      next_tag_ = next_tag_ == 0xFFFF ? 1 : next_tag_ + 1;
+      next_tag_ = next_tag_ == wire::kTagMask ? 1 : next_tag_ + 1;
       wire::SetFrameTag(call->request, call->tag);
       pending_.push_back(call);
       coalesced.insert(coalesced.end(), call->request.begin(),
@@ -435,6 +435,22 @@ class ServerChannel {
         return Status::InvalidArgument(
             ep.host + ":" + std::to_string(ep.port) +
             " disagrees with the cluster layout (vertices/partitions)");
+      }
+      if (have_expected_ &&
+          (expected_.flags & wire::kHelloSupportsEncoded) != 0 &&
+          (hello->flags & wire::kHelloSupportsEncoded) == 0) {
+        net::CloseFd(*fd);
+        return Status::InvalidArgument(
+            ep.host + ":" + std::to_string(ep.port) +
+            " lacks the encoded-reply capability the cluster advertised");
+      }
+      if (have_expected_ && expected_.graph_hash != 0 &&
+          hello->graph_hash != 0 &&
+          hello->graph_hash != expected_.graph_hash) {
+        net::CloseFd(*fd);
+        return Status::InvalidArgument(
+            ep.host + ":" + std::to_string(ep.port) +
+            " serves a different graph labeling (content-hash mismatch)");
       }
       fd_ = *fd;
       broken_ = false;
@@ -575,43 +591,47 @@ class TcpTransport final : public Transport {
   TcpTransport(std::shared_ptr<TcpCounters> counters,
                std::vector<std::unique_ptr<ServerChannel>> channels,
                const wire::HelloInfo& layout,
-               const TcpTransportOptions& options)
+               const TcpTransportOptions& options, bool compress)
       : counters_(std::move(counters)),
         channels_(std::move(channels)),
         layout_(layout),
-        opt_(options) {
+        opt_(options),
+        compress_(compress) {
     InitMetrics(name());
   }
 
   const char* name() const override { return "tcp"; }
   size_t num_partitions() const override { return layout_.num_partitions; }
   size_t num_vertices() const override { return layout_.num_vertices; }
+  uint32_t graph_hash() const override { return layout_.graph_hash; }
+  bool compressed() const override { return compress_; }
 
-  StatusOr<std::shared_ptr<const VertexSet>> Fetch(VertexId v) override {
+  StatusOr<AdjacencyPayload> Fetch(VertexId v) override {
     if (v >= layout_.num_vertices) {
       return Status::OutOfRange("vertex out of range: " + std::to_string(v));
     }
     ServerChannel& channel =
         *channels_[(v % layout_.num_partitions) % channels_.size()];
     PendingCall call;
-    wire::AppendGetRequest(v, &call.request);
+    wire::AppendGetRequest(v, &call.request, /*want_encoded=*/compress_);
     call.expected_frames = 1;
-    auto set = std::make_shared<VertexSet>();
-    size_t bytes = 0;
+    AdjacencyPayload payload;
     BENU_RETURN_IF_ERROR(RunCall(
         channel, &call, /*already_awaited=*/false,
         [&](const PendingCall& c) -> Status {
           VertexId key = kInvalidVertex;
-          BENU_RETURN_IF_ERROR(
-              DecodeSingleAdjacency(c, &key, set.get(), &bytes));
+          AdjacencyPayload decoded;
+          BENU_RETURN_IF_ERROR(DecodeSingleAdjacency(c, &key, &decoded));
           if (key != v) {
             return Status::Unavailable("reply key mismatch for vertex " +
                                        std::to_string(v));
           }
+          payload = std::move(decoded);
           return Status::OK();
         }));
-    Account(1, bytes, /*batch=*/false);
-    return std::shared_ptr<const VertexSet>(std::move(set));
+    Account(1, payload.wire_bytes,
+            payload.is_encoded() ? payload.wire_bytes : 0, /*batch=*/false);
+    return payload;
   }
 
   StatusOr<BatchResult> FetchBatch(
@@ -645,7 +665,8 @@ class TcpTransport final : public Transport {
       by_partition[p]->slots.push_back(i);
     }
     for (auto& op : ops) {
-      wire::AppendBatchGetRequest(op->keys, &op->call.request);
+      wire::AppendBatchGetRequest(op->keys, &op->call.request,
+                                  /*want_encoded=*/compress_);
       op->call.expected_frames = op->keys.size();
     }
     if (opt_.pipeline) {
@@ -669,17 +690,22 @@ class TcpTransport final : public Transport {
     }
     // Decode (and, where needed, retry) each op. Every call has been
     // awaited above, so early error returns leave nothing in flight.
+    size_t encoded_bytes = 0;
     for (auto& op : ops) {
       size_t op_bytes = 0;
+      size_t op_encoded_bytes = 0;
       BENU_RETURN_IF_ERROR(RunCall(
           *channels_[op->channel], &op->call, /*already_awaited=*/true,
           [&](const PendingCall& c) -> Status {
-            return DecodeBatchReplies(c, *op, &result, &op_bytes);
+            return DecodeBatchReplies(c, *op, &result, &op_bytes,
+                                      &op_encoded_bytes);
           }));
       result.round_trips += 1;
       result.bytes += op_bytes;
+      encoded_bytes += op_encoded_bytes;
     }
-    Account(result.round_trips, result.bytes, /*batch=*/true);
+    Account(result.round_trips, result.bytes, encoded_bytes,
+            /*batch=*/true);
     return result;
   }
 
@@ -726,28 +752,47 @@ class TcpTransport final : public Transport {
     return frame;
   }
 
+  /// Decodes one adjacency reply frame, raw or delta+varint encoded: the
+  /// server chooses (it answers raw when not encoding), so dispatch on
+  /// the frame's own encoding flag.
+  static Status DecodeAdjacencyFrame(const wire::Frame& frame, VertexId* key,
+                                     AdjacencyPayload* payload) {
+    Status s;
+    if (wire::FrameIsEncoded(frame)) {
+      auto set = std::make_shared<codec::EncodedSet>();
+      s = wire::DecodeEncodedAdjacencyReply(frame, key, set.get());
+      payload->encoded = std::move(set);
+    } else {
+      auto set = std::make_shared<VertexSet>();
+      s = wire::DecodeAdjacencyReply(frame, key, set.get());
+      payload->decoded = std::move(set);
+    }
+    if (!s.ok()) {
+      return Status::Unavailable("corrupt adjacency reply: " + s.message());
+    }
+    payload->wire_bytes = frame.frame_bytes;
+    return Status::OK();
+  }
+
   /// Decodes a single-key adjacency reply. Corruption comes back as
   /// kUnavailable (retryable over a fresh connection), a kError frame as
   /// its app-level status (not retried).
   static Status DecodeSingleAdjacency(const PendingCall& call, VertexId* key,
-                                      VertexSet* out, size_t* bytes) {
+                                      AdjacencyPayload* payload) {
     auto frame = DecodeSingleFrame(call);
     BENU_RETURN_IF_ERROR(frame.status());
     if (frame->header.type == wire::MessageType::kError) {
       return wire::DecodeError(*frame);
     }
-    Status s = wire::DecodeAdjacencyReply(*frame, key, out);
-    if (!s.ok()) {
-      return Status::Unavailable("corrupt adjacency reply: " + s.message());
-    }
-    *bytes = frame->frame_bytes;
-    return Status::OK();
+    return DecodeAdjacencyFrame(*frame, key, payload);
   }
 
   /// Decodes the reply frames of one batch op into the result slots.
   Status DecodeBatchReplies(const PendingCall& call, /*Op*/ const auto& op,
-                            BatchResult* result, size_t* op_bytes) {
+                            BatchResult* result, size_t* op_bytes,
+                            size_t* op_encoded_bytes) {
     *op_bytes = 0;
+    *op_encoded_bytes = 0;
     for (size_t i = 0; i < call.replies.size(); ++i) {
       auto frame = wire::DecodeFrame(call.replies[i]);
       if (!frame.ok()) {
@@ -758,17 +803,14 @@ class TcpTransport final : public Transport {
         return wire::DecodeError(*frame);
       }
       VertexId key = kInvalidVertex;
-      auto set = std::make_shared<VertexSet>();
-      Status s = wire::DecodeAdjacencyReply(*frame, &key, set.get());
-      if (!s.ok()) {
-        return Status::Unavailable("corrupt adjacency reply: " +
-                                   s.message());
-      }
+      AdjacencyPayload payload;
+      BENU_RETURN_IF_ERROR(DecodeAdjacencyFrame(*frame, &key, &payload));
       if (key != op.keys[i]) {
         return Status::Unavailable("reply key mismatch in batch");
       }
-      result->values[op.slots[i]] = std::move(set);
-      *op_bytes += frame->frame_bytes;
+      *op_bytes += payload.wire_bytes;
+      if (payload.is_encoded()) *op_encoded_bytes += payload.wire_bytes;
+      result->values[op.slots[i]] = std::move(payload);
     }
     if (call.replies.size() != op.keys.size()) {
       return Status::Unavailable("truncated batch reply");
@@ -817,6 +859,9 @@ class TcpTransport final : public Transport {
   std::vector<std::unique_ptr<ServerChannel>> channels_;
   const wire::HelloInfo layout_;
   const TcpTransportOptions opt_;
+  /// Effective compression: requested AND every server capable AND the
+  /// env kill-switch off.
+  const bool compress_;
 };
 
 }  // namespace
@@ -836,11 +881,18 @@ StatusOr<std::shared_ptr<Transport>> ConnectTcpTransport(
   auto counters = std::make_shared<TcpCounters>();
   std::vector<std::unique_ptr<ServerChannel>> channels;
   wire::HelloInfo layout;
+  // Encoded replies need every server to support them; one legacy server
+  // in the fleet downgrades the whole transport to raw (correct either
+  // way — compression only changes the bytes on the wire).
+  bool all_support_encoding = true;
   for (size_t i = 0; i < groups.size(); ++i) {
     channels.push_back(std::make_unique<ServerChannel>(
         groups[i].replicas, i, groups.size(), options, counters.get()));
     auto hello = channels.back()->Connect();
     if (!hello.ok()) return hello.status();
+    if ((hello->flags & wire::kHelloSupportsEncoded) == 0) {
+      all_support_encoding = false;
+    }
     if (i == 0) {
       layout = *hello;
     } else if (hello->num_vertices != layout.num_vertices ||
@@ -848,14 +900,25 @@ StatusOr<std::shared_ptr<Transport>> ConnectTcpTransport(
       return Status::InvalidArgument(
           "replica group " + std::to_string(i) +
           " disagrees on the graph layout (vertices/partitions)");
+    } else if (layout.graph_hash != 0 && hello->graph_hash != 0 &&
+               hello->graph_hash != layout.graph_hash) {
+      return Status::InvalidArgument(
+          "replica group " + std::to_string(i) +
+          " serves a different graph labeling (content-hash mismatch)");
     }
   }
   if (layout.num_partitions == 0 || layout.num_vertices == 0) {
     return Status::InvalidArgument("servers report an empty layout");
   }
+  const bool compress =
+      codec::CompressionEnabled(options.compress && all_support_encoding);
+  if (!compress) {
+    // Reconnect validation must not demand a capability we don't use.
+    layout.flags &= ~wire::kHelloSupportsEncoded;
+  }
   for (auto& channel : channels) channel->SetExpectedLayout(layout);
   return std::shared_ptr<Transport>(std::make_shared<TcpTransport>(
-      std::move(counters), std::move(channels), layout, options));
+      std::move(counters), std::move(channels), layout, options, compress));
 }
 
 StatusOr<std::shared_ptr<Transport>> ConnectTcpTransport(

@@ -59,6 +59,12 @@ struct TcpTransportOptions {
   /// awaits its reply before the next — the pre-pipelining behavior, kept
   /// for A/B measurement (bench_pipeline). Fault tolerance is unaffected.
   bool pipeline = true;
+  /// Request delta+varint-encoded adjacency replies. Effective only when
+  /// every server advertises the capability in its hello (and
+  /// codec::CompressionEnabled allows it); otherwise the transport
+  /// transparently falls back to raw replies. Mixed fleets therefore
+  /// work, at raw byte cost.
+  bool compress = true;
 };
 
 /// Snapshot of the transport's fault counters (process-lifetime values

@@ -10,6 +10,15 @@
 
 namespace benu {
 
+std::shared_ptr<const VertexSet> AdjacencyPayload::Materialize() const {
+  if (decoded != nullptr) return decoded;
+  if (encoded == nullptr) return nullptr;
+  auto set = std::make_shared<VertexSet>();
+  codec::DecodeAll(*encoded, set.get());
+  codec::NoteDecoded(set->size());
+  return set;
+}
+
 void Transport::InitMetrics(const char* name) {
   auto& registry = metrics::MetricsRegistry::Global();
   const std::string prefix = std::string("transport.") + name;
@@ -22,9 +31,13 @@ void Transport::InitMetrics(const char* name) {
       "round trips: 1 per single fetch, 1 per partition per batch");
   bytes_metric_ =
       registry.GetCounter(prefix + ".bytes", "bytes", "reply payload bytes");
+  bytes_encoded_metric_ = registry.GetCounter(
+      prefix + ".bytes_encoded", "bytes",
+      "reply payload bytes carried delta+varint encoded");
 }
 
-void Transport::Account(size_t round_trips, size_t bytes, bool batch) {
+void Transport::Account(size_t round_trips, size_t bytes,
+                        size_t encoded_bytes, bool batch) {
   if (batch) {
     stats_.batch_gets.fetch_add(1, std::memory_order_relaxed);
     batch_gets_metric_->Add(1);
@@ -36,37 +49,64 @@ void Transport::Account(size_t round_trips, size_t bytes, bool batch) {
   stats_.bytes.fetch_add(bytes, std::memory_order_relaxed);
   round_trips_metric_->Add(round_trips);
   bytes_metric_->Add(bytes);
+  if (encoded_bytes != 0) {
+    stats_.bytes_encoded.fetch_add(encoded_bytes, std::memory_order_relaxed);
+    bytes_encoded_metric_->Add(encoded_bytes);
+  }
 }
 
 namespace {
 
 /// The seed simulator as a Transport: adjacency sets materialized once
 /// and shared zero-copy; round trips and bytes are modeled with the wire
-/// format's frame sizes (which the loopback/TCP backends realize).
+/// format's frame sizes (which the loopback/TCP backends realize). With
+/// compression the store instead pre-encodes every set once and shares
+/// the encoded payloads, modeling encoded frame sizes.
 class SimulatedTransport final : public Transport {
  public:
-  SimulatedTransport(const Graph& graph, size_t num_partitions)
-      : num_partitions_(num_partitions == 0 ? 1 : num_partitions) {
-    adjacency_.reserve(graph.NumVertices());
-    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
-      VertexSetView view = graph.Adjacency(v);
-      adjacency_.push_back(
-          std::make_shared<const VertexSet>(view.begin(), view.end()));
+  SimulatedTransport(const Graph& graph, size_t num_partitions,
+                     bool compress)
+      : num_partitions_(num_partitions == 0 ? 1 : num_partitions),
+        num_vertices_(graph.NumVertices()),
+        graph_hash_(graph.FoldedContentHash()),
+        compress_(codec::CompressionEnabled(compress)) {
+    if (compress_) {
+      encoded_.reserve(num_vertices_);
+      size_t raw_bytes = 0;
+      size_t encoded_bytes = 0;
+      for (VertexId v = 0; v < num_vertices_; ++v) {
+        auto set = std::make_shared<codec::EncodedSet>();
+        codec::Encode(graph.Adjacency(v), set.get());
+        raw_bytes += set->raw_bytes();
+        encoded_bytes += set->bytes.size();
+        encoded_.push_back(std::move(set));
+      }
+      codec::NoteEncoded(num_vertices_, raw_bytes, encoded_bytes);
+    } else {
+      adjacency_.reserve(num_vertices_);
+      for (VertexId v = 0; v < num_vertices_; ++v) {
+        VertexSetView view = graph.Adjacency(v);
+        adjacency_.push_back(
+            std::make_shared<const VertexSet>(view.begin(), view.end()));
+      }
     }
     InitMetrics(name());
   }
 
   const char* name() const override { return "sim"; }
   size_t num_partitions() const override { return num_partitions_; }
-  size_t num_vertices() const override { return adjacency_.size(); }
+  size_t num_vertices() const override { return num_vertices_; }
+  uint32_t graph_hash() const override { return graph_hash_; }
+  bool compressed() const override { return compress_; }
 
-  StatusOr<std::shared_ptr<const VertexSet>> Fetch(VertexId v) override {
-    if (v >= adjacency_.size()) {
+  StatusOr<AdjacencyPayload> Fetch(VertexId v) override {
+    if (v >= num_vertices_) {
       return Status::OutOfRange("vertex out of range: " + std::to_string(v));
     }
-    const auto& set = adjacency_[v];
-    Account(1, wire::AdjacencyReplyBytes(set->size()), /*batch=*/false);
-    return set;
+    const AdjacencyPayload payload = PayloadFor(v);
+    Account(1, payload.wire_bytes,
+            compress_ ? payload.wire_bytes : 0, /*batch=*/false);
+    return payload;
   }
 
   StatusOr<BatchResult> FetchBatch(
@@ -75,26 +115,44 @@ class SimulatedTransport final : public Transport {
     result.values.reserve(keys.size());
     std::vector<uint8_t> partition_touched(num_partitions_, 0);
     for (VertexId v : keys) {
-      if (v >= adjacency_.size()) {
+      if (v >= num_vertices_) {
         return Status::OutOfRange("vertex out of range: " +
                                   std::to_string(v));
       }
-      const auto& set = adjacency_[v];
-      result.bytes += wire::AdjacencyReplyBytes(set->size());
+      AdjacencyPayload payload = PayloadFor(v);
+      result.bytes += payload.wire_bytes;
       uint8_t& touched = partition_touched[v % num_partitions_];
       if (!touched) {
         touched = 1;
         ++result.round_trips;
       }
-      result.values.push_back(set);
+      result.values.push_back(std::move(payload));
     }
-    Account(result.round_trips, result.bytes, /*batch=*/true);
+    Account(result.round_trips, result.bytes,
+            compress_ ? result.bytes : 0, /*batch=*/true);
     return result;
   }
 
  private:
+  AdjacencyPayload PayloadFor(VertexId v) const {
+    AdjacencyPayload payload;
+    if (compress_) {
+      payload.encoded = encoded_[v];
+      payload.wire_bytes =
+          wire::EncodedAdjacencyReplyBytes(encoded_[v]->bytes.size());
+    } else {
+      payload.decoded = adjacency_[v];
+      payload.wire_bytes = wire::AdjacencyReplyBytes(adjacency_[v]->size());
+    }
+    return payload;
+  }
+
   std::vector<std::shared_ptr<const VertexSet>> adjacency_;
+  std::vector<std::shared_ptr<const codec::EncodedSet>> encoded_;
   size_t num_partitions_;
+  size_t num_vertices_;
+  uint32_t graph_hash_;
+  bool compress_;
 };
 
 /// In-process wire-format backend: every fetch is encoded into a request
@@ -102,14 +160,17 @@ class SimulatedTransport final : public Transport {
 /// reply frame decoded back — the full protocol minus the socket.
 class LoopbackTransport final : public Transport {
  public:
-  LoopbackTransport(const Graph& graph, size_t num_partitions)
+  LoopbackTransport(const Graph& graph, size_t num_partitions, bool compress)
       : graph_(graph),
-        num_partitions_(num_partitions == 0 ? 1 : num_partitions) {
+        num_partitions_(num_partitions == 0 ? 1 : num_partitions),
+        graph_hash_(graph_.FoldedContentHash()),
+        compress_(codec::CompressionEnabled(compress)) {
     servers_.reserve(num_partitions_);
     for (size_t p = 0; p < num_partitions_; ++p) {
       servers_.push_back(std::make_unique<KvPartitionServer>(
           &graph_, num_partitions_, /*num_servers=*/num_partitions_,
-          /*server_index=*/p));
+          /*server_index=*/p, /*replica_index=*/0, /*num_replicas=*/1,
+          /*support_encoding=*/compress_));
     }
     InitMetrics(name());
   }
@@ -117,26 +178,24 @@ class LoopbackTransport final : public Transport {
   const char* name() const override { return "loopback"; }
   size_t num_partitions() const override { return num_partitions_; }
   size_t num_vertices() const override { return graph_.NumVertices(); }
+  uint32_t graph_hash() const override { return graph_hash_; }
+  bool compressed() const override { return compress_; }
 
-  StatusOr<std::shared_ptr<const VertexSet>> Fetch(VertexId v) override {
+  StatusOr<AdjacencyPayload> Fetch(VertexId v) override {
     if (v >= graph_.NumVertices()) {
       return Status::OutOfRange("vertex out of range: " + std::to_string(v));
     }
     std::vector<uint8_t> request;
-    wire::AppendGetRequest(v, &request);
+    wire::AppendGetRequest(v, &request, /*want_encoded=*/compress_);
     std::vector<uint8_t> reply;
     servers_[v % num_partitions_]->HandleFrame(request, &reply);
     auto frame = wire::DecodeFrame(reply);
     BENU_RETURN_IF_ERROR(frame.status());
-    VertexId key = kInvalidVertex;
-    auto set = std::make_shared<VertexSet>();
-    BENU_RETURN_IF_ERROR(
-        wire::DecodeAdjacencyReply(*frame, &key, set.get()));
-    if (key != v) {
-      return Status::Internal("reply key mismatch");
-    }
-    Account(1, frame->frame_bytes, /*batch=*/false);
-    return std::shared_ptr<const VertexSet>(std::move(set));
+    AdjacencyPayload payload;
+    BENU_RETURN_IF_ERROR(DecodeReply(*frame, v, &payload));
+    Account(1, payload.wire_bytes,
+            payload.is_encoded() ? payload.wire_bytes : 0, /*batch=*/false);
+    return payload;
   }
 
   StatusOr<BatchResult> FetchBatch(
@@ -156,47 +215,80 @@ class LoopbackTransport final : public Transport {
       partition_keys[v % num_partitions_].push_back(v);
       partition_slots[v % num_partitions_].push_back(i);
     }
+    size_t encoded_bytes = 0;
     for (size_t p = 0; p < num_partitions_; ++p) {
       if (partition_keys[p].empty()) continue;
       std::vector<uint8_t> request;
-      wire::AppendBatchGetRequest(partition_keys[p], &request);
+      wire::AppendBatchGetRequest(partition_keys[p], &request,
+                                  /*want_encoded=*/compress_);
       std::vector<uint8_t> reply;
       servers_[p]->HandleFrame(request, &reply);
       ++result.round_trips;
       // The reply is one kGetReply frame per key, in request order.
       std::span<const uint8_t> cursor(reply);
+      size_t key_index = 0;
       for (size_t slot : partition_slots[p]) {
         auto frame = wire::DecodeFrame(cursor);
         BENU_RETURN_IF_ERROR(frame.status());
-        VertexId key = kInvalidVertex;
-        auto set = std::make_shared<VertexSet>();
+        AdjacencyPayload payload;
         BENU_RETURN_IF_ERROR(
-            wire::DecodeAdjacencyReply(*frame, &key, set.get()));
-        result.values[slot] = std::move(set);
-        result.bytes += frame->frame_bytes;
+            DecodeReply(*frame, partition_keys[p][key_index++], &payload));
+        result.bytes += payload.wire_bytes;
+        if (payload.is_encoded()) encoded_bytes += payload.wire_bytes;
+        result.values[slot] = std::move(payload);
         cursor = cursor.subspan(frame->frame_bytes);
       }
     }
-    Account(result.round_trips, result.bytes, /*batch=*/true);
+    Account(result.round_trips, result.bytes, encoded_bytes, /*batch=*/true);
     return result;
   }
 
  private:
+  /// Decodes one adjacency reply frame, raw or encoded: the server
+  /// chooses (it answers raw when not encoding), so dispatch on the
+  /// frame's own encoding flag rather than on `compress_`.
+  static Status DecodeReply(const wire::Frame& frame, VertexId expected_key,
+                            AdjacencyPayload* payload) {
+    VertexId key = kInvalidVertex;
+    if (wire::FrameIsEncoded(frame)) {
+      auto set = std::make_shared<codec::EncodedSet>();
+      BENU_RETURN_IF_ERROR(
+          wire::DecodeEncodedAdjacencyReply(frame, &key, set.get()));
+      payload->encoded = std::move(set);
+    } else {
+      auto set = std::make_shared<VertexSet>();
+      BENU_RETURN_IF_ERROR(
+          wire::DecodeAdjacencyReply(frame, &key, set.get()));
+      payload->decoded = std::move(set);
+    }
+    if (key != expected_key) {
+      return Status::Internal("reply key mismatch");
+    }
+    payload->wire_bytes = frame.frame_bytes;
+    return Status::OK();
+  }
+
   Graph graph_;
   size_t num_partitions_;
+  uint32_t graph_hash_;
+  bool compress_;
   std::vector<std::unique_ptr<KvPartitionServer>> servers_;
 };
 
 }  // namespace
 
 std::shared_ptr<Transport> MakeSimulatedTransport(const Graph& graph,
-                                                  size_t num_partitions) {
-  return std::make_shared<SimulatedTransport>(graph, num_partitions);
+                                                  size_t num_partitions,
+                                                  bool compress) {
+  return std::make_shared<SimulatedTransport>(graph, num_partitions,
+                                              compress);
 }
 
 std::shared_ptr<Transport> MakeLoopbackTransport(const Graph& graph,
-                                                 size_t num_partitions) {
-  return std::make_shared<LoopbackTransport>(graph, num_partitions);
+                                                 size_t num_partitions,
+                                                 bool compress) {
+  return std::make_shared<LoopbackTransport>(graph, num_partitions,
+                                             compress);
 }
 
 }  // namespace benu

@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "graph/adj_codec.h"
 #include "graph/graph.h"
 #include "graph/vertex_set.h"
 
@@ -21,9 +22,10 @@ class Counter;
 /// Per-backend communication counters. Every Transport instance keeps its
 /// own atomic totals and additionally mirrors them into the process-wide
 /// metrics registry as `transport.<name>.{fetches,batch_gets,round_trips,
-/// bytes}` (docs/metrics.md), so runs over different backends can be
-/// compared counter by counter — the loopback/TCP wire paths must agree
-/// with the simulated path exactly (metrics_test.cc asserts it).
+/// bytes,bytes_encoded}` (docs/metrics.md), so runs over different
+/// backends can be compared counter by counter — the loopback/TCP wire
+/// paths must agree with the simulated path exactly (metrics_test.cc
+/// asserts it).
 struct TransportStats {
   /// Single-key Fetch calls.
   std::atomic<Count> fetches{0};
@@ -34,15 +36,51 @@ struct TransportStats {
   std::atomic<Count> round_trips{0};
   /// Reply payload bytes (wire frame bytes for loopback/TCP; the
   /// modeled equivalent — identical by construction — for the
-  /// simulated backend).
+  /// simulated backend). Compressed replies count their *encoded*
+  /// frame size, which is what makes compression visible here.
   std::atomic<Count> bytes{0};
+  /// The subset of `bytes` carried by delta+varint encoded replies.
+  std::atomic<Count> bytes_encoded{0};
 
   void Reset() {
     fetches.store(0);
     batch_gets.store(0);
     round_trips.store(0);
     bytes.store(0);
+    bytes_encoded.store(0);
   }
+};
+
+/// One fetched adjacency value, either decoded (raw backends, zero-copy
+/// in-process sharing) or still delta+varint encoded (compressed
+/// backends — the executor's fused kernels consume the encoded form
+/// directly). Exactly one of `decoded` / `encoded` is non-null.
+struct AdjacencyPayload {
+  std::shared_ptr<const VertexSet> decoded;
+  std::shared_ptr<const codec::EncodedSet> encoded;
+  /// Wire footprint of the reply frame that carried this value — what
+  /// the transport accounted into `TransportStats::bytes` for it.
+  size_t wire_bytes = 0;
+
+  bool is_encoded() const { return encoded != nullptr; }
+
+  /// Number of adjacency entries (no decode needed).
+  size_t size() const {
+    return encoded != nullptr ? encoded->count
+                              : (decoded != nullptr ? decoded->size() : 0);
+  }
+
+  /// Bytes this payload occupies at rest (encoded size when encoded,
+  /// 4 bytes/entry otherwise) — the DbCache charge basis.
+  size_t resident_bytes() const {
+    return encoded != nullptr ? encoded->bytes.size()
+                              : size() * sizeof(VertexId);
+  }
+
+  /// The decoded set: `decoded` when already raw, otherwise a fresh
+  /// full materialization (counted in codec.decode.*). Null only for a
+  /// default-constructed payload.
+  std::shared_ptr<const VertexSet> Materialize() const;
 };
 
 /// The communication layer beneath DistributedKvStore (DESIGN.md §2f):
@@ -65,7 +103,7 @@ class Transport {
  public:
   /// Reply of one batched multi-get: values in request key order.
   struct BatchResult {
-    std::vector<std::shared_ptr<const VertexSet>> values;
+    std::vector<AdjacencyPayload> values;
     /// Distinct partitions touched — one round trip each.
     size_t round_trips = 0;
     /// Total reply payload bytes.
@@ -80,9 +118,17 @@ class Transport {
   /// Vertices of the stored graph (keys are 0..num_vertices-1).
   virtual size_t num_vertices() const = 0;
 
-  /// Fetches Γ(v). The returned set is immutable; for in-process
-  /// backends it may be shared with the store.
-  virtual StatusOr<std::shared_ptr<const VertexSet>> Fetch(VertexId v) = 0;
+  /// Folded 32-bit Graph::ContentHash() of the graph this transport
+  /// serves, so a client can verify it agrees with the servers on
+  /// vertex ids (degree relabeling). 0 = unknown.
+  virtual uint32_t graph_hash() const { return 0; }
+
+  /// True iff replies travel delta+varint encoded on this transport.
+  virtual bool compressed() const { return false; }
+
+  /// Fetches Γ(v). Payload values are immutable; for in-process
+  /// backends they may be shared with the store.
+  virtual StatusOr<AdjacencyPayload> Fetch(VertexId v) = 0;
 
   /// Fetches Γ(v) for every key in one multi-get: keys are grouped by
   /// partition and each touched partition costs one round trip.
@@ -96,7 +142,10 @@ class Transport {
   /// call this once from their constructor.
   void InitMetrics(const char* name);
   /// Accounts one fetch or batch into the stats and registry mirrors.
-  void Account(size_t round_trips, size_t bytes, bool batch);
+  /// `encoded_bytes` is the portion of `bytes` carried by encoded
+  /// replies (0 on raw paths).
+  void Account(size_t round_trips, size_t bytes, size_t encoded_bytes,
+               bool batch);
 
   TransportStats stats_;
 
@@ -105,21 +154,28 @@ class Transport {
   metrics::Counter* batch_gets_metric_ = nullptr;
   metrics::Counter* round_trips_metric_ = nullptr;
   metrics::Counter* bytes_metric_ = nullptr;
+  metrics::Counter* bytes_encoded_metric_ = nullptr;
 };
 
 /// The in-process simulated backend: adjacency sets are shared zero-copy
 /// with the caller and communication is modeled, not performed — the
 /// seed ClusterSimulator behavior, now just one Transport among several.
+/// With `compress` (subject to codec::CompressionEnabled) the store
+/// pre-encodes every set once and serves the encoded payloads, modeling
+/// encoded frame sizes.
 std::shared_ptr<Transport> MakeSimulatedTransport(const Graph& graph,
-                                                  size_t num_partitions);
+                                                  size_t num_partitions,
+                                                  bool compress = true);
 
 /// The in-process wire-format backend: one KvPartitionServer per
 /// partition, every fetch framed/served/decoded through common/wire.h.
 /// Bit-for-bit equivalent to the simulated backend in counts and byte
 /// accounting; used to validate the protocol without sockets. Copies the
-/// graph, so the argument need not outlive the transport.
+/// graph, so the argument need not outlive the transport. `compress`
+/// requests encoded replies (subject to codec::CompressionEnabled).
 std::shared_ptr<Transport> MakeLoopbackTransport(const Graph& graph,
-                                                 size_t num_partitions);
+                                                 size_t num_partitions,
+                                                 bool compress = true);
 
 }  // namespace benu
 

@@ -5,10 +5,13 @@
 #include <atomic>
 #include <thread>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "graph/adj_codec.h"
 #include "graph/generators.h"
 #include "graph/patterns.h"
+#include "storage/transport.h"
 
 namespace benu {
 namespace {
@@ -109,6 +112,95 @@ TEST(DbCacheTest, OversizedEntryNotRetained) {
   EXPECT_FALSE(hit);
   cache.GetAdjacency(0, &hit);
   EXPECT_FALSE(hit);  // still not cached
+}
+
+TEST(DbCacheTest, CompressedEntriesChargedAtEncodedSize) {
+  // On a compressed transport the cache stores the still-encoded payload
+  // and charges capacity by its *encoded* size, so the same budget holds
+  // ~compression-ratio more adjacency sets. The hub set of a star is
+  // delta-1 runs — one varint byte per vertex vs 4 raw bytes.
+  if (!codec::CompressionEnabled(true)) {
+    GTEST_SKIP() << "BENU_DISABLE_COMPRESSION is set; nothing to charge";
+  }
+  Graph g = MakeStar(512);
+  DistributedKvStore raw_store(g, 1);  // convenience ctor: raw payloads
+  DbCache raw_cache(&raw_store, 1 << 20, 1);
+  DistributedKvStore comp_store(MakeSimulatedTransport(g, 1));
+  DbCache comp_cache(&comp_store, 1 << 20, 1);
+
+  EXPECT_EQ(*comp_cache.GetAdjacency(0), *raw_cache.GetAdjacency(0));
+  EXPECT_GT(comp_cache.SizeBytes(), 0u);
+  EXPECT_LT(comp_cache.SizeBytes() * 3, raw_cache.SizeBytes());
+  // A cached compressed entry keeps serving the right set.
+  EXPECT_EQ(*comp_cache.GetAdjacency(0), *raw_cache.GetAdjacency(0));
+}
+
+TEST(DbCacheTest, ResidentBytesGaugeTracksLiveCaches) {
+  auto* gauge = metrics::MetricsRegistry::Global().GetGauge(
+      "db_cache.resident_bytes", "bytes");
+  const double before = gauge->Value();
+  Graph g = MakeCycle(16);
+  DistributedKvStore store(g, 1);
+  {
+    DbCache cache(&store, 1 << 20, 2);
+    for (VertexId v = 0; v < 16; ++v) cache.GetAdjacency(v);
+    EXPECT_DOUBLE_EQ(gauge->Value() - before,
+                     static_cast<double>(cache.SizeBytes()));
+  }
+  // Destruction un-counts the cache's surviving entries.
+  EXPECT_DOUBLE_EQ(gauge->Value(), before);
+}
+
+TEST(DbCacheTest, PrefetchAccountingIdentity) {
+  // Sync prefetch (null fetch pool) is deterministic: every prefetched
+  // key lands exactly once in hits / claimed / wasted / still-resident,
+  // and a prefetched entry's first touch converts to prefetch_hits
+  // exactly once — no drift between the issued and settled counts.
+  Graph g = MakeCycle(64);
+  DistributedKvStore store(g, 4);
+  DbCache cache(&store, 1 << 20, 1);
+  std::vector<VertexId> keys;
+  for (VertexId v = 0; v < 32; ++v) keys.push_back(v);
+  cache.PrefetchAsync(keys.data(), keys.size());
+  cache.WaitForPrefetches();
+  DbCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.prefetches_issued, 32u);
+  EXPECT_EQ(stats.prefetch_claimed, 0u);
+  EXPECT_EQ(stats.prefetch_wasted, 0u);
+
+  bool hit = false;
+  for (VertexId v = 0; v < 32; ++v) {
+    cache.GetAdjacency(v, &hit);
+    EXPECT_TRUE(hit) << v;
+  }
+  stats = cache.stats();
+  EXPECT_EQ(stats.prefetch_hits, 32u);
+  EXPECT_EQ(stats.hits, 32u);
+  EXPECT_EQ(stats.misses, 0u);
+  // Re-touching a prefetched entry is a plain hit: no double count.
+  cache.GetAdjacency(0, &hit);
+  EXPECT_EQ(cache.stats().prefetch_hits, 32u);
+  // Re-prefetching cached keys issues nothing.
+  cache.PrefetchAsync(keys.data(), keys.size());
+  cache.WaitForPrefetches();
+  EXPECT_EQ(cache.stats().prefetches_issued, 32u);
+}
+
+TEST(DbCacheTest, EvictedPrefetchesCountAsWasted) {
+  Graph g = MakeCycle(64);  // every adjacency: 2 ids = 8 raw bytes
+  DistributedKvStore store(g, 1);
+  const size_t entry_bytes = 2 * sizeof(VertexId) + 32;
+  DbCache cache(&store, 2 * entry_bytes, 1);  // room for two entries
+  std::vector<VertexId> keys;
+  for (VertexId v = 0; v < 16; ++v) keys.push_back(v);
+  cache.PrefetchAsync(keys.data(), keys.size());
+  cache.WaitForPrefetches();
+  DbCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.prefetches_issued, 16u);
+  // At most two prefetched entries can still be resident; every other
+  // one was evicted without a hit and must be settled as wasted.
+  EXPECT_GE(stats.prefetch_wasted, 14u);
+  EXPECT_EQ(stats.prefetch_hits, 0u);
 }
 
 TEST(DbCacheTest, ConcurrentAccessIsSafeAndComplete) {

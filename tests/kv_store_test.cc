@@ -10,7 +10,7 @@ namespace {
 TEST(KvStoreTest, ServesAdjacencySets) {
   Graph g = MakeCycle(5);
   DistributedKvStore store(g, 4);
-  auto adj = store.GetAdjacency(0);
+  auto adj = store.GetAdjacency(0).Materialize();
   ASSERT_NE(adj, nullptr);
   EXPECT_EQ(*adj, (VertexSet{1, 4}));
 }
@@ -64,8 +64,9 @@ TEST(KvStoreTest, BatchGetMatchesSingleGets) {
   auto reply = store.GetAdjacencyBatch(keys);
   ASSERT_EQ(reply.values.size(), 3u);
   for (size_t i = 0; i < 3; ++i) {
-    ASSERT_NE(reply.values[i], nullptr);
-    EXPECT_EQ(*reply.values[i], *store.GetAdjacency(keys[i]));
+    auto batched = reply.values[i].Materialize();
+    ASSERT_NE(batched, nullptr);
+    EXPECT_EQ(*batched, *store.GetAdjacency(keys[i]).Materialize());
   }
 }
 

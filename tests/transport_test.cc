@@ -19,6 +19,7 @@
 
 #include "common/logging.h"
 #include "common/wire.h"
+#include "graph/adj_codec.h"
 #include "distributed/benu_driver.h"
 #include "graph/generators.h"
 #include "graph/patterns.h"
@@ -139,6 +140,93 @@ TEST(WireTest, RejectsMalformedFrames) {
   EXPECT_FALSE(wire::DecodeFrame(truncated).ok());
 }
 
+TEST(WireTest, EncodedAdjacencyReplyRoundTrips) {
+  VertexSet adjacency{3, 5, 8, 1000000};
+  codec::EncodedSet encoded;
+  codec::Encode(VertexSetView(adjacency), &encoded);
+  std::vector<uint8_t> buffer;
+  wire::AppendEncodedAdjacencyReply(42, encoded, &buffer);
+  EXPECT_EQ(buffer.size(),
+            wire::EncodedAdjacencyReplyBytes(encoded.bytes.size()));
+
+  auto frame = wire::DecodeFrame(buffer);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_TRUE(wire::FrameIsEncoded(*frame));
+  VertexId key = kInvalidVertex;
+  codec::EncodedSet back;
+  auto st = wire::DecodeEncodedAdjacencyReply(*frame, &key, &back);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(key, 42u);
+  VertexSet decoded;
+  codec::DecodeAll(back, &decoded);
+  EXPECT_EQ(decoded, adjacency);
+
+  // The untyped decoder materializes encoded frames transparently, so a
+  // client that never asks for encoding still survives receiving one.
+  VertexSet via_raw_path;
+  st = wire::DecodeAdjacencyReply(*frame, &key, &via_raw_path);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(via_raw_path, adjacency);
+}
+
+// --- mixed-version interop --------------------------------------------
+
+TEST(WireTest, RawClientAgainstEncodingServerGetsRawReplies) {
+  // A legacy client never sets the encoded-request flag; an
+  // encoding-capable server must answer it with plain raw frames.
+  Graph g = MakeCycle(8);
+  KvPartitionServer server(&g, 1, 1, 0, 0, 1, /*support_encoding=*/true);
+  std::vector<uint8_t> request, reply;
+  wire::AppendGetRequest(3, &request, /*want_encoded=*/false);
+  server.HandleFrame(request, &reply);
+  auto frame = wire::DecodeFrame(reply);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_FALSE(wire::FrameIsEncoded(*frame));
+  VertexId key;
+  VertexSet out;
+  ASSERT_TRUE(wire::DecodeAdjacencyReply(*frame, &key, &out).ok());
+  EXPECT_EQ(out, (VertexSet{2, 4}));
+}
+
+TEST(WireTest, EncodingClientAgainstRawServerDegradesToRaw) {
+  // The reverse direction: a client requesting encoded replies from a
+  // server built without encoding support gets raw frames and must
+  // dispatch on the reply's own flag (which transports do).
+  Graph g = MakeCycle(8);
+  KvPartitionServer server(&g, 1, 1, 0, 0, 1, /*support_encoding=*/false);
+  EXPECT_FALSE(server.supports_encoding());
+  std::vector<uint8_t> request, reply;
+  wire::AppendGetRequest(3, &request, /*want_encoded=*/true);
+  server.HandleFrame(request, &reply);
+  auto frame = wire::DecodeFrame(reply);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_FALSE(wire::FrameIsEncoded(*frame));
+  VertexId key;
+  VertexSet out;
+  ASSERT_TRUE(wire::DecodeAdjacencyReply(*frame, &key, &out).ok());
+  EXPECT_EQ(out, (VertexSet{2, 4}));
+}
+
+TEST(WireTest, VersionOneFramesStillDecode) {
+  // Version-2 peers must keep decoding version-1 frames (kMinVersion):
+  // a request stamped with the old version is served normally.
+  Graph g = MakeCycle(8);
+  KvPartitionServer server(&g, 1, 1, 0);
+  std::vector<uint8_t> request, reply;
+  wire::AppendGetRequest(5, &request);
+  request[4] = 1;  // downgrade the version byte to the legacy protocol
+  auto frame = wire::DecodeFrame(request);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  server.HandleFrame(request, &reply);
+  auto reply_frame = wire::DecodeFrame(reply);
+  ASSERT_TRUE(reply_frame.ok()) << reply_frame.status().ToString();
+  VertexId key;
+  VertexSet out;
+  ASSERT_TRUE(wire::DecodeAdjacencyReply(*reply_frame, &key, &out).ok());
+  EXPECT_EQ(key, 5u);
+  EXPECT_EQ(out, (VertexSet{4, 6}));
+}
+
 // --- partition server -------------------------------------------------
 
 TEST(KvPartitionServerTest, ServesOwnedKeysOnly) {
@@ -217,7 +305,8 @@ void ExpectSameBehavior(Transport& a, Transport& b) {
     auto fb = b.Fetch(v);
     ASSERT_TRUE(fa.ok()) << fa.status().ToString();
     ASSERT_TRUE(fb.ok()) << fb.status().ToString();
-    EXPECT_EQ(**fa, **fb) << "adjacency of vertex " << v;
+    EXPECT_EQ(*fa->Materialize(), *fb->Materialize())
+        << "adjacency of vertex " << v;
   }
   // A batch spanning several partitions, unsorted.
   std::vector<VertexId> keys;
@@ -231,7 +320,8 @@ void ExpectSameBehavior(Transport& a, Transport& b) {
   EXPECT_EQ(ba->bytes, bb->bytes);
   ASSERT_EQ(ba->values.size(), bb->values.size());
   for (size_t i = 0; i < ba->values.size(); ++i) {
-    EXPECT_EQ(*ba->values[i], *bb->values[i]) << "batch slot " << i;
+    EXPECT_EQ(*ba->values[i].Materialize(), *bb->values[i].Materialize())
+        << "batch slot " << i;
   }
   // Out-of-range keys fail identically.
   const VertexId bogus = static_cast<VertexId>(a.num_vertices());
@@ -243,6 +333,7 @@ void ExpectSameBehavior(Transport& a, Transport& b) {
   EXPECT_EQ(a.stats().batch_gets.load(), b.stats().batch_gets.load());
   EXPECT_EQ(a.stats().round_trips.load(), b.stats().round_trips.load());
   EXPECT_EQ(a.stats().bytes.load(), b.stats().bytes.load());
+  EXPECT_EQ(a.stats().bytes_encoded.load(), b.stats().bytes_encoded.load());
 }
 
 TEST(TransportEquivalenceTest, LoopbackMatchesSimulated) {
@@ -256,9 +347,10 @@ TEST(TransportEquivalenceTest, LoopbackMatchesSimulated) {
 
 TEST(TransportEquivalenceTest, LoopbackStoreMatchesKvStoreContract) {
   // The loopback-backed store honors the same accounting contract
-  // kv_store_test pins for the simulated one.
+  // kv_store_test pins for the simulated one. Compression is pinned off:
+  // the ReplyBytes formula below is the *raw* frame model.
   Graph g = MakeCycle(8);
-  DistributedKvStore store(MakeLoopbackTransport(g, 4));
+  DistributedKvStore store(MakeLoopbackTransport(g, 4, /*compress=*/false));
   EXPECT_EQ(store.num_partitions(), 4u);
   EXPECT_EQ(store.num_vertices(), 8u);
   const VertexId keys[] = {0, 4, 1};  // partitions {0, 0, 1}
@@ -314,13 +406,86 @@ TEST(TransportEquivalenceTest, ClusterRunsIdenticallyOverLoopback) {
   }
 }
 
-TEST(TransportValidationTest, RunBenuRejectsRelabelWithTransport) {
-  Graph g = MakeCycle(6);
+TEST(TransportEquivalenceTest, CompressionPreservesResultsOverLoopback) {
+  // Compressed and raw runs must be bit-identical in every enumeration-
+  // visible count — only the bytes on the wire shrink.
+  Graph g = std::move(GenerateBarabasiAlbert(150, 4, /*seed=*/21)).value()
+                .RelabelByDegree();
+  for (const char* name : {"q5", "q9", "clique5"}) {
+    Graph pattern = std::move(GetPattern(name)).value();
+    BenuOptions raw_options =
+        TransportRunOptions(MakeLoopbackTransport(g, 4, /*compress=*/false));
+    raw_options.cluster.compress_adjacency = false;
+    auto raw_run = RunBenu(g, pattern, raw_options);
+    ASSERT_TRUE(raw_run.ok()) << raw_run.status().ToString();
+    auto comp_run = RunBenu(
+        g, pattern, TransportRunOptions(MakeLoopbackTransport(g, 4)));
+    ASSERT_TRUE(comp_run.ok()) << comp_run.status().ToString();
+    EXPECT_EQ(raw_run->run.total_matches, comp_run->run.total_matches)
+        << name;
+    EXPECT_EQ(raw_run->run.total_codes, comp_run->run.total_codes) << name;
+    EXPECT_EQ(raw_run->run.db_queries, comp_run->run.db_queries) << name;
+    EXPECT_EQ(raw_run->run.adjacency_requests,
+              comp_run->run.adjacency_requests)
+        << name;
+    // Same fetches, fewer bytes (per-frame headers are unchanged, the
+    // payloads shrink). Vacuous under the BENU_DISABLE_COMPRESSION leg,
+    // where both runs are raw — the equality checks above still bite.
+    if (codec::CompressionEnabled(true)) {
+      EXPECT_LT(comp_run->run.bytes_fetched, raw_run->run.bytes_fetched)
+          << name;
+    }
+    EXPECT_LE(comp_run->run.prefetch_bytes, raw_run->run.prefetch_bytes)
+        << name;
+  }
+}
+
+TEST(TransportValidationTest, RunBenuRelabelsOverMatchingTransport) {
+  // The transport attests the labeling it serves via its graph hash;
+  // when it already stores the degree-relabeled graph, RunBenu with
+  // relabel_by_degree on is consistent and must run — and agree with
+  // the null-transport (simulated) relabeled run.
+  Graph g =
+      std::move(GenerateBarabasiAlbert(60, 3, /*seed=*/7)).value();
+  Graph relabeled = g.RelabelByDegree();
+  Graph pattern = std::move(GetPattern("triangle")).value();
+
+  BenuOptions sim_options = TransportRunOptions(nullptr);
+  sim_options.relabel_by_degree = true;
+  auto sim_run = RunBenu(g, pattern, sim_options);
+  ASSERT_TRUE(sim_run.ok()) << sim_run.status().ToString();
+
+  BenuOptions options =
+      TransportRunOptions(MakeLoopbackTransport(relabeled, 2));
+  options.relabel_by_degree = true;
+  auto result = RunBenu(g, pattern, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->run.total_matches, sim_run->run.total_matches);
+}
+
+TEST(TransportValidationTest, RunBenuRejectsRelabelOverMismatchedTransport) {
+  // A star's degree relabeling moves the hub, so a transport built from
+  // the *un*relabeled graph serves a different labeling than the
+  // relabeled enumeration side would use: hash mismatch, rejected.
+  Graph g = MakeStar(4);
   BenuOptions options = TransportRunOptions(MakeLoopbackTransport(g, 2));
   options.relabel_by_degree = true;
   Graph pattern = std::move(GetPattern("triangle")).value();
   auto result = RunBenu(g, pattern, options);
-  EXPECT_FALSE(result.ok());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TransportValidationTest, RunBenuRejectsDifferentlyLabeledGraph) {
+  // Same vertex count, different edges: the hash check catches what the
+  // vertex-count check cannot, even without relabeling.
+  Graph g = MakeStar(4);        // 5 vertices
+  Graph other = MakeCycle(5);   // 5 vertices
+  BenuOptions options =
+      TransportRunOptions(MakeLoopbackTransport(other, 2));
+  Graph pattern = std::move(GetPattern("triangle")).value();
+  auto result = RunBenu(g, pattern, options);
+  ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
@@ -413,6 +578,53 @@ TEST_F(TcpTransportTest, ClusterRunOverTcpMatchesSim) {
   EXPECT_EQ(sim_run->run.bytes_fetched, tcp_run->run.bytes_fetched);
 }
 
+TEST_F(TcpTransportTest, MixedCapabilityFleetFallsBackToRaw) {
+  // Effective compression requires *every* server group to advertise the
+  // encoded-reply capability; one raw-only server downgrades the whole
+  // client to raw frames (correctness over compression).
+  servers_[1]->Stop();
+  servers_[1] = std::make_unique<KvTcpServer>(
+      &graph_, kPartitions, kServers, 1, 0, 1, /*support_encoding=*/false);
+  ASSERT_TRUE(servers_[1]->Listen(0).ok());
+  ASSERT_TRUE(servers_[1]->Start().ok());
+  endpoints_[1] = {"127.0.0.1", servers_[1]->port()};
+
+  auto tcp = ConnectTcpTransport(endpoints_);
+  ASSERT_TRUE(tcp.ok()) << tcp.status().ToString();
+  EXPECT_FALSE((*tcp)->compressed());
+  // Raw accounting matches the uncompressed simulated backend exactly.
+  auto sim = MakeSimulatedTransport(graph_, kPartitions, /*compress=*/false);
+  ExpectSameBehavior(*sim, **tcp);
+  EXPECT_EQ((*tcp)->stats().bytes_encoded.load(), 0u);
+}
+
+TEST_F(TcpTransportTest, CompressedAndRawRunsAgreeOverTcp) {
+  Graph pattern = std::move(GetPattern("q5")).value();
+  auto compressed = ConnectTcpTransport(endpoints_);
+  ASSERT_TRUE(compressed.ok()) << compressed.status().ToString();
+  EXPECT_EQ((*compressed)->compressed(), codec::CompressionEnabled(true));
+  auto comp_run = RunBenu(graph_, pattern, TransportRunOptions(*compressed));
+  ASSERT_TRUE(comp_run.ok()) << comp_run.status().ToString();
+
+  std::vector<ReplicaGroup> groups;
+  for (const Endpoint& e : endpoints_) groups.push_back({{e}});
+  TcpTransportOptions raw_options;
+  raw_options.compress = false;
+  auto raw = ConnectTcpTransport(groups, raw_options);
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  EXPECT_FALSE((*raw)->compressed());
+  BenuOptions options = TransportRunOptions(*raw);
+  options.cluster.compress_adjacency = false;
+  auto raw_run = RunBenu(graph_, pattern, options);
+  ASSERT_TRUE(raw_run.ok()) << raw_run.status().ToString();
+
+  EXPECT_EQ(comp_run->run.total_matches, raw_run->run.total_matches);
+  EXPECT_EQ(comp_run->run.db_queries, raw_run->run.db_queries);
+  if (codec::CompressionEnabled(true)) {
+    EXPECT_LT(comp_run->run.bytes_fetched, raw_run->run.bytes_fetched);
+  }
+}
+
 TEST_F(TcpTransportTest, RejectsMisorderedEndpoints) {
   // Endpoint 0 must be server 0; swapping the list breaks the handshake.
   std::vector<Endpoint> swapped{endpoints_[1], endpoints_[0]};
@@ -451,7 +663,7 @@ TEST_F(TcpTransportTest, ConcurrentFetchesPipelineCorrectly) {
         }
         for (size_t i = 0; i < keys.size(); ++i) {
           VertexSetView expected = graph_.Adjacency(keys[i]);
-          const VertexSet got = *batch->values[i];
+          const VertexSet got = *batch->values[i].Materialize();
           if (got != VertexSet(expected.begin(), expected.end())) {
             ++failures;
             return;
@@ -507,6 +719,27 @@ TEST(WireTest, FrameTagsRoundTripAcrossSequences) {
   std::span<const uint8_t> second =
       std::span<const uint8_t>(frames).subspan(first->frame_bytes);
   EXPECT_EQ(wire::FrameTag(second), 0x1234);
+}
+
+TEST(WireTest, TagsNeverCollideWithTheEncodingFlag) {
+  // Tags are 15 bits since version 2 (bit 15 is kFlagEncodedPayload).
+  // The largest legal tag round-trips with the flag intact, and a tag
+  // one past kTagMask wraps to 0 on the wire — the allocator must never
+  // hand it out (a client comparing the unmasked value desyncs after
+  // 32K in-flight requests; tcp_transport wraps at kTagMask for this).
+  std::vector<uint8_t> request;
+  wire::AppendGetRequest(3, &request, /*want_encoded=*/true);
+  wire::SetFrameTag(request, wire::kTagMask);
+  EXPECT_EQ(wire::FrameTag(request), wire::kTagMask);
+  auto frame = wire::DecodeFrame(request);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_TRUE(wire::FrameIsEncoded(*frame));
+
+  wire::SetFrameTag(request, wire::kTagMask + 1);
+  EXPECT_EQ(wire::FrameTag(request), 0);
+  frame = wire::DecodeFrame(request);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_TRUE(wire::FrameIsEncoded(*frame)) << "tag overflow ate the flag";
 }
 
 TEST(WireTest, ServerEchoesRequestTagOnEveryReplyFrame) {
@@ -761,7 +994,8 @@ TEST(TcpFaultTest, FailsOverToReplicaWhenServerStops) {
     auto after = (*tcp)->Fetch(v);
     ASSERT_TRUE(after.ok()) << after.status().ToString();
     VertexSetView expected = g.Adjacency(v);
-    EXPECT_EQ(**after, VertexSet(expected.begin(), expected.end()));
+    EXPECT_EQ(*after->Materialize(),
+              VertexSet(expected.begin(), expected.end()));
   }
   auto faults = QueryTcpFaultStats(**tcp);
   ASSERT_TRUE(faults.ok());
