@@ -47,6 +47,12 @@ int main() {
   // batched multi-gets drain inline on the enumerating thread).
   options.cluster.prefetch_budget = 64;
   options.cluster.force_sync_prefetch = true;
+  // Governed hybrid expansion under a finite budget, so the dump also
+  // shows the memory.governor.* instruments in action (frontier leases,
+  // pinned high-water) — the per-instruction span invariant below must
+  // hold in this mode exactly as in plain DFS.
+  options.cluster.expansion = ExpansionMode::kHybrid;
+  options.cluster.memory_budget_bytes = 16u << 20;
   options.plan.apply_vcbc = true;
 
   auto result = RunBenu(data, pattern, options);
@@ -55,6 +61,29 @@ int main() {
   const metrics::MetricsSnapshot snapshot =
       metrics::MetricsRegistry::Global().Snapshot();
   std::printf("%s", snapshot.ToTable().c_str());
+
+  // Memory-governor state of the governed hybrid run: the configured
+  // ceiling, what is still pinned after teardown (caches and frontier
+  // regions un-count themselves — this should read 0), the pinned
+  // high-water mark, and the lease traffic.
+  const auto find = [&snapshot](const char* name) -> double {
+    for (const metrics::SnapshotEntry& entry : snapshot.entries) {
+      if (entry.name == name) {
+        return entry.kind == metrics::InstrumentKind::kGauge
+                   ? entry.gauge_value
+                   : static_cast<double>(entry.counter_value);
+      }
+    }
+    return 0;
+  };
+  std::printf(
+      "\nmemory governor: budget=%.0f bytes, pinned=%.0f bytes, "
+      "lease high-water=%.0f bytes, grants=%.0f, denials=%.0f\n",
+      find("memory.governor.budget_bytes"),
+      find("memory.governor.pinned_bytes"),
+      find("memory.governor.lease_high_water"),
+      find("memory.governor.lease_grants"),
+      find("memory.governor.lease_denials"));
 
   // Sum the exclusive per-instruction self-times and compare against the
   // summed wall time of all tasks (the trace covers the interpreter loop;

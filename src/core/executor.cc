@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/stopwatch.h"
+#include "core/memory_governor.h"
 
 namespace benu {
 namespace {
@@ -25,6 +26,20 @@ AdjacencyProvider::Fetch DirectAdjacencyProvider::GetAdjacency(VertexId v) {
   fetch.view = graph_->Adjacency(v);
   fetch.cache_hit = true;
   return fetch;
+}
+
+CachedAdjacencyProvider::CachedAdjacencyProvider(DbCache* cache,
+                                                 size_t num_vertices,
+                                                 size_t prefetch_budget,
+                                                 MemoryGovernor* governor)
+    : cache_(cache),
+      num_vertices_(num_vertices),
+      prefetch_budget_(prefetch_budget),
+      governor_(governor) {
+  dropped_counter_ = metrics::MetricsRegistry::Global().GetCounter(
+      "executor.prefetch.dropped", "1",
+      "ENU prefetch keys clamped off by the (static or governed) budget; "
+      "each surfaces later as a synchronous miss");
 }
 
 AdjacencyProvider::Fetch CachedAdjacencyProvider::GetAdjacency(VertexId v) {
@@ -52,7 +67,16 @@ AdjacencyProvider::Fetch CachedAdjacencyProvider::GetAdjacency(VertexId v) {
 
 void CachedAdjacencyProvider::Prefetch(const VertexId* keys, size_t count) {
   if (prefetch_budget_ == 0) return;
-  cache_->PrefetchAsync(keys, std::min(count, prefetch_budget_));
+  // Under a governor the budget breathes with memory headroom (PR 3's
+  // static knob is the floor); without one it is the static knob.
+  const size_t budget =
+      governor_ != nullptr ? governor_->PrefetchBudget() : prefetch_budget_;
+  if (count > budget) {
+    // The clamped-off keys will be fetched synchronously when their DBQ
+    // executes — a real cost, so surface it instead of dropping silently.
+    dropped_counter_->Add(count - budget);
+  }
+  cache_->PrefetchAsync(keys, std::min(count, budget));
 }
 
 void TaskStats::Accumulate(const TaskStats& other) {
@@ -88,6 +112,27 @@ PlanExecutor::~PlanExecutor() {
   codec::NoteFusedIntersects(fused_intersects_);
   codec::NoteFallbackDecodes(fallback_decodes_);
   auto& registry = metrics::MetricsRegistry::Global();
+  if (frontier_batches_ != 0) {
+    registry
+        .GetCounter("executor.frontier.batches", "1",
+                    "frontier batches materialized and drained by the "
+                    "hybrid/full-BFS ENU path")
+        ->Add(frontier_batches_);
+  }
+  if (frontier_spills_ != 0) {
+    registry
+        .GetCounter("executor.frontier.spills", "1",
+                    "governor lease denials that degraded an ENU to plain "
+                    "DFS with the static prefetch budget")
+        ->Add(frontier_spills_);
+  }
+  if (frontier_widenings_ != 0) {
+    registry
+        .GetCounter("executor.frontier.widenings", "1",
+                    "frontier batches wider than the static prefetch "
+                    "budget (headroom bought extra overlap)")
+        ->Add(frontier_widenings_);
+  }
   for (size_t k = 0; k < kNumInstrKinds; ++k) {
     if (trace_.count[k] != 0) {
       registry
@@ -134,6 +179,13 @@ StatusOr<std::unique_ptr<PlanExecutor>> PlanExecutor::Create(
       plan, provider, tcache, degree_floors, data_labels));
   BENU_RETURN_IF_ERROR(executor->Compile());
   return executor;
+}
+
+void PlanExecutor::ConfigureExpansion(ExpansionMode mode,
+                                      MemoryGovernor* governor) {
+  expansion_ = mode;
+  governor_ = governor;
+  frontier_.BindGovernor(governor);
 }
 
 Status PlanExecutor::Compile() {
@@ -477,25 +529,26 @@ void PlanExecutor::Exec(size_t pc) {
           begin = lo + span * task_->subtask_index / task_->num_subtasks;
           end = lo + span * (task_->subtask_index + 1) / task_->num_subtasks;
         }
-        if (ins.prefetch_hint && begin < end) {
-          // Kick off the batched background fetch for the adjacency sets
-          // this enumeration is about to query (the provider clamps to
-          // its prefetch budget; a no-op for providers without one).
-          provider_->Prefetch(candidates.begin() + begin, end - begin);
-        }
-        const auto f_index = static_cast<size_t>(ins.target_f);
-        for (size_t i = begin; i < end; ++i) {
-          if (ins.required_label >= 0 &&
-              (*data_labels_)[candidates[i]] != ins.required_label) {
-            continue;
+        // Hybrid mode batches ENUs worth prefetching (the hint marks a
+        // downstream DBQ consumer); full-BFS batches every ENU — a true
+        // level-synchronous frontier holds every level.
+        const bool batched =
+            begin < end &&
+            ((expansion_ == ExpansionMode::kHybrid && ins.prefetch_hint) ||
+             expansion_ == ExpansionMode::kFullBfs);
+        if (batched) {
+          ExecEnumerateBatched(ins, candidates, begin, end, pc + 1);
+        } else {
+          if (ins.prefetch_hint && begin < end) {
+            // Kick off the batched background fetch for the adjacency
+            // sets this enumeration is about to query (the provider
+            // clamps to its prefetch budget; a no-op for providers
+            // without one).
+            provider_->Prefetch(candidates.begin() + begin, end - begin);
           }
-          f_[f_index] = candidates[i];
-          Exec(pc + 1);
-          // Back from the subtree: re-attribute elapsing time to this
-          // ENU (the loop bookkeeping between descents is its own).
-          if (trace_.timed) TraceSwitch(kind);
+          DescendRange(ins, candidates.begin() + begin, end - begin, pc + 1);
         }
-        f_[f_index] = kInvalidVertex;
+        f_[static_cast<size_t>(ins.target_f)] = kInvalidVertex;
         return;
       }
       case InstrType::kReport: {
@@ -513,6 +566,81 @@ void PlanExecutor::Exec(size_t pc) {
       }
     }
     ++pc;
+  }
+}
+
+void PlanExecutor::DescendRange(const Compiled& ins,
+                                const VertexId* candidates, size_t count,
+                                size_t pc_next) {
+  const int kind = static_cast<int>(InstrType::kEnumerate);
+  const auto f_index = static_cast<size_t>(ins.target_f);
+  for (size_t i = 0; i < count; ++i) {
+    if (ins.required_label >= 0 &&
+        (*data_labels_)[candidates[i]] != ins.required_label) {
+      continue;
+    }
+    f_[f_index] = candidates[i];
+    Exec(pc_next);
+    // Back from the subtree: re-attribute elapsing time to this ENU
+    // (the loop bookkeeping between descents is its own).
+    if (trace_.timed) TraceSwitch(kind);
+  }
+}
+
+void PlanExecutor::ExecEnumerateBatched(const Compiled& ins,
+                                        VertexSetView candidates,
+                                        size_t begin, size_t end,
+                                        size_t pc_next) {
+  size_t i = begin;
+  while (i < end) {
+    const size_t remaining = end - i;
+    size_t batch_count = remaining;
+    if (expansion_ == ExpansionMode::kHybrid && governor_ != nullptr) {
+      const size_t granted =
+          governor_->GrantFrontierLease(remaining * sizeof(VertexId));
+      batch_count = std::min(remaining, granted / sizeof(VertexId));
+      if (batch_count == 0) {
+        // Near the ceiling: degrade the rest of this candidate set to
+        // plain DFS. The provider still prefetches under the (by now
+        // narrow) governed budget — exactly the PR 3 static path.
+        ++frontier_spills_;
+        if (ins.prefetch_hint) {
+          provider_->Prefetch(candidates.begin() + i, remaining);
+        }
+        DescendRange(ins, candidates.begin() + i, remaining, pc_next);
+        return;
+      }
+    }
+    const RegionBuffer::Mark mark = frontier_.mark();
+    VertexId* batch = frontier_.AllocateArray(batch_count);
+    std::copy(candidates.begin() + i, candidates.begin() + i + batch_count,
+              batch);
+    if (expansion_ == ExpansionMode::kFullBfs) {
+      // Retain full partial-embedding rows, as a level-synchronous BFS
+      // frontier would: |batch| copies of the bound prefix plus the
+      // enumerated candidate. Never reclaimed below — this is the
+      // unbounded-frontier control the stress test OOMs on purpose.
+      const size_t width = f_.size();
+      VertexId* rows = frontier_.AllocateArray(batch_count * width);
+      for (size_t b = 0; b < batch_count; ++b) {
+        VertexId* row = rows + b * width;
+        std::copy(f_.begin(), f_.end(), row);
+        row[static_cast<size_t>(ins.target_f)] = batch[b];
+      }
+    }
+    ++frontier_batches_;
+    if (governor_ != nullptr &&
+        batch_count > governor_->base_prefetch_budget()) {
+      ++frontier_widenings_;
+    }
+    if (ins.prefetch_hint) {
+      // One wide prefetch covering the whole batch's next-level DBQ
+      // keys; the batch then drains DFS-style while the fetches land.
+      provider_->Prefetch(batch, batch_count);
+    }
+    DescendRange(ins, batch, batch_count, pc_next);
+    if (expansion_ == ExpansionMode::kHybrid) frontier_.PopTo(mark);
+    i += batch_count;
   }
 }
 

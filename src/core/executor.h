@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "core/match_consumer.h"
+#include "core/region_buffer.h"
 #include "graph/adj_codec.h"
 #include "graph/graph.h"
 #include "graph/vertex_set.h"
@@ -18,10 +19,36 @@
 
 namespace benu {
 
+class MemoryGovernor;
+
 namespace metrics {
 class Counter;
 class Histogram;
 }  // namespace metrics
+
+/// How PlanExecutor expands an ENU instruction's candidate set.
+enum class ExpansionMode {
+  /// Pure per-candidate DFS descent (the seed/PR 3 behaviour): prefetch
+  /// the candidate slice once (clamped to the static budget), then
+  /// recurse candidate by candidate.
+  kDfs,
+  /// Memory-governed hybrid BFS/DFS: materialize candidate batches into
+  /// a region-allocated frontier buffer under governor leases, issue one
+  /// wide prefetch per batch, drain the batch DFS-style while the
+  /// fetches land, and pop the region. Degrades to kDfs per candidate
+  /// set when the governor denies the lease (near the memory ceiling).
+  /// Match counts are bit-identical to kDfs: the drain visits the same
+  /// candidates in the same order, so symmetry breaking and TRC
+  /// semantics are untouched.
+  kHybrid,
+  /// Unbounded frontier materialization: every ENU batches its whole
+  /// candidate set and full partial-embedding rows are retained for the
+  /// executor's lifetime, modelling the footprint of level-synchronous
+  /// BFS expansion. No governor arbitration — this is the control mode
+  /// the memory-ceiling stress test uses to demonstrate why the governor
+  /// exists (it OOMs where kHybrid completes).
+  kFullBfs,
+};
 
 /// Source of adjacency sets for DBQ instructions. The production
 /// implementation routes through the worker's DB cache to the distributed
@@ -82,15 +109,18 @@ class DirectAdjacencyProvider : public AdjacencyProvider {
 /// Adjacency provider through a worker's local DB cache (Fig. 2): a hit is
 /// free; a miss performs one remote query against the distributed store.
 /// `prefetch_budget` bounds the keys forwarded per Prefetch call to the
-/// cache's async pipeline; 0 disables prefetching entirely.
+/// cache's async pipeline; 0 disables prefetching entirely. With a
+/// memory governor, the effective budget is the governor's dynamic
+/// headroom-scaled value instead of the static knob. Keys clamped off by
+/// the budget are counted in `executor.prefetch.dropped` — they surface
+/// later as synchronous misses, so the drop is a visible signal, not a
+/// silent truncation.
 class CachedAdjacencyProvider : public AdjacencyProvider {
  public:
-  /// `cache` must outlive the provider.
+  /// `cache` (and `governor`, when given) must outlive the provider.
   explicit CachedAdjacencyProvider(DbCache* cache, size_t num_vertices,
-                                   size_t prefetch_budget = 0)
-      : cache_(cache),
-        num_vertices_(num_vertices),
-        prefetch_budget_(prefetch_budget) {}
+                                   size_t prefetch_budget = 0,
+                                   MemoryGovernor* governor = nullptr);
 
   Fetch GetAdjacency(VertexId v) override;
   void Prefetch(const VertexId* keys, size_t count) override;
@@ -100,6 +130,8 @@ class CachedAdjacencyProvider : public AdjacencyProvider {
   DbCache* cache_;
   size_t num_vertices_;
   size_t prefetch_budget_;
+  MemoryGovernor* governor_;
+  metrics::Counter* dropped_counter_;
 };
 
 /// One local search task (Algorithm 2 line 4): a backtracking search
@@ -158,6 +190,14 @@ class PlanExecutor {
   /// Returns the task's metrics (matches is left 0; consumers count).
   TaskStats RunTask(const SearchTask& task, MatchConsumer* consumer);
 
+  /// Selects the ENU expansion mode (default ExpansionMode::kDfs, the
+  /// seed behaviour). `governor` arbitrates frontier leases in kHybrid
+  /// and is charged for region blocks in every batched mode; it may be
+  /// null (kHybrid then batches without a ceiling, like kFullBfs but
+  /// with stack-disciplined reclamation). Must be called before the
+  /// first RunTask.
+  void ConfigureExpansion(ExpansionMode mode, MemoryGovernor* governor);
+
   const ExecutionPlan& plan() const { return *plan_; }
 
  private:
@@ -210,6 +250,16 @@ class PlanExecutor {
   Status Compile();
   void Exec(size_t pc);
   void ExecIntersect(const Compiled& ins);
+  /// The plain DFS descent loop of an ENU: label-filter, bind f, recurse
+  /// — shared verbatim by the kDfs path, the batched drain and the
+  /// spill-to-DFS path, so every mode enumerates identically.
+  void DescendRange(const Compiled& ins, const VertexId* candidates,
+                    size_t count, size_t pc_next);
+  /// Hybrid/full-BFS ENU body: materialize governor-leased candidate
+  /// batches into the frontier region, wide-prefetch each batch, drain
+  /// it DFS-style, pop the region (kHybrid only).
+  void ExecEnumerateBatched(const Compiled& ins, VertexSetView candidates,
+                            size_t begin, size_t end, size_t pc_next);
   /// The slot as a plain view. A still-encoded slot is decoded here,
   /// memoized into `shared` (counted as a codec fallback decode) — the
   /// fused kernels avoid this path by consuming `encoded` directly.
@@ -280,6 +330,18 @@ class PlanExecutor {
   // the hot loop bumps plain integers instead of registry counters.
   uint64_t fused_intersects_ = 0;
   uint64_t fallback_decodes_ = 0;
+
+  // Hybrid expansion state (ConfigureExpansion). The frontier region
+  // holds materialized candidate batches; in kFullBfs it additionally
+  // retains full partial-embedding rows for the executor's lifetime.
+  ExpansionMode expansion_ = ExpansionMode::kDfs;
+  MemoryGovernor* governor_ = nullptr;
+  RegionBuffer frontier_;
+  // executor.frontier.* accumulators, flushed in the destructor like the
+  // codec counters above.
+  uint64_t frontier_batches_ = 0;    ///< batches materialized + drained
+  uint64_t frontier_spills_ = 0;     ///< lease denials -> plain-DFS falls
+  uint64_t frontier_widenings_ = 0;  ///< batches wider than the static budget
 };
 
 }  // namespace benu

@@ -1,0 +1,90 @@
+#include "core/region_buffer.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/memory_governor.h"
+
+namespace benu {
+
+RegionBuffer::~RegionBuffer() { Reset(); }
+
+void RegionBuffer::BindGovernor(MemoryGovernor* governor) {
+  BENU_CHECK(pinned_bytes_ == 0)
+      << "BindGovernor on a non-empty region: pinned bytes would leak "
+         "between governors";
+  governor_ = governor;
+}
+
+void RegionBuffer::Unpin(size_t bytes) {
+  pinned_bytes_ -= bytes;
+  if (governor_ != nullptr) {
+    governor_->AddFrontierPinned(-static_cast<int64_t>(bytes));
+  }
+}
+
+void RegionBuffer::PushBlock(size_t count) {
+  const size_t capacity = std::max(count, kDefaultBlockIds);
+  Block block;
+  if (spare_.capacity >= count) {
+    // The steady-state batch→drain→pop loop lands here: the block freed
+    // by the previous PopTo is reused, no allocator traffic.
+    block = std::move(spare_);
+    spare_ = Block{};
+  } else {
+    block.data = std::make_unique<VertexId[]>(capacity);
+    block.capacity = capacity;
+    const size_t bytes = capacity * sizeof(VertexId);
+    pinned_bytes_ += bytes;
+    if (governor_ != nullptr) {
+      governor_->AddFrontierPinned(static_cast<int64_t>(bytes));
+    }
+  }
+  blocks_.push_back(std::move(block));
+  current_ = blocks_.size() - 1;
+  used_ = 0;
+}
+
+VertexId* RegionBuffer::AllocateArray(size_t count) {
+  if (blocks_.empty() || used_ + count > blocks_[current_].capacity) {
+    PushBlock(count);
+  }
+  VertexId* out = blocks_[current_].data.get() + used_;
+  used_ += count;
+  return out;
+}
+
+void RegionBuffer::PopTo(const Mark& m) {
+  while (blocks_.size() > m.block + 1) {
+    Block victim = std::move(blocks_.back());
+    blocks_.pop_back();
+    if (victim.capacity > spare_.capacity) {
+      std::swap(victim, spare_);
+    }
+    if (victim.capacity != 0) {
+      Unpin(victim.capacity * sizeof(VertexId));
+    }
+  }
+  if (!blocks_.empty()) {
+    current_ = std::min(m.block, blocks_.size() - 1);
+    used_ = current_ == m.block ? m.used : 0;
+  } else {
+    current_ = 0;
+    used_ = 0;
+  }
+}
+
+void RegionBuffer::Reset() {
+  PopTo(Mark{0, 0});
+  for (Block* block : {blocks_.empty() ? nullptr : &blocks_[0], &spare_}) {
+    if (block == nullptr || block->capacity == 0) continue;
+    Unpin(block->capacity * sizeof(VertexId));
+    *block = Block{};
+  }
+  blocks_.clear();
+  current_ = 0;
+  used_ = 0;
+}
+
+}  // namespace benu

@@ -36,6 +36,18 @@
 //                         relabel internally, validating against the
 //                         transport's attested graph hash
 //
+// Memory-governed execution knobs:
+//   --expansion=MODE      dfs (default) | hybrid | full-bfs. hybrid
+//                         batches ENU frontiers into governed region
+//                         buffers and issues wide prefetches; full-bfs
+//                         retains every frontier (OOM control mode)
+//   --memory-budget-mb=N  process-wide budget the memory governor holds
+//                         cache residency + frontier regions under
+//                         (0 = unbounded)
+//   --prefetch-budget=N   base per-ENU prefetch budget in keys (0 = no
+//                         prefetching); the governor widens it with
+//                         headroom under --expansion=hybrid
+//
 // Spawned servers can never outlive the driver: children ask the kernel
 // for SIGKILL on parent death (PR_SET_PDEATHSIG) and an atexit handler
 // kills and reaps them on every normal exit path.
@@ -176,15 +188,25 @@ ServerProcess SpawnServer(const std::string& binary,
   return proc;
 }
 
+/// Governed-execution knobs shared by every RunOnce call of the driver.
+struct ExecutionKnobs {
+  ExpansionMode expansion = ExpansionMode::kDfs;
+  size_t memory_budget_bytes = 0;
+  size_t prefetch_budget = 0;
+};
+
 Count RunOnce(const Graph& graph, const Graph& pattern,
               std::shared_ptr<Transport> transport, size_t partitions,
               size_t workers, size_t threads_per_worker, bool compress,
-              bool relabel_in_driver) {
+              bool relabel_in_driver, const ExecutionKnobs& knobs) {
   BenuOptions options;
   options.cluster.num_workers = workers;
   options.cluster.threads_per_worker = threads_per_worker;
   options.cluster.db_partitions = partitions;
   options.cluster.compress_adjacency = compress;
+  options.cluster.expansion = knobs.expansion;
+  options.cluster.memory_budget_bytes = knobs.memory_budget_bytes;
+  options.cluster.prefetch_budget = knobs.prefetch_budget;
   options.cluster.transport = std::move(transport);
   // Default path: the driver relabels the data graph before building any
   // transport, so both sides of the wire already agree on vertex ids.
@@ -230,6 +252,25 @@ int main(int argc, char** argv) {
   // transport that serves the relabeled graph.
   const bool driver_relabel =
       std::atoi(FlagValue(argc, argv, "--driver-relabel", "0")) != 0;
+  ExecutionKnobs knobs;
+  const std::string expansion_name =
+      FlagValue(argc, argv, "--expansion", "dfs");
+  if (expansion_name == "dfs") {
+    knobs.expansion = ExpansionMode::kDfs;
+  } else if (expansion_name == "hybrid") {
+    knobs.expansion = ExpansionMode::kHybrid;
+  } else if (expansion_name == "full-bfs") {
+    knobs.expansion = ExpansionMode::kFullBfs;
+  } else {
+    BENU_CHECK(false) << "unknown --expansion=" << expansion_name
+                      << " (dfs|hybrid|full-bfs)";
+  }
+  knobs.memory_budget_bytes =
+      std::strtoul(FlagValue(argc, argv, "--memory-budget-mb", "0"), nullptr,
+                   10)
+      << 20;
+  knobs.prefetch_budget = std::strtoul(
+      FlagValue(argc, argv, "--prefetch-budget", "0"), nullptr, 10);
 
   auto graph_or = GenerateFromSpec(graph_spec);
   BENU_CHECK(graph_or.ok()) << "--graph=" << graph_spec << ": "
@@ -303,7 +344,7 @@ int main(int argc, char** argv) {
 
   const Count matches =
       RunOnce(enum_graph, pattern, transport, partitions, workers,
-              threads_per_worker, compress, driver_relabel);
+              threads_per_worker, compress, driver_relabel, knobs);
   if (killer.joinable()) killer.join();
 
   if (transport != nullptr) {
@@ -336,7 +377,7 @@ int main(int argc, char** argv) {
   if (compare_with_sim && transport_name != "sim") {
     const Count sim_matches =
         RunOnce(enum_graph, pattern, nullptr, partitions, workers,
-                threads_per_worker, compress, driver_relabel);
+                threads_per_worker, compress, driver_relabel, knobs);
     BENU_CHECK(matches == sim_matches)
         << transport_name << " found " << matches << " matches but sim found "
         << sim_matches;

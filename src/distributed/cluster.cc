@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "core/memory_governor.h"
 #include "distributed/cluster_accounting.h"
 #include "distributed/cluster_runtime.h"
 #include "distributed/task.h"
@@ -61,6 +62,22 @@ StatusOr<ClusterRunResult> ClusterSimulator::Run(
       config_.execution_threads, config_.allow_thread_oversubscription);
   result.execution_threads = exec_threads;
 
+  // Memory governor of the hybrid execution mode: one per run, shared by
+  // every worker's cache, provider and executors so one budget covers
+  // frontier regions and cache residency across the whole cluster. Only
+  // instantiated when governed execution is requested — plain-DFS runs
+  // (the default, incl. the byte-deterministic metrics workloads) touch
+  // no governor state and emit no memory.governor.* instruments.
+  // Declared before the fetch pool and the workers: cache teardown (and
+  // late fetcher jobs) still report resident deltas to it.
+  std::unique_ptr<MemoryGovernor> governor;
+  if (config_.memory_budget_bytes > 0 ||
+      config_.expansion != ExpansionMode::kDfs) {
+    governor = std::make_unique<MemoryGovernor>(config_.memory_budget_bytes,
+                                                config_.prefetch_budget,
+                                                config_.prefetch_batch_size);
+  }
+
   // Background fetchers for the asynchronous adjacency pipeline live on
   // their own pool: drain jobs must not queue behind the execution
   // threads that block waiting for the very flights those jobs publish.
@@ -80,7 +97,8 @@ StatusOr<ClusterRunResult> ClusterSimulator::Run(
 
   auto workers = SetUpWorkers(per_worker, plan, config_, store_.get(),
                               data_graph_.NumVertices(), exec_threads,
-                              &degree_floors, data_labels, fetch_pool.get());
+                              &degree_floors, data_labels, fetch_pool.get(),
+                              governor.get());
   BENU_RETURN_IF_ERROR(workers.status());
 
   result.runtime_threads = static_cast<int>(ExecuteWorkers(

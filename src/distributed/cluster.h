@@ -69,6 +69,18 @@ struct ClusterConfig {
   /// mode: identical fetch behaviour and match counts, but no overlap —
   /// prefetch communication is charged unhidden.
   bool force_sync_prefetch = false;
+  /// ENU expansion mode of every executor (core/executor.h). kDfs is the
+  /// seed behaviour; kHybrid materializes governor-leased frontier
+  /// batches for wide prefetches and spills back to DFS near the memory
+  /// ceiling; kFullBfs is the unbounded-frontier control mode. Match
+  /// counts are bit-identical across all three.
+  ExpansionMode expansion = ExpansionMode::kDfs;
+  /// Ceiling on governed memory — frontier regions plus the DB caches'
+  /// resident bytes, across all workers of the run — in bytes. 0 means
+  /// no ceiling (leases always granted, prefetch knobs fully widened).
+  /// A MemoryGovernor is instantiated iff this is nonzero or `expansion`
+  /// != kDfs, so plain-DFS runs carry no governor overhead.
+  size_t memory_budget_bytes = 0;
   /// Serve adjacency sets delta+varint-compressed from the internal
   /// simulated transport (graph/adj_codec.h). Match counts and query
   /// counts are unchanged; bytes_fetched / prefetch_bytes shrink to the
@@ -113,6 +125,12 @@ struct WorkerSummary {
   /// enumeration and never appears on the critical path, the residual is
   /// added to makespan_virtual_us.
   double hidden_comm_us = 0;
+  /// Total virtual communication of the worker's prefetch pipeline, µs
+  /// (`prefetch_round_trips × latency + prefetch_bytes / bandwidth` —
+  /// hidden or not). hidden_comm_us / prefetch_comm_us is the worker's
+  /// overlap fraction; synchronous task fetches are accounted inside the
+  /// per-task virtual times, not here.
+  double prefetch_comm_us = 0;
   /// Real wall time from run start until the worker's last execution
   /// thread finished, seconds. Workers run concurrently, so these
   /// overlap; they do not sum to ClusterRunResult::real_seconds.
@@ -172,6 +190,11 @@ struct ClusterRunResult {
   /// seconds: the latency the pipeline moved off the critical path. In
   /// the synchronous baseline this time sits inside virtual_seconds.
   double hidden_comm_seconds = 0;
+  /// Σ over workers of the prefetch pipeline's total virtual
+  /// communication, seconds (round trips × latency + bytes / bandwidth,
+  /// hidden or not). The denominator of OverlapFraction(), matching the
+  /// `overlap` column of EXPERIMENTS.md.
+  double prefetch_comm_seconds = 0;
   /// Real wall time of the in-process simulation, seconds.
   double real_seconds = 0;
   std::vector<WorkerSummary> workers;
@@ -182,6 +205,17 @@ struct ClusterRunResult {
     return adjacency_requests == 0
                ? 0.0
                : static_cast<double>(cache_hits) / adjacency_requests;
+  }
+
+  /// Fraction of the prefetch pipeline's communication hidden behind
+  /// compute (hidden_comm_seconds / prefetch_comm_seconds); 0 when the
+  /// pipeline was off. The pipeline-bench acceptance target (>0.78 in
+  /// hybrid mode) and the `overlap_fraction` field of
+  /// BENCH_pipeline.json records.
+  double OverlapFraction() const {
+    return prefetch_comm_seconds <= 0
+               ? 0.0
+               : hidden_comm_seconds / prefetch_comm_seconds;
   }
 };
 

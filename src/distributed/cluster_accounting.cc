@@ -83,9 +83,13 @@ void AccumulateWorker(const WorkerExecution& worker,
   const double hidden_us =
       async_prefetch ? std::min(prefetch_comm_us, compute_makespan_us) : 0.0;
   summary.hidden_comm_us = hidden_us;
+  // hidden/prefetch_comm is the overlap fraction the hybrid mode
+  // optimizes: how much of the pipeline's traffic compute covered.
+  summary.prefetch_comm_us = prefetch_comm_us;
   summary.makespan_virtual_us =
       compute_makespan_us + (prefetch_comm_us - hidden_us);
   result->hidden_comm_seconds += hidden_us * 1e-6;
+  result->prefetch_comm_seconds += prefetch_comm_us * 1e-6;
   result->prefetches_issued += summary.cache.prefetches_issued;
   result->prefetch_hits += summary.cache.prefetch_hits;
   result->prefetch_wasted += summary.cache.prefetch_wasted;
@@ -155,6 +159,16 @@ void PublishRunMetrics(const ClusterRunResult& result) {
                 "prefetch communication hidden behind compute, last run "
                 "(traced)")
       ->Set(result.hidden_comm_seconds);
+  registry
+      .GetGauge("cluster.prefetch_comm_seconds", "s",
+                "total virtual communication of the prefetch pipeline "
+                "(hidden or not), last run (traced)")
+      ->Set(result.prefetch_comm_seconds);
+  registry
+      .GetGauge("cluster.overlap_fraction", "1",
+                "hidden_comm_seconds / prefetch_comm_seconds, last run "
+                "(traced)")
+      ->Set(result.OverlapFraction());
   registry
       .GetGauge("cluster.real_seconds", "s",
                 "wall time of the last run (traced)")

@@ -32,7 +32,8 @@ StatusOr<std::vector<std::unique_ptr<WorkerExecution>>> SetUpWorkers(
     const ExecutionPlan& plan, const ClusterConfig& config,
     const DistributedKvStore* store, size_t num_vertices, int exec_threads,
     const std::vector<VertexId>* degree_floors,
-    const std::vector<int>* data_labels, ThreadPool* fetch_pool) {
+    const std::vector<int>* data_labels, ThreadPool* fetch_pool,
+    MemoryGovernor* governor) {
   std::vector<std::unique_ptr<WorkerExecution>> workers;
   workers.reserve(per_worker.size());
   for (const std::vector<SearchTask>& tasks : per_worker) {
@@ -40,9 +41,9 @@ StatusOr<std::vector<std::unique_ptr<WorkerExecution>>> SetUpWorkers(
     ws->tasks = &tasks;
     ws->cache = std::make_unique<DbCache>(
         store, config.db_cache_bytes, /*num_shards=*/8, fetch_pool,
-        config.prefetch_batch_size);
+        config.prefetch_batch_size, governor);
     ws->provider = std::make_unique<CachedAdjacencyProvider>(
-        ws->cache.get(), num_vertices, config.prefetch_budget);
+        ws->cache.get(), num_vertices, config.prefetch_budget, governor);
     ws->contexts.resize(static_cast<size_t>(exec_threads));
     for (WorkerThreadContext& ctx : ws->contexts) {
       ctx.tcache = std::make_unique<TriangleCache>();
@@ -54,6 +55,7 @@ StatusOr<std::vector<std::unique_ptr<WorkerExecution>>> SetUpWorkers(
           data_labels);
       BENU_RETURN_IF_ERROR(executor.status());
       ctx.executor = std::move(executor).value();
+      ctx.executor->ConfigureExpansion(config.expansion, governor);
       ctx.consumer = std::make_unique<CountingConsumer>(plan);
     }
     ws->scheduler = std::make_unique<WorkStealingScheduler>(

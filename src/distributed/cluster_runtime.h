@@ -9,6 +9,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/executor.h"
+#include "core/memory_governor.h"
 #include "core/match_consumer.h"
 #include "distributed/cluster.h"
 #include "distributed/task.h"
@@ -57,12 +58,16 @@ int ClampExecutionThreads(int requested, bool allow_oversubscription);
 /// provider, per-thread executors/consumers/triangle caches, scheduler —
 /// before any of them runs, so executor-compile errors surface before a
 /// single task executes. `fetch_pool` may be null (no async prefetch).
+/// `governor` (may be null: ungoverned plain-DFS run) is shared by every
+/// worker's cache, provider and executors — one memory budget covers the
+/// whole run.
 StatusOr<std::vector<std::unique_ptr<WorkerExecution>>> SetUpWorkers(
     const std::vector<std::vector<SearchTask>>& per_worker,
     const ExecutionPlan& plan, const ClusterConfig& config,
     const DistributedKvStore* store, size_t num_vertices, int exec_threads,
     const std::vector<VertexId>* degree_floors,
-    const std::vector<int>* data_labels, ThreadPool* fetch_pool);
+    const std::vector<int>* data_labels, ThreadPool* fetch_pool,
+    MemoryGovernor* governor = nullptr);
 
 /// Runs every worker's execution threads to completion on one shared
 /// pool sized by `config.max_runtime_threads` (0: hardware concurrency;

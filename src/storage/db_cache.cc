@@ -2,17 +2,19 @@
 
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "core/memory_governor.h"
 
 namespace benu {
 
 DbCache::DbCache(const DistributedKvStore* store, size_t capacity_bytes,
                  size_t num_shards, ThreadPool* fetch_pool,
-                 size_t prefetch_batch_size)
+                 size_t prefetch_batch_size, MemoryGovernor* governor)
     : store_(store),
       capacity_bytes_(capacity_bytes),
       fetch_pool_(fetch_pool),
       prefetch_batch_size_(prefetch_batch_size == 0 ? 1
-                                                    : prefetch_batch_size) {
+                                                    : prefetch_batch_size),
+      governor_(governor) {
   if (num_shards == 0) num_shards = 1;
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
@@ -72,11 +74,15 @@ DbCache::~DbCache() {
   // blocked in Get is released rather than deadlocked on teardown.
   DrainQueue();
   // The resident-bytes gauge is a process-wide total across caches;
-  // un-count this cache's surviving entries.
+  // un-count this cache's surviving entries (and release the governor's
+  // budget share, so a later run under the same governor starts clean).
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     if (shard->bytes != 0) {
       metrics_.resident_bytes->Add(-static_cast<double>(shard->bytes));
+      if (governor_ != nullptr) {
+        governor_->AddCacheResident(-static_cast<int64_t>(shard->bytes));
+      }
     }
   }
 }
@@ -178,6 +184,9 @@ void DbCache::InsertAndPublish(VertexId v, AdjacencyPayload value,
         shard.index[v] = shard.lru.begin();
         shard.bytes += bytes;
         metrics_.resident_bytes->Add(static_cast<double>(bytes));
+        if (governor_ != nullptr) {
+          governor_->AddCacheResident(static_cast<int64_t>(bytes));
+        }
         while (shard.bytes > shard_capacity && !shard.lru.empty()) {
           const Entry& victim = shard.lru.back();
           if (victim.prefetched) {
@@ -186,6 +195,9 @@ void DbCache::InsertAndPublish(VertexId v, AdjacencyPayload value,
           }
           shard.bytes -= victim.bytes;
           metrics_.resident_bytes->Add(-static_cast<double>(victim.bytes));
+          if (governor_ != nullptr) {
+            governor_->AddCacheResident(-static_cast<int64_t>(victim.bytes));
+          }
           shard.index.erase(victim.key);
           shard.lru.pop_back();
         }
@@ -251,11 +263,17 @@ void DbCache::DrainQueue() {
   std::vector<VertexId> batch;
   batch.reserve(prefetch_batch_size_);
   for (;;) {
+    // With a governor the multi-get width breathes with memory headroom
+    // (re-read per batch — pressure can change while draining): wider
+    // batches amortize more round-trip latency when memory is plentiful,
+    // and fall back to the static knob near the cap.
+    const size_t batch_limit = governor_ != nullptr
+                                   ? governor_->PrefetchBatchSize()
+                                   : prefetch_batch_size_;
     batch.clear();
     {
       std::lock_guard<std::mutex> lock(prefetch_mu_);
-      while (!prefetch_queue_.empty() &&
-             batch.size() < prefetch_batch_size_) {
+      while (!prefetch_queue_.empty() && batch.size() < batch_limit) {
         batch.push_back(prefetch_queue_.front());
         prefetch_queue_.pop_front();
       }

@@ -17,6 +17,7 @@
 
 namespace benu {
 
+class MemoryGovernor;
 class ThreadPool;
 
 namespace metrics {
@@ -139,10 +140,14 @@ class DbCache {
   /// the background and must outlive the cache; when null, PrefetchAsync
   /// drains synchronously before returning (the forced-sync mode —
   /// batched, deterministic, but no overlap). `prefetch_batch_size` caps
-  /// the keys per batched multi-get a fetcher drains at once.
+  /// the keys per batched multi-get a fetcher drains at once; with a
+  /// `governor` it is the base of the governor's headroom-scaled dynamic
+  /// batch size, and every insert/evict reports its resident-byte delta
+  /// to the governor so cache growth counts against the memory budget.
   DbCache(const DistributedKvStore* store, size_t capacity_bytes,
           size_t num_shards = 8, ThreadPool* fetch_pool = nullptr,
-          size_t prefetch_batch_size = 16);
+          size_t prefetch_batch_size = 16,
+          MemoryGovernor* governor = nullptr);
 
   /// Waits for in-flight fetcher jobs, then drains any still-pending
   /// prefetch keys inline so every flight is published before teardown.
@@ -275,6 +280,9 @@ class DbCache {
 
   ThreadPool* fetch_pool_;
   size_t prefetch_batch_size_;
+  /// Optional memory governor (hybrid execution): receives resident-byte
+  /// deltas and supplies the dynamic multi-get batch size.
+  MemoryGovernor* governor_;
   std::mutex prefetch_mu_;
   std::condition_variable prefetch_idle_cv_;
   std::deque<VertexId> prefetch_queue_;

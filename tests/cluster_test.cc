@@ -182,6 +182,94 @@ TEST(ClusterTest, AsyncPrefetchHidesCommunicationAtHighLatency) {
   EXPECT_LT(rb->prefetch_round_trips, rb->prefetches_issued);
 }
 
+TEST(ClusterTest, HybridExpansionPreservesCountsInEveryRegime) {
+  // The hybrid ENU path drains governor-leased frontier batches through
+  // the same DescendRange loop plain DFS uses, so the candidate visit
+  // order — and therefore the match count — must be bit-identical in
+  // every governed regime: generous budget (wide batches), starved
+  // budget (constant lease denials, spill-to-DFS), no ceiling at all,
+  // and the unbounded full-BFS control. q5 and clique4 cover both a
+  // cycle (DBQ-heavy) and a dense (INT-heavy) plan shape.
+  auto raw = GenerateBarabasiAlbert(200, 5, 17);
+  ASSERT_TRUE(raw.ok());
+  Graph data = raw->RelabelByDegree();
+  for (const std::string name : {"q5", "clique4"}) {
+    Graph p = std::move(GetPattern(name)).value();
+    auto plan = GenerateBestPlan(p, DataGraphStats::FromGraph(data));
+    ASSERT_TRUE(plan.ok()) << name;
+
+    ClusterConfig dfs = SmallCluster();
+    dfs.db_cache_bytes = 64 << 10;
+    dfs.prefetch_budget = 16;
+
+    ClusterConfig generous = dfs;
+    generous.expansion = ExpansionMode::kHybrid;
+    generous.memory_budget_bytes = 64u << 20;
+    // Starved: the budget sits below the caches' working set, so every
+    // lease is denied and each batch degrades to the static-DFS path.
+    ClusterConfig starved = generous;
+    starved.memory_budget_bytes = 1024;
+    ClusterConfig unbounded = generous;
+    unbounded.memory_budget_bytes = 0;
+    ClusterConfig full_bfs = dfs;
+    full_bfs.expansion = ExpansionMode::kFullBfs;
+
+    Count reference = 0;
+    bool first = true;
+    for (const ClusterConfig* config :
+         {&dfs, &generous, &starved, &unbounded, &full_bfs}) {
+      ClusterSimulator cluster(data, *config);
+      auto result = cluster.Run(plan->plan);
+      ASSERT_TRUE(result.ok()) << name;
+      if (first) {
+        reference = result->total_matches;
+        first = false;
+        EXPECT_GT(reference, 0u) << name;
+      } else {
+        EXPECT_EQ(result->total_matches, reference) << name;
+      }
+    }
+  }
+}
+
+TEST(ClusterTest, OverlapFractionIsConsistentWithItsParts) {
+  // hidden <= prefetch pipeline total, so the overlap fraction is a
+  // proper fraction; with the pipeline off it is exactly 0.
+  auto raw = GenerateBarabasiAlbert(150, 5, 23);
+  ASSERT_TRUE(raw.ok());
+  Graph data = raw->RelabelByDegree();
+  Graph p = std::move(GetPattern("q5")).value();
+  auto plan = GenerateBestPlan(p, DataGraphStats::FromGraph(data));
+  ASSERT_TRUE(plan.ok());
+
+  ClusterConfig async = SmallCluster();
+  async.db_cache_bytes = 4 << 10;
+  async.db_query_latency_us = 500.0;
+  async.prefetch_budget = 32;
+  ClusterSimulator cluster(data, async);
+  auto result = cluster.Run(plan->plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->prefetch_comm_seconds, 0.0);
+  EXPECT_LE(result->hidden_comm_seconds,
+            result->prefetch_comm_seconds + 1e-9);
+  EXPECT_GT(result->OverlapFraction(), 0.0);
+  EXPECT_LE(result->OverlapFraction(), 1.0);
+  double worker_prefetch_comm = 0;
+  for (const WorkerSummary& w : result->workers) {
+    EXPECT_LE(w.hidden_comm_us, w.prefetch_comm_us + 1e-6);
+    worker_prefetch_comm += w.prefetch_comm_us * 1e-6;
+  }
+  EXPECT_NEAR(worker_prefetch_comm, result->prefetch_comm_seconds, 1e-9);
+
+  ClusterConfig sync = async;
+  sync.prefetch_budget = 0;
+  ClusterSimulator sync_cluster(data, sync);
+  auto sync_result = sync_cluster.Run(plan->plan);
+  ASSERT_TRUE(sync_result.ok());
+  EXPECT_EQ(sync_result->OverlapFraction(), 0.0);
+  EXPECT_EQ(sync_result->total_matches, result->total_matches);
+}
+
 TEST(ClusterTest, StatsAreInternallyConsistent) {
   auto raw = GenerateBarabasiAlbert(100, 4, 33);
   ASSERT_TRUE(raw.ok());

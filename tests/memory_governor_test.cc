@@ -1,0 +1,203 @@
+// Unit and concurrency coverage of the memory governor and the region
+// allocator behind the hybrid BFS/DFS execution mode: lease arithmetic
+// (guard band, conservative split, denial near the cap), headroom-scaled
+// prefetch knobs, region pin/unpin bookkeeping with stack-disciplined
+// reclamation, and a multi-threaded hammer that TSan watches (the
+// governor is called from every execution thread and under DB-cache
+// shard locks).
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/memory_governor.h"
+#include "core/region_buffer.h"
+#include "gtest/gtest.h"
+
+namespace benu {
+namespace {
+
+constexpr size_t kId = sizeof(VertexId);
+
+TEST(MemoryGovernorTest, NoBudgetGrantsEverythingAndWidensFully) {
+  MemoryGovernor governor(/*memory_budget_bytes=*/0,
+                          /*base_prefetch_budget=*/64,
+                          /*base_prefetch_batch_size=*/16);
+  EXPECT_EQ(governor.GrantFrontierLease(1u << 20), 1u << 20);
+  // Headroom is pegged at 1.0: both knobs sit at their widening caps.
+  EXPECT_EQ(governor.PrefetchBudget(),
+            64 * MemoryGovernor::kMaxPrefetchWidening);
+  EXPECT_EQ(governor.PrefetchBatchSize(),
+            16 * MemoryGovernor::kMaxBatchWidening);
+  EXPECT_EQ(governor.stats().lease_grants, 1u);
+  EXPECT_EQ(governor.stats().lease_denials, 0u);
+}
+
+TEST(MemoryGovernorTest, LeaseTakesAQuarterOfUsableHeadroom) {
+  const size_t budget = 1u << 20;
+  MemoryGovernor governor(budget);
+  // Guard band: 1/8 of the budget is never leased; a huge want gets a
+  // quarter of what remains below the band.
+  const uint64_t floor = budget - budget / 8;
+  EXPECT_EQ(governor.GrantFrontierLease(16u << 20), floor / 4);
+  // A modest want with ample headroom is granted in full.
+  EXPECT_EQ(governor.GrantFrontierLease(4096), 4096u);
+  // Wants below the minimum lease are granted exactly when affordable.
+  EXPECT_EQ(governor.GrantFrontierLease(128), 128u);
+  EXPECT_EQ(governor.stats().lease_grants, 3u);
+}
+
+TEST(MemoryGovernorTest, DeniesNearTheCapAndRecoversWhenPressureDrops) {
+  const size_t budget = 1u << 20;
+  MemoryGovernor governor(budget);
+  // Pin right up to the guard band: usable headroom becomes ~0 and a
+  // batch-sized want must be denied (the executor spills to DFS).
+  const int64_t almost_all = static_cast<int64_t>(budget - budget / 8);
+  governor.AddCacheResident(almost_all);
+  EXPECT_EQ(governor.GrantFrontierLease(64 * kId), 0u);
+  EXPECT_EQ(governor.stats().lease_denials, 1u);
+  // Pressure drains (evictions): leases flow again.
+  governor.AddCacheResident(-almost_all / 2);
+  EXPECT_GT(governor.GrantFrontierLease(64 * kId), 0u);
+  EXPECT_EQ(governor.stats().lease_grants, 1u);
+}
+
+TEST(MemoryGovernorTest, PrefetchKnobsScaleLinearlyWithHeadroom) {
+  const size_t budget = 1u << 20;
+  MemoryGovernor governor(budget, /*base_prefetch_budget=*/64,
+                          /*base_prefetch_batch_size=*/16);
+  // Idle budget: fully widened.
+  EXPECT_EQ(governor.PrefetchBudget(), 64u * 8);
+  EXPECT_EQ(governor.PrefetchBatchSize(), 16u * 4);
+  // Half pinned: halfway between base and the cap.
+  governor.AddFrontierPinned(budget / 2);
+  EXPECT_EQ(governor.PrefetchBudget(), 64 + 64 * 7 / 2);
+  EXPECT_EQ(governor.PrefetchBatchSize(), 16 + 16 * 3 / 2);
+  // At (or past) the ceiling: degraded to the static PR-3 bases, never
+  // below them.
+  governor.AddFrontierPinned(budget);
+  EXPECT_EQ(governor.PrefetchBudget(), 64u);
+  EXPECT_EQ(governor.PrefetchBatchSize(), 16u);
+}
+
+TEST(MemoryGovernorTest, DisabledPrefetchStaysDisabled) {
+  MemoryGovernor governor(1u << 20, /*base_prefetch_budget=*/0);
+  EXPECT_EQ(governor.PrefetchBudget(), 0u);
+}
+
+TEST(MemoryGovernorTest, HighWaterTracksThePeakNotTheCurrent) {
+  MemoryGovernor governor(1u << 20);
+  governor.AddCacheResident(1000);
+  governor.AddFrontierPinned(500);
+  EXPECT_EQ(governor.high_water_bytes(), 1500u);
+  governor.AddFrontierPinned(-500);
+  governor.AddCacheResident(-400);
+  EXPECT_EQ(governor.pinned_bytes(), 600u);
+  EXPECT_EQ(governor.high_water_bytes(), 1500u);
+  const MemoryGovernor::Stats stats = governor.stats();
+  EXPECT_EQ(stats.cache_bytes, 600u);
+  EXPECT_EQ(stats.frontier_bytes, 0u);
+  EXPECT_EQ(stats.high_water_bytes, 1500u);
+}
+
+TEST(RegionBufferTest, PinsBlockCapacityAgainstTheGovernor) {
+  MemoryGovernor governor(/*memory_budget_bytes=*/0);
+  {
+    RegionBuffer region;
+    region.BindGovernor(&governor);
+    region.AllocateArray(100);
+    // The whole default block is pinned, not just the 100 entries.
+    EXPECT_EQ(region.pinned_bytes(), RegionBuffer::kDefaultBlockIds * kId);
+    EXPECT_EQ(governor.stats().frontier_bytes, region.pinned_bytes());
+    // An oversized request gets a dedicated block of exactly its size.
+    const size_t big = 3 * RegionBuffer::kDefaultBlockIds;
+    region.AllocateArray(big);
+    EXPECT_EQ(region.pinned_bytes(),
+              (RegionBuffer::kDefaultBlockIds + big) * kId);
+    EXPECT_EQ(governor.stats().frontier_bytes, region.pinned_bytes());
+  }
+  // Destruction releases every block back to the governor.
+  EXPECT_EQ(governor.stats().frontier_bytes, 0u);
+}
+
+TEST(RegionBufferTest, PopToReclaimsInStackOrderAndKeepsOneSpare) {
+  RegionBuffer region;
+  const RegionBuffer::Mark outer = region.mark();
+  VertexId* first = region.AllocateArray(8);
+  first[0] = 7;
+  const RegionBuffer::Mark inner = region.mark();
+  region.AllocateArray(RegionBuffer::kDefaultBlockIds);  // forces block 2
+  const size_t peak = region.pinned_bytes();
+  EXPECT_EQ(peak, 2 * RegionBuffer::kDefaultBlockIds * kId);
+
+  region.PopTo(inner);
+  // The freed block is kept as the spare: still pinned, and the next
+  // same-shaped batch reuses it without touching the allocator.
+  EXPECT_EQ(region.pinned_bytes(), peak);
+  EXPECT_EQ(first[0], 7u) << "PopTo must not disturb live allocations";
+  region.AllocateArray(RegionBuffer::kDefaultBlockIds);
+  EXPECT_EQ(region.pinned_bytes(), peak) << "spare block was not reused";
+
+  region.PopTo(outer);
+  region.Reset();
+  EXPECT_EQ(region.pinned_bytes(), 0u);
+}
+
+TEST(RegionBufferTest, SequentialAllocationsShareABlock) {
+  RegionBuffer region;
+  VertexId* a = region.AllocateArray(100);
+  VertexId* b = region.AllocateArray(100);
+  EXPECT_EQ(a + 100, b) << "bump allocation must be contiguous in-block";
+  EXPECT_EQ(region.pinned_bytes(), RegionBuffer::kDefaultBlockIds * kId);
+}
+
+// TSan target: the governor is shared by every execution thread (lease
+// requests, knob reads) and every DB-cache shard (resident deltas).
+// Hammer all entry points concurrently; the balanced deltas must cancel
+// exactly and every lease must be either 0 or positive (no torn reads).
+TEST(MemoryGovernorTest, ConcurrentLeasesAndDeltasStayConsistent) {
+  const size_t budget = 8u << 20;
+  MemoryGovernor governor(budget, /*base_prefetch_budget=*/64,
+                          /*base_prefetch_batch_size=*/16);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::atomic<uint64_t> total_granted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&governor, &total_granted] {
+      RegionBuffer region;
+      region.BindGovernor(&governor);
+      for (int i = 0; i < kIters; ++i) {
+        governor.AddCacheResident(4096);
+        const size_t grant = governor.GrantFrontierLease(64 * kId);
+        if (grant != 0) {
+          total_granted.fetch_add(grant, std::memory_order_relaxed);
+          const RegionBuffer::Mark mark = region.mark();
+          region.AllocateArray(grant / kId);
+          region.PopTo(mark);
+        }
+        // Knob reads race with the deltas by design; they only need to
+        // return something in [base, base × cap].
+        const size_t pf = governor.PrefetchBudget();
+        ASSERT_GE(pf, 64u);
+        ASSERT_LE(pf, 64u * MemoryGovernor::kMaxPrefetchWidening);
+        governor.AddCacheResident(-4096);
+      }
+      region.Reset();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(governor.stats().cache_bytes, 0u);
+  EXPECT_EQ(governor.stats().frontier_bytes, 0u);
+  EXPECT_EQ(governor.pinned_bytes(), 0u);
+  EXPECT_GT(total_granted.load(), 0u);
+  const MemoryGovernor::Stats stats = governor.stats();
+  EXPECT_GE(stats.high_water_bytes, 4096u);
+  EXPECT_EQ(stats.lease_grants + stats.lease_denials,
+            static_cast<uint64_t>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace benu

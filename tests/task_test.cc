@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <map>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -112,6 +115,58 @@ TEST(WorkStealingSchedulerTest, StealsTargetTheMostLoadedSibling) {
   ASSERT_TRUE(scheduler.Claim(1, &index, &stolen));
   EXPECT_TRUE(stolen);
   EXPECT_EQ(index, 11u);  // back of thread 2's deque
+}
+
+TEST(WorkStealingSchedulerTest, HeterogeneousCostsRebalanceOntoSiblings) {
+  // One giant subtree plus many tiny tasks: whichever thread claims task
+  // 0 blocks on it until every other task in the system has been claimed
+  // — the way one heavy ENU subtree pins its execution thread in a real
+  // run. The remaining threads must drain their own deques and then
+  // steal the blocked thread's entire backlog: no task lost, none
+  // claimed twice, and the steal count shows the rebalancing happened.
+  constexpr size_t kTasks = 400;
+  constexpr size_t kThreads = 4;
+  WorkStealingScheduler scheduler(kTasks, kThreads);
+  std::atomic<size_t> total_claimed{0};
+  std::vector<std::vector<size_t>> claimed(kThreads);
+  std::vector<size_t> steals(kThreads, 0);
+  ThreadPool pool(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    pool.Submit([&scheduler, &total_claimed, &claimed, &steals, t] {
+      size_t index = 0;
+      bool stolen = false;
+      while (scheduler.Claim(t, &index, &stolen)) {
+        claimed[t].push_back(index);
+        if (stolen) ++steals[t];
+        total_claimed.fetch_add(1, std::memory_order_acq_rel);
+        if (index == 0) {
+          // The giant subtree. Deadline-bounded so a scheduler bug that
+          // loses tasks fails the assertions below instead of hanging
+          // the suite.
+          const auto deadline =
+              std::chrono::steady_clock::now() + std::chrono::seconds(30);
+          while (total_claimed.load(std::memory_order_acquire) < kTasks &&
+                 std::chrono::steady_clock::now() < deadline) {
+            std::this_thread::yield();
+          }
+        }
+      }
+    });
+  }
+  pool.Wait();
+
+  std::vector<size_t> all;
+  size_t total_steals = 0;
+  for (size_t t = 0; t < kThreads; ++t) {
+    all.insert(all.end(), claimed[t].begin(), claimed[t].end());
+    total_steals += steals[t];
+  }
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), kTasks) << "tasks lost or claimed twice";
+  for (size_t i = 0; i < kTasks; ++i) ASSERT_EQ(all[i], i);
+  // The blocked thread's backlog (its round-robin share minus the giant
+  // task itself) can only have moved through steals.
+  EXPECT_GE(total_steals, kTasks / kThreads - 1);
 }
 
 TEST(WorkStealingSchedulerTest, ConcurrentClaimsCoverEveryTaskOnce) {
