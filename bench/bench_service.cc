@@ -1,0 +1,205 @@
+// Service throughput bench: a closed-loop multi-client workload against
+// the resident enumeration service (ServiceTcpServer + QueryEngine over
+// real sockets), sweeping the number of concurrent clients.
+//
+// Each client owns one connection and runs a closed loop over a mixed
+// workload — the full unlabeled pattern catalog (q1–q9 plus the named
+// cliques and cycles) and two labeled queries — awaiting each result
+// before submitting the next. Every
+// count is CHECKed bit-identical to a solo RunBenu over the same graph
+// and labels, so the throughput numbers are for *correct* answers under
+// interleaving, not best-effort ones.
+//
+// Reported per client count: queries/sec (client-observed, wall clock)
+// and p50/p99 admission-to-result latency measured at the client, plus
+// the engine's plan-cache hit counters. Expected shape: the first sweep
+// pays one plan search per distinct query shape; every later
+// submission is a cache hit, and qps grows with clients until the
+// execution pool saturates. Results go to BENCH_service.json; the JSON
+// schema is documented in docs/benchmarks.md.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "distributed/benu_driver.h"
+#include "graph/patterns.h"
+#include "service/query_engine.h"
+#include "service/service_client.h"
+#include "service/service_server.h"
+
+int main() {
+  using namespace benu;
+  using namespace benu::bench;
+  SetLogLevel(LogLevel::kWarning);
+
+  const size_t vertices = SizeFor(600, 300, 150);
+  const size_t edges = vertices * 8;
+  Graph data = std::move(GenerateErdosRenyi(vertices, edges, 7)).value();
+
+  // Deterministic labels (v % 3 on input vertex ids) so the labeled
+  // queries in the mix have something to select on; the unlabeled
+  // queries ignore them.
+  std::vector<int> data_labels(data.NumVertices());
+  for (size_t v = 0; v < data_labels.size(); ++v) {
+    data_labels[v] = static_cast<int>(v % 3);
+  }
+
+  struct QueryItem {
+    std::string name;
+    std::vector<int> labels;  // empty = unlabeled
+    Count solo = 0;
+  };
+  std::vector<QueryItem> mix;
+  for (const std::string& name : AllPatternNames()) {
+    mix.push_back({name, {}});
+  }
+  mix.push_back({"triangle", {0, 1, 2}});
+  mix.push_back({"diamond", {0, 1, 2, 1}});
+
+  // Reference counts the service must reproduce, one solo run each.
+  for (QueryItem& item : mix) {
+    Graph pattern = std::move(GetPattern(item.name)).value();
+    BenuOptions options;
+    options.data_labels = data_labels;
+    options.plan.pattern_labels = item.labels;
+    auto result = RunBenu(data, pattern, options);
+    BENU_CHECK(result.ok()) << item.name << ": "
+                            << result.status().ToString();
+    item.solo = result->run.total_matches;
+  }
+
+  service::ServiceConfig config;
+  config.execution_threads = 4;
+  config.db_cache_bytes = 32u << 20;
+  config.max_active_queries = 64;
+  auto engine = service::QueryEngine::Create(data, config,
+                                             /*transport=*/nullptr,
+                                             data_labels);
+  BENU_CHECK(engine.ok()) << engine.status().ToString();
+  service::QueryEngine* engine_ptr = engine->get();
+  service::ServiceTcpServer server(std::move(*engine));
+  BENU_CHECK(server.Listen(0).ok());
+  BENU_CHECK(server.Start().ok());
+
+  std::printf("Service bench — %zu-query mix on er:%zu,%zu, "
+              "%d execution threads, port %u\n\n",
+              mix.size(), data.NumVertices(), data.NumEdges(),
+              config.execution_threads, server.port());
+
+  const size_t rounds = SizeFor(6, 4, 2);
+  const std::vector<size_t> client_counts =
+      SmokeScale() ? std::vector<size_t>{1, 2}
+                   : std::vector<size_t>{1, 2, 4, 8};
+
+  std::vector<BenchRecord> records;
+  double qps_single = 0;
+  service::QueryEngine::EngineStats before = engine_ptr->stats();
+
+  std::printf("  %-10s %10s %12s %12s %10s %10s\n", "clients", "queries",
+              "qps", "p50-lat", "p99-lat", "plan-hits");
+  for (size_t clients : client_counts) {
+    std::vector<std::vector<double>> latencies(clients);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> workers;
+    for (size_t c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        auto client_or =
+            service::ServiceClient::Connect("127.0.0.1", server.port());
+        BENU_CHECK(client_or.ok()) << client_or.status().ToString();
+        std::unique_ptr<service::ServiceClient> client =
+            std::move(*client_or);
+        for (size_t r = 0; r < rounds; ++r) {
+          for (size_t i = 0; i < mix.size(); ++i) {
+            // Offset the walk per client so concurrent sessions overlap
+            // on *different* shapes most of the time.
+            const QueryItem& item = mix[(i + c) % mix.size()];
+            wire::QuerySpec spec;
+            spec.pattern = item.name;
+            spec.pattern_labels.assign(item.labels.begin(),
+                                       item.labels.end());
+            const auto t0 = std::chrono::steady_clock::now();
+            auto outcome = client->Execute(spec);
+            const std::chrono::duration<double, std::micro> lat =
+                std::chrono::steady_clock::now() - t0;
+            BENU_CHECK(outcome.ok())
+                << item.name << ": " << outcome.status().ToString();
+            BENU_CHECK(outcome->matches == item.solo)
+                << item.name << " under " << clients
+                << " concurrent clients: " << outcome->matches << " vs solo "
+                << item.solo;
+            latencies[c].push_back(lat.count());
+          }
+        }
+      });
+    }
+    for (std::thread& t : workers) t.join();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+
+    std::vector<double> all;
+    for (const auto& per_client : latencies) {
+      all.insert(all.end(), per_client.begin(), per_client.end());
+    }
+    std::sort(all.begin(), all.end());
+    const auto percentile = [&](double p) {
+      return all[std::min(all.size() - 1,
+                          static_cast<size_t>(p * all.size()))];
+    };
+    const double qps = static_cast<double>(all.size()) / elapsed.count();
+    const service::QueryEngine::EngineStats after = engine_ptr->stats();
+    const uint64_t hits = after.plan_hits - before.plan_hits;
+    const uint64_t misses = after.plan_misses - before.plan_misses;
+    before = after;
+    if (clients == 1) qps_single = qps;
+
+    std::printf("  %-10zu %10zu %12.1f %10.0fus %8.0fus %10llu\n", clients,
+                all.size(), qps, percentile(0.50), percentile(0.99),
+                static_cast<unsigned long long>(hits));
+
+    BenchRecord rec;
+    rec.name = "clients" + std::to_string(clients);
+    rec.params = {{"clients", std::to_string(clients)},
+                  {"rounds", std::to_string(rounds)},
+                  {"mix_size", std::to_string(mix.size())}};
+    rec.seconds = elapsed.count();
+    rec.counters = {{"queries", static_cast<double>(all.size())},
+                    {"qps", qps},
+                    {"p50_us", percentile(0.50)},
+                    {"p99_us", percentile(0.99)},
+                    {"plan_hits", static_cast<double>(hits)},
+                    {"plan_misses", static_cast<double>(misses)}};
+    records.push_back(std::move(rec));
+  }
+
+  // Acceptance: after the sweeps every distinct shape has been planned
+  // exactly once — all later submissions were plan-cache hits — and no
+  // query was rejected or lost (closed-loop clients stay far below
+  // max_active_queries).
+  const service::QueryEngine::EngineStats final_stats = engine_ptr->stats();
+  BENU_CHECK(final_stats.plan_misses == mix.size())
+      << final_stats.plan_misses << " plan searches for " << mix.size()
+      << " distinct shapes";
+  BENU_CHECK(final_stats.rejected == 0 &&
+             final_stats.completed == final_stats.admitted)
+      << "admitted=" << final_stats.admitted
+      << " completed=" << final_stats.completed
+      << " rejected=" << final_stats.rejected;
+  std::printf(
+      "\nacceptance: %llu queries completed, every count bit-identical to "
+      "solo, %zu plan searches total (all repeats were cache hits)\n",
+      static_cast<unsigned long long>(final_stats.completed), mix.size());
+
+  WriteBenchJson("BENCH_service.json", "service", records);
+  std::printf(
+      "\nShape check: single-client qps (%.1f) is the no-concurrency\n"
+      "baseline; more closed-loop clients raise qps until the %d-thread\n"
+      "execution pool saturates, while p99 latency grows with queueing.\n",
+      qps_single, config.execution_threads);
+  return 0;
+}

@@ -139,6 +139,43 @@ void AppendError(StatusCode code, const std::string& message,
   out->insert(out->end(), message.begin(), message.end());
 }
 
+void AppendQueryRequest(const QuerySpec& spec, std::vector<uint8_t>* out) {
+  const uint32_t payload = static_cast<uint32_t>(
+      sizeof(uint32_t) +                                       // options
+      sizeof(uint32_t) + spec.pattern_labels.size() * 4 +      // labels
+      sizeof(uint32_t) + spec.pattern.size());                 // name
+  AppendHeader(MessageType::kQueryRequest, 0, payload, out);
+  AppendU32(spec.options, out);
+  AppendU32(static_cast<uint32_t>(spec.pattern_labels.size()), out);
+  for (int32_t label : spec.pattern_labels) {
+    AppendU32(static_cast<uint32_t>(label), out);
+  }
+  AppendU32(static_cast<uint32_t>(spec.pattern.size()), out);
+  out->insert(out->end(), spec.pattern.begin(), spec.pattern.end());
+}
+
+void AppendQueryResult(const QueryResultInfo& result,
+                       std::vector<uint8_t>* out) {
+  AppendHeader(MessageType::kQueryResult, 0, 40, out);
+  AppendU64(result.matches, out);
+  AppendU64(result.codes, out);
+  AppendU64(result.tasks, out);
+  AppendU64(result.elapsed_us, out);
+  AppendU32(result.flags, out);
+  AppendU32(0, out);  // reserved
+}
+
+void AppendCancelRequest(std::vector<uint8_t>* out) {
+  AppendHeader(MessageType::kCancelRequest, 0, 0, out);
+}
+
+void AppendProgress(const QueryProgress& progress, std::vector<uint8_t>* out) {
+  AppendHeader(MessageType::kProgress, 0, 24, out);
+  AppendU64(progress.tasks_done, out);
+  AppendU64(progress.tasks_total, out);
+  AppendU64(progress.matches_so_far, out);
+}
+
 void SetFrameTag(std::span<uint8_t> frame, uint16_t tag) {
   BENU_CHECK(frame.size() >= kHeaderBytes) << "frame shorter than header";
   frame[6] = static_cast<uint8_t>(tag);
@@ -185,6 +222,12 @@ StatusOr<Frame> DecodeFrame(std::span<const uint8_t> buffer) {
       (frame.header.flags & kFlagEncodedPayload) != 0) {
     return Status::InvalidArgument(
         "version-1 frame carries the version-2 encoding flag");
+  }
+  if (frame.header.version < kMinServiceVersion &&
+      IsServiceType(frame.header.type)) {
+    return Status::InvalidArgument(
+        "version-" + std::to_string(frame.header.version) +
+        " frame carries a version-3 service type");
   }
   frame.header.aux = ReadU32(buffer.data() + 8);
   frame.header.payload_bytes = ReadU32(buffer.data() + 12);
@@ -312,6 +355,100 @@ Status DecodeError(const Frame& frame) {
   }
   return Status(static_cast<StatusCode>(frame.header.aux),
                 std::string(frame.payload.begin(), frame.payload.end()));
+}
+
+namespace {
+
+/// Longest pattern name a kQueryRequest may carry — generous for the
+/// catalog ("clique12" is 8 bytes) while bounding what a hostile frame
+/// can make the service allocate.
+constexpr uint32_t kMaxPatternNameBytes = 256;
+/// Most pattern labels a kQueryRequest may carry (catalog patterns have
+/// at most a handful of vertices).
+constexpr uint32_t kMaxPatternLabels = 64;
+
+}  // namespace
+
+StatusOr<QuerySpec> DecodeQueryRequest(const Frame& frame) {
+  if (frame.header.type != MessageType::kQueryRequest) {
+    return WrongType("kQueryRequest", frame);
+  }
+  const uint8_t* p = frame.payload.data();
+  size_t left = frame.payload.size();
+  if (left < 8) {
+    return Status::InvalidArgument("query payload too short");
+  }
+  QuerySpec spec;
+  spec.options = ReadU32(p);
+  if ((spec.options & ~kQueryKnownOptions) != 0) {
+    return Status::InvalidArgument("query carries unknown option bits");
+  }
+  const uint32_t num_labels = ReadU32(p + 4);
+  p += 8;
+  left -= 8;
+  if (num_labels > kMaxPatternLabels) {
+    return Status::InvalidArgument("query label count exceeds limit");
+  }
+  if (left < num_labels * 4ull + 4) {
+    return Status::InvalidArgument("query label run truncated");
+  }
+  spec.pattern_labels.reserve(num_labels);
+  for (uint32_t i = 0; i < num_labels; ++i) {
+    spec.pattern_labels.push_back(static_cast<int32_t>(ReadU32(p + i * 4)));
+  }
+  p += num_labels * 4ull;
+  left -= num_labels * 4ull;
+  const uint32_t name_len = ReadU32(p);
+  p += 4;
+  left -= 4;
+  if (name_len == 0 || name_len > kMaxPatternNameBytes) {
+    return Status::InvalidArgument("query pattern name empty or oversized");
+  }
+  if (left != name_len) {
+    return Status::InvalidArgument("query pattern name run truncated");
+  }
+  spec.pattern.assign(reinterpret_cast<const char*>(p), name_len);
+  return spec;
+}
+
+StatusOr<QueryResultInfo> DecodeQueryResult(const Frame& frame) {
+  if (frame.header.type != MessageType::kQueryResult) {
+    return WrongType("kQueryResult", frame);
+  }
+  if (frame.payload.size() != 40) {
+    return Status::InvalidArgument("query result payload must be 40 bytes");
+  }
+  QueryResultInfo result;
+  result.matches = ReadU64(frame.payload.data());
+  result.codes = ReadU64(frame.payload.data() + 8);
+  result.tasks = ReadU64(frame.payload.data() + 16);
+  result.elapsed_us = ReadU64(frame.payload.data() + 24);
+  result.flags = ReadU32(frame.payload.data() + 32);
+  return result;
+}
+
+Status DecodeCancelRequest(const Frame& frame) {
+  if (frame.header.type != MessageType::kCancelRequest) {
+    return WrongType("kCancelRequest", frame);
+  }
+  if (!frame.payload.empty()) {
+    return Status::InvalidArgument("cancel request carries a payload");
+  }
+  return Status::OK();
+}
+
+StatusOr<QueryProgress> DecodeProgress(const Frame& frame) {
+  if (frame.header.type != MessageType::kProgress) {
+    return WrongType("kProgress", frame);
+  }
+  if (frame.payload.size() != 24) {
+    return Status::InvalidArgument("progress payload must be 24 bytes");
+  }
+  QueryProgress progress;
+  progress.tasks_done = ReadU64(frame.payload.data());
+  progress.tasks_total = ReadU64(frame.payload.data() + 8);
+  progress.matches_so_far = ReadU64(frame.payload.data() + 16);
+  return progress;
 }
 
 }  // namespace benu::wire

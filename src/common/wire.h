@@ -49,6 +49,16 @@ namespace benu::wire {
 // client interoperates with a raw-only server and vice versa. Version-1
 // frames (still decoded) predate the flag and must leave bit 15 clear.
 //
+// Query frames (version 3): the resident enumeration service
+// (src/service/) multiplexes many pattern queries over one connection
+// using the same 15-bit tag scheme the pipelined transport uses — the
+// tag names the query, chosen by the client, and every kQueryResult /
+// kProgress / kError frame the service emits for that query echoes it.
+// The four service frame types (kQueryRequest, kQueryResult,
+// kCancelRequest, kProgress) only exist in version 3; a v1/v2 frame
+// carrying one of them is rejected, while all v1/v2 KV frames are still
+// decoded unchanged.
+//
 // The 16-byte header is deliberately the simulator's modeled per-reply
 // overhead (DistributedKvStore::kReplyOverheadBytes): a raw adjacency
 // reply frame for a set of n entries occupies exactly 16 + 4n bytes, and
@@ -57,9 +67,11 @@ namespace benu::wire {
 // actually framed (loopback/TCP).
 
 inline constexpr uint32_t kMagic = 0x42454E55;  // "BENU"
-inline constexpr uint8_t kVersion = 2;
+inline constexpr uint8_t kVersion = 3;
 /// Oldest version this build still decodes (raw-only frames).
 inline constexpr uint8_t kMinVersion = 1;
+/// Frames of the service types below require at least this version.
+inline constexpr uint8_t kMinServiceVersion = 3;
 inline constexpr size_t kHeaderBytes = 16;
 
 /// Bit 15 of `flags`: the frame's adjacency payload is delta+varint
@@ -94,7 +106,42 @@ enum class MessageType : uint8_t {
   kStatsReply = 7,
   /// Error reply: aux = StatusCode, payload = UTF-8 message.
   kError = 8,
+  /// Pattern query (version 3, service protocol). The frame tag names
+  /// the query on this connection. Request payload: u32 option flags
+  /// (kQueryVcbc | kQueryDegreeFilter | kQueryWantProgress), u32 label
+  /// count + i32 pattern labels, u32 name length + pattern name bytes
+  /// (a graph/patterns.h catalog name, e.g. "q5" or "clique4").
+  kQueryRequest = 9,
+  /// Terminal answer to a kQueryRequest, echoing its tag. Payload:
+  /// u64 matches, u64 embedding codes, u64 tasks executed, u64 elapsed
+  /// microseconds, u32 result flags (kQueryResultCancelled |
+  /// kQueryResultPlanCacheHit), u32 reserved (0). A rejected or failed
+  /// query is answered with a tagged kError frame instead.
+  kQueryResult = 10,
+  /// Cancels the in-flight query named by the frame tag (version 3).
+  /// Empty payload, aux = 0. Always answered — by the cancelled query's
+  /// kQueryResult (kQueryResultCancelled set) if it was in flight, or by
+  /// a tagged kError (kNotFound) if no such query exists. Cancelling a
+  /// query that completes concurrently is benign: the client just sees
+  /// the uncancelled result.
+  kCancelRequest = 11,
+  /// Periodic progress report for a running query that asked for them
+  /// (kQueryWantProgress), echoing the query tag. Payload: u64 tasks
+  /// done, u64 tasks total, u64 matches so far. Purely informational;
+  /// frequency is a service knob, and the terminal kQueryResult may
+  /// arrive without a final progress frame.
+  kProgress = 12,
 };
+
+/// True for the frame types introduced by the version-3 service
+/// protocol; DecodeFrame rejects these on frames older than
+/// kMinServiceVersion.
+constexpr bool IsServiceType(MessageType type) {
+  return type == MessageType::kQueryRequest ||
+         type == MessageType::kQueryResult ||
+         type == MessageType::kCancelRequest ||
+         type == MessageType::kProgress;
+}
 
 struct FrameHeader {
   uint8_t version = kVersion;
@@ -118,6 +165,77 @@ struct Frame {
 /// HelloInfo capability bit: the server pre-encodes its partition share
 /// and answers kFlagEncodedPayload requests with encoded replies.
 inline constexpr uint32_t kHelloSupportsEncoded = 1u << 0;
+/// HelloInfo capability bit: the peer is a resident enumeration service
+/// (src/service/) that accepts kQueryRequest / kCancelRequest frames.
+/// KV servers leave it clear; a client must not send query frames to a
+/// peer whose hello lacks it.
+inline constexpr uint32_t kHelloSupportsQueries = 1u << 1;
+
+// --- service protocol payloads (version 3) ----------------------------
+
+/// kQueryRequest option flag: run the VCBC compression rewrite on the
+/// generated plan (plan/plan_search.h `apply_vcbc`).
+inline constexpr uint32_t kQueryVcbc = 1u << 0;
+/// kQueryRequest option flag: apply degree-based candidate filters
+/// (plan/filters.h) during execution.
+inline constexpr uint32_t kQueryDegreeFilter = 1u << 1;
+/// kQueryRequest option flag: the client wants kProgress frames while
+/// the query runs.
+inline constexpr uint32_t kQueryWantProgress = 1u << 2;
+/// All option bits a version-3 decoder understands; unknown bits are
+/// rejected so a future flag cannot be silently ignored.
+inline constexpr uint32_t kQueryKnownOptions =
+    kQueryVcbc | kQueryDegreeFilter | kQueryWantProgress;
+
+/// kQueryResult flag: the query was cancelled before completing; the
+/// carried counts cover only the tasks that finished and must not be
+/// interpreted as the pattern's match count.
+inline constexpr uint32_t kQueryResultCancelled = 1u << 0;
+/// kQueryResult flag: the service reused a cached execution plan
+/// instead of running plan search for this query.
+inline constexpr uint32_t kQueryResultPlanCacheHit = 1u << 1;
+
+/// A pattern query as carried by kQueryRequest. `pattern` is a
+/// graph/patterns.h catalog name; `pattern_labels`, when non-empty,
+/// must hold one label per pattern vertex and switches the service to
+/// the labeled plan/matching path.
+struct QuerySpec {
+  std::string pattern;
+  std::vector<int32_t> pattern_labels;
+  /// kQueryVcbc | kQueryDegreeFilter | kQueryWantProgress.
+  uint32_t options = 0;
+
+  bool want_vcbc() const { return (options & kQueryVcbc) != 0; }
+  bool want_degree_filter() const {
+    return (options & kQueryDegreeFilter) != 0;
+  }
+  bool want_progress() const { return (options & kQueryWantProgress) != 0; }
+  bool operator==(const QuerySpec&) const = default;
+};
+
+/// Terminal query outcome as carried by kQueryResult.
+struct QueryResultInfo {
+  uint64_t matches = 0;     ///< embeddings found (partial if cancelled)
+  uint64_t codes = 0;       ///< VCBC embedding codes emitted
+  uint64_t tasks = 0;       ///< search tasks executed to completion
+  uint64_t elapsed_us = 0;  ///< admission-to-completion wall time
+  /// kQueryResultCancelled | kQueryResultPlanCacheHit.
+  uint32_t flags = 0;
+
+  bool cancelled() const { return (flags & kQueryResultCancelled) != 0; }
+  bool plan_cache_hit() const {
+    return (flags & kQueryResultPlanCacheHit) != 0;
+  }
+  bool operator==(const QueryResultInfo&) const = default;
+};
+
+/// In-flight progress as carried by kProgress.
+struct QueryProgress {
+  uint64_t tasks_done = 0;
+  uint64_t tasks_total = 0;
+  uint64_t matches_so_far = 0;
+  bool operator==(const QueryProgress&) const = default;
+};
 
 struct HelloInfo {
   uint32_t num_vertices = 0;
@@ -175,6 +293,13 @@ void AppendStatsRequest(std::vector<uint8_t>* out);
 void AppendStatsReply(const ServerStats& stats, std::vector<uint8_t>* out);
 void AppendError(StatusCode code, const std::string& message,
                  std::vector<uint8_t>* out);
+/// Service frames (version 3). The query tag is stamped separately with
+/// SetFrameTag, exactly like KV request tags.
+void AppendQueryRequest(const QuerySpec& spec, std::vector<uint8_t>* out);
+void AppendQueryResult(const QueryResultInfo& result,
+                       std::vector<uint8_t>* out);
+void AppendCancelRequest(std::vector<uint8_t>* out);
+void AppendProgress(const QueryProgress& progress, std::vector<uint8_t>* out);
 
 // --- request tags -----------------------------------------------------
 
@@ -197,8 +322,8 @@ void TagFrames(std::span<uint8_t> frames, uint16_t tag);
 
 /// Decodes the frame at the front of `buffer` (which may hold a sequence
 /// of frames). Fails on short buffers, wrong magic, versions outside
-/// [kMinVersion, kVersion], or a version-1 frame carrying the (version-2)
-/// encoding flag.
+/// [kMinVersion, kVersion], a version-1 frame carrying the (version-2)
+/// encoding flag, or a pre-version-3 frame carrying a service type.
 StatusOr<Frame> DecodeFrame(std::span<const uint8_t> buffer);
 
 /// True iff the frame's payload is delta+varint encoded (version-2
@@ -224,6 +349,16 @@ StatusOr<HelloInfo> DecodeHelloReply(const Frame& frame);
 StatusOr<ServerStats> DecodeStatsReply(const Frame& frame);
 /// Converts a kError frame back into the Status it carries.
 Status DecodeError(const Frame& frame);
+/// Service payload decoders (version 3). DecodeQueryRequest validates
+/// shape only — option bits outside kQueryKnownOptions, truncated label
+/// or name runs, and oversized names are rejected here; whether the
+/// pattern name exists in the catalog is the service's business.
+StatusOr<QuerySpec> DecodeQueryRequest(const Frame& frame);
+StatusOr<QueryResultInfo> DecodeQueryResult(const Frame& frame);
+/// Validates a kCancelRequest (empty payload); the target query is the
+/// frame's tag.
+Status DecodeCancelRequest(const Frame& frame);
+StatusOr<QueryProgress> DecodeProgress(const Frame& frame);
 
 }  // namespace benu::wire
 

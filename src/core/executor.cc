@@ -575,6 +575,12 @@ void PlanExecutor::DescendRange(const Compiled& ins,
   const int kind = static_cast<int>(InstrType::kEnumerate);
   const auto f_index = static_cast<size_t>(ins.target_f);
   for (size_t i = 0; i < count; ++i) {
+    // Cooperative cancel: bail between candidate descents, so an
+    // unwinding stack of nested DescendRanges drains in O(depth) loop
+    // iterations once the flag flips.
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      return;
+    }
     if (ins.required_label >= 0 &&
         (*data_labels_)[candidates[i]] != ins.required_label) {
       continue;
@@ -593,6 +599,9 @@ void PlanExecutor::ExecEnumerateBatched(const Compiled& ins,
                                         size_t pc_next) {
   size_t i = begin;
   while (i < end) {
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      return;  // don't materialize further batches for a dead query
+    }
     const size_t remaining = end - i;
     size_t batch_count = remaining;
     if (expansion_ == ExpansionMode::kHybrid && governor_ != nullptr) {
@@ -655,7 +664,9 @@ TaskStats PlanExecutor::RunTask(const SearchTask& task,
   trace_.current = -1;
   if (tcache_ != nullptr) tcache_->BeginTask(task.start);
   std::fill(f_.begin(), f_.end(), kInvalidVertex);
-  Exec(0);
+  if (cancel_ == nullptr || !cancel_->load(std::memory_order_relaxed)) {
+    Exec(0);
+  }
   if (trace_.timed) TraceSwitch(-1);  // charge the tail interval
   task_ = nullptr;
   consumer_ = nullptr;

@@ -1,6 +1,7 @@
 #ifndef BENU_CORE_EXECUTOR_H_
 #define BENU_CORE_EXECUTOR_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -198,6 +199,15 @@ class PlanExecutor {
   /// first RunTask.
   void ConfigureExpansion(ExpansionMode mode, MemoryGovernor* governor);
 
+  /// Installs a cooperative cancellation flag, polled (relaxed) at every
+  /// ENU descent boundary: once another thread sets it, the in-flight
+  /// backtracking unwinds within a handful of candidate visits instead
+  /// of running the task to completion. A cancelled RunTask returns
+  /// normally with whatever partial stats/matches it produced — callers
+  /// that care (the enumeration service) discard them. Null (the
+  /// default) disables the poll; `cancel` must outlive every RunTask.
+  void SetCancelFlag(const std::atomic<bool>* cancel) { cancel_ = cancel; }
+
   const ExecutionPlan& plan() const { return *plan_; }
 
  private:
@@ -319,6 +329,7 @@ class PlanExecutor {
   VertexSet ne_values_;           // runtime ≠-filter values, reused
   std::vector<VertexSetView> operand_views_;  // reused multi-way sort buffer
   const SearchTask* task_ = nullptr;
+  const std::atomic<bool>* cancel_ = nullptr;  // SetCancelFlag
   TaskStats stats_;
   std::vector<VertexId> report_f_;          // reused RES buffer
   std::vector<VertexSetView> report_sets_;  // reused RES buffer

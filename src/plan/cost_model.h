@@ -11,6 +11,15 @@ namespace benu {
 /// Summary statistics of a data graph consumed by the cost estimator. The
 /// estimator only needs N and M, so plan search can run before the data
 /// graph is materialized (e.g. from catalog metadata).
+///
+/// These two numbers are the *only* data-graph input to the whole plan
+/// pipeline (search, cost, optimization). A resident service whose data
+/// graph is fixed for its lifetime can therefore cache plans keyed by
+/// the query alone — (pattern, plan-shaping options, pattern labels) —
+/// because the stats term of the key is a constant; were the graph ever
+/// swapped or mutated, every cached plan and cost would be invalidated
+/// together (src/service/query_engine.h does exactly this: one immutable
+/// graph, one plan cache, no eviction).
 struct DataGraphStats {
   double num_vertices = 0;  ///< N
   double num_edges = 0;     ///< M
@@ -39,6 +48,11 @@ struct PlanCost {
   double computation = 0;
 };
 
+/// Deterministic in (plan, stats) — no sampling, no data access — so the
+/// estimate is stable across calls and safe to cache alongside the plan
+/// (the service's admission control compares it against a configured
+/// ceiling on every submit, hit or miss).
+///
 /// Walks the instructions of `plan` front to back, tracking the partial
 /// pattern graph induced by the already-enumerated prefix, and charges
 /// each INT/TRC (computation) and DBQ (communication) the estimated number

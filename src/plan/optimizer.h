@@ -5,6 +5,14 @@
 
 namespace benu {
 
+// All three passes are deterministic in-place rewrites that read nothing
+// but the plan itself — no data-graph statistics, randomness, or global
+// state. The same raw plan therefore always optimizes to the same
+// instruction sequence, which is what makes a once-planned query
+// cacheable: the service's plan cache (src/service/query_engine.h) keys
+// on the plan-search *inputs* (pattern, plan-shaping options, labels)
+// and never needs to fingerprint the optimized output.
+
 /// Optimization 1 (§IV-B): common subexpression elimination. Operand
 /// combinations (size ≥ 2) shared by multiple INT instructions are hoisted
 /// into fresh temporary INT instructions; repeats until fixpoint, then

@@ -19,6 +19,11 @@ namespace benu {
 /// `constraints` is the symmetry-breaking partial order on V(P); pass the
 /// result of ComputeSymmetryBreakingConstraints for duplicate-free
 /// enumeration or {} to enumerate all matches.
+///
+/// Deterministic in (pattern, matching_order, constraints): instruction
+/// ids, operand order and filter placement depend only on the arguments,
+/// so identical inputs yield byte-identical plans. Plan consumers that
+/// cache by input key (the enumeration service) depend on this.
 StatusOr<ExecutionPlan> GenerateRawPlan(
     const Graph& pattern, const std::vector<VertexId>& matching_order,
     const std::vector<OrderConstraint>& constraints);

@@ -44,6 +44,13 @@ struct PlanSearchResult {
 /// the least estimated communication cost, generates an optimized plan for
 /// each, and returns the one with the least computation cost. Symmetry-
 /// breaking constraints are computed internally (Grochow–Kellis).
+///
+/// Deterministic in (pattern, stats, options) — ties in the cost order
+/// break by matching-order enumeration position. This triple is exactly
+/// the service plan-cache key with `stats` held constant, which is why
+/// QueryEngine can serve a cached plan without re-running the search and
+/// still behave identically to a fresh RunBenu (counters excepted:
+/// elapsed_seconds/α/β describe the original search, not the hit).
 StatusOr<PlanSearchResult> GenerateBestPlan(
     const Graph& pattern, const DataGraphStats& stats,
     const PlanSearchOptions& options = {});

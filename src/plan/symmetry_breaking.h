@@ -14,13 +14,27 @@ namespace benu {
 /// f(v) ≺ f(w) for every other w in v's orbit, and restrict the group to
 /// the stabilizer of v. The resulting constraints guarantee that every
 /// subgraph isomorphic to P has exactly one constraint-satisfying match.
+///
+/// Deterministic: a pure function of the pattern graph (orbit and vertex
+/// selection use fixed id-order tie-breaks), with no dependence on the
+/// data graph or any global state. Two consequences downstream code
+/// relies on:
+///   - the total match count is independent of enumeration order and
+///     interleaving, which is what lets the multi-query service schedule
+///     tasks of concurrent queries in any order and still reproduce solo
+///     counts bit for bit;
+///   - the service's plan cache can omit the constraints from its key —
+///     they are implied by (pattern, pattern_labels), which the key
+///     already carries (see QueryEngine in src/service/query_engine.h).
 std::vector<OrderConstraint> ComputeSymmetryBreakingConstraints(
     const Graph& pattern);
 
 /// Label-aware variant for the property-graph extension: only
 /// label-preserving automorphisms (labels[a(v)] == labels[v]) create
 /// duplicates, so the partial order is derived from that subgroup.
-/// `labels` must have one entry per pattern vertex.
+/// `labels` must have one entry per pattern vertex. Equally
+/// deterministic in (pattern, labels); relabeling a pattern vertex can
+/// only shrink the automorphism subgroup, never reorder the tie-breaks.
 std::vector<OrderConstraint> ComputeLabeledSymmetryBreakingConstraints(
     const Graph& pattern, const std::vector<int>& labels);
 

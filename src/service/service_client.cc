@@ -1,0 +1,190 @@
+#include "service/service_client.h"
+
+#include <sys/socket.h>
+
+#include <utility>
+#include <vector>
+
+#include "storage/socket_io.h"
+
+namespace benu::service {
+
+StatusOr<std::unique_ptr<ServiceClient>> ServiceClient::Connect(
+    const std::string& host, uint16_t port, int timeout_ms) {
+  auto fd = net::TcpConnect(host, port, timeout_ms);
+  if (!fd.ok()) return fd.status();
+  auto client = std::unique_ptr<ServiceClient>(new ServiceClient());
+  client->fd_ = *fd;
+  // Handshake runs synchronously before the reader thread exists, so
+  // plain write/read is safe here.
+  std::vector<uint8_t> hello;
+  wire::AppendHelloRequest(&hello);
+  if (Status s = net::WriteAll(*fd, hello, timeout_ms); !s.ok()) return s;
+  std::vector<uint8_t> reply;
+  if (Status s = net::ReadWireFrame(*fd, &reply, timeout_ms); !s.ok()) {
+    return s;
+  }
+  auto frame = wire::DecodeFrame(reply);
+  if (!frame.ok()) return frame.status();
+  if (frame->header.type == wire::MessageType::kError) {
+    return wire::DecodeError(*frame);
+  }
+  auto info = wire::DecodeHelloReply(*frame);
+  if (!info.ok()) return info.status();
+  if ((info->flags & wire::kHelloSupportsQueries) == 0) {
+    return Status::FailedPrecondition(
+        "peer answered hello but is not an enumeration service "
+        "(kHelloSupportsQueries capability missing — is this a KV server?)");
+  }
+  client->hello_ = *info;
+  client->reader_ = std::thread([c = client.get()] { c->ReaderLoop(); });
+  return client;
+}
+
+ServiceClient::~ServiceClient() {
+  // Closing the fd makes the reader's blocking read fail; it then fails
+  // any still-pending queries with the read error and exits.
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+  if (reader_.joinable()) reader_.join();
+  if (fd_ >= 0) net::CloseFd(fd_);
+}
+
+void ServiceClient::FailAll(const Status& status) {
+  std::lock_guard<std::mutex> lk(mu_);
+  dead_ = true;
+  death_status_ = status;
+  for (auto& [tag, p] : pending_) {
+    if (!p.done) {
+      p.done = true;
+      p.result = status;
+    }
+  }
+  cv_.notify_all();
+}
+
+void ServiceClient::ReaderLoop() {
+  std::vector<uint8_t> buf;
+  for (;;) {
+    if (Status s = net::ReadWireFrame(fd_, &buf); !s.ok()) {
+      FailAll(s);
+      return;
+    }
+    auto frame = wire::DecodeFrame(buf);
+    if (!frame.ok()) {
+      FailAll(frame.status());
+      return;
+    }
+    const uint16_t tag = wire::FrameTag(buf);
+    switch (frame->header.type) {
+      case wire::MessageType::kProgress: {
+        auto progress = wire::DecodeProgress(*frame);
+        if (!progress.ok()) break;  // malformed progress: drop, not fatal
+        ProgressFn fn;
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          auto it = pending_.find(tag);
+          if (it != pending_.end() && !it->second.done) {
+            fn = it->second.progress;
+          }
+        }
+        if (fn) fn(*progress);
+        break;
+      }
+      case wire::MessageType::kQueryResult:
+      case wire::MessageType::kError: {
+        StatusOr<wire::QueryResultInfo> outcome =
+            frame->header.type == wire::MessageType::kQueryResult
+                ? wire::DecodeQueryResult(*frame)
+                : StatusOr<wire::QueryResultInfo>(wire::DecodeError(*frame));
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = pending_.find(tag);
+        if (it != pending_.end() && !it->second.done) {
+          it->second.done = true;
+          it->second.result = std::move(outcome);
+          cv_.notify_all();
+        }
+        break;
+      }
+      default:
+        // Unsolicited frame types are the server's bug, not a stream
+        // desync (the frame was well-delimited): ignore.
+        break;
+    }
+  }
+}
+
+StatusOr<uint16_t> ServiceClient::StartQuery(const wire::QuerySpec& spec,
+                                             ProgressFn progress) {
+  uint16_t tag = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (dead_) return death_status_;
+    // 15-bit tag space, skip 0 (hello) and tags still awaiting results.
+    for (int attempts = 0; attempts < 0x8000; ++attempts) {
+      const uint16_t candidate = next_tag_;
+      next_tag_ = static_cast<uint16_t>((next_tag_ % 0x7FFF) + 1);
+      if (pending_.count(candidate) == 0) {
+        tag = candidate;
+        break;
+      }
+    }
+    if (tag == 0) {
+      return Status::ResourceExhausted("all 32767 query tags in flight");
+    }
+    Pending p;
+    p.progress = std::move(progress);
+    pending_.emplace(tag, std::move(p));
+  }
+  std::vector<uint8_t> frame;
+  wire::AppendQueryRequest(spec, &frame);
+  wire::SetFrameTag(frame, tag);
+  Status s;
+  {
+    std::lock_guard<std::mutex> lk(write_mu_);
+    s = net::WriteAll(fd_, frame);
+  }
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    pending_.erase(tag);
+    return s;
+  }
+  return tag;
+}
+
+StatusOr<wire::QueryResultInfo> ServiceClient::Await(uint16_t tag) {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto it = pending_.find(tag);
+  if (it == pending_.end()) {
+    return Status::InvalidArgument("Await() on a tag that was never started");
+  }
+  cv_.wait(lk, [&] { return it->second.done; });
+  StatusOr<wire::QueryResultInfo> result = std::move(it->second.result);
+  pending_.erase(it);
+  return result;
+}
+
+Status ServiceClient::SendCancel(uint16_t tag) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (dead_) return death_status_;
+    if (pending_.count(tag) == 0) {
+      return Status::InvalidArgument("SendCancel() on an unknown tag");
+    }
+  }
+  std::vector<uint8_t> frame;
+  wire::AppendCancelRequest(&frame);
+  wire::SetFrameTag(frame, tag);
+  std::lock_guard<std::mutex> lk(write_mu_);
+  return net::WriteAll(fd_, frame);
+}
+
+StatusOr<wire::QueryResultInfo> ServiceClient::Execute(
+    const wire::QuerySpec& spec, ProgressFn progress) {
+  auto tag = StartQuery(spec, std::move(progress));
+  if (!tag.ok()) return tag.status();
+  return Await(*tag);
+}
+
+}  // namespace benu::service

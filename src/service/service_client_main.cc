@@ -1,0 +1,254 @@
+// benu_service_client: command-line client of benu_service, used by the
+// CI service-smoke job and by hand (docs/service.md has a transcript).
+//
+//   --host=H --port=N       where benu_service listens
+//   --query=NAME            pattern to enumerate (repeatable: all queries
+//                           are submitted concurrently on one connection
+//                           and awaited together)
+//   --labeled=NAME:l0,l1,.. labeled pattern query (repeatable); the
+//                           service must run with --labels=K
+//   --vcbc=1                request VCBC compression on every query
+//   --degree-filter=1       request degree filters on every query
+//   --progress              request progress frames and print them
+//   --verify-solo           re-run each query with one-shot RunBenu over
+//                           --graph=SPEC (must equal the service's) and
+//                           fail unless the counts are bit-identical
+//   --labels=K              label alphabet of --verify-solo (same K the
+//                           service was started with)
+//   --cancel-test           additionally: submit one extra copy of the
+//                           first query, cancel it immediately, and
+//                           require a cancelled/answered outcome plus a
+//                           correct re-run afterwards
+//   --expect-reject         submit queries past the service's admission
+//                           cap and require at least one kResourceExhausted
+//
+// Prints "QUERY <name> MATCHES <n>" per query; exits nonzero on failure.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/wire.h"
+#include "distributed/benu_driver.h"
+#include "graph/generators.h"
+#include "graph/patterns.h"
+#include "service/service_client.h"
+
+namespace {
+
+using namespace benu;
+
+const char* FlagValue(int argc, char** argv, const char* name,
+                      const char* fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+std::vector<std::string> FlagValues(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string(name) + "=";
+  std::vector<std::string> values;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      values.emplace_back(argv[i] + prefix.size());
+    }
+  }
+  return values;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+/// "q3:0,1,2" -> {"q3", {0,1,2}}.
+std::pair<std::string, std::vector<int32_t>> ParseLabeled(
+    const std::string& spec) {
+  const size_t colon = spec.find(':');
+  BENU_CHECK(colon != std::string::npos)
+      << "--labeled wants NAME:l0,l1,...: " << spec;
+  std::pair<std::string, std::vector<int32_t>> out;
+  out.first = spec.substr(0, colon);
+  std::string rest = spec.substr(colon + 1);
+  size_t pos = 0;
+  while (pos < rest.size()) {
+    size_t comma = rest.find(',', pos);
+    if (comma == std::string::npos) comma = rest.size();
+    out.second.push_back(
+        static_cast<int32_t>(std::atoi(rest.substr(pos, comma - pos).c_str())));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// One-shot RunBenu over the same graph/labels/options, for --verify-solo.
+Count SoloCount(const Graph& graph, const wire::QuerySpec& spec,
+                const std::vector<int>& data_labels) {
+  auto pattern = GetPattern(spec.pattern);
+  BENU_CHECK(pattern.ok()) << pattern.status().ToString();
+  BenuOptions options;
+  options.plan.apply_vcbc = spec.want_vcbc();
+  options.plan.apply_degree_filter = spec.want_degree_filter();
+  options.plan.pattern_labels.assign(spec.pattern_labels.begin(),
+                                     spec.pattern_labels.end());
+  options.data_labels = data_labels;
+  auto result = RunBenu(graph, *pattern, options);
+  BENU_CHECK(result.ok()) << result.status().ToString();
+  return result->run.total_matches;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string host = FlagValue(argc, argv, "--host", "127.0.0.1");
+  const uint16_t port = static_cast<uint16_t>(
+      std::strtoul(FlagValue(argc, argv, "--port", "0"), nullptr, 10));
+  BENU_CHECK(port != 0) << "--port is required";
+  const bool vcbc = std::atoi(FlagValue(argc, argv, "--vcbc", "0")) != 0;
+  const bool degree_filter =
+      std::atoi(FlagValue(argc, argv, "--degree-filter", "0")) != 0;
+  const bool want_progress = HasFlag(argc, argv, "--progress");
+  const bool verify_solo = HasFlag(argc, argv, "--verify-solo");
+  const bool cancel_test = HasFlag(argc, argv, "--cancel-test");
+  const bool expect_reject = HasFlag(argc, argv, "--expect-reject");
+  const std::string graph_spec =
+      FlagValue(argc, argv, "--graph", "ba:200,5,21");
+  const int labels = std::atoi(FlagValue(argc, argv, "--labels", "0"));
+
+  std::vector<wire::QuerySpec> specs;
+  for (const std::string& name : FlagValues(argc, argv, "--query")) {
+    wire::QuerySpec spec;
+    spec.pattern = name;
+    if (vcbc) spec.options |= wire::kQueryVcbc;
+    if (degree_filter) spec.options |= wire::kQueryDegreeFilter;
+    if (want_progress) spec.options |= wire::kQueryWantProgress;
+    specs.push_back(std::move(spec));
+  }
+  for (const std::string& labeled : FlagValues(argc, argv, "--labeled")) {
+    auto [name, pattern_labels] = ParseLabeled(labeled);
+    wire::QuerySpec spec;
+    spec.pattern = name;
+    spec.pattern_labels = std::move(pattern_labels);
+    if (degree_filter) spec.options |= wire::kQueryDegreeFilter;
+    if (want_progress) spec.options |= wire::kQueryWantProgress;
+    specs.push_back(std::move(spec));
+  }
+  BENU_CHECK(!specs.empty()) << "at least one --query or --labeled required";
+
+  auto client_or = service::ServiceClient::Connect(host, port);
+  BENU_CHECK(client_or.ok()) << "connect: " << client_or.status().ToString();
+  service::ServiceClient& client = **client_or;
+  std::fprintf(stderr,
+               "connected: vertices=%u partitions=%u graph_hash=%08x\n",
+               client.hello().num_vertices, client.hello().num_partitions,
+               client.hello().graph_hash);
+
+  // All queries go out on one connection before any is awaited, so the
+  // service really interleaves them.
+  std::vector<uint16_t> tags;
+  for (const wire::QuerySpec& spec : specs) {
+    service::ServiceClient::ProgressFn progress;
+    if (want_progress) {
+      progress = [name = spec.pattern](const wire::QueryProgress& p) {
+        std::fprintf(stderr, "progress %s: tasks %llu/%llu matches=%llu\n",
+                     name.c_str(),
+                     static_cast<unsigned long long>(p.tasks_done),
+                     static_cast<unsigned long long>(p.tasks_total),
+                     static_cast<unsigned long long>(p.matches_so_far));
+      };
+    }
+    auto tag = client.StartQuery(spec, std::move(progress));
+    BENU_CHECK(tag.ok()) << spec.pattern << ": " << tag.status().ToString();
+    tags.push_back(*tag);
+  }
+
+  std::vector<Count> counts;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    auto result = client.Await(tags[i]);
+    BENU_CHECK(result.ok()) << specs[i].pattern << ": "
+                            << result.status().ToString();
+    BENU_CHECK(!result->cancelled())
+        << specs[i].pattern << " came back cancelled";
+    counts.push_back(result->matches);
+    std::printf("QUERY %s MATCHES %llu\n", specs[i].pattern.c_str(),
+                static_cast<unsigned long long>(result->matches));
+  }
+  std::fflush(stdout);
+
+  if (verify_solo) {
+    auto graph_or = GenerateFromSpec(graph_spec);
+    BENU_CHECK(graph_or.ok()) << graph_or.status().ToString();
+    std::vector<int> data_labels;
+    if (labels > 0) {
+      data_labels.resize(graph_or->NumVertices());
+      for (size_t v = 0; v < data_labels.size(); ++v) {
+        data_labels[v] = static_cast<int>(v % static_cast<size_t>(labels));
+      }
+    }
+    for (size_t i = 0; i < specs.size(); ++i) {
+      const Count solo = SoloCount(*graph_or, specs[i], data_labels);
+      BENU_CHECK(counts[i] == solo)
+          << specs[i].pattern << ": service found " << counts[i]
+          << " but a solo run found " << solo;
+    }
+    std::fprintf(stderr, "verify-solo: ok (%zu queries)\n", specs.size());
+  }
+
+  if (cancel_test) {
+    // Cancel racing against completion: either outcome (cancelled flag
+    // or a completed count) is legal; what is NOT legal is an error or a
+    // wrong count afterwards.
+    auto tag = client.StartQuery(specs[0]);
+    BENU_CHECK(tag.ok()) << tag.status().ToString();
+    BENU_CHECK(client.SendCancel(*tag).ok());
+    auto cancelled = client.Await(*tag);
+    BENU_CHECK(cancelled.ok()) << cancelled.status().ToString();
+    std::fprintf(stderr, "cancel-test: outcome=%s\n",
+                 cancelled->cancelled() ? "cancelled" : "completed first");
+    auto rerun = client.Execute(specs[0]);
+    BENU_CHECK(rerun.ok()) << rerun.status().ToString();
+    BENU_CHECK(rerun->matches == counts[0])
+        << "post-cancel re-run found " << rerun->matches << " matches, want "
+        << counts[0];
+    std::fprintf(stderr, "cancel-test: ok\n");
+  }
+
+  if (expect_reject) {
+    // Flood: 64 concurrent copies of the first query must trip the
+    // active-query cap at least once (CI runs the service with a small
+    // --max-active).
+    std::vector<uint16_t> flood;
+    for (int i = 0; i < 64; ++i) {
+      auto tag = client.StartQuery(specs[0]);
+      BENU_CHECK(tag.ok()) << tag.status().ToString();
+      flood.push_back(*tag);
+    }
+    size_t rejected = 0;
+    for (uint16_t tag : flood) {
+      auto result = client.Await(tag);
+      if (!result.ok()) {
+        BENU_CHECK(result.status().code() == StatusCode::kResourceExhausted)
+            << "unexpected rejection: " << result.status().ToString();
+        ++rejected;
+      } else {
+        BENU_CHECK(result->matches == counts[0])
+            << "admitted flood query found " << result->matches;
+      }
+    }
+    BENU_CHECK(rejected > 0)
+        << "64 concurrent queries but none hit admission control";
+    std::fprintf(stderr, "expect-reject: ok (%zu rejected)\n", rejected);
+  }
+
+  std::printf("CLIENT OK\n");
+  return 0;
+}

@@ -1,0 +1,278 @@
+// benu_service: the resident enumeration service. Loads (generates) one
+// data graph, builds the shared substrate (store + DbCache + execution
+// pool + memory governor) and serves version-3 query frames over TCP
+// until terminated. docs/service.md is the operator guide.
+//
+//   --graph=SPEC            data graph (graph/generators.h spec syntax)
+//   --port=N                listen port (0 = ephemeral; the chosen port
+//                           is printed as "SERVING port=N")
+//   --partitions=K          virtual storage partitions (own store only)
+//   --transport=sim|tcp     adjacency backend: in-process simulated
+//                           store (default) or remote benu_kv_server's
+//   --endpoints=h:p|h:p,... TCP backend endpoints, replica syntax as in
+//                           benu_driver (',' per server index, '|' per
+//                           replica of one index)
+//   --spawn-servers=K       fork K benu_kv_server children instead of
+//                           --endpoints (children die with the service)
+//   --replicas=R            replicas per spawned server index
+//   --compress=0|1          delta+varint adjacency on every hop
+//   --threads=N             execution threads (0 = hardware)
+//   --cache-mb=N            shared DbCache capacity
+//   --prefetch-budget=N     per-ENU prefetch budget in keys
+//   --tau=N                 task-splitting degree threshold
+//   --labels=K              assign label v%K to every data vertex (0 =
+//                           unlabeled engine; labeled queries rejected)
+//   --max-active=N          admission: concurrent-query cap
+//   --memory-budget-mb=N    admission: governor ceiling (0 = unbounded)
+//   --reserve-mb=N          admission: per-query byte reservation
+//   --max-plan-cost=X       admission: plan-cost ceiling (0 = none)
+//   --progress-interval=N   tasks between kProgress frames for queries
+//                           that asked for them
+//
+// SIGTERM/SIGINT shut the service down cleanly: stop admitting, cancel
+// in-flight queries (their terminal frames still flush), close.
+
+#include <libgen.h>
+#include <sys/prctl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "graph/generators.h"
+#include "service/query_engine.h"
+#include "service/service_server.h"
+#include "storage/tcp_transport.h"
+#include "storage/transport.h"
+
+namespace {
+
+using namespace benu;
+
+const char* FlagValue(int argc, char** argv, const char* name,
+                      const char* fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+struct ServerProcess {
+  pid_t pid = -1;
+  uint16_t port = 0;
+};
+
+std::vector<ServerProcess>& SpawnedRegistry() {
+  static std::vector<ServerProcess> registry;
+  return registry;
+}
+
+void KillServers(std::vector<ServerProcess>& servers) {
+  for (auto& s : servers) {
+    if (s.pid > 0) kill(s.pid, SIGTERM);
+  }
+  for (auto& s : servers) {
+    if (s.pid > 0) {
+      waitpid(s.pid, nullptr, 0);
+      s.pid = -1;
+    }
+  }
+}
+
+void CleanupSpawnedAtExit() { KillServers(SpawnedRegistry()); }
+
+std::string SelfDir() {
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  BENU_CHECK(n > 0) << "readlink /proc/self/exe failed";
+  buf[n] = '\0';
+  return dirname(buf);
+}
+
+/// Forks one benu_kv_server serving the relabeled graph (--relabel=1, the
+/// labeling the engine enumerates under) and parses its listening port.
+ServerProcess SpawnServer(const std::string& binary,
+                          const std::string& graph_spec, size_t partitions,
+                          size_t servers, size_t index, size_t replica,
+                          size_t replicas, bool compress) {
+  int pipefd[2];
+  BENU_CHECK(pipe(pipefd) == 0) << "pipe failed";
+  const pid_t parent = getpid();
+  const pid_t pid = fork();
+  BENU_CHECK(pid >= 0) << "fork failed";
+  if (pid == 0) {
+    prctl(PR_SET_PDEATHSIG, SIGKILL);
+    if (getppid() != parent) _exit(127);
+    close(pipefd[0]);
+    dup2(pipefd[1], STDOUT_FILENO);
+    close(pipefd[1]);
+    const std::string graph_arg = "--graph=" + graph_spec;
+    const std::string part_arg = "--partitions=" + std::to_string(partitions);
+    const std::string servers_arg = "--servers=" + std::to_string(servers);
+    const std::string index_arg = "--index=" + std::to_string(index);
+    const std::string replica_arg = "--replica=" + std::to_string(replica);
+    const std::string replicas_arg = "--replicas=" + std::to_string(replicas);
+    const std::string compress_arg =
+        std::string("--compress=") + (compress ? "1" : "0");
+    execl(binary.c_str(), binary.c_str(), graph_arg.c_str(),
+          part_arg.c_str(), servers_arg.c_str(), index_arg.c_str(),
+          replica_arg.c_str(), replicas_arg.c_str(), compress_arg.c_str(),
+          "--port=0", "--relabel=1", static_cast<char*>(nullptr));
+    std::perror("execl benu_kv_server");
+    _exit(127);
+  }
+  close(pipefd[1]);
+  FILE* out = fdopen(pipefd[0], "r");
+  BENU_CHECK(out != nullptr) << "fdopen failed";
+  ServerProcess proc;
+  proc.pid = pid;
+  char line[256];
+  while (std::fgets(line, sizeof(line), out) != nullptr) {
+    unsigned port = 0;
+    if (std::sscanf(line, "LISTENING port=%u", &port) == 1) {
+      proc.port = static_cast<uint16_t>(port);
+      break;
+    }
+  }
+  BENU_CHECK(proc.port != 0)
+      << "server " << index << " did not report a listening port";
+  return proc;
+}
+
+std::atomic<bool> g_stop{false};
+
+void HandleStopSignal(int) { g_stop.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string graph_spec =
+      FlagValue(argc, argv, "--graph", "ba:200,5,21");
+  const uint16_t port = static_cast<uint16_t>(
+      std::strtoul(FlagValue(argc, argv, "--port", "0"), nullptr, 10));
+  const size_t partitions =
+      std::strtoul(FlagValue(argc, argv, "--partitions", "8"), nullptr, 10);
+  const std::string transport_name =
+      FlagValue(argc, argv, "--transport",
+                std::strtoul(FlagValue(argc, argv, "--spawn-servers", "0"),
+                             nullptr, 10) > 0
+                    ? "tcp"
+                    : "sim");
+  const std::string endpoints_spec = FlagValue(argc, argv, "--endpoints", "");
+  const size_t spawn_servers = std::strtoul(
+      FlagValue(argc, argv, "--spawn-servers", "0"), nullptr, 10);
+  const size_t replicas = std::max<size_t>(
+      1, std::strtoul(FlagValue(argc, argv, "--replicas", "1"), nullptr, 10));
+  const bool compress =
+      std::atoi(FlagValue(argc, argv, "--compress", "1")) != 0;
+  const int labels =
+      std::atoi(FlagValue(argc, argv, "--labels", "0"));
+
+  service::ServiceConfig config;
+  config.db_partitions = partitions;
+  config.compress_adjacency = compress;
+  config.execution_threads =
+      std::atoi(FlagValue(argc, argv, "--threads", "0"));
+  config.db_cache_bytes =
+      std::strtoul(FlagValue(argc, argv, "--cache-mb", "64"), nullptr, 10)
+      << 20;
+  config.prefetch_budget = std::strtoul(
+      FlagValue(argc, argv, "--prefetch-budget", "0"), nullptr, 10);
+  config.task_split_threshold = static_cast<uint32_t>(
+      std::strtoul(FlagValue(argc, argv, "--tau", "64"), nullptr, 10));
+  config.max_active_queries = std::strtoul(
+      FlagValue(argc, argv, "--max-active", "8"), nullptr, 10);
+  config.memory_budget_bytes =
+      std::strtoul(FlagValue(argc, argv, "--memory-budget-mb", "0"), nullptr,
+                   10)
+      << 20;
+  config.per_query_reserve_bytes =
+      std::strtoul(FlagValue(argc, argv, "--reserve-mb", "0"), nullptr, 10)
+      << 20;
+  config.max_plan_cost =
+      std::atof(FlagValue(argc, argv, "--max-plan-cost", "0"));
+  config.progress_interval_tasks = std::strtoul(
+      FlagValue(argc, argv, "--progress-interval", "16"), nullptr, 10);
+
+  auto graph_or = GenerateFromSpec(graph_spec);
+  BENU_CHECK(graph_or.ok()) << "--graph=" << graph_spec << ": "
+                            << graph_or.status().ToString();
+  const Graph& graph = *graph_or;
+
+  // Deterministic vertex labels (v % K on input ids) so clients and the
+  // --verify-solo path of benu_service_client can reproduce them.
+  std::vector<int> data_labels;
+  if (labels > 0) {
+    data_labels.resize(graph.NumVertices());
+    for (size_t v = 0; v < data_labels.size(); ++v) {
+      data_labels[v] = static_cast<int>(v % static_cast<size_t>(labels));
+    }
+  }
+
+  std::vector<ServerProcess>& spawned = SpawnedRegistry();
+  std::atexit(CleanupSpawnedAtExit);
+  std::shared_ptr<Transport> transport;
+  if (transport_name == "tcp") {
+    std::vector<ReplicaGroup> groups;
+    if (spawn_servers > 0) {
+      const std::string server_binary = SelfDir() + "/benu_kv_server";
+      for (size_t i = 0; i < spawn_servers; ++i) {
+        ReplicaGroup group;
+        for (size_t r = 0; r < replicas; ++r) {
+          spawned.push_back(SpawnServer(server_binary, graph_spec,
+                                        partitions, spawn_servers, i, r,
+                                        replicas, compress));
+          group.replicas.push_back({"127.0.0.1", spawned.back().port});
+        }
+        groups.push_back(std::move(group));
+      }
+    } else {
+      auto parsed = ParseReplicaGroups(endpoints_spec);
+      BENU_CHECK(parsed.ok()) << "--endpoints: "
+                              << parsed.status().ToString();
+      groups = *parsed;
+    }
+    TcpTransportOptions tcp_options;
+    tcp_options.compress = compress;
+    auto connected = ConnectTcpTransport(groups, tcp_options);
+    BENU_CHECK(connected.ok()) << "connect: "
+                               << connected.status().ToString();
+    transport = *connected;
+  } else {
+    BENU_CHECK(transport_name == "sim")
+        << "unknown --transport=" << transport_name << " (sim|tcp)";
+  }
+
+  auto engine = service::QueryEngine::Create(graph, config, transport,
+                                             std::move(data_labels));
+  BENU_CHECK(engine.ok()) << "engine: " << engine.status().ToString();
+
+  service::ServiceTcpServer server(std::move(*engine));
+  BENU_CHECK(server.Listen(port).ok()) << "listen failed";
+  BENU_CHECK(server.Start().ok()) << "start failed";
+
+  std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGINT, HandleStopSignal);
+
+  std::printf("SERVING port=%u\n", static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  while (!g_stop.load()) {
+    usleep(50 * 1000);
+  }
+  std::fprintf(stderr, "benu_service: stop signal, shutting down\n");
+  // ~ServiceTcpServer runs the documented teardown order (drain, destroy
+  // engine, stop loop); spawned KV children die via atexit.
+  return 0;
+}
