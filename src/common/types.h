@@ -19,6 +19,19 @@ inline constexpr VertexId kInvalidVertex =
 /// paper reports up to 2.7e12 matches).
 using Count = uint64_t;
 
+/// One mutation of a dynamic data graph: insert (insert=true) or delete
+/// the undirected edge {u, v}. The unit of the S-BENU incremental path:
+/// edge streams are batched into epochs of EdgeDelta ops
+/// (storage/versioned_store.h, distributed/dynamic_runner.h) and
+/// replicated to delta-capable KV servers via kApplyDelta frames.
+struct EdgeDelta {
+  VertexId u = 0;
+  VertexId v = 0;
+  bool insert = true;
+
+  bool operator==(const EdgeDelta&) const = default;
+};
+
 }  // namespace benu
 
 #endif  // BENU_COMMON_TYPES_H_

@@ -62,7 +62,7 @@ void AppendHelloRequest(std::vector<uint8_t>* out) {
 }
 
 void AppendHelloReply(const HelloInfo& info, std::vector<uint8_t>* out) {
-  AppendHeader(MessageType::kHelloReply, 0, 32, out);
+  AppendHeader(MessageType::kHelloReply, 0, 40, out);
   AppendU32(info.num_vertices, out);
   AppendU32(info.num_partitions, out);
   AppendU32(info.num_servers, out);
@@ -71,6 +71,7 @@ void AppendHelloReply(const HelloInfo& info, std::vector<uint8_t>* out) {
   AppendU32(info.num_replicas, out);
   AppendU32(info.flags, out);
   AppendU32(info.graph_hash, out);
+  AppendU64(info.epoch, out);
 }
 
 namespace {
@@ -176,6 +177,38 @@ void AppendProgress(const QueryProgress& progress, std::vector<uint8_t>* out) {
   AppendU64(progress.matches_so_far, out);
 }
 
+void AppendApplyDelta(uint64_t epoch, std::span<const EdgeDelta> ops,
+                      std::vector<uint8_t>* out) {
+  const uint32_t payload =
+      static_cast<uint32_t>(8 + 4 + ops.size() * 12);
+  AppendHeader(MessageType::kApplyDelta, 0, payload, out);
+  AppendU64(epoch, out);
+  AppendU32(static_cast<uint32_t>(ops.size()), out);
+  for (const EdgeDelta& op : ops) {
+    AppendU32(op.u, out);
+    AppendU32(op.v, out);
+    AppendU32(op.insert ? 1u : 0u, out);
+  }
+}
+
+void AppendEpochAdvance(uint64_t epoch, std::vector<uint8_t>* out) {
+  AppendHeader(MessageType::kEpochAdvance, 0, 8, out);
+  AppendU64(epoch, out);
+}
+
+void AppendMatchDelta(const MatchDelta& delta, std::vector<uint8_t>* out) {
+  AppendHeader(MessageType::kMatchDelta, 0, 32, out);
+  AppendU64(delta.epoch, out);
+  AppendU64(delta.added, out);
+  AppendU64(delta.retracted, out);
+  AppendU64(delta.total, out);
+}
+
+void AppendDeltaAck(uint64_t epoch, std::vector<uint8_t>* out) {
+  AppendHeader(MessageType::kDeltaAck, 0, 8, out);
+  AppendU64(epoch, out);
+}
+
 void SetFrameTag(std::span<uint8_t> frame, uint16_t tag) {
   BENU_CHECK(frame.size() >= kHeaderBytes) << "frame shorter than header";
   frame[6] = static_cast<uint8_t>(tag);
@@ -224,10 +257,10 @@ StatusOr<Frame> DecodeFrame(std::span<const uint8_t> buffer) {
         "version-1 frame carries the version-2 encoding flag");
   }
   if (frame.header.version < kMinServiceVersion &&
-      IsServiceType(frame.header.type)) {
+      (IsServiceType(frame.header.type) || IsDeltaType(frame.header.type))) {
     return Status::InvalidArgument(
         "version-" + std::to_string(frame.header.version) +
-        " frame carries a version-3 service type");
+        " frame carries a version-3 service or delta type");
   }
   frame.header.aux = ReadU32(buffer.data() + 8);
   frame.header.payload_bytes = ReadU32(buffer.data() + 12);
@@ -315,9 +348,9 @@ StatusOr<HelloInfo> DecodeHelloReply(const Frame& frame) {
     return WrongType("kHelloReply", frame);
   }
   if (frame.payload.size() != 16 && frame.payload.size() != 24 &&
-      frame.payload.size() != 32) {
+      frame.payload.size() != 32 && frame.payload.size() != 40) {
     return Status::InvalidArgument(
-        "hello payload must be 16, 24 or 32 bytes");
+        "hello payload must be 16, 24, 32 or 40 bytes");
   }
   HelloInfo info;
   info.num_vertices = ReadU32(frame.payload.data());
@@ -331,6 +364,9 @@ StatusOr<HelloInfo> DecodeHelloReply(const Frame& frame) {
   if (frame.payload.size() >= 32) {
     info.flags = ReadU32(frame.payload.data() + 24);
     info.graph_hash = ReadU32(frame.payload.data() + 28);
+  }
+  if (frame.payload.size() >= 40) {
+    info.epoch = ReadU64(frame.payload.data() + 32);
   }
   return info;
 }
@@ -449,6 +485,68 @@ StatusOr<QueryProgress> DecodeProgress(const Frame& frame) {
   progress.tasks_total = ReadU64(frame.payload.data() + 8);
   progress.matches_so_far = ReadU64(frame.payload.data() + 16);
   return progress;
+}
+
+Status DecodeApplyDelta(const Frame& frame, uint64_t* epoch,
+                        std::vector<EdgeDelta>* ops) {
+  if (frame.header.type != MessageType::kApplyDelta) {
+    return WrongType("kApplyDelta", frame);
+  }
+  if (frame.payload.size() < 12) {
+    return Status::InvalidArgument("apply-delta payload too short");
+  }
+  const uint32_t count = ReadU32(frame.payload.data() + 8);
+  if (frame.payload.size() != 12 + static_cast<size_t>(count) * 12) {
+    return Status::InvalidArgument(
+        "apply-delta payload does not match its op count");
+  }
+  *epoch = ReadU64(frame.payload.data());
+  ops->clear();
+  ops->reserve(count);
+  const uint8_t* p = frame.payload.data() + 12;
+  for (uint32_t i = 0; i < count; ++i, p += 12) {
+    const uint32_t flags = ReadU32(p + 8);
+    if ((flags & ~1u) != 0) {
+      return Status::InvalidArgument("apply-delta op carries unknown flags");
+    }
+    ops->push_back(EdgeDelta{ReadU32(p), ReadU32(p + 4), (flags & 1u) != 0});
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> DecodeEpochAdvance(const Frame& frame) {
+  if (frame.header.type != MessageType::kEpochAdvance) {
+    return WrongType("kEpochAdvance", frame);
+  }
+  if (frame.payload.size() != 8) {
+    return Status::InvalidArgument("epoch-advance payload must be 8 bytes");
+  }
+  return ReadU64(frame.payload.data());
+}
+
+StatusOr<MatchDelta> DecodeMatchDelta(const Frame& frame) {
+  if (frame.header.type != MessageType::kMatchDelta) {
+    return WrongType("kMatchDelta", frame);
+  }
+  if (frame.payload.size() != 32) {
+    return Status::InvalidArgument("match-delta payload must be 32 bytes");
+  }
+  MatchDelta delta;
+  delta.epoch = ReadU64(frame.payload.data());
+  delta.added = ReadU64(frame.payload.data() + 8);
+  delta.retracted = ReadU64(frame.payload.data() + 16);
+  delta.total = ReadU64(frame.payload.data() + 24);
+  return delta;
+}
+
+StatusOr<uint64_t> DecodeDeltaAck(const Frame& frame) {
+  if (frame.header.type != MessageType::kDeltaAck) {
+    return WrongType("kDeltaAck", frame);
+  }
+  if (frame.payload.size() != 8) {
+    return Status::InvalidArgument("delta-ack payload must be 8 bytes");
+  }
+  return ReadU64(frame.payload.data());
 }
 
 }  // namespace benu::wire

@@ -85,8 +85,10 @@ enum class MessageType : uint8_t {
   /// u32 num_partitions, u32 num_servers, u32 server_index, then (since
   /// the replica extension) u32 replica_index, u32 num_replicas, then
   /// (since version 2) u32 capability flags (kHelloSupportsEncoded) and
-  /// u32 graph content hash. Decoders accept the legacy 16- and 24-byte
-  /// payloads and default to replica 0 of 1, no capabilities, hash 0.
+  /// u32 graph content hash, then (since the versioned-store extension)
+  /// u64 graph epoch. Decoders accept the legacy 16-, 24- and 32-byte
+  /// payloads and default to replica 0 of 1, no capabilities, hash 0,
+  /// epoch 0.
   kHelloRequest = 1,
   kHelloReply = 2,
   /// Single get. Request: aux = key, empty payload (set
@@ -131,6 +133,24 @@ enum class MessageType : uint8_t {
   /// frequency is a service knob, and the terminal kQueryResult may
   /// arrive without a final progress frame.
   kProgress = 12,
+  /// Replicates one epoch's edge-delta batch to a delta-capable server
+  /// (version 3, versioned-store protocol). Payload: u64 target epoch
+  /// (must be the server's epoch + 1), u32 op count, then per op
+  /// u32 u, u32 v, u32 flags (bit 0 set = insert, clear = delete).
+  /// Answered with kDeltaAck (or kError on an epoch mismatch). Only sent
+  /// to servers whose hello carries kHelloSupportsDeltas.
+  kApplyDelta = 13,
+  /// Commits a previously pushed delta batch: the server's epoch becomes
+  /// the payload's u64 epoch (must be its current epoch + 1). Answered
+  /// with kDeltaAck. Subsequent hellos attest the new epoch.
+  kEpochAdvance = 14,
+  /// Streamed match-set delta of a kQuerySubscribe query, echoing its
+  /// tag (service → client, one per epoch advance). Payload: u64 epoch,
+  /// u64 matches added, u64 matches retracted, u64 maintained total.
+  kMatchDelta = 15,
+  /// Acknowledges a kApplyDelta or kEpochAdvance, echoing the request
+  /// tag. Payload: u64 epoch (the server's epoch after the request).
+  kDeltaAck = 16,
 };
 
 /// True for the frame types introduced by the version-3 service
@@ -141,6 +161,18 @@ constexpr bool IsServiceType(MessageType type) {
          type == MessageType::kQueryResult ||
          type == MessageType::kCancelRequest ||
          type == MessageType::kProgress;
+}
+
+/// True for the frame types introduced by the version-3 versioned-store
+/// (dynamic graph) extension; like the service types, DecodeFrame
+/// rejects these on frames older than kMinServiceVersion. A v2 peer can
+/// therefore never be confused by a delta frame — clients check
+/// kHelloSupportsDeltas before sending any.
+constexpr bool IsDeltaType(MessageType type) {
+  return type == MessageType::kApplyDelta ||
+         type == MessageType::kEpochAdvance ||
+         type == MessageType::kMatchDelta ||
+         type == MessageType::kDeltaAck;
 }
 
 struct FrameHeader {
@@ -170,6 +202,13 @@ inline constexpr uint32_t kHelloSupportsEncoded = 1u << 0;
 /// KV servers leave it clear; a client must not send query frames to a
 /// peer whose hello lacks it.
 inline constexpr uint32_t kHelloSupportsQueries = 1u << 1;
+/// HelloInfo capability bit: the peer tracks graph epochs and accepts
+/// kApplyDelta / kEpochAdvance frames (the versioned-store protocol).
+/// A peer without the bit (a v2 / pre-delta build) is served base
+/// payloads only and never sees a delta frame — the client-side overlay
+/// composes snapshots, so results are identical either way; the
+/// downgrade only loses the server-side epoch attestation.
+inline constexpr uint32_t kHelloSupportsDeltas = 1u << 2;
 
 // --- service protocol payloads (version 3) ----------------------------
 
@@ -182,10 +221,16 @@ inline constexpr uint32_t kQueryDegreeFilter = 1u << 1;
 /// kQueryRequest option flag: the client wants kProgress frames while
 /// the query runs.
 inline constexpr uint32_t kQueryWantProgress = 1u << 2;
+/// kQueryRequest option flag: subscribe mode. The query's kQueryResult
+/// reports the baseline count at the current epoch but is NOT terminal:
+/// the service then streams one kMatchDelta frame per epoch advance
+/// until the client cancels (terminal kQueryResult) or disconnects.
+/// Incompatible with kQueryVcbc (delta maintenance needs full matches).
+inline constexpr uint32_t kQuerySubscribe = 1u << 3;
 /// All option bits a version-3 decoder understands; unknown bits are
 /// rejected so a future flag cannot be silently ignored.
 inline constexpr uint32_t kQueryKnownOptions =
-    kQueryVcbc | kQueryDegreeFilter | kQueryWantProgress;
+    kQueryVcbc | kQueryDegreeFilter | kQueryWantProgress | kQuerySubscribe;
 
 /// kQueryResult flag: the query was cancelled before completing; the
 /// carried counts cover only the tasks that finished and must not be
@@ -210,6 +255,7 @@ struct QuerySpec {
     return (options & kQueryDegreeFilter) != 0;
   }
   bool want_progress() const { return (options & kQueryWantProgress) != 0; }
+  bool want_subscribe() const { return (options & kQuerySubscribe) != 0; }
   bool operator==(const QuerySpec&) const = default;
 };
 
@@ -237,6 +283,17 @@ struct QueryProgress {
   bool operator==(const QueryProgress&) const = default;
 };
 
+/// One epoch's maintained-match-set delta as carried by kMatchDelta
+/// (subscribe mode). `total` is the maintained count after the epoch:
+/// previous total + added − retracted, which a client can verify.
+struct MatchDelta {
+  uint64_t epoch = 0;
+  uint64_t added = 0;
+  uint64_t retracted = 0;
+  uint64_t total = 0;
+  bool operator==(const MatchDelta&) const = default;
+};
+
 struct HelloInfo {
   uint32_t num_vertices = 0;
   uint32_t num_partitions = 0;
@@ -250,6 +307,12 @@ struct HelloInfo {
   /// client that relabels locally can verify both sides agree on vertex
   /// ids. 0 = unknown (legacy payloads).
   uint32_t graph_hash = 0;
+  /// Graph epoch of the server's versioned store: the number of delta
+  /// batches committed via kEpochAdvance. The attested graph identity is
+  /// the pair (graph_hash, epoch) — graph_hash names the base labeling,
+  /// epoch the delta state on top of it. 0 on legacy (≤32-byte) payloads
+  /// and on servers without kHelloSupportsDeltas.
+  uint64_t epoch = 0;
 };
 
 /// Server-side serving statistics carried by kStatsReply.
@@ -300,6 +363,13 @@ void AppendQueryResult(const QueryResultInfo& result,
                        std::vector<uint8_t>* out);
 void AppendCancelRequest(std::vector<uint8_t>* out);
 void AppendProgress(const QueryProgress& progress, std::vector<uint8_t>* out);
+/// Versioned-store frames (version 3). AppendApplyDelta carries one
+/// epoch's edge ops; `epoch` is the target epoch the batch produces.
+void AppendApplyDelta(uint64_t epoch, std::span<const EdgeDelta> ops,
+                      std::vector<uint8_t>* out);
+void AppendEpochAdvance(uint64_t epoch, std::vector<uint8_t>* out);
+void AppendMatchDelta(const MatchDelta& delta, std::vector<uint8_t>* out);
+void AppendDeltaAck(uint64_t epoch, std::vector<uint8_t>* out);
 
 // --- request tags -----------------------------------------------------
 
@@ -323,7 +393,8 @@ void TagFrames(std::span<uint8_t> frames, uint16_t tag);
 /// Decodes the frame at the front of `buffer` (which may hold a sequence
 /// of frames). Fails on short buffers, wrong magic, versions outside
 /// [kMinVersion, kVersion], a version-1 frame carrying the (version-2)
-/// encoding flag, or a pre-version-3 frame carrying a service type.
+/// encoding flag, or a pre-version-3 frame carrying a service or
+/// versioned-store (delta) type.
 StatusOr<Frame> DecodeFrame(std::span<const uint8_t> buffer);
 
 /// True iff the frame's payload is delta+varint encoded (version-2
@@ -359,6 +430,15 @@ StatusOr<QueryResultInfo> DecodeQueryResult(const Frame& frame);
 /// frame's tag.
 Status DecodeCancelRequest(const Frame& frame);
 StatusOr<QueryProgress> DecodeProgress(const Frame& frame);
+/// Versioned-store payload decoders (version 3). DecodeApplyDelta
+/// returns the target epoch via `*epoch` and appends the ops to `*ops`
+/// (cleared first); it bounds the op count against the payload size, so
+/// a hostile count cannot over-allocate.
+Status DecodeApplyDelta(const Frame& frame, uint64_t* epoch,
+                        std::vector<EdgeDelta>* ops);
+StatusOr<uint64_t> DecodeEpochAdvance(const Frame& frame);
+StatusOr<MatchDelta> DecodeMatchDelta(const Frame& frame);
+StatusOr<uint64_t> DecodeDeltaAck(const Frame& frame);
 
 }  // namespace benu::wire
 

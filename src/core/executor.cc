@@ -522,6 +522,20 @@ void PlanExecutor::Exec(size_t pc) {
                                ins.min_candidate_id) -
               candidates.begin());
         }
+        if (ins.first_enum && task_->seed_second != kInvalidVertex) {
+          // Seeded (incremental) task: the second matching-order vertex
+          // is pinned to the delta edge's other endpoint. One binary
+          // search decides membership; filters and deeper descent run
+          // unchanged through the shared DFS body.
+          const VertexId* pos =
+              std::lower_bound(candidates.begin() + lo, candidates.end(),
+                               task_->seed_second);
+          if (pos != candidates.end() && *pos == task_->seed_second) {
+            DescendRange(ins, pos, 1, pc + 1);
+          }
+          f_[static_cast<size_t>(ins.target_f)] = kInvalidVertex;
+          return;
+        }
         size_t begin = lo;
         size_t end = candidates.size;
         if (ins.first_enum && task_->num_subtasks > 1) {

@@ -143,6 +143,13 @@ struct SearchTask {
   VertexId start = 0;
   uint32_t subtask_index = 0;
   uint32_t num_subtasks = 1;
+  /// Incremental (S-BENU) seeding: when set, the first ENU binds exactly
+  /// this vertex (if present in its candidate set) instead of walking a
+  /// candidate slice, so the task enumerates only matches that map the
+  /// plan's first pattern edge to the data edge (start, seed_second) —
+  /// the delta-edge anchoring of plan/incremental.h. Takes precedence
+  /// over subtask slicing.
+  VertexId seed_second = kInvalidVertex;
 };
 
 /// Per-task execution metrics.

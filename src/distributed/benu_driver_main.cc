@@ -50,23 +50,19 @@
 //
 // Spawned servers can never outlive the driver: children ask the kernel
 // for SIGKILL on parent death (PR_SET_PDEATHSIG) and an atexit handler
-// kills and reaps them on every normal exit path.
+// kills and reaps them on every normal exit path. Flag parsing and the
+// spawn/cleanup machinery live in common/flags_util.h, shared with the
+// other BENU binaries.
 
-#include <libgen.h>
-#include <sys/prctl.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
-#include <algorithm>
-#include <chrono>
 #include <csignal>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/flags_util.h"
 #include "common/logging.h"
 #include "distributed/benu_driver.h"
 #include "graph/generators.h"
@@ -77,116 +73,6 @@
 namespace {
 
 using namespace benu;
-
-const char* FlagValue(int argc, char** argv, const char* name,
-                      const char* fallback) {
-  const std::string prefix = std::string(name) + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return argv[i] + prefix.size();
-    }
-  }
-  return fallback;
-}
-
-bool HasFlag(int argc, char** argv, const char* name) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return true;
-  }
-  return false;
-}
-
-/// One spawned benu_kv_server child.
-struct ServerProcess {
-  pid_t pid = -1;
-  uint16_t port = 0;
-};
-
-/// Every child spawned so far, visible to the atexit cleanup handler so
-/// an early exit (failed connect, CHECK failure before the explicit
-/// KillServers, --expect-matches mismatch) cannot leave orphan or zombie
-/// benu_kv_server processes behind.
-std::vector<ServerProcess>& SpawnedRegistry() {
-  static std::vector<ServerProcess> registry;
-  return registry;
-}
-
-void KillServers(std::vector<ServerProcess>& servers) {
-  for (auto& s : servers) {
-    if (s.pid > 0) kill(s.pid, SIGTERM);
-  }
-  for (auto& s : servers) {
-    if (s.pid > 0) {
-      waitpid(s.pid, nullptr, 0);
-      s.pid = -1;  // reaped: the atexit handler must not touch it again
-    }
-  }
-}
-
-void CleanupSpawnedAtExit() { KillServers(SpawnedRegistry()); }
-
-/// Directory holding this binary (and benu_kv_server next to it).
-std::string SelfDir() {
-  char buf[4096];
-  const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
-  BENU_CHECK(n > 0) << "readlink /proc/self/exe failed";
-  buf[n] = '\0';
-  return dirname(buf);
-}
-
-/// Forks and execs one benu_kv_server, parsing "LISTENING port=N" from
-/// its stdout so ephemeral ports work.
-ServerProcess SpawnServer(const std::string& binary,
-                          const std::string& graph_spec, size_t partitions,
-                          size_t servers, size_t index, size_t replica,
-                          size_t replicas, bool compress) {
-  int pipefd[2];
-  BENU_CHECK(pipe(pipefd) == 0) << "pipe failed";
-  const pid_t parent = getpid();
-  const pid_t pid = fork();
-  BENU_CHECK(pid >= 0) << "fork failed";
-  if (pid == 0) {
-    // Die with the driver: atexit does not run when a BENU_CHECK aborts
-    // the parent, but the kernel delivers this signal unconditionally.
-    prctl(PR_SET_PDEATHSIG, SIGKILL);
-    if (getppid() != parent) _exit(127);  // parent died before the prctl
-    close(pipefd[0]);
-    dup2(pipefd[1], STDOUT_FILENO);
-    close(pipefd[1]);
-    const std::string graph_arg = "--graph=" + graph_spec;
-    const std::string part_arg = "--partitions=" + std::to_string(partitions);
-    const std::string servers_arg = "--servers=" + std::to_string(servers);
-    const std::string index_arg = "--index=" + std::to_string(index);
-    const std::string replica_arg = "--replica=" + std::to_string(replica);
-    const std::string replicas_arg = "--replicas=" + std::to_string(replicas);
-    const std::string compress_arg =
-        std::string("--compress=") + (compress ? "1" : "0");
-    execl(binary.c_str(), binary.c_str(), graph_arg.c_str(),
-          part_arg.c_str(), servers_arg.c_str(), index_arg.c_str(),
-          replica_arg.c_str(), replicas_arg.c_str(), compress_arg.c_str(),
-          "--port=0", "--relabel=1", static_cast<char*>(nullptr));
-    std::perror("execl benu_kv_server");
-    _exit(127);
-  }
-  close(pipefd[1]);
-  FILE* out = fdopen(pipefd[0], "r");
-  BENU_CHECK(out != nullptr) << "fdopen failed";
-  ServerProcess proc;
-  proc.pid = pid;
-  char line[256];
-  while (std::fgets(line, sizeof(line), out) != nullptr) {
-    unsigned port = 0;
-    if (std::sscanf(line, "LISTENING port=%u", &port) == 1) {
-      proc.port = static_cast<uint16_t>(port);
-      break;
-    }
-  }
-  BENU_CHECK(proc.port != 0)
-      << "server " << index << " did not report a listening port";
-  // Leave the pipe open: the child's stdout stays valid for its
-  // lifetime, and we only needed the first line.
-  return proc;
-}
 
 /// Governed-execution knobs shared by every RunOnce call of the driver.
 struct ExecutionKnobs {
@@ -222,39 +108,39 @@ Count RunOnce(const Graph& graph, const Graph& pattern,
 
 int main(int argc, char** argv) {
   const std::string graph_spec =
-      FlagValue(argc, argv, "--graph", "ba:200,5,21");
-  const std::string pattern_name = FlagValue(argc, argv, "--pattern", "q5");
-  const size_t partitions =
-      std::strtoul(FlagValue(argc, argv, "--partitions", "8"), nullptr, 10);
-  const size_t workers =
-      std::strtoul(FlagValue(argc, argv, "--workers", "2"), nullptr, 10);
-  const size_t threads_per_worker = std::strtoul(
-      FlagValue(argc, argv, "--threads-per-worker", "2"), nullptr, 10);
-  const size_t spawn_servers = std::strtoul(
-      FlagValue(argc, argv, "--spawn-servers", "0"), nullptr, 10);
-  const size_t replicas = std::max<size_t>(
-      1, std::strtoul(FlagValue(argc, argv, "--replicas", "1"), nullptr, 10));
-  const long kill_one_after_ms = std::atol(
-      FlagValue(argc, argv, "--kill-one-after-ms", "-1"));
-  std::string transport_name =
-      FlagValue(argc, argv, "--transport", spawn_servers > 0 ? "tcp" : "sim");
-  const std::string endpoints_spec = FlagValue(argc, argv, "--endpoints", "");
+      flags::Value(argc, argv, "--graph", "ba:200,5,21");
+  const std::string pattern_name =
+      flags::Value(argc, argv, "--pattern", "q5");
+  const size_t partitions = flags::SizeValue(argc, argv, "--partitions", 8);
+  const size_t workers = flags::SizeValue(argc, argv, "--workers", 2);
+  const size_t threads_per_worker =
+      flags::SizeValue(argc, argv, "--threads-per-worker", 2);
+  const size_t spawn_servers =
+      flags::SizeValue(argc, argv, "--spawn-servers", 0);
+  const size_t replicas =
+      std::max<size_t>(1, flags::SizeValue(argc, argv, "--replicas", 1));
+  const long long kill_one_after_ms =
+      flags::Int64Value(argc, argv, "--kill-one-after-ms", -1);
+  const std::string transport_name = flags::Value(
+      argc, argv, "--transport", spawn_servers > 0 ? "tcp" : "sim");
+  const std::string endpoints_spec =
+      flags::Value(argc, argv, "--endpoints", "");
   const long long expect_matches =
-      std::atoll(FlagValue(argc, argv, "--expect-matches", "-1"));
-  const bool compare_with_sim = HasFlag(argc, argv, "--compare-with-sim");
+      flags::Int64Value(argc, argv, "--expect-matches", -1);
+  const bool compare_with_sim =
+      flags::Has(argc, argv, "--compare-with-sim");
   // --compress=0 disables delta+varint adjacency compression everywhere:
   // spawned servers serve raw-only, client transports request raw frames
   // and the sim backend skips pre-encoding.
-  const bool compress =
-      std::atoi(FlagValue(argc, argv, "--compress", "1")) != 0;
+  const bool compress = flags::BoolValue(argc, argv, "--compress", true);
   // --driver-relabel=1 hands RunBenu the *un*relabeled graph with
   // relabel_by_degree on, exercising the graph-hash handshake against a
   // transport that serves the relabeled graph.
   const bool driver_relabel =
-      std::atoi(FlagValue(argc, argv, "--driver-relabel", "0")) != 0;
+      flags::BoolValue(argc, argv, "--driver-relabel", false);
   ExecutionKnobs knobs;
   const std::string expansion_name =
-      FlagValue(argc, argv, "--expansion", "dfs");
+      flags::Value(argc, argv, "--expansion", "dfs");
   if (expansion_name == "dfs") {
     knobs.expansion = ExpansionMode::kDfs;
   } else if (expansion_name == "hybrid") {
@@ -266,11 +152,9 @@ int main(int argc, char** argv) {
                       << " (dfs|hybrid|full-bfs)";
   }
   knobs.memory_budget_bytes =
-      std::strtoul(FlagValue(argc, argv, "--memory-budget-mb", "0"), nullptr,
-                   10)
-      << 20;
-  knobs.prefetch_budget = std::strtoul(
-      FlagValue(argc, argv, "--prefetch-budget", "0"), nullptr, 10);
+      flags::SizeValue(argc, argv, "--memory-budget-mb", 0) << 20;
+  knobs.prefetch_budget =
+      flags::SizeValue(argc, argv, "--prefetch-budget", 0);
 
   auto graph_or = GenerateFromSpec(graph_spec);
   BENU_CHECK(graph_or.ok()) << "--graph=" << graph_spec << ": "
@@ -285,8 +169,8 @@ int main(int argc, char** argv) {
                               << pattern_or.status().ToString();
   const Graph& pattern = *pattern_or;
 
-  std::vector<ServerProcess>& spawned = SpawnedRegistry();
-  std::atexit(CleanupSpawnedAtExit);
+  std::vector<flags::ServerProcess>& spawned = flags::SpawnedRegistry();
+  std::atexit(flags::CleanupSpawnedAtExit);
   std::shared_ptr<Transport> transport;
   if (transport_name == "sim") {
     transport = nullptr;  // RunBenu builds the simulated store itself.
@@ -295,13 +179,19 @@ int main(int argc, char** argv) {
   } else if (transport_name == "tcp") {
     std::vector<ReplicaGroup> groups;
     if (spawn_servers > 0) {
-      const std::string server_binary = SelfDir() + "/benu_kv_server";
+      const std::string server_binary = flags::SelfDir() + "/benu_kv_server";
       for (size_t i = 0; i < spawn_servers; ++i) {
         ReplicaGroup group;
         for (size_t r = 0; r < replicas; ++r) {
-          spawned.push_back(SpawnServer(server_binary, graph_spec,
-                                        partitions, spawn_servers, i, r,
-                                        replicas, compress));
+          flags::KvServerSpawnOptions spawn;
+          spawn.graph_spec = graph_spec;
+          spawn.partitions = partitions;
+          spawn.servers = spawn_servers;
+          spawn.index = i;
+          spawn.replica = r;
+          spawn.replicas = replicas;
+          spawn.compress = compress;
+          spawned.push_back(flags::SpawnKvServer(server_binary, spawn));
           group.replicas.push_back({"127.0.0.1", spawned.back().port});
         }
         groups.push_back(std::move(group));
@@ -333,7 +223,7 @@ int main(int argc, char** argv) {
     killer = std::thread([kill_one_after_ms] {
       std::this_thread::sleep_for(
           std::chrono::milliseconds(kill_one_after_ms));
-      ServerProcess& victim = SpawnedRegistry().front();
+      flags::ServerProcess& victim = flags::SpawnedRegistry().front();
       if (victim.pid > 0) {
         std::fprintf(stderr, "fault-injection: SIGKILL server pid %d\n",
                      static_cast<int>(victim.pid));
@@ -372,7 +262,7 @@ int main(int argc, char** argv) {
 
   // Drop the TCP connections before killing the servers.
   transport.reset();
-  KillServers(spawned);
+  flags::KillServers(spawned);
 
   if (compare_with_sim && transport_name != "sim") {
     const Count sim_matches =

@@ -10,7 +10,7 @@
 //
 //   benu_kv_server --graph=ba:200,5,21 --partitions=8 --servers=2 \
 //       --index=0 [--port=0] [--relabel=1] [--replica=0 --replicas=1] \
-//       [--compress=1]
+//       [--compress=1] [--deltas=1]
 //
 // --replica/--replicas identify this process among interchangeable
 // replicas of the same server index (clients fail over between them);
@@ -21,53 +21,35 @@
 
 #include <unistd.h>
 
-#include <csignal>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
+#include <utility>
 
+#include "common/flags_util.h"
 #include "common/logging.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "storage/kv_tcp_server.h"
 
-namespace {
-
-const char* FlagValue(int argc, char** argv, const char* name,
-                      const char* fallback) {
-  const std::string prefix = std::string(name) + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return argv[i] + prefix.size();
-    }
-  }
-  return fallback;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   using namespace benu;
 
   const std::string graph_spec =
-      FlagValue(argc, argv, "--graph", "ba:200,5,21");
-  const int port = std::atoi(FlagValue(argc, argv, "--port", "0"));
-  const size_t partitions =
-      std::strtoul(FlagValue(argc, argv, "--partitions", "8"), nullptr, 10);
-  const size_t servers =
-      std::strtoul(FlagValue(argc, argv, "--servers", "1"), nullptr, 10);
-  const size_t index =
-      std::strtoul(FlagValue(argc, argv, "--index", "0"), nullptr, 10);
-  const size_t replica =
-      std::strtoul(FlagValue(argc, argv, "--replica", "0"), nullptr, 10);
-  const size_t replicas =
-      std::strtoul(FlagValue(argc, argv, "--replicas", "1"), nullptr, 10);
-  const bool relabel = std::atoi(FlagValue(argc, argv, "--relabel", "1")) != 0;
+      flags::Value(argc, argv, "--graph", "ba:200,5,21");
+  const uint16_t port = flags::PortValue(argc, argv, "--port", 0);
+  const size_t partitions = flags::SizeValue(argc, argv, "--partitions", 8);
+  const size_t servers = flags::SizeValue(argc, argv, "--servers", 1);
+  const size_t index = flags::SizeValue(argc, argv, "--index", 0);
+  const size_t replica = flags::SizeValue(argc, argv, "--replica", 0);
+  const size_t replicas = flags::SizeValue(argc, argv, "--replicas", 1);
+  const bool relabel = flags::BoolValue(argc, argv, "--relabel", true);
   // --compress=0 serves raw frames only (no encoded-reply capability in
   // the hello); also subject to the BENU_DISABLE_COMPRESSION env switch.
-  const bool compress =
-      std::atoi(FlagValue(argc, argv, "--compress", "1")) != 0;
+  const bool compress = flags::BoolValue(argc, argv, "--compress", true);
+  // --deltas=0 runs a pre-delta (v2-era) server: no kHelloSupportsDeltas
+  // capability, kApplyDelta/kEpochAdvance rejected — clients downgrade
+  // around it (dynamic-smoke exercises this).
+  const bool deltas = flags::BoolValue(argc, argv, "--deltas", true);
 
   auto graph_or = GenerateFromSpec(graph_spec);
   BENU_CHECK(graph_or.ok()) << "--graph=" << graph_spec << ": "
@@ -76,8 +58,8 @@ int main(int argc, char** argv) {
                         : std::move(graph_or).value();
 
   KvTcpServer server(&graph, partitions, servers, index, replica, replicas,
-                     compress);
-  auto listen = server.Listen(static_cast<uint16_t>(port));
+                     compress, deltas);
+  auto listen = server.Listen(port);
   BENU_CHECK(listen.ok()) << listen.ToString();
   auto start = server.Start();
   BENU_CHECK(start.ok()) << start.ToString();

@@ -135,6 +135,9 @@ StatusOr<std::unique_ptr<QueryEngine>> QueryEngine::Create(
   }
   std::unique_ptr<QueryEngine> engine(new QueryEngine(
       std::move(relabeled), config, std::move(data_labels)));
+  // Kept so StageDelta can map delta endpoints (original ids on the
+  // wire) into the engine's frozen relabeling.
+  engine->old_to_new_ = std::move(old_to_new);
   BENU_RETURN_IF_ERROR(engine->Start(std::move(transport)));
   return engine;
 }
@@ -143,19 +146,22 @@ Status QueryEngine::Start(std::shared_ptr<Transport> transport) {
   governor_ = std::make_unique<MemoryGovernor>(config_.memory_budget_bytes,
                                                config_.prefetch_budget,
                                                config_.prefetch_batch_size);
-  if (transport != nullptr) {
-    store_ = std::make_unique<DistributedKvStore>(std::move(transport));
-  } else {
-    store_ = std::make_unique<DistributedKvStore>(MakeSimulatedTransport(
-        graph_, config_.db_partitions, config_.compress_adjacency));
+  // The store is always versioned: with an empty overlay (no epochs
+  // committed) it passes base payloads through unchanged, so one-shot
+  // service behavior is identical to the plain store it replaced.
+  if (transport == nullptr) {
+    transport = MakeSimulatedTransport(graph_, config_.db_partitions,
+                                       config_.compress_adjacency);
   }
+  vstore_ = std::make_unique<VersionedAdjacencyStore>(std::move(transport));
+  store_ = vstore_.get();
   if (config_.prefetch_budget > 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     fetch_pool_ = std::make_unique<ThreadPool>(
         std::max<size_t>(1, std::min<size_t>(2, hw > 0 ? hw : 1)));
   }
   cache_ = std::make_unique<DbCache>(
-      store_.get(), config_.db_cache_bytes, /*num_shards=*/8,
+      store_, config_.db_cache_bytes, /*num_shards=*/8,
       fetch_pool_.get(), config_.prefetch_batch_size, governor_.get());
   provider_ = std::make_unique<CachedAdjacencyProvider>(
       cache_.get(), graph_.NumVertices(), config_.prefetch_budget,
@@ -178,6 +184,17 @@ QueryEngine::~QueryEngine() {
   // flight finalize right here).
   {
     std::lock_guard<std::mutex> lk(mu_);
+    // Subscriptions end first: their terminal results (cancelled flag,
+    // last maintained total) flush before the engine dies.
+    std::vector<uint64_t> sub_ids;
+    for (const auto& [id, sub] : subs_) sub_ids.push_back(id);
+    for (uint64_t id : sub_ids) {
+      auto sit = subs_.find(id);
+      if (sit == subs_.end()) continue;
+      Subscription sub = std::move(sit->second);
+      subs_.erase(sit);
+      TerminateSubscription(std::move(sub));
+    }
     std::vector<uint64_t> ids;
     ids.reserve(actives_.size());
     for (const auto& [id, q] : actives_) ids.push_back(id);
@@ -298,7 +315,28 @@ StatusOr<std::shared_ptr<const QueryEngine::PlanEntry>> QueryEngine::PlanFor(
 StatusOr<uint64_t> QueryEngine::Submit(uint64_t session,
                                        const wire::QuerySpec& spec,
                                        QueryDoneFn done,
-                                       QueryProgressFn progress) {
+                                       QueryProgressFn progress,
+                                       QueryDeltaFn on_delta) {
+  std::shared_ptr<const IncrementalPlanSet> inc;
+  if (spec.want_subscribe()) {
+    // Incremental maintenance needs every match materialized (retraction
+    // mirrors matches one by one) and an unlabeled pattern; reject the
+    // incompatible option bits up front.
+    if (spec.want_vcbc()) {
+      return Reject(Status::InvalidArgument(
+          "kQuerySubscribe is incompatible with kQueryVcbc: delta "
+          "maintenance needs full, uncompressed matches"));
+    }
+    if (!spec.pattern_labels.empty()) {
+      return Reject(Status::InvalidArgument(
+          "kQuerySubscribe does not support labeled patterns"));
+    }
+    auto pattern = GetPattern(spec.pattern);
+    if (!pattern.ok()) return Reject(pattern.status());
+    auto plans = GenerateIncrementalPlans(*pattern);
+    if (!plans.ok()) return Reject(plans.status());
+    inc = std::make_shared<const IncrementalPlanSet>(*std::move(plans));
+  }
   bool cache_hit = false;
   auto plan = PlanFor(spec, &cache_hit);
   if (!plan.ok()) return Reject(plan.status());
@@ -348,6 +386,8 @@ StatusOr<uint64_t> QueryEngine::Submit(uint64_t session,
   q->reserved_bytes = reserved;
   q->done = std::move(done);
   q->progress = std::move(progress);
+  q->on_delta = std::move(on_delta);
+  q->inc = std::move(inc);
   q->contexts.resize(num_threads_);
   ++stats_.admitted;
   admitted_counter_->Add(1);
@@ -463,11 +503,44 @@ void QueryEngine::MaybeFinalize(uint64_t id, ActiveQuery* q) {
   auto node = actives_.extract(id);
   BENU_CHECK(!node.empty());
   drain_cv_.notify_all();
+  if (!cancelled && node.mapped()->spec.want_subscribe()) {
+    // The baseline of a subscribe query completed: promote it to a live
+    // subscription at the current epoch. The baseline done fires below
+    // (cancelled flag clear — non-terminal per the QueryDoneFn contract);
+    // the terminal fire comes from TerminateSubscription.
+    ActiveQuery* q = node.mapped().get();
+    Subscription sub;
+    sub.id = id;
+    sub.session = q->session;
+    sub.spec = q->spec;
+    sub.inc = q->inc;
+    sub.total = info.matches;
+    sub.watch = q->watch;
+    sub.done = q->done;
+    sub.on_delta = q->on_delta;
+    subs_.emplace(id, std::move(sub));
+  }
   if (node.mapped()->done) node.mapped()->done(info);
+}
+
+void QueryEngine::TerminateSubscription(Subscription sub) {
+  ++stats_.cancelled;
+  cancelled_counter_->Add(1);
+  wire::QueryResultInfo info;
+  info.matches = sub.total;  // the last maintained total
+  info.elapsed_us = static_cast<uint64_t>(sub.watch.ElapsedMicros());
+  info.flags = wire::kQueryResultCancelled;
+  if (sub.done) sub.done(info);
 }
 
 bool QueryEngine::Cancel(uint64_t query_id) {
   std::lock_guard<std::mutex> lk(mu_);
+  if (auto sit = subs_.find(query_id); sit != subs_.end()) {
+    Subscription sub = std::move(sit->second);
+    subs_.erase(sit);
+    TerminateSubscription(std::move(sub));
+    return true;
+  }
   auto it = actives_.find(query_id);
   if (it == actives_.end() || it->second->finalized) return false;
   ActiveQuery* q = it->second.get();
@@ -485,6 +558,17 @@ bool QueryEngine::Cancel(uint64_t query_id) {
 
 void QueryEngine::CancelSession(uint64_t session) {
   std::lock_guard<std::mutex> lk(mu_);
+  std::vector<uint64_t> sub_ids;
+  for (const auto& [id, sub] : subs_) {
+    if (sub.session == session) sub_ids.push_back(id);
+  }
+  for (uint64_t id : sub_ids) {
+    auto sit = subs_.find(id);
+    if (sit == subs_.end()) continue;
+    Subscription sub = std::move(sit->second);
+    subs_.erase(sit);
+    TerminateSubscription(std::move(sub));
+  }
   std::vector<uint64_t> ids;
   for (const auto& [id, q] : actives_) {
     if (q->session == session) ids.push_back(id);
@@ -510,12 +594,140 @@ void QueryEngine::Drain() {
   drain_cv_.wait(lk, [this] { return actives_.empty(); });
 }
 
+// --- dynamic graph (versioned store + subscriptions) ------------------
+
+Status QueryEngine::StageDelta(uint64_t target_epoch,
+                               std::span<const EdgeDelta> ops) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (stop_) return Status::Unavailable("service is shutting down");
+  if (target_epoch != vstore_->epoch() + 1) {
+    return Status::FailedPrecondition(
+        "delta targets epoch " + std::to_string(target_epoch) +
+        " but the engine is at epoch " + std::to_string(vstore_->epoch()) +
+        " (target must be current + 1)");
+  }
+  const size_t n = graph_.NumVertices();
+  for (const EdgeDelta& op : ops) {
+    if (op.u >= n || op.v >= n) {
+      return Status::InvalidArgument(
+          "delta endpoint outside the data graph's vertex universe");
+    }
+  }
+  staged_.reserve(staged_.size() + ops.size());
+  for (EdgeDelta op : ops) {
+    if (!old_to_new_.empty()) {
+      op.u = old_to_new_[op.u];
+      op.v = old_to_new_[op.v];
+    }
+    staged_.push_back(op);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Counting consumer of the subscription delta passes. Maintenance plans
+// are raw (uncompressed), so a compressed code is a wiring bug.
+class CountOnlySink : public MatchConsumer {
+ public:
+  void OnMatch(const std::vector<VertexId>& /*f*/) override { ++count_; }
+  void OnCompressedCode(
+      const std::vector<VertexId>& /*f*/,
+      const std::vector<VertexSetView>& /*sets*/) override {
+    BENU_CHECK(false);
+  }
+  Count count() const { return count_; }
+
+ private:
+  Count count_ = 0;
+};
+
+}  // namespace
+
+Count QueryEngine::SubscriptionPass(const Subscription& sub,
+                                    std::span<const EdgeDelta> delta_edges,
+                                    const EdgePatch& patch) {
+  Count found = 0;
+  for (const IncrementalPlan& ip : sub.inc->plans) {
+    CountOnlySink sink;
+    DeltaMatchFilter filter(sub.inc.get(), ip.edge_index, &patch, &sink);
+    auto executor =
+        PlanExecutor::Create(&ip.plan, provider_.get(), /*tcache=*/nullptr);
+    // Raw seeded plans over an unlabeled provider compile by
+    // construction (validated when the plan set was generated).
+    BENU_CHECK(executor.ok()) << executor.status().message();
+    for (const EdgeDelta& edge : delta_edges) {
+      // Both orientations: the plan's anchor (a_i, b_i) can map onto the
+      // undirected delta edge either way.
+      const VertexId ends[2][2] = {{edge.u, edge.v}, {edge.v, edge.u}};
+      for (const auto& oriented : ends) {
+        SearchTask task;
+        task.start = oriented[0];
+        task.seed_second = oriented[1];
+        (*executor)->RunTask(task, &filter);
+      }
+    }
+    found += sink.count();
+  }
+  return found;
+}
+
+StatusOr<uint64_t> QueryEngine::CommitEpoch(uint64_t target_epoch) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (stop_) return Status::Unavailable("service is shutting down");
+  if (target_epoch != vstore_->epoch() + 1) {
+    return Status::FailedPrecondition(
+        "commit targets epoch " + std::to_string(target_epoch) +
+        " but the engine is at epoch " + std::to_string(vstore_->epoch()) +
+        " (target must be current + 1)");
+  }
+  if (!actives_.empty()) {
+    // Mid-commit snapshot changes would give running queries a mixed
+    // view; mu_ is held for the whole commit, so the converse (a query
+    // admitted mid-commit) cannot happen either.
+    return Status::FailedPrecondition(
+        "cannot commit an epoch while queries are in flight; retry after "
+        "they finish");
+  }
+  const EpochDelta delta = vstore_->Canonicalize(staged_);
+  staged_.clear();
+
+  // S-BENU maintenance: retract against the pre-apply snapshot, apply,
+  // add against the new snapshot. Canonicalization guarantees Δ⁻ ⊆ E and
+  // Δ⁺ ∩ E = ∅, so the two passes partition the changed matches.
+  std::unordered_map<uint64_t, wire::MatchDelta> reports;
+  if (!delta.removed.empty()) {
+    const EdgePatch patch(delta.removed);
+    for (const auto& [id, sub] : subs_) {
+      reports[id].retracted = SubscriptionPass(sub, delta.removed, patch);
+    }
+  }
+  const uint64_t new_epoch = vstore_->Apply(delta);
+  cache_->AdvanceEpoch(new_epoch, delta.touched);
+  if (!delta.inserted.empty()) {
+    const EdgePatch patch(delta.inserted);
+    for (const auto& [id, sub] : subs_) {
+      reports[id].added = SubscriptionPass(sub, delta.inserted, patch);
+    }
+  }
+  for (auto& [id, sub] : subs_) {
+    wire::MatchDelta report = reports[id];
+    report.epoch = new_epoch;
+    BENU_CHECK(sub.total + report.added >= report.retracted);
+    sub.total = sub.total + report.added - report.retracted;
+    report.total = sub.total;
+    if (sub.on_delta) sub.on_delta(report);
+  }
+  return new_epoch;
+}
+
 QueryEngine::EngineStats QueryEngine::stats() const {
   EngineStats out;
   {
     std::lock_guard<std::mutex> lk(mu_);
     out = stats_;
     out.active = actives_.size();
+    out.subscriptions = subs_.size();
   }
   {
     std::lock_guard<std::mutex> lk(plan_mu_);

@@ -23,11 +23,13 @@
 #include "core/memory_governor.h"
 #include "graph/graph.h"
 #include "plan/cost_model.h"
+#include "plan/incremental.h"
 #include "plan/instruction.h"
 #include "storage/db_cache.h"
 #include "storage/kv_store.h"
 #include "storage/transport.h"
 #include "storage/triangle_cache.h"
+#include "storage/versioned_store.h"
 
 namespace benu {
 
@@ -126,13 +128,23 @@ class FairScheduler {
   std::deque<SessionQueue> sessions_;
 };
 
-/// Completion callback: the terminal outcome of an admitted query. Runs
-/// on an engine worker thread (or inside Submit for a query with no
-/// tasks) with the engine lock held — it must not call back into the
-/// engine; post the result elsewhere and return.
+/// Completion callback: the outcome of an admitted query. Runs on an
+/// engine worker thread (or inside Submit for a query with no tasks)
+/// with the engine lock held — it must not call back into the engine;
+/// post the result elsewhere and return. For one-shot queries it fires
+/// exactly once (terminal). For subscribe queries (kQuerySubscribe) it
+/// fires once with the baseline count (cancelled flag clear — NOT
+/// terminal) and once more when the subscription ends (cancel, session
+/// teardown or engine shutdown; cancelled flag set — terminal, carrying
+/// the last maintained total). A subscribe query cancelled before its
+/// baseline finishes fires once, cancelled, terminal.
 using QueryDoneFn = std::function<void(const wire::QueryResultInfo&)>;
 /// Progress callback, same threading/reentrancy contract as QueryDoneFn.
 using QueryProgressFn = std::function<void(const wire::QueryProgress&)>;
+/// Per-epoch match-delta callback of a subscribe query: fires inside
+/// CommitEpoch (on its caller's thread) with the engine lock held, once
+/// per subscription per committed epoch. Same reentrancy contract.
+using QueryDeltaFn = std::function<void(const wire::MatchDelta&)>;
 
 /// The resident enumeration engine behind benu_service: one shared data
 /// graph, one shared DistributedKvStore + DbCache, one shared execution
@@ -165,7 +177,8 @@ class QueryEngine {
     uint64_t completed = 0;  ///< queries that ran to completion
     uint64_t plan_hits = 0;
     uint64_t plan_misses = 0;
-    size_t active = 0;  ///< admitted and not yet finished
+    size_t active = 0;         ///< admitted and not yet finished
+    size_t subscriptions = 0;  ///< live subscribe-mode queries
   };
 
   /// Builds the resident substrate: relabels the graph (when configured),
@@ -197,16 +210,48 @@ class QueryEngine {
   ///  - kResourceExhausted: admission control (active-query cap, byte
   ///    reservation denied, plan cost over budget).
   /// Every rejection is counted in service.query.rejected; `done` is
-  /// only ever invoked for admitted queries, exactly once.
+  /// only ever invoked for admitted queries (see QueryDoneFn for the
+  /// subscribe-mode double-fire contract). A kQuerySubscribe spec must
+  /// be unlabeled and without kQueryVcbc (incremental maintenance needs
+  /// full uncompressed matches) and should pass `on_delta`; after its
+  /// baseline completes uncancelled it becomes a subscription that
+  /// CommitEpoch maintains until Cancel()/CancelSession()/shutdown.
   StatusOr<uint64_t> Submit(uint64_t session, const wire::QuerySpec& spec,
                             QueryDoneFn done,
-                            QueryProgressFn progress = nullptr);
+                            QueryProgressFn progress = nullptr,
+                            QueryDeltaFn on_delta = nullptr);
+
+  // --- dynamic graph (versioned store + subscriptions) -----------------
+
+  /// Graph epoch of the engine's versioned store (0 = pristine base).
+  uint64_t epoch() const { return vstore_->epoch(); }
+
+  /// Stages one edge-delta batch toward `target_epoch`, which must be
+  /// epoch() + 1 (kFailedPrecondition otherwise). Endpoints are in the
+  /// ORIGINAL data-graph id space — the engine maps them through its
+  /// degree relabeling — and must be inside the vertex universe
+  /// (kInvalidArgument). Staged ops accumulate until CommitEpoch.
+  Status StageDelta(uint64_t target_epoch, std::span<const EdgeDelta> ops);
+
+  /// Commits the staged ops as `target_epoch` (= epoch() + 1): runs the
+  /// S-BENU retraction pass for every subscription against the pre-apply
+  /// snapshot, applies the canonicalized delta to the versioned store
+  /// (replicating to delta-capable KV servers) with precise cache
+  /// invalidation, runs the addition pass against the new snapshot, and
+  /// fires each subscription's QueryDeltaFn with its exact MatchDelta.
+  /// Serialized against query execution: refused (kFailedPrecondition)
+  /// while any one-shot query is active, and no query can be admitted
+  /// mid-commit, so every query sees one consistent snapshot. Returns
+  /// the new epoch.
+  StatusOr<uint64_t> CommitEpoch(uint64_t target_epoch);
 
   /// Cancels an active query: workers stop claiming its tasks, in-flight
   /// tasks unwind at their next ENU descent (PlanExecutor cancel flag),
   /// and the done callback fires with kQueryResultCancelled once the
-  /// last in-flight task returns. False iff no such active query (already
-  /// finished or never existed).
+  /// last in-flight task returns. Cancelling a live subscription ends it:
+  /// the done callback fires its terminal result (cancelled flag set,
+  /// matches = last maintained total). False iff no such active query or
+  /// subscription (already finished or never existed).
   bool Cancel(uint64_t query_id);
 
   /// Cancels every active query of `session` (connection teardown).
@@ -265,7 +310,25 @@ class QueryEngine {
     Stopwatch watch;
     QueryDoneFn done;
     QueryProgressFn progress;
+    QueryDeltaFn on_delta;  ///< subscribe queries only
+    /// Subscribe queries only: the S-BENU delta plans, generated at
+    /// admission so a pattern they reject is a submit-time rejection.
+    std::shared_ptr<const IncrementalPlanSet> inc;
     std::vector<std::unique_ptr<QueryContext>> contexts;  // by thread
+  };
+
+  /// A subscribe query whose baseline completed: maintained match count
+  /// plus everything needed to run the per-epoch delta passes and to
+  /// fire its callbacks. Guarded by mu_.
+  struct Subscription {
+    uint64_t id = 0;
+    uint64_t session = 0;
+    wire::QuerySpec spec;
+    std::shared_ptr<const IncrementalPlanSet> inc;
+    uint64_t total = 0;  ///< maintained match count at the current epoch
+    Stopwatch watch;     ///< since admission (terminal elapsed_us)
+    QueryDoneFn done;
+    QueryDeltaFn on_delta;
   };
 
   QueryEngine(Graph graph, const ServiceConfig& config,
@@ -281,17 +344,35 @@ class QueryEngine {
   /// the done callback. Caller holds mu_.
   void MaybeFinalize(uint64_t id, ActiveQuery* q);
   Status Reject(Status status);
+  /// Ends the subscription (erased from subs_) and fires its terminal
+  /// done callback. Caller holds mu_.
+  void TerminateSubscription(Subscription sub);
+  /// One seeded S-BENU pass of a subscription: enumerates the matches of
+  /// the current snapshot owned by `delta_edges` (each counted exactly
+  /// once via DeltaMatchFilter). Caller holds mu_.
+  Count SubscriptionPass(const Subscription& sub,
+                         std::span<const EdgeDelta> delta_edges,
+                         const EdgePatch& patch);
 
   const ServiceConfig config_;
   Graph graph_;  ///< the (possibly relabeled) data graph
   std::vector<int> data_labels_;
   DataGraphStats data_stats_;
+  /// Degree-relabel permutation (original id -> engine id); empty when
+  /// relabel_by_degree is off. Delta endpoints arrive in original ids
+  /// and are mapped through it — the relabeling is frozen at startup, so
+  /// it stays a valid fixed total order as degrees drift across epochs.
+  std::vector<VertexId> old_to_new_;
 
   // Shared substrate, teardown order: executors (threads_) die first,
   // then the cache, then the store/transport; the governor outlives the
   // cache so teardown deltas land.
   std::unique_ptr<MemoryGovernor> governor_;
-  std::unique_ptr<DistributedKvStore> store_;
+  /// The versioned store (base payloads via the transport + epoch
+  /// overlay). Held as the concrete type for Canonicalize/Apply; it IS
+  /// the engine's DistributedKvStore.
+  std::unique_ptr<VersionedAdjacencyStore> vstore_;
+  DistributedKvStore* store_ = nullptr;  ///< alias of vstore_
   std::unique_ptr<ThreadPool> fetch_pool_;
   std::unique_ptr<DbCache> cache_;
   std::unique_ptr<CachedAdjacencyProvider> provider_;
@@ -308,6 +389,11 @@ class QueryEngine {
   uint64_t next_query_id_ = 1;
   FairScheduler sched_;
   std::unordered_map<uint64_t, std::unique_ptr<ActiveQuery>> actives_;
+  /// Live subscriptions (baseline done, not yet terminated).
+  std::unordered_map<uint64_t, Subscription> subs_;
+  /// Edge ops staged by StageDelta toward epoch() + 1, already mapped
+  /// into the engine's (relabeled) id space; consumed by CommitEpoch.
+  std::vector<EdgeDelta> staged_;
   EngineStats stats_;
 
   // service.* registry mirrors (docs/metrics.md), resolved once. The

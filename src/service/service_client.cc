@@ -60,6 +60,16 @@ void ServiceClient::FailAll(const Status& status) {
       p.done = true;
       p.result = status;
     }
+    if (p.subscribe && !p.baseline_done) {
+      p.baseline_done = true;
+      p.baseline = status;
+    }
+  }
+  for (auto& [tag, a] : pending_acks_) {
+    if (!a.done) {
+      a.done = true;
+      a.epoch = status;
+    }
   }
   cv_.notify_all();
 }
@@ -92,6 +102,31 @@ void ServiceClient::ReaderLoop() {
         if (fn) fn(*progress);
         break;
       }
+      case wire::MessageType::kMatchDelta: {
+        auto delta = wire::DecodeMatchDelta(*frame);
+        if (!delta.ok()) break;  // malformed delta: drop, not fatal
+        MatchDeltaFn fn;
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          auto it = pending_.find(tag);
+          if (it != pending_.end() && !it->second.done) {
+            fn = it->second.on_delta;
+          }
+        }
+        if (fn) fn(*delta);
+        break;
+      }
+      case wire::MessageType::kDeltaAck: {
+        StatusOr<uint64_t> epoch = wire::DecodeDeltaAck(*frame);
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = pending_acks_.find(tag);
+        if (it != pending_acks_.end() && !it->second.done) {
+          it->second.done = true;
+          it->second.epoch = std::move(epoch);
+          cv_.notify_all();
+        }
+        break;
+      }
       case wire::MessageType::kQueryResult:
       case wire::MessageType::kError: {
         StatusOr<wire::QueryResultInfo> outcome =
@@ -99,10 +134,33 @@ void ServiceClient::ReaderLoop() {
                 ? wire::DecodeQueryResult(*frame)
                 : StatusOr<wire::QueryResultInfo>(wire::DecodeError(*frame));
         std::lock_guard<std::mutex> lk(mu_);
+        if (frame->header.type == wire::MessageType::kError) {
+          // Errors demux by tag across both request kinds.
+          auto ack = pending_acks_.find(tag);
+          if (ack != pending_acks_.end() && !ack->second.done) {
+            ack->second.done = true;
+            ack->second.epoch = outcome.status();
+            cv_.notify_all();
+            break;
+          }
+        }
         auto it = pending_.find(tag);
         if (it != pending_.end() && !it->second.done) {
-          it->second.done = true;
-          it->second.result = std::move(outcome);
+          Pending& p = it->second;
+          if (p.subscribe && !p.baseline_done) {
+            // First result of a subscription: the baseline. A clean
+            // baseline keeps the tag streaming; a rejection or a
+            // cancel that raced the baseline is terminal for both.
+            p.baseline_done = true;
+            p.baseline = outcome;
+            if (!outcome.ok() || outcome->cancelled()) {
+              p.done = true;
+              p.result = std::move(outcome);
+            }
+          } else {
+            p.done = true;
+            p.result = std::move(outcome);
+          }
           cv_.notify_all();
         }
         break;
@@ -115,26 +173,34 @@ void ServiceClient::ReaderLoop() {
   }
 }
 
+uint16_t ServiceClient::AllocTagLocked() {
+  // 15-bit tag space, skip 0 (hello) and tags still awaiting results —
+  // queries and delta requests share the space.
+  for (int attempts = 0; attempts < 0x8000; ++attempts) {
+    const uint16_t candidate = next_tag_;
+    next_tag_ = static_cast<uint16_t>((next_tag_ % 0x7FFF) + 1);
+    if (pending_.count(candidate) == 0 &&
+        pending_acks_.count(candidate) == 0) {
+      return candidate;
+    }
+  }
+  return 0;
+}
+
 StatusOr<uint16_t> ServiceClient::StartQuery(const wire::QuerySpec& spec,
                                              ProgressFn progress) {
+  const bool subscribe = spec.want_subscribe();
   uint16_t tag = 0;
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (dead_) return death_status_;
-    // 15-bit tag space, skip 0 (hello) and tags still awaiting results.
-    for (int attempts = 0; attempts < 0x8000; ++attempts) {
-      const uint16_t candidate = next_tag_;
-      next_tag_ = static_cast<uint16_t>((next_tag_ % 0x7FFF) + 1);
-      if (pending_.count(candidate) == 0) {
-        tag = candidate;
-        break;
-      }
-    }
+    tag = AllocTagLocked();
     if (tag == 0) {
       return Status::ResourceExhausted("all 32767 query tags in flight");
     }
     Pending p;
     p.progress = std::move(progress);
+    p.subscribe = subscribe;
     pending_.emplace(tag, std::move(p));
   }
   std::vector<uint8_t> frame;
@@ -185,6 +251,91 @@ StatusOr<wire::QueryResultInfo> ServiceClient::Execute(
   auto tag = StartQuery(spec, std::move(progress));
   if (!tag.ok()) return tag.status();
   return Await(*tag);
+}
+
+StatusOr<uint16_t> ServiceClient::Subscribe(wire::QuerySpec spec,
+                                            MatchDeltaFn on_delta,
+                                            ProgressFn progress) {
+  spec.options |= wire::kQuerySubscribe;
+  auto tag = StartQuery(spec, std::move(progress));
+  if (!tag.ok()) return tag.status();
+  // StartQuery marked the Pending as subscribe (the bit is set above);
+  // attach the delta callback before any epoch can commit. The server
+  // streams no kMatchDelta before acking an AdvanceEpoch issued by this
+  // client, and a racing external commit at worst drops callbacks, not
+  // correctness: totals ride inside every subsequent MatchDelta.
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = pending_.find(*tag);
+  if (it != pending_.end()) it->second.on_delta = std::move(on_delta);
+  return tag;
+}
+
+StatusOr<wire::QueryResultInfo> ServiceClient::AwaitBaseline(uint16_t tag) {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto it = pending_.find(tag);
+  if (it == pending_.end()) {
+    return Status::InvalidArgument(
+        "AwaitBaseline() on a tag that was never started");
+  }
+  if (!it->second.subscribe) {
+    return Status::InvalidArgument(
+        "AwaitBaseline() on a non-subscribe query; use Await()");
+  }
+  cv_.wait(lk, [&] { return it->second.baseline_done; });
+  return it->second.baseline;  // tag stays live; Await() retires it
+}
+
+StatusOr<uint64_t> ServiceClient::DeltaRoundTrip(std::vector<uint8_t> frame,
+                                                 uint16_t tag) {
+  wire::SetFrameTag(frame, tag);
+  Status s;
+  {
+    std::lock_guard<std::mutex> lk(write_mu_);
+    s = net::WriteAll(fd_, frame);
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  auto it = pending_acks_.find(tag);
+  if (!s.ok()) {
+    pending_acks_.erase(it);
+    return s;
+  }
+  cv_.wait(lk, [&] { return it->second.done; });
+  StatusOr<uint64_t> epoch = std::move(it->second.epoch);
+  pending_acks_.erase(it);
+  return epoch;
+}
+
+StatusOr<uint64_t> ServiceClient::PushDelta(uint64_t target_epoch,
+                                            std::span<const EdgeDelta> ops) {
+  uint16_t tag = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (dead_) return death_status_;
+    tag = AllocTagLocked();
+    if (tag == 0) {
+      return Status::ResourceExhausted("all 32767 query tags in flight");
+    }
+    pending_acks_.emplace(tag, PendingAck{});
+  }
+  std::vector<uint8_t> frame;
+  wire::AppendApplyDelta(target_epoch, ops, &frame);
+  return DeltaRoundTrip(std::move(frame), tag);
+}
+
+StatusOr<uint64_t> ServiceClient::AdvanceEpoch(uint64_t target_epoch) {
+  uint16_t tag = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (dead_) return death_status_;
+    tag = AllocTagLocked();
+    if (tag == 0) {
+      return Status::ResourceExhausted("all 32767 query tags in flight");
+    }
+    pending_acks_.emplace(tag, PendingAck{});
+  }
+  std::vector<uint8_t> frame;
+  wire::AppendEpochAdvance(target_epoch, &frame);
+  return DeltaRoundTrip(std::move(frame), tag);
 }
 
 }  // namespace benu::service

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/flags_util.h"
 #include "common/logging.h"
 #include "common/wire.h"
 #include "distributed/benu_driver.h"
@@ -40,35 +41,6 @@
 namespace {
 
 using namespace benu;
-
-const char* FlagValue(int argc, char** argv, const char* name,
-                      const char* fallback) {
-  const std::string prefix = std::string(name) + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return argv[i] + prefix.size();
-    }
-  }
-  return fallback;
-}
-
-std::vector<std::string> FlagValues(int argc, char** argv, const char* name) {
-  const std::string prefix = std::string(name) + "=";
-  std::vector<std::string> values;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      values.emplace_back(argv[i] + prefix.size());
-    }
-  }
-  return values;
-}
-
-bool HasFlag(int argc, char** argv, const char* name) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return true;
-  }
-  return false;
-}
 
 /// "q3:0,1,2" -> {"q3", {0,1,2}}.
 std::pair<std::string, std::vector<int32_t>> ParseLabeled(
@@ -109,23 +81,22 @@ Count SoloCount(const Graph& graph, const wire::QuerySpec& spec,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string host = FlagValue(argc, argv, "--host", "127.0.0.1");
-  const uint16_t port = static_cast<uint16_t>(
-      std::strtoul(FlagValue(argc, argv, "--port", "0"), nullptr, 10));
+  const std::string host = flags::Value(argc, argv, "--host", "127.0.0.1");
+  const uint16_t port = flags::PortValue(argc, argv, "--port", 0);
   BENU_CHECK(port != 0) << "--port is required";
-  const bool vcbc = std::atoi(FlagValue(argc, argv, "--vcbc", "0")) != 0;
+  const bool vcbc = flags::BoolValue(argc, argv, "--vcbc", false);
   const bool degree_filter =
-      std::atoi(FlagValue(argc, argv, "--degree-filter", "0")) != 0;
-  const bool want_progress = HasFlag(argc, argv, "--progress");
-  const bool verify_solo = HasFlag(argc, argv, "--verify-solo");
-  const bool cancel_test = HasFlag(argc, argv, "--cancel-test");
-  const bool expect_reject = HasFlag(argc, argv, "--expect-reject");
+      flags::BoolValue(argc, argv, "--degree-filter", false);
+  const bool want_progress = flags::Has(argc, argv, "--progress");
+  const bool verify_solo = flags::Has(argc, argv, "--verify-solo");
+  const bool cancel_test = flags::Has(argc, argv, "--cancel-test");
+  const bool expect_reject = flags::Has(argc, argv, "--expect-reject");
   const std::string graph_spec =
-      FlagValue(argc, argv, "--graph", "ba:200,5,21");
-  const int labels = std::atoi(FlagValue(argc, argv, "--labels", "0"));
+      flags::Value(argc, argv, "--graph", "ba:200,5,21");
+  const int labels = flags::IntValue(argc, argv, "--labels", 0);
 
   std::vector<wire::QuerySpec> specs;
-  for (const std::string& name : FlagValues(argc, argv, "--query")) {
+  for (const std::string& name : flags::Values(argc, argv, "--query")) {
     wire::QuerySpec spec;
     spec.pattern = name;
     if (vcbc) spec.options |= wire::kQueryVcbc;
@@ -133,7 +104,7 @@ int main(int argc, char** argv) {
     if (want_progress) spec.options |= wire::kQueryWantProgress;
     specs.push_back(std::move(spec));
   }
-  for (const std::string& labeled : FlagValues(argc, argv, "--labeled")) {
+  for (const std::string& labeled : flags::Values(argc, argv, "--labeled")) {
     auto [name, pattern_labels] = ParseLabeled(labeled);
     wire::QuerySpec spec;
     spec.pattern = name;

@@ -32,9 +32,6 @@
 // SIGTERM/SIGINT shut the service down cleanly: stop admitting, cancel
 // in-flight queries (their terminal frames still flush), close.
 
-#include <libgen.h>
-#include <sys/prctl.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -46,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "common/flags_util.h"
 #include "common/logging.h"
 #include "graph/generators.h"
 #include "service/query_engine.h"
@@ -57,99 +55,6 @@ namespace {
 
 using namespace benu;
 
-const char* FlagValue(int argc, char** argv, const char* name,
-                      const char* fallback) {
-  const std::string prefix = std::string(name) + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return argv[i] + prefix.size();
-    }
-  }
-  return fallback;
-}
-
-struct ServerProcess {
-  pid_t pid = -1;
-  uint16_t port = 0;
-};
-
-std::vector<ServerProcess>& SpawnedRegistry() {
-  static std::vector<ServerProcess> registry;
-  return registry;
-}
-
-void KillServers(std::vector<ServerProcess>& servers) {
-  for (auto& s : servers) {
-    if (s.pid > 0) kill(s.pid, SIGTERM);
-  }
-  for (auto& s : servers) {
-    if (s.pid > 0) {
-      waitpid(s.pid, nullptr, 0);
-      s.pid = -1;
-    }
-  }
-}
-
-void CleanupSpawnedAtExit() { KillServers(SpawnedRegistry()); }
-
-std::string SelfDir() {
-  char buf[4096];
-  const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
-  BENU_CHECK(n > 0) << "readlink /proc/self/exe failed";
-  buf[n] = '\0';
-  return dirname(buf);
-}
-
-/// Forks one benu_kv_server serving the relabeled graph (--relabel=1, the
-/// labeling the engine enumerates under) and parses its listening port.
-ServerProcess SpawnServer(const std::string& binary,
-                          const std::string& graph_spec, size_t partitions,
-                          size_t servers, size_t index, size_t replica,
-                          size_t replicas, bool compress) {
-  int pipefd[2];
-  BENU_CHECK(pipe(pipefd) == 0) << "pipe failed";
-  const pid_t parent = getpid();
-  const pid_t pid = fork();
-  BENU_CHECK(pid >= 0) << "fork failed";
-  if (pid == 0) {
-    prctl(PR_SET_PDEATHSIG, SIGKILL);
-    if (getppid() != parent) _exit(127);
-    close(pipefd[0]);
-    dup2(pipefd[1], STDOUT_FILENO);
-    close(pipefd[1]);
-    const std::string graph_arg = "--graph=" + graph_spec;
-    const std::string part_arg = "--partitions=" + std::to_string(partitions);
-    const std::string servers_arg = "--servers=" + std::to_string(servers);
-    const std::string index_arg = "--index=" + std::to_string(index);
-    const std::string replica_arg = "--replica=" + std::to_string(replica);
-    const std::string replicas_arg = "--replicas=" + std::to_string(replicas);
-    const std::string compress_arg =
-        std::string("--compress=") + (compress ? "1" : "0");
-    execl(binary.c_str(), binary.c_str(), graph_arg.c_str(),
-          part_arg.c_str(), servers_arg.c_str(), index_arg.c_str(),
-          replica_arg.c_str(), replicas_arg.c_str(), compress_arg.c_str(),
-          "--port=0", "--relabel=1", static_cast<char*>(nullptr));
-    std::perror("execl benu_kv_server");
-    _exit(127);
-  }
-  close(pipefd[1]);
-  FILE* out = fdopen(pipefd[0], "r");
-  BENU_CHECK(out != nullptr) << "fdopen failed";
-  ServerProcess proc;
-  proc.pid = pid;
-  char line[256];
-  while (std::fgets(line, sizeof(line), out) != nullptr) {
-    unsigned port = 0;
-    if (std::sscanf(line, "LISTENING port=%u", &port) == 1) {
-      proc.port = static_cast<uint16_t>(port);
-      break;
-    }
-  }
-  BENU_CHECK(proc.port != 0)
-      << "server " << index << " did not report a listening port";
-  return proc;
-}
-
 std::atomic<bool> g_stop{false};
 
 void HandleStopSignal(int) { g_stop.store(true); }
@@ -158,52 +63,40 @@ void HandleStopSignal(int) { g_stop.store(true); }
 
 int main(int argc, char** argv) {
   const std::string graph_spec =
-      FlagValue(argc, argv, "--graph", "ba:200,5,21");
-  const uint16_t port = static_cast<uint16_t>(
-      std::strtoul(FlagValue(argc, argv, "--port", "0"), nullptr, 10));
-  const size_t partitions =
-      std::strtoul(FlagValue(argc, argv, "--partitions", "8"), nullptr, 10);
-  const std::string transport_name =
-      FlagValue(argc, argv, "--transport",
-                std::strtoul(FlagValue(argc, argv, "--spawn-servers", "0"),
-                             nullptr, 10) > 0
-                    ? "tcp"
-                    : "sim");
-  const std::string endpoints_spec = FlagValue(argc, argv, "--endpoints", "");
-  const size_t spawn_servers = std::strtoul(
-      FlagValue(argc, argv, "--spawn-servers", "0"), nullptr, 10);
-  const size_t replicas = std::max<size_t>(
-      1, std::strtoul(FlagValue(argc, argv, "--replicas", "1"), nullptr, 10));
-  const bool compress =
-      std::atoi(FlagValue(argc, argv, "--compress", "1")) != 0;
-  const int labels =
-      std::atoi(FlagValue(argc, argv, "--labels", "0"));
+      flags::Value(argc, argv, "--graph", "ba:200,5,21");
+  const uint16_t port = flags::PortValue(argc, argv, "--port", 0);
+  const size_t partitions = flags::SizeValue(argc, argv, "--partitions", 8);
+  const size_t spawn_servers =
+      flags::SizeValue(argc, argv, "--spawn-servers", 0);
+  const std::string transport_name = flags::Value(
+      argc, argv, "--transport", spawn_servers > 0 ? "tcp" : "sim");
+  const std::string endpoints_spec =
+      flags::Value(argc, argv, "--endpoints", "");
+  const size_t replicas =
+      std::max<size_t>(1, flags::SizeValue(argc, argv, "--replicas", 1));
+  const bool compress = flags::BoolValue(argc, argv, "--compress", true);
+  const int labels = flags::IntValue(argc, argv, "--labels", 0);
 
   service::ServiceConfig config;
   config.db_partitions = partitions;
   config.compress_adjacency = compress;
-  config.execution_threads =
-      std::atoi(FlagValue(argc, argv, "--threads", "0"));
+  config.execution_threads = flags::IntValue(argc, argv, "--threads", 0);
   config.db_cache_bytes =
-      std::strtoul(FlagValue(argc, argv, "--cache-mb", "64"), nullptr, 10)
-      << 20;
-  config.prefetch_budget = std::strtoul(
-      FlagValue(argc, argv, "--prefetch-budget", "0"), nullptr, 10);
+      flags::SizeValue(argc, argv, "--cache-mb", 64) << 20;
+  config.prefetch_budget =
+      flags::SizeValue(argc, argv, "--prefetch-budget", 0);
   config.task_split_threshold = static_cast<uint32_t>(
-      std::strtoul(FlagValue(argc, argv, "--tau", "64"), nullptr, 10));
-  config.max_active_queries = std::strtoul(
-      FlagValue(argc, argv, "--max-active", "8"), nullptr, 10);
+      flags::SizeValue(argc, argv, "--tau", 64));
+  config.max_active_queries =
+      flags::SizeValue(argc, argv, "--max-active", 8);
   config.memory_budget_bytes =
-      std::strtoul(FlagValue(argc, argv, "--memory-budget-mb", "0"), nullptr,
-                   10)
-      << 20;
+      flags::SizeValue(argc, argv, "--memory-budget-mb", 0) << 20;
   config.per_query_reserve_bytes =
-      std::strtoul(FlagValue(argc, argv, "--reserve-mb", "0"), nullptr, 10)
-      << 20;
+      flags::SizeValue(argc, argv, "--reserve-mb", 0) << 20;
   config.max_plan_cost =
-      std::atof(FlagValue(argc, argv, "--max-plan-cost", "0"));
-  config.progress_interval_tasks = std::strtoul(
-      FlagValue(argc, argv, "--progress-interval", "16"), nullptr, 10);
+      flags::DoubleValue(argc, argv, "--max-plan-cost", 0);
+  config.progress_interval_tasks =
+      flags::SizeValue(argc, argv, "--progress-interval", 16);
 
   auto graph_or = GenerateFromSpec(graph_spec);
   BENU_CHECK(graph_or.ok()) << "--graph=" << graph_spec << ": "
@@ -220,19 +113,25 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::vector<ServerProcess>& spawned = SpawnedRegistry();
-  std::atexit(CleanupSpawnedAtExit);
+  std::vector<flags::ServerProcess>& spawned = flags::SpawnedRegistry();
+  std::atexit(flags::CleanupSpawnedAtExit);
   std::shared_ptr<Transport> transport;
   if (transport_name == "tcp") {
     std::vector<ReplicaGroup> groups;
     if (spawn_servers > 0) {
-      const std::string server_binary = SelfDir() + "/benu_kv_server";
+      const std::string server_binary = flags::SelfDir() + "/benu_kv_server";
       for (size_t i = 0; i < spawn_servers; ++i) {
         ReplicaGroup group;
         for (size_t r = 0; r < replicas; ++r) {
-          spawned.push_back(SpawnServer(server_binary, graph_spec,
-                                        partitions, spawn_servers, i, r,
-                                        replicas, compress));
+          flags::KvServerSpawnOptions spawn;
+          spawn.graph_spec = graph_spec;
+          spawn.partitions = partitions;
+          spawn.servers = spawn_servers;
+          spawn.index = i;
+          spawn.replica = r;
+          spawn.replicas = replicas;
+          spawn.compress = compress;
+          spawned.push_back(flags::SpawnKvServer(server_binary, spawn));
           group.replicas.push_back({"127.0.0.1", spawned.back().port});
         }
         groups.push_back(std::move(group));

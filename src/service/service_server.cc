@@ -182,8 +182,9 @@ bool ServiceTcpServer::HandleFrame(Conn& conn, const uint8_t* data,
       info.num_partitions = static_cast<uint32_t>(engine_->num_partitions());
       info.num_servers = 1;
       info.server_index = 0;
-      info.flags = wire::kHelloSupportsQueries;
+      info.flags = wire::kHelloSupportsQueries | wire::kHelloSupportsDeltas;
       info.graph_hash = engine_->relabeled_graph().FoldedContentHash();
+      info.epoch = engine_->epoch();
       std::vector<uint8_t> reply;
       wire::AppendHelloReply(info, &reply);
       wire::SetFrameTag(reply, tag);
@@ -206,12 +207,17 @@ bool ServiceTcpServer::HandleFrame(Conn& conn, const uint8_t* data,
         return true;
       }
       std::shared_ptr<Outbox> outbox = conn.outbox;
-      QueryDoneFn done = [this, outbox,
-                          tag](const wire::QueryResultInfo& info) {
+      // A subscribe query's first kQueryResult (the baseline, cancelled
+      // flag clear) is not terminal — the tag stays in flight streaming
+      // kMatchDelta frames until the terminal result (cancelled set).
+      const bool subscribe = spec->want_subscribe();
+      QueryDoneFn done = [this, outbox, tag,
+                          subscribe](const wire::QueryResultInfo& info) {
         std::vector<uint8_t> reply;
         wire::AppendQueryResult(info, &reply);
         wire::SetFrameTag(reply, tag);
-        PostFrame(outbox, std::move(reply), tag);
+        const bool terminal = !subscribe || info.cancelled();
+        PostFrame(outbox, std::move(reply), terminal ? tag : -1);
       };
       QueryProgressFn progress;
       if (spec->want_progress()) {
@@ -222,8 +228,17 @@ bool ServiceTcpServer::HandleFrame(Conn& conn, const uint8_t* data,
           PostFrame(outbox, std::move(reply), /*finished_tag=*/-1);
         };
       }
+      QueryDeltaFn on_delta;
+      if (subscribe) {
+        on_delta = [this, outbox, tag](const wire::MatchDelta& delta) {
+          std::vector<uint8_t> reply;
+          wire::AppendMatchDelta(delta, &reply);
+          wire::SetFrameTag(reply, tag);
+          PostFrame(outbox, std::move(reply), /*finished_tag=*/-1);
+        };
+      }
       auto id = engine_->Submit(conn.session, *spec, std::move(done),
-                                std::move(progress));
+                                std::move(progress), std::move(on_delta));
       if (!id.ok()) {
         reply_error(id.status());
         return true;
@@ -253,6 +268,54 @@ bool ServiceTcpServer::HandleFrame(Conn& conn, const uint8_t* data,
       // its terminal frame is already posted, so the client gets its
       // answer either way.
       engine_->Cancel(it->second);
+      DrainOutbox(conn);
+      return true;
+    }
+    case wire::MessageType::kApplyDelta: {
+      if (draining_.load(std::memory_order_acquire)) {
+        reply_error(Status::Unavailable("service is shutting down"));
+        return true;
+      }
+      uint64_t target = 0;
+      std::vector<EdgeDelta> ops;
+      if (Status s = wire::DecodeApplyDelta(frame, &target, &ops);
+          !s.ok()) {
+        reply_error(s);
+        return true;
+      }
+      if (Status s = engine_->StageDelta(target, ops); !s.ok()) {
+        reply_error(s);
+        return true;
+      }
+      std::vector<uint8_t> reply;
+      wire::AppendDeltaAck(engine_->epoch(), &reply);
+      wire::SetFrameTag(reply, tag);
+      conn.out.insert(conn.out.end(), reply.begin(), reply.end());
+      return true;
+    }
+    case wire::MessageType::kEpochAdvance: {
+      if (draining_.load(std::memory_order_acquire)) {
+        reply_error(Status::Unavailable("service is shutting down"));
+        return true;
+      }
+      auto target = wire::DecodeEpochAdvance(frame);
+      if (!target.ok()) {
+        reply_error(target.status());
+        return true;
+      }
+      // The commit runs the subscription delta passes right here on the
+      // loop thread; their kMatchDelta frames land in subscriber
+      // outboxes and are flushed by the wake-pipe nudge each PostFrame
+      // issued (this connection's own frames drain below as usual).
+      auto epoch = engine_->CommitEpoch(*target);
+      if (!epoch.ok()) {
+        reply_error(epoch.status());
+        return true;
+      }
+      std::vector<uint8_t> reply;
+      wire::AppendDeltaAck(*epoch, &reply);
+      wire::SetFrameTag(reply, tag);
+      conn.out.insert(conn.out.end(), reply.begin(), reply.end());
       DrainOutbox(conn);
       return true;
     }

@@ -40,6 +40,9 @@ DbCache::DbCache(const DistributedKvStore* store, size_t capacity_bytes,
   metrics_.prefetch_wasted = registry.GetCounter(
       "db_cache.prefetch_wasted", "1",
       "prefetched entries evicted or dropped without serving a hit");
+  metrics_.epoch_invalidations = registry.GetCounter(
+      "db_cache.epoch_invalidations", "1",
+      "entries evicted by AdvanceEpoch's precise invalidation");
   metrics_.prefetch_round_trips = registry.GetCounter(
       "db_cache.prefetch_round_trips", "1",
       "round trips of batched background fetches (1/partition/batch)");
@@ -131,15 +134,26 @@ DbCache::Reply DbCache::Get(VertexId v) {
       ++shard.misses;
       metrics_.misses->Add(1);
       flight = std::make_shared<Flight>();
+      flight->epoch.store(epoch_.load(std::memory_order_acquire),
+                          std::memory_order_relaxed);
       shard.inflight.emplace(v, flight);
       primary = true;
     }
   }
 
   if (!primary) {
-    metrics::ScopedSpan span(metrics_.coalesced_wait_us);
-    std::unique_lock<std::mutex> fl(flight->mu);
-    flight->ready_cv.wait(fl, [&flight] { return flight->ready; });
+    {
+      metrics::ScopedSpan span(metrics_.coalesced_wait_us);
+      std::unique_lock<std::mutex> fl(flight->mu);
+      flight->ready_cv.wait(fl, [&flight] { return flight->ready; });
+    }
+    if (flight->epoch.load(std::memory_order_acquire) !=
+        epoch_.load(std::memory_order_acquire)) {
+      // The flight we waited on was fetched under a superseded epoch:
+      // its value belongs to the previous snapshot (and was not
+      // retained). Retry under the current epoch.
+      return Get(v);
+    }
     return Reply{flight->value, Outcome::kCoalesced};
   }
 
@@ -147,9 +161,17 @@ DbCache::Reply DbCache::Get(VertexId v) {
   // a slow remote fetch blocks neither other keys of this shard nor the
   // waiters of other flights.
   AdjacencyPayload value;
-  {
-    metrics::ScopedSpan span(metrics_.sync_fetch_us);
-    value = store_->GetAdjacency(v);
+  for (;;) {
+    {
+      metrics::ScopedSpan span(metrics_.sync_fetch_us);
+      value = store_->GetAdjacency(v);
+    }
+    const uint64_t now = epoch_.load(std::memory_order_acquire);
+    if (flight->epoch.load(std::memory_order_relaxed) == now) break;
+    // An epoch advanced mid-fetch: the value may be the old snapshot's.
+    // Re-stamp the flight and refetch so this Get returns (and installs)
+    // the current epoch's adjacency.
+    flight->epoch.store(now, std::memory_order_release);
   }
   Reply reply{value, Outcome::kMiss};
   InsertAndPublish(v, std::move(value), flight, /*prefetched=*/false);
@@ -161,12 +183,18 @@ void DbCache::InsertAndPublish(VertexId v, AdjacencyPayload value,
                                bool prefetched) {
   Shard& shard = ShardFor(v);
   const size_t bytes = EntryBytes(value);
+  // Fetched under a superseded epoch? Publish to waiters (they re-check
+  // the tag and retry) but never retain — a stale adjacency set must not
+  // surface as a hit in the new snapshot.
+  const bool stale = flight->epoch.load(std::memory_order_acquire) !=
+                     epoch_.load(std::memory_order_acquire);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.inflight.erase(v);
     const size_t shard_capacity =
         capacity_bytes_ == 0 ? 0 : capacity_bytes_ / shards_.size();
-    if (bytes <= shard_capacity) {  // capacity 0 / oversized: not retained
+    if (!stale &&
+        bytes <= shard_capacity) {  // capacity 0 / oversized: not retained
       auto it = shard.index.find(v);
       if (it != shard.index.end()) {
         // Raced insert (unreachable while single-flight holds, kept as
@@ -231,6 +259,8 @@ void DbCache::PrefetchAsync(const VertexId* keys, size_t count) {
     if (shard.inflight.count(v) != 0) continue;  // already queued/fetching
     auto flight = std::make_shared<Flight>();
     flight->state.store(kFlightQueued, std::memory_order_relaxed);
+    flight->epoch.store(epoch_.load(std::memory_order_acquire),
+                        std::memory_order_relaxed);
     shard.inflight.emplace(v, flight);
     ++shard.prefetches_issued;
     metrics_.prefetches_issued->Add(1);
@@ -321,6 +351,35 @@ void DbCache::FetchBatch(const std::vector<VertexId>& batch) {
   }
 }
 
+void DbCache::AdvanceEpoch(uint64_t epoch,
+                           std::span<const VertexId> touched) {
+  // Publish the new epoch BEFORE purging: an install racing this call
+  // either reads the new epoch (and drops itself as stale) or installed
+  // under the old epoch before the purge (and is purged below). Either
+  // way no stale entry survives into the new epoch.
+  epoch_.store(epoch, std::memory_order_release);
+  for (VertexId v : touched) {
+    Shard& shard = ShardFor(v);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(v);
+    if (it == shard.index.end()) continue;
+    const Entry& victim = *it->second;
+    if (victim.prefetched) {
+      ++shard.prefetch_wasted;
+      metrics_.prefetch_wasted->Add(1);
+    }
+    ++shard.epoch_invalidations;
+    metrics_.epoch_invalidations->Add(1);
+    shard.bytes -= victim.bytes;
+    metrics_.resident_bytes->Add(-static_cast<double>(victim.bytes));
+    if (governor_ != nullptr) {
+      governor_->AddCacheResident(-static_cast<int64_t>(victim.bytes));
+    }
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+}
+
 void DbCache::WaitForPrefetches() {
   std::unique_lock<std::mutex> lock(prefetch_mu_);
   prefetch_idle_cv_.wait(lock, [this] {
@@ -346,6 +405,7 @@ DbCacheStats DbCache::stats() const {
     total.prefetch_hits += shard->prefetch_hits;
     total.prefetch_claimed += shard->prefetch_claimed;
     total.prefetch_wasted += shard->prefetch_wasted;
+    total.epoch_invalidations += shard->epoch_invalidations;
   }
   total.prefetch_round_trips =
       prefetch_round_trips_.load(std::memory_order_relaxed);

@@ -8,6 +8,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -60,8 +61,12 @@ struct DbCacheStats {
   /// prefetch saved nothing.
   Count prefetch_claimed = 0;
   /// Prefetched entries evicted — or never retained (zero/overflowed
-  /// capacity) — without serving a single hit: wasted fetch work.
+  /// capacity, or fetched at a superseded epoch) — without serving a
+  /// single hit: wasted fetch work.
   Count prefetch_wasted = 0;
+  /// Entries evicted by AdvanceEpoch's precise invalidation (their
+  /// vertex was touched by an epoch's delta).
+  Count epoch_invalidations = 0;
   /// Round trips of the batched background fetches (one per partition
   /// per batch) and their payload bytes; the cluster's overlap model
   /// charges these against compute instead of task stall time.
@@ -182,6 +187,19 @@ class DbCache {
   /// correctness of Get (which claims or coalesces as appropriate).
   void WaitForPrefetches();
 
+  /// Moves the cache to `epoch`, precisely invalidating the entries of
+  /// `touched` vertices (the EpochDelta's endpoint set) — untouched
+  /// entries stay hot. In-flight fetches started under the old epoch are
+  /// not installed when they land (their flight's epoch tag mismatches;
+  /// the fetch counts as prefetch_wasted for prefetch flights), and
+  /// coalesced waiters woken by a stale flight retry under the new
+  /// epoch, so a prefetch racing an epoch advance can never publish a
+  /// stale adjacency set into the new snapshot.
+  void AdvanceEpoch(uint64_t epoch, std::span<const VertexId> touched);
+
+  /// The epoch this cache currently serves.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
   /// Aggregated statistics over all shards.
   DbCacheStats stats() const;
 
@@ -214,6 +232,10 @@ class DbCache {
     AdjacencyPayload value;
     bool ready = false;
     std::atomic<int> state{kFlightFetching};
+    /// Cache epoch the flight was created (or refetched) under; installs
+    /// whose tag no longer matches the cache epoch are dropped. Atomic:
+    /// waiters re-check it lock-free after wake.
+    std::atomic<uint64_t> epoch{0};
   };
   struct Shard {
     mutable std::mutex mu;
@@ -228,6 +250,7 @@ class DbCache {
     Count prefetch_hits = 0;
     Count prefetch_claimed = 0;
     Count prefetch_wasted = 0;
+    Count epoch_invalidations = 0;
   };
 
   static constexpr int kFlightQueued = 0;
@@ -254,6 +277,9 @@ class DbCache {
 
   const DistributedKvStore* store_;
   size_t capacity_bytes_;
+  /// Epoch the cache serves; bumped by AdvanceEpoch before the touched
+  /// entries are purged, so racing installs see the new epoch first.
+  std::atomic<uint64_t> epoch_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
 
   // Registry mirrors of the per-shard stats (process-wide totals across
@@ -269,6 +295,7 @@ class DbCache {
     metrics::Counter* prefetch_hits = nullptr;
     metrics::Counter* prefetch_claimed = nullptr;
     metrics::Counter* prefetch_wasted = nullptr;
+    metrics::Counter* epoch_invalidations = nullptr;
     metrics::Counter* prefetch_round_trips = nullptr;
     metrics::Counter* prefetch_bytes = nullptr;
     metrics::Gauge* resident_bytes = nullptr;

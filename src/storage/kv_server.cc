@@ -11,7 +11,8 @@ KvPartitionServer::KvPartitionServer(const Graph* graph,
                                      size_t num_servers, size_t server_index,
                                      size_t replica_index,
                                      size_t num_replicas,
-                                     bool support_encoding)
+                                     bool support_encoding,
+                                     bool support_deltas)
     : graph_(graph),
       num_partitions_(num_partitions == 0 ? 1 : num_partitions),
       num_servers_(num_servers == 0 ? 1 : num_servers),
@@ -19,6 +20,7 @@ KvPartitionServer::KvPartitionServer(const Graph* graph,
       replica_index_(replica_index),
       num_replicas_(num_replicas == 0 ? 1 : num_replicas),
       support_encoding_(codec::CompressionEnabled(support_encoding)),
+      support_deltas_(support_deltas),
       graph_hash_(graph->FoldedContentHash()) {
   BENU_CHECK(server_index_ < num_servers_)
       << "server index " << server_index_ << " out of range (servers: "
@@ -89,8 +91,10 @@ void KvPartitionServer::HandleFrame(std::span<const uint8_t> frame,
       info.server_index = static_cast<uint32_t>(server_index_);
       info.replica_index = static_cast<uint32_t>(replica_index_);
       info.num_replicas = static_cast<uint32_t>(num_replicas_);
-      info.flags = support_encoding_ ? wire::kHelloSupportsEncoded : 0;
+      info.flags = (support_encoding_ ? wire::kHelloSupportsEncoded : 0) |
+                   (support_deltas_ ? wire::kHelloSupportsDeltas : 0);
       info.graph_hash = graph_hash_;
+      info.epoch = epoch_.load(std::memory_order_acquire);
       wire::AppendHelloReply(info, out);
       break;
     }
@@ -126,6 +130,57 @@ void KvPartitionServer::HandleFrame(std::span<const uint8_t> frame,
     case wire::MessageType::kStatsRequest:
       wire::AppendStatsReply(stats(), out);
       break;
+    case wire::MessageType::kApplyDelta: {
+      if (!support_deltas_) {
+        wire::AppendError(StatusCode::kFailedPrecondition,
+                          "server does not support deltas", out);
+        break;
+      }
+      uint64_t target = 0;
+      std::vector<EdgeDelta> ops;
+      auto st = wire::DecodeApplyDelta(*decoded, &target, &ops);
+      if (!st.ok()) {
+        wire::AppendError(st.code(), st.message(), out);
+        break;
+      }
+      // Base payloads are immutable; the server only attests that it has
+      // seen every delta in order, so gaps must be rejected.
+      const uint64_t current = epoch_.load(std::memory_order_acquire);
+      if (target != current + 1) {
+        wire::AppendError(StatusCode::kFailedPrecondition,
+                          "delta targets epoch " + std::to_string(target) +
+                              " but server is at " + std::to_string(current),
+                          out);
+        break;
+      }
+      deltas_applied_.fetch_add(ops.size(), std::memory_order_relaxed);
+      wire::AppendDeltaAck(target, out);
+      break;
+    }
+    case wire::MessageType::kEpochAdvance: {
+      if (!support_deltas_) {
+        wire::AppendError(StatusCode::kFailedPrecondition,
+                          "server does not support deltas", out);
+        break;
+      }
+      auto target = wire::DecodeEpochAdvance(*decoded);
+      if (!target.ok()) {
+        wire::AppendError(target.status().code(), target.status().message(),
+                          out);
+        break;
+      }
+      const uint64_t current = epoch_.load(std::memory_order_acquire);
+      if (*target != current + 1) {
+        wire::AppendError(StatusCode::kFailedPrecondition,
+                          "cannot advance to epoch " + std::to_string(*target) +
+                              " from " + std::to_string(current),
+                          out);
+        break;
+      }
+      epoch_.store(*target, std::memory_order_release);
+      wire::AppendDeltaAck(*target, out);
+      break;
+    }
     default:
       wire::AppendError(
           StatusCode::kInvalidArgument,

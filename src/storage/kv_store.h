@@ -72,11 +72,15 @@ class DistributedKvStore {
   /// Wraps an existing transport (loopback, TCP, or a custom backend).
   explicit DistributedKvStore(std::shared_ptr<Transport> transport);
 
+  /// Virtual so VersionedAdjacencyStore (storage/versioned_store.h) can
+  /// layer an epoch-addressed delta overlay over the same transports.
+  virtual ~DistributedKvStore() = default;
+
   /// Fetches Γ(v) as the transport delivered it: decoded (raw backends,
   /// shared with the store in-process) or still delta+varint encoded
   /// (compressed backends). Also returns, via the stats, the
   /// communication cost. Call .Materialize() for the decoded set.
-  AdjacencyPayload GetAdjacency(VertexId v) const;
+  virtual AdjacencyPayload GetAdjacency(VertexId v) const;
 
   /// Reply of one batched multi-get.
   struct BatchReply {
@@ -95,7 +99,7 @@ class DistributedKvStore {
   /// partition per batch while query/byte accounting matches
   /// `keys.size()` individual gets. This is what makes batched prefetching
   /// cheaper than issuing the same keys one by one.
-  BatchReply GetAdjacencyBatch(std::span<const VertexId> keys) const;
+  virtual BatchReply GetAdjacencyBatch(std::span<const VertexId> keys) const;
 
   /// Partition (virtual storage node) holding vertex v.
   size_t PartitionOf(VertexId v) const { return v % num_partitions_; }

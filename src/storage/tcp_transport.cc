@@ -230,6 +230,16 @@ class ServerChannel {
     have_expected_ = true;
   }
 
+  /// Records the epoch the server acked (kEpochAdvance), extending the
+  /// attested identity reconnects are validated against: a replica may
+  /// attest an *older* epoch (fresh process, attestation lost) but never
+  /// a newer one — that would mean it saw a delta stream this client
+  /// never pushed, i.e. it serves some other dynamic graph.
+  void NoteEpoch(uint64_t epoch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    expected_.epoch = epoch;
+  }
+
   /// Registers and sends `call`. Always completes the call eventually:
   /// connect/write failures fail it immediately, otherwise the reader
   /// completes it (or the connection teardown fails it). Await after
@@ -452,6 +462,22 @@ class ServerChannel {
             ep.host + ":" + std::to_string(ep.port) +
             " serves a different graph labeling (content-hash mismatch)");
       }
+      if (have_expected_ &&
+          (expected_.flags & wire::kHelloSupportsDeltas) != 0 &&
+          (hello->flags & wire::kHelloSupportsDeltas) == 0) {
+        net::CloseFd(*fd);
+        return Status::InvalidArgument(
+            ep.host + ":" + std::to_string(ep.port) +
+            " lacks the delta capability the cluster advertised");
+      }
+      if (have_expected_ && hello->epoch > expected_.epoch) {
+        net::CloseFd(*fd);
+        return Status::InvalidArgument(
+            ep.host + ":" + std::to_string(ep.port) + " attests epoch " +
+            std::to_string(hello->epoch) + " ahead of the client's " +
+            std::to_string(expected_.epoch) +
+            " — it serves a different delta stream");
+      }
       fd_ = *fd;
       broken_ = false;
       ++epoch_;
@@ -590,10 +616,12 @@ class TcpTransport final : public Transport {
  public:
   TcpTransport(std::shared_ptr<TcpCounters> counters,
                std::vector<std::unique_ptr<ServerChannel>> channels,
+               std::vector<uint8_t> delta_capable,
                const wire::HelloInfo& layout,
                const TcpTransportOptions& options, bool compress)
       : counters_(std::move(counters)),
         channels_(std::move(channels)),
+        delta_capable_(std::move(delta_capable)),
         layout_(layout),
         opt_(options),
         compress_(compress) {
@@ -738,7 +766,68 @@ class TcpTransport final : public Transport {
 
   TcpFaultStats FaultStats() const { return counters_->Snapshot(); }
 
+  StatusOr<DeltaPushResult> PushDelta(
+      uint64_t epoch, std::span<const EdgeDelta> ops) override {
+    std::vector<uint8_t> request;
+    wire::AppendApplyDelta(epoch, ops, &request);
+    return BroadcastDeltaFrame(request, epoch, /*commit=*/false);
+  }
+
+  StatusOr<DeltaPushResult> AdvanceEpoch(uint64_t epoch) override {
+    std::vector<uint8_t> request;
+    wire::AppendEpochAdvance(epoch, &request);
+    return BroadcastDeltaFrame(request, epoch, /*commit=*/true);
+  }
+
  private:
+  /// Sends one delta frame to every delta-capable channel (pipelined:
+  /// all submits, then all awaits) and requires a kDeltaAck echoing
+  /// `epoch` from each. Channels whose server lacks the capability are
+  /// skipped and counted as downgraded — base fetches keep working
+  /// there, only the epoch attestation is lost. With `commit` the acked
+  /// epoch becomes part of each channel's reconnect-validated identity.
+  StatusOr<DeltaPushResult> BroadcastDeltaFrame(
+      const std::vector<uint8_t>& request, uint64_t epoch, bool commit) {
+    DeltaPushResult result;
+    std::vector<std::unique_ptr<PendingCall>> calls(channels_.size());
+    for (size_t c = 0; c < channels_.size(); ++c) {
+      if (!delta_capable_[c]) {
+        ++result.downgraded_servers;
+        continue;
+      }
+      calls[c] = std::make_unique<PendingCall>();
+      calls[c]->request = request;
+      calls[c]->expected_frames = 1;
+      channels_[c]->Submit(calls[c].get());
+    }
+    // Await everything before inspecting anything, so an early error
+    // return cannot leave a call in flight pointing at dead stack.
+    for (size_t c = 0; c < channels_.size(); ++c) {
+      if (calls[c] != nullptr) channels_[c]->Await(calls[c].get());
+    }
+    for (size_t c = 0; c < channels_.size(); ++c) {
+      if (calls[c] == nullptr) continue;
+      BENU_RETURN_IF_ERROR(calls[c]->status);
+      auto frame = DecodeSingleFrame(*calls[c]);
+      BENU_RETURN_IF_ERROR(frame.status());
+      if (frame->header.type == wire::MessageType::kError) {
+        return wire::DecodeError(*frame);
+      }
+      auto acked = wire::DecodeDeltaAck(*frame);
+      if (!acked.ok()) {
+        return Status::Unavailable("corrupt delta ack: " +
+                                   acked.status().message());
+      }
+      if (*acked != epoch) {
+        return Status::Unavailable("delta ack epoch mismatch from server " +
+                                   std::to_string(c));
+      }
+      ++result.acked_servers;
+      if (commit) channels_[c]->NoteEpoch(epoch);
+    }
+    return result;
+  }
+
   /// Decodes the one frame of a single-reply call.
   static StatusOr<wire::Frame> DecodeSingleFrame(const PendingCall& call) {
     if (call.replies.size() != 1) {
@@ -857,6 +946,8 @@ class TcpTransport final : public Transport {
 
   const std::shared_ptr<TcpCounters> counters_;
   std::vector<std::unique_ptr<ServerChannel>> channels_;
+  /// Per-channel: did that server's hello advertise kHelloSupportsDeltas.
+  const std::vector<uint8_t> delta_capable_;
   const wire::HelloInfo layout_;
   const TcpTransportOptions opt_;
   /// Effective compression: requested AND every server capable AND the
@@ -885,6 +976,14 @@ StatusOr<std::shared_ptr<Transport>> ConnectTcpTransport(
   // in the fleet downgrades the whole transport to raw (correct either
   // way — compression only changes the bytes on the wire).
   bool all_support_encoding = true;
+  // Delta pushes are per-server: capable servers attest epochs, legacy
+  // (pre-delta) peers are skipped — no all-or-nothing downgrade needed
+  // because snapshots are composed client-side (versioned_store.h).
+  std::vector<uint8_t> delta_capable;
+  // Each server's own attested epoch: reconnect validation allows a
+  // replica to attest an older epoch (fresh process) but never a newer
+  // one, so the expectation must be per server, like the capability bit.
+  std::vector<uint64_t> attested_epochs;
   for (size_t i = 0; i < groups.size(); ++i) {
     channels.push_back(std::make_unique<ServerChannel>(
         groups[i].replicas, i, groups.size(), options, counters.get()));
@@ -893,6 +992,9 @@ StatusOr<std::shared_ptr<Transport>> ConnectTcpTransport(
     if ((hello->flags & wire::kHelloSupportsEncoded) == 0) {
       all_support_encoding = false;
     }
+    delta_capable.push_back(
+        (hello->flags & wire::kHelloSupportsDeltas) != 0 ? 1 : 0);
+    attested_epochs.push_back(hello->epoch);
     if (i == 0) {
       layout = *hello;
     } else if (hello->num_vertices != layout.num_vertices ||
@@ -916,9 +1018,21 @@ StatusOr<std::shared_ptr<Transport>> ConnectTcpTransport(
     // Reconnect validation must not demand a capability we don't use.
     layout.flags &= ~wire::kHelloSupportsEncoded;
   }
-  for (auto& channel : channels) channel->SetExpectedLayout(layout);
+  for (size_t i = 0; i < channels.size(); ++i) {
+    // Delta capability is per server, so each channel validates against
+    // its own server's advertisement, not the fleet consensus.
+    wire::HelloInfo expected = layout;
+    if (delta_capable[i]) {
+      expected.flags |= wire::kHelloSupportsDeltas;
+    } else {
+      expected.flags &= ~wire::kHelloSupportsDeltas;
+    }
+    expected.epoch = attested_epochs[i];
+    channels[i]->SetExpectedLayout(expected);
+  }
   return std::shared_ptr<Transport>(std::make_shared<TcpTransport>(
-      std::move(counters), std::move(channels), layout, options, compress));
+      std::move(counters), std::move(channels), std::move(delta_capable),
+      layout, options, compress));
 }
 
 StatusOr<std::shared_ptr<Transport>> ConnectTcpTransport(

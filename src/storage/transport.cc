@@ -243,7 +243,44 @@ class LoopbackTransport final : public Transport {
     return result;
   }
 
+  StatusOr<DeltaPushResult> PushDelta(
+      uint64_t epoch, std::span<const EdgeDelta> ops) override {
+    std::vector<uint8_t> request;
+    wire::AppendApplyDelta(epoch, ops, &request);
+    return RoundTripDeltaFrame(request, epoch);
+  }
+
+  StatusOr<DeltaPushResult> AdvanceEpoch(uint64_t epoch) override {
+    std::vector<uint8_t> request;
+    wire::AppendEpochAdvance(epoch, &request);
+    return RoundTripDeltaFrame(request, epoch);
+  }
+
  private:
+  /// Sends one delta frame through every partition server (real frames,
+  /// like Fetch — the loopback backend validates the protocol) and
+  /// requires a kDeltaAck echoing `epoch` from each.
+  StatusOr<DeltaPushResult> RoundTripDeltaFrame(
+      const std::vector<uint8_t>& request, uint64_t epoch) {
+    DeltaPushResult result;
+    for (auto& server : servers_) {
+      std::vector<uint8_t> reply;
+      server->HandleFrame(request, &reply);
+      auto frame = wire::DecodeFrame(reply);
+      BENU_RETURN_IF_ERROR(frame.status());
+      if (frame->header.type == wire::MessageType::kError) {
+        return wire::DecodeError(*frame);
+      }
+      auto acked = wire::DecodeDeltaAck(*frame);
+      BENU_RETURN_IF_ERROR(acked.status());
+      if (*acked != epoch) {
+        return Status::Internal("delta ack epoch mismatch");
+      }
+      ++result.acked_servers;
+    }
+    return result;
+  }
+
   /// Decodes one adjacency reply frame, raw or encoded: the server
   /// chooses (it answers raw when not encoding), so dispatch on the
   /// frame's own encoding flag rather than on `compress_`.

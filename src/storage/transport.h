@@ -135,6 +135,36 @@ class Transport {
   virtual StatusOr<BatchResult> FetchBatch(
       std::span<const VertexId> keys) = 0;
 
+  /// Outcome of replicating one epoch delta to the backend's servers.
+  struct DeltaPushResult {
+    /// Delta-capable servers that acknowledged the frame (kDeltaAck).
+    size_t acked_servers = 0;
+    /// Connected pre-delta (v2-era) peers the frame was *not* sent to —
+    /// the capability-bit downgrade. Results stay correct because
+    /// snapshots are composed client-side (versioned_store.h); only the
+    /// servers' epoch attestation is lost.
+    size_t downgraded_servers = 0;
+  };
+
+  /// Replicates the net edge delta producing `epoch` to every
+  /// delta-capable server (wire kApplyDelta). Servers keep serving the
+  /// *base* payloads unchanged; the frame only advances their attested
+  /// epoch, which reconnect validation checks alongside graph_hash.
+  /// Default: no servers to inform (in-process backends).
+  virtual StatusOr<DeltaPushResult> PushDelta(uint64_t epoch,
+                                              std::span<const EdgeDelta> ops) {
+    (void)epoch;
+    (void)ops;
+    return DeltaPushResult{};
+  }
+
+  /// Marks `epoch` committed on every delta-capable server (wire
+  /// kEpochAdvance) after its kApplyDelta was acked. Default: no-op.
+  virtual StatusOr<DeltaPushResult> AdvanceEpoch(uint64_t epoch) {
+    (void)epoch;
+    return DeltaPushResult{};
+  }
+
   const TransportStats& stats() const { return stats_; }
 
  protected:

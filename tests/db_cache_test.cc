@@ -3,6 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <thread>
 
 #include "common/metrics.h"
@@ -311,6 +316,145 @@ TEST(DbCacheTest, ConcurrentPowerLawStressRespectsCapacity) {
   EXPECT_DOUBLE_EQ(stats.HitRate(),
                    static_cast<double>(stats.hits) / stats.Lookups());
   EXPECT_DOUBLE_EQ(stats.HitRate() + stats.StallRate(), 1.0);
+}
+
+// --- epoch invalidation ------------------------------------------------
+
+// A store whose fetches can be held at a gate, so a test can interleave
+// an epoch advance *inside* an in-flight fetch deterministically. The
+// served value versions with `BumpValue` (standing in for the versioned
+// store's overlay changing across epochs) and is captured BEFORE the
+// gate — exactly a reply formed under the old snapshot arriving late.
+class GatedStore : public DistributedKvStore {
+ public:
+  explicit GatedStore(const Graph& g) : DistributedKvStore(g, 1) {}
+
+  AdjacencyPayload GetAdjacency(VertexId v) const override {
+    const auto captured = static_cast<VertexId>(value_.load());
+    fetches_started_.fetch_add(1);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return !gated_; });
+    }
+    AdjacencyPayload payload;
+    payload.decoded = std::make_shared<VertexSet>(VertexSet{captured});
+    payload.wire_bytes = ReplyBytes(1);
+    (void)v;
+    return payload;
+  }
+
+  BatchReply GetAdjacencyBatch(
+      std::span<const VertexId> keys) const override {
+    BatchReply reply;
+    for (VertexId v : keys) reply.values.push_back(GetAdjacency(v));
+    reply.round_trips = 1;
+    reply.bytes = keys.size() * ReplyBytes(1);
+    return reply;
+  }
+
+  void Gate() {
+    std::lock_guard<std::mutex> lock(mu_);
+    gated_ = true;
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      gated_ = false;
+    }
+    cv_.notify_all();
+  }
+  void BumpValue() { value_.fetch_add(1); }
+  int fetches_started() const { return fetches_started_.load(); }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  bool gated_ = false;
+  std::atomic<int> value_{1};
+  mutable std::atomic<int> fetches_started_{0};
+};
+
+void SpinUntil(const std::function<bool()>& pred) {
+  for (int i = 0; i < 50000 && !pred(); ++i) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  ASSERT_TRUE(pred());
+}
+
+TEST(DbCacheEpochTest, AdvanceEpochInvalidatesTouchedEntriesOnly) {
+  Graph g = MakeCycle(6);
+  DistributedKvStore store(g, 1);
+  DbCache cache(&store, 1 << 20, /*num_shards=*/1);
+  for (VertexId v = 0; v < 4; ++v) cache.Get(v);
+  ASSERT_EQ(cache.stats().misses, 4u);
+
+  const VertexId touched[] = {1, 2};
+  cache.AdvanceEpoch(1, touched);
+  EXPECT_EQ(cache.epoch(), 1u);
+  EXPECT_EQ(cache.stats().epoch_invalidations, 2u);
+
+  bool hit = false;
+  cache.GetAdjacency(0, &hit);
+  EXPECT_TRUE(hit);  // untouched entries stay hot
+  cache.GetAdjacency(1, &hit);
+  EXPECT_FALSE(hit);  // touched entries were purged precisely
+  cache.GetAdjacency(3, &hit);
+  EXPECT_TRUE(hit);
+}
+
+TEST(DbCacheEpochTest, FetchRacingEpochAdvanceNeverPublishesStale) {
+  // A fetch in flight when the epoch advances must not be served: the
+  // primary's refetch loop re-queries under the new epoch, so the caller
+  // observes the post-advance value even though the first reply (formed
+  // under the old snapshot) arrived after the advance.
+  Graph g = MakeCycle(4);
+  GatedStore store(g);
+  DbCache cache(&store, 1 << 20, /*num_shards=*/1);
+
+  store.Gate();
+  std::shared_ptr<const VertexSet> result;
+  std::thread getter([&] { result = cache.Get(2).value.Materialize(); });
+  SpinUntil([&] { return store.fetches_started() >= 1; });
+
+  // The gated fetch already captured the old value {1}; change the
+  // store and advance the epoch while that reply is still in flight.
+  store.BumpValue();
+  const VertexId touched[] = {2};
+  cache.AdvanceEpoch(1, touched);
+  store.Release();
+  getter.join();
+
+  // The getter saw the new-epoch value {2}, never the stale {1}.
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(*result, (VertexSet{2}));
+  EXPECT_GE(store.fetches_started(), 2);  // the refetch actually happened
+  // And the retained entry is the new-epoch value too.
+  EXPECT_EQ(*cache.Get(2).value.Materialize(), (VertexSet{2}));
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(DbCacheEpochTest, StalePrefetchCountsAsWastedAndIsDropped) {
+  Graph g = MakeCycle(4);
+  GatedStore store(g);
+  ThreadPool pool(1);
+  DbCache cache(&store, 1 << 20, /*num_shards=*/1, &pool);
+
+  store.Gate();
+  const VertexId key = 1;
+  cache.PrefetchAsync(&key, 1);
+  SpinUntil([&] { return store.fetches_started() >= 1; });
+  store.BumpValue();
+  const VertexId touched[] = {1};
+  cache.AdvanceEpoch(1, touched);
+  store.Release();
+  cache.WaitForPrefetches();
+  // The prefetched payload was fetched at epoch 0: it lands as wasted
+  // work, not as a cache entry of epoch 1.
+  EXPECT_EQ(cache.stats().prefetch_wasted, 1u);
+  bool hit = true;
+  auto set = cache.GetAdjacency(1, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(*set, (VertexSet{2}));  // fetched fresh at the new epoch
 }
 
 }  // namespace

@@ -1,0 +1,85 @@
+#include "common/flags_util.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace benu {
+namespace {
+
+// Builds a mutable argv from string literals (flags take char**).
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    for (auto& s : storage_) ptrs_.push_back(s.data());
+  }
+  int argc() { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(FlagsUtilTest, ValueReturnsLastOccurrence) {
+  Argv a({"prog", "--graph=er:10,20,1", "--port=9", "--graph=ba:5,2,3"});
+  EXPECT_STREQ(flags::Value(a.argc(), a.argv(), "--graph", "none"),
+               "ba:5,2,3");
+  EXPECT_STREQ(flags::Value(a.argc(), a.argv(), "--port", "0"), "9");
+  EXPECT_STREQ(flags::Value(a.argc(), a.argv(), "--missing", "fb"), "fb");
+}
+
+TEST(FlagsUtilTest, ValuesCollectsAllInOrder) {
+  Argv a({"prog", "--servers=a:1", "--x=0", "--servers=b:2"});
+  EXPECT_EQ(flags::Values(a.argc(), a.argv(), "--servers"),
+            (std::vector<std::string>{"a:1", "b:2"}));
+  EXPECT_TRUE(flags::Values(a.argc(), a.argv(), "--none").empty());
+}
+
+TEST(FlagsUtilTest, HasDetectsBareFlagOnly) {
+  Argv a({"prog", "--verbose", "--level=3"});
+  EXPECT_TRUE(flags::Has(a.argc(), a.argv(), "--verbose"));
+  // --level appears only with a value; Has looks for the bare form.
+  EXPECT_FALSE(flags::Has(a.argc(), a.argv(), "--level"));
+  EXPECT_FALSE(flags::Has(a.argc(), a.argv(), "--absent"));
+}
+
+TEST(FlagsUtilTest, TypedConveniences) {
+  Argv a({"prog", "--size=4096", "--threads=7", "--ratio=0.5", "--big=12345678901",
+          "--flag=0", "--port=70000", "--junk=8x"});
+  EXPECT_EQ(flags::SizeValue(a.argc(), a.argv(), "--size", 1), 4096u);
+  EXPECT_EQ(flags::IntValue(a.argc(), a.argv(), "--threads", 1), 7);
+  EXPECT_DOUBLE_EQ(flags::DoubleValue(a.argc(), a.argv(), "--ratio", 1.0),
+                   0.5);
+  EXPECT_EQ(flags::Int64Value(a.argc(), a.argv(), "--big", 0), 12345678901ll);
+  EXPECT_FALSE(flags::BoolValue(a.argc(), a.argv(), "--flag", true));
+  EXPECT_TRUE(flags::BoolValue(a.argc(), a.argv(), "--missing", true));
+  // Ports are u16; oversized values truncate like the mains always did.
+  EXPECT_EQ(flags::PortValue(a.argc(), a.argv(), "--port", 1),
+            static_cast<uint16_t>(70000));
+  // strtoul semantics: trailing garbage is ignored, "8x" parses as 8.
+  EXPECT_EQ(flags::SizeValue(a.argc(), a.argv(), "--junk", 0), 8u);
+}
+
+TEST(FlagsUtilTest, FallbacksWhenAbsent) {
+  Argv a({"prog"});
+  EXPECT_EQ(flags::SizeValue(a.argc(), a.argv(), "--n", 42), 42u);
+  EXPECT_EQ(flags::IntValue(a.argc(), a.argv(), "--n", -3), -3);
+  EXPECT_EQ(flags::PortValue(a.argc(), a.argv(), "--n", 9099), 9099);
+  EXPECT_DOUBLE_EQ(flags::DoubleValue(a.argc(), a.argv(), "--n", 2.5), 2.5);
+}
+
+TEST(FlagsUtilTest, KillServersIsIdempotent) {
+  // Dead/empty entries: KillServers must be callable twice (explicit kill
+  // followed by the atexit handler) without touching reset pids.
+  std::vector<flags::ServerProcess> servers(2);
+  servers[0].pid = -1;
+  servers[1].pid = -1;
+  flags::KillServers(servers);
+  flags::KillServers(servers);
+  EXPECT_EQ(servers[0].pid, -1);
+}
+
+}  // namespace
+}  // namespace benu

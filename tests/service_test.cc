@@ -194,6 +194,16 @@ TEST(ServiceWireTest, WireProtocolDocMatchesConstants) {
   expect_value("kQueryResultCancelled", wire::kQueryResultCancelled);
   expect_value("kQueryResultPlanCacheHit", wire::kQueryResultPlanCacheHit);
   expect_value("kHelloSupportsQueries", wire::kHelloSupportsQueries);
+  expect_value("kHelloSupportsDeltas", wire::kHelloSupportsDeltas);
+  expect_value("kQuerySubscribe", wire::kQuerySubscribe);
+  expect_value("kApplyDelta",
+               static_cast<uint64_t>(wire::MessageType::kApplyDelta));
+  expect_value("kEpochAdvance",
+               static_cast<uint64_t>(wire::MessageType::kEpochAdvance));
+  expect_value("kMatchDelta",
+               static_cast<uint64_t>(wire::MessageType::kMatchDelta));
+  expect_value("kDeltaAck",
+               static_cast<uint64_t>(wire::MessageType::kDeltaAck));
 }
 
 // --- FairScheduler ----------------------------------------------------
@@ -593,6 +603,242 @@ TEST(ServiceServerTest, ProgressFramesArriveForLongQueries) {
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result->matches, SoloCount(data, "q9"));
   EXPECT_GT(progress_frames.load(), 0);
+}
+
+// --- subscribe mode (dynamic graphs) ----------------------------------
+
+using EdgeSet = std::set<std::pair<VertexId, VertexId>>;
+
+std::pair<VertexId, VertexId> Norm(VertexId u, VertexId v) {
+  return u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+}
+
+EdgeSet EdgesOf(const Graph& g) {
+  const auto edges = g.Edges();
+  EdgeSet out;
+  for (const auto& [u, v] : edges) out.insert(Norm(u, v));
+  return out;
+}
+
+/// Independent reference: a fresh graph from the current edge set, run
+/// through the one-shot driver — no versioned store, no incremental plans.
+Count Recount(const std::string& pattern, size_t num_vertices,
+              const EdgeSet& edges) {
+  Graph g = std::move(Graph::FromEdges(num_vertices,
+                                       {edges.begin(), edges.end()}))
+                .value();
+  return SoloCount(g, pattern);
+}
+
+/// First `count` absent vertex pairs in lexicographic order, applied to
+/// `edges` as the caller's mirror of the mutation.
+std::vector<EdgeDelta> TakeInsertions(EdgeSet* edges, size_t num_vertices,
+                                      size_t count) {
+  std::vector<EdgeDelta> ops;
+  for (VertexId u = 0; u < static_cast<VertexId>(num_vertices); ++u) {
+    for (VertexId v = u + 1; v < static_cast<VertexId>(num_vertices); ++v) {
+      if (ops.size() == count) return ops;
+      if (edges->count({u, v}) != 0) continue;
+      ops.push_back({u, v, /*insert=*/true});
+      edges->insert({u, v});
+    }
+  }
+  return ops;
+}
+
+/// First `count` present edges, removed from `edges` and returned as
+/// deletion ops.
+std::vector<EdgeDelta> TakeDeletions(EdgeSet* edges, size_t count) {
+  std::vector<EdgeDelta> ops;
+  while (ops.size() < count && !edges->empty()) {
+    const auto [u, v] = *edges->begin();
+    ops.push_back({u, v, /*insert=*/false});
+    edges->erase(edges->begin());
+  }
+  return ops;
+}
+
+/// Records every done-callback fire (subscriptions fire twice: baseline,
+/// then terminal) and every match delta.
+struct SubscribeSink {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<wire::QueryResultInfo> fires;
+  std::vector<wire::MatchDelta> deltas;
+
+  service::QueryDoneFn Done() {
+    return [this](const wire::QueryResultInfo& info) {
+      std::lock_guard<std::mutex> lk(mu);
+      fires.push_back(info);
+      cv.notify_all();
+    };
+  }
+  service::QueryDeltaFn Delta() {
+    return [this](const wire::MatchDelta& d) {
+      std::lock_guard<std::mutex> lk(mu);
+      deltas.push_back(d);
+      cv.notify_all();
+    };
+  }
+  wire::QueryResultInfo WaitFire(size_t index) {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return fires.size() > index; });
+    return fires[index];
+  }
+  wire::MatchDelta WaitDelta(size_t index) {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return deltas.size() > index; });
+    return deltas[index];
+  }
+};
+
+TEST(QueryEngineSubscribeTest, IncrementalTotalsMatchRecompute) {
+  const Graph data = std::move(GenerateErdosRenyi(80, 400, 43)).value();
+  const size_t n = data.NumVertices();
+  ServiceConfig config;
+  config.execution_threads = 2;
+  auto engine = QueryEngine::Create(data, config);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  // Subscribe + VCBC is a submit-time rejection (codes cannot be
+  // retracted), as are labeled subscriptions.
+  wire::QuerySpec bad;
+  bad.pattern = "triangle";
+  bad.options = wire::kQueryVcbc | wire::kQuerySubscribe;
+  auto rejected = (*engine)->Submit(1, bad, nullptr);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+
+  SubscribeSink sink;
+  wire::QuerySpec spec;
+  spec.pattern = "triangle";
+  spec.options = wire::kQuerySubscribe;
+  auto id = (*engine)->Submit(1, spec, sink.Done(), nullptr, sink.Delta());
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  // Baseline fire is non-terminal and exact.
+  EdgeSet edges = EdgesOf(data);
+  const wire::QueryResultInfo baseline = sink.WaitFire(0);
+  EXPECT_FALSE(baseline.cancelled());
+  EXPECT_EQ(baseline.matches, Recount("triangle", n, edges));
+  EXPECT_EQ((*engine)->stats().subscriptions, 1u);
+
+  // Deltas target epoch()+1 with in-universe endpoints, in original ids.
+  const EdgeDelta out_of_universe{static_cast<VertexId>(n + 5), 0, true};
+  EXPECT_EQ((*engine)
+                ->StageDelta(1, std::span<const EdgeDelta>(&out_of_universe, 1))
+                .code(),
+            StatusCode::kInvalidArgument);
+  std::vector<EdgeDelta> ins = TakeInsertions(&edges, n, 12);
+  EXPECT_EQ((*engine)->StageDelta(7, ins).code(),
+            StatusCode::kFailedPrecondition);
+
+  // Epoch 1: insertions. The streamed total matches a recompute.
+  ASSERT_TRUE((*engine)->StageDelta(1, ins).ok());
+  auto e1 = (*engine)->CommitEpoch(1);
+  ASSERT_TRUE(e1.ok()) << e1.status().ToString();
+  EXPECT_EQ(*e1, 1u);
+  EXPECT_EQ((*engine)->epoch(), 1u);
+  const wire::MatchDelta d1 = sink.WaitDelta(0);
+  EXPECT_EQ(d1.epoch, 1u);
+  EXPECT_EQ(d1.total, baseline.matches + d1.added - d1.retracted);
+  EXPECT_EQ(d1.total, Recount("triangle", n, edges));
+
+  // Epoch 2: deletions retract matches through the same plans.
+  std::vector<EdgeDelta> del = TakeDeletions(&edges, 24);
+  ASSERT_TRUE((*engine)->StageDelta(2, del).ok());
+  auto e2 = (*engine)->CommitEpoch(2);
+  ASSERT_TRUE(e2.ok()) << e2.status().ToString();
+  const wire::MatchDelta d2 = sink.WaitDelta(1);
+  EXPECT_EQ(d2.epoch, 2u);
+  EXPECT_EQ(d2.total, d1.total + d2.added - d2.retracted);
+  EXPECT_EQ(d2.total, Recount("triangle", n, edges));
+  EXPECT_GT(d2.retracted, 0u);
+
+  // Cancel terminates the subscription: the second done fire carries the
+  // cancelled flag and the last maintained total.
+  EXPECT_TRUE((*engine)->Cancel(*id));
+  const wire::QueryResultInfo terminal = sink.WaitFire(1);
+  EXPECT_TRUE(terminal.cancelled());
+  EXPECT_EQ(terminal.matches, d2.total);
+  EXPECT_EQ((*engine)->stats().subscriptions, 0u);
+  (*engine)->Drain();
+}
+
+TEST(ServiceServerTest, SubscribeOverTheWire) {
+  const Graph data = std::move(GenerateErdosRenyi(80, 400, 47)).value();
+  const size_t n = data.NumVertices();
+  ServiceConfig config;
+  config.execution_threads = 2;
+  auto server = StartServer(data, config);
+  auto client = ServiceClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_NE((*client)->hello().flags & wire::kHelloSupportsDeltas, 0u);
+  EXPECT_EQ((*client)->hello().epoch, 0u);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<wire::MatchDelta> deltas;
+  wire::QuerySpec spec;
+  spec.pattern = "triangle";
+  auto tag = (*client)->Subscribe(spec, [&](const wire::MatchDelta& d) {
+    std::lock_guard<std::mutex> lk(mu);
+    deltas.push_back(d);
+    cv.notify_all();
+  });
+  ASSERT_TRUE(tag.ok()) << tag.status().ToString();
+
+  EdgeSet edges = EdgesOf(data);
+  auto baseline = (*client)->AwaitBaseline(*tag);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  EXPECT_EQ(baseline->matches, Recount("triangle", n, edges));
+
+  // Epoch 1 over the wire: push, advance, receive the kMatchDelta.
+  std::vector<EdgeDelta> ins = TakeInsertions(&edges, n, 12);
+  auto staged = (*client)->PushDelta(1, ins);
+  ASSERT_TRUE(staged.ok()) << staged.status().ToString();
+  EXPECT_EQ(*staged, 0u);  // staging does not advance the epoch
+  auto e1 = (*client)->AdvanceEpoch(1);
+  ASSERT_TRUE(e1.ok()) << e1.status().ToString();
+  EXPECT_EQ(*e1, 1u);
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return deltas.size() >= 1; });
+    EXPECT_EQ(deltas[0].epoch, 1u);
+    EXPECT_EQ(deltas[0].total, Recount("triangle", n, edges));
+  }
+
+  // Epoch 2: deletions retract over the wire too.
+  std::vector<EdgeDelta> del = TakeDeletions(&edges, 24);
+  ASSERT_TRUE((*client)->PushDelta(2, del).ok());
+  ASSERT_TRUE((*client)->AdvanceEpoch(2).ok());
+  uint64_t maintained = 0;
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return deltas.size() >= 2; });
+    EXPECT_EQ(deltas[1].epoch, 2u);
+    EXPECT_GT(deltas[1].retracted, 0u);
+    EXPECT_EQ(deltas[1].total, Recount("triangle", n, edges));
+    maintained = deltas[1].total;
+  }
+
+  // A wrong-target advance is a tagged error; the connection survives.
+  EXPECT_FALSE((*client)->AdvanceEpoch(9).ok());
+
+  // Cancel retires the subscription with the maintained total.
+  ASSERT_TRUE((*client)->SendCancel(*tag).ok());
+  auto terminal = (*client)->Await(*tag);
+  ASSERT_TRUE(terminal.ok()) << terminal.status().ToString();
+  EXPECT_TRUE(terminal->cancelled());
+  EXPECT_EQ(terminal->matches, maintained);
+
+  // The same connection still serves one-shot queries, and they see the
+  // post-delta graph.
+  wire::QuerySpec oneshot;
+  oneshot.pattern = "q5";
+  auto rerun = (*client)->Execute(oneshot);
+  ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+  EXPECT_EQ(rerun->matches, Recount("q5", n, edges));
 }
 
 // --- service.* metrics docs coverage ----------------------------------

@@ -793,6 +793,148 @@ TEST(WireTest, HelloCarriesReplicaFieldsAndAcceptsLegacyPayload) {
   EXPECT_EQ(hello->num_replicas, 1u);
 }
 
+// --- versioned-store (delta) frames -----------------------------------
+
+TEST(WireTest, DeltaFramesRoundTrip) {
+  std::vector<uint8_t> buffer;
+  std::vector<EdgeDelta> ops = {{3, 7, true}, {9, 2, false}};
+  wire::AppendApplyDelta(5, ops, &buffer);
+  auto frame = wire::DecodeFrame(buffer);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->header.type, wire::MessageType::kApplyDelta);
+  uint64_t epoch = 0;
+  std::vector<EdgeDelta> decoded;
+  ASSERT_TRUE(wire::DecodeApplyDelta(*frame, &epoch, &decoded).ok());
+  EXPECT_EQ(epoch, 5u);
+  EXPECT_EQ(decoded, ops);
+
+  buffer.clear();
+  wire::AppendEpochAdvance(6, &buffer);
+  frame = wire::DecodeFrame(buffer);
+  ASSERT_TRUE(frame.ok());
+  auto advance = wire::DecodeEpochAdvance(*frame);
+  ASSERT_TRUE(advance.ok());
+  EXPECT_EQ(*advance, 6u);
+
+  buffer.clear();
+  wire::AppendMatchDelta({4, 10, 3, 107}, &buffer);
+  frame = wire::DecodeFrame(buffer);
+  ASSERT_TRUE(frame.ok());
+  auto delta = wire::DecodeMatchDelta(*frame);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(*delta, (wire::MatchDelta{4, 10, 3, 107}));
+
+  buffer.clear();
+  wire::AppendDeltaAck(5, &buffer);
+  frame = wire::DecodeFrame(buffer);
+  ASSERT_TRUE(frame.ok());
+  auto ack = wire::DecodeDeltaAck(*frame);
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(*ack, 5u);
+}
+
+TEST(WireTest, HelloCarriesEpochAndAcceptsPreDeltaPayloads) {
+  wire::HelloInfo info{100, 8, 2, 1, 0, 1,
+                       wire::kHelloSupportsDeltas, 0xabcd1234u, 9};
+  std::vector<uint8_t> buffer;
+  wire::AppendHelloReply(info, &buffer);
+  auto frame = wire::DecodeFrame(buffer);
+  ASSERT_TRUE(frame.ok());
+  auto hello = wire::DecodeHelloReply(*frame);
+  ASSERT_TRUE(hello.ok());
+  EXPECT_EQ(hello->epoch, 9u);
+  EXPECT_NE(hello->flags & wire::kHelloSupportsDeltas, 0u);
+
+  // A 32-byte (v2, pre-delta) hello payload still decodes: epoch 0.
+  std::vector<uint8_t> legacy;
+  wire::AppendHeader(wire::MessageType::kHelloReply, 0, 32, &legacy);
+  for (uint32_t word : {100u, 8u, 2u, 1u, 0u, 1u, 0u, 0xabcd1234u}) {
+    for (int b = 0; b < 4; ++b) {
+      legacy.push_back(static_cast<uint8_t>(word >> (8 * b)));
+    }
+  }
+  frame = wire::DecodeFrame(legacy);
+  ASSERT_TRUE(frame.ok());
+  hello = wire::DecodeHelloReply(*frame);
+  ASSERT_TRUE(hello.ok()) << hello.status().ToString();
+  EXPECT_EQ(hello->epoch, 0u);
+  EXPECT_EQ(hello->graph_hash, 0xabcd1234u);
+}
+
+TEST(KvPartitionServerTest, DeltaFramesValidateEpochSequence) {
+  Graph g = std::move(Graph::FromEdges(4, {{0, 1}, {1, 2}})).value();
+  KvPartitionServer server(&g, /*num_partitions=*/2, /*num_servers=*/1,
+                           /*server_index=*/0);
+  std::vector<uint8_t> request, reply;
+  std::vector<EdgeDelta> ops = {{0, 3, true}};
+
+  // Target epoch must be current+1: a jump is rejected.
+  wire::AppendApplyDelta(2, ops, &request);
+  server.HandleFrame(request, &reply);
+  auto frame = wire::DecodeFrame(reply);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->header.type, wire::MessageType::kError);
+  EXPECT_EQ(wire::DecodeError(*frame).code(),
+            StatusCode::kFailedPrecondition);
+
+  // The in-sequence delta is acked; commit via kEpochAdvance.
+  request.clear();
+  reply.clear();
+  wire::AppendApplyDelta(1, ops, &request);
+  server.HandleFrame(request, &reply);
+  frame = wire::DecodeFrame(reply);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_EQ(frame->header.type, wire::MessageType::kDeltaAck);
+  EXPECT_EQ(std::move(wire::DecodeDeltaAck(*frame)).value(), 1u);
+  EXPECT_EQ(server.epoch(), 0u);  // not committed yet
+
+  request.clear();
+  reply.clear();
+  wire::AppendEpochAdvance(1, &request);
+  server.HandleFrame(request, &reply);
+  frame = wire::DecodeFrame(reply);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_EQ(frame->header.type, wire::MessageType::kDeltaAck);
+  EXPECT_EQ(server.epoch(), 1u);
+
+  // The hello now attests (hash, epoch).
+  request.clear();
+  reply.clear();
+  wire::AppendHelloRequest(&request);
+  server.HandleFrame(request, &reply);
+  frame = wire::DecodeFrame(reply);
+  ASSERT_TRUE(frame.ok());
+  auto hello = wire::DecodeHelloReply(*frame);
+  ASSERT_TRUE(hello.ok());
+  EXPECT_EQ(hello->epoch, 1u);
+  EXPECT_NE(hello->flags & wire::kHelloSupportsDeltas, 0u);
+}
+
+TEST(KvPartitionServerTest, PreDeltaServerRejectsDeltaFrames) {
+  Graph g = std::move(Graph::FromEdges(4, {{0, 1}})).value();
+  KvPartitionServer server(&g, 2, 1, 0, /*replica_index=*/0,
+                           /*num_replicas=*/1, /*support_encoding=*/true,
+                           /*support_deltas=*/false);
+  std::vector<uint8_t> request, reply;
+  wire::AppendHelloRequest(&request);
+  server.HandleFrame(request, &reply);
+  auto frame = wire::DecodeFrame(reply);
+  ASSERT_TRUE(frame.ok());
+  auto hello = wire::DecodeHelloReply(*frame);
+  ASSERT_TRUE(hello.ok());
+  EXPECT_EQ(hello->flags & wire::kHelloSupportsDeltas, 0u);
+
+  request.clear();
+  reply.clear();
+  wire::AppendEpochAdvance(1, &request);
+  server.HandleFrame(request, &reply);
+  frame = wire::DecodeFrame(reply);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->header.type, wire::MessageType::kError);
+  EXPECT_EQ(wire::DecodeError(*frame).code(),
+            StatusCode::kFailedPrecondition);
+}
+
 TEST(ParseReplicaGroupsTest, GoodAndBad) {
   auto groups = ParseReplicaGroups("a:1|b:2,c:3");
   ASSERT_TRUE(groups.ok()) << groups.status().ToString();
